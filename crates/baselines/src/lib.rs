@@ -1,0 +1,41 @@
+//! Comparator Leiden implementations.
+//!
+//! The paper benchmarks GVE-Leiden against four external systems. Two of
+//! them are reproduced here *in the style that makes them slow*, so the
+//! performance comparisons of Figure 6 have honest local stand-ins:
+//!
+//! * [`seq`] — sequential Leiden in the spirit of the original
+//!   `libleidenalg` (Traag et al.): queue-driven local moving and
+//!   randomized proportional refinement, single-threaded. Plays the role
+//!   of "original Leiden" / "igraph Leiden" (both sequential).
+//! * [`nk`] — a parallel Leiden in the style the paper attributes to
+//!   NetworKit's implementation \[19\]: *global queue* based work
+//!   distribution with per-community *locking*, and an unoptimized
+//!   lock-guarded aggregation phase. Plays the role of "NetworKit
+//!   Leiden".
+//!
+//! cuGraph Leiden (GPU) has no CPU-side stand-in; experiments note its
+//! absence (see DESIGN.md substitution table).
+//!
+//! [`lpa`] adds RAK label propagation — not a paper comparator but the
+//! classic quality floor every Leiden implementation must clear.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod lpa;
+pub mod nk;
+pub mod seq;
+
+use gve_graph::VertexId;
+
+/// Common result shape for the baseline implementations.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Community of every vertex, dense `0..k`.
+    pub membership: Vec<VertexId>,
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Passes performed.
+    pub passes: usize,
+}

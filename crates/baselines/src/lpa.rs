@@ -1,0 +1,189 @@
+//! Parallel label propagation (RAK) — the fast-but-lower-quality end of
+//! the comparison spectrum.
+//!
+//! Raghavan–Albert–Kumara label propagation is the classic cheap
+//! community detector: every vertex repeatedly adopts the label carrying
+//! the most edge weight in its neighbourhood; no quality function is
+//! optimized. The paper's group ships it as GVE-RAK alongside GVE-Louvain
+//! and GVE-Leiden; here it calibrates the quality axis of comparisons —
+//! any Leiden implementation must beat it on modularity, usually at
+//! higher cost.
+
+use crate::BaselineResult;
+use gve_graph::{CsrGraph, VertexId};
+use gve_prim::parfor::dynamic_workers;
+use gve_prim::{AtomicBitset, CommunityMap, PerThread, Xorshift32};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Configuration of the label-propagation baseline.
+#[derive(Debug, Clone)]
+pub struct LpaConfig {
+    /// Maximum sweeps over the vertex set.
+    pub max_iterations: usize,
+    /// Stop when fewer than this fraction of vertices changed label in a
+    /// sweep.
+    pub tolerance: f64,
+    /// Dynamic-schedule chunk size.
+    pub chunk_size: usize,
+    /// Seed for the random tie-breaking RAK prescribes (without it,
+    /// labels flood across weak bridges toward small ids).
+    pub seed: u64,
+}
+
+impl Default for LpaConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 20,
+            tolerance: 0.05,
+            chunk_size: gve_prim::parfor::DEFAULT_CHUNK,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs label propagation with default configuration.
+pub fn label_propagation(graph: &CsrGraph) -> BaselineResult {
+    label_propagation_with(graph, &LpaConfig::default())
+}
+
+/// Runs asynchronous parallel label propagation.
+pub fn label_propagation_with(graph: &CsrGraph, config: &LpaConfig) -> BaselineResult {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return BaselineResult {
+            membership: Vec::new(),
+            num_communities: 0,
+            passes: 0,
+        };
+    }
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let tables: PerThread<CommunityMap> = PerThread::new(move || CommunityMap::new(n));
+    let unprocessed = AtomicBitset::new_all_set(n);
+    let mut sweeps = 0;
+
+    for iteration in 0..config.max_iterations {
+        sweeps += 1;
+        let changed = AtomicUsize::new(0);
+        dynamic_workers(n, config.chunk_size, |claims| {
+            tables.with(|ht| {
+                for range in claims {
+                    for v in range {
+                        if !unprocessed.take(v) {
+                            continue;
+                        }
+                        let v = v as VertexId;
+                        ht.clear();
+                        for (j, w) in graph.edges(v) {
+                            if j != v {
+                                ht.add(labels[j as usize].load(Ordering::Relaxed), w as f64);
+                            }
+                        }
+                        let Some((_, best_weight)) = ht.max_key() else {
+                            continue;
+                        };
+                        // RAK tie-breaking: keep the current label if it
+                        // is among the maxima; otherwise pick uniformly
+                        // at random among them.
+                        let current = labels[v as usize].load(Ordering::Relaxed);
+                        if ht.weight(current) >= best_weight {
+                            continue;
+                        }
+                        let ties: Vec<VertexId> = ht
+                            .iter()
+                            .filter(|&(_, w)| w >= best_weight)
+                            .map(|(l, _)| l)
+                            .collect();
+                        let mut rng = Xorshift32::new(
+                            (config.seed as u32)
+                                ^ v.wrapping_mul(0x9E37_79B9)
+                                ^ ((iteration as u32) << 13),
+                        );
+                        let best = ties[rng.next_bounded(ties.len() as u32) as usize];
+                        if best != current {
+                            labels[v as usize].store(best, Ordering::Relaxed);
+                            changed.fetch_add(1, Ordering::Relaxed);
+                            for &j in graph.neighbors(v) {
+                                unprocessed.set(j as usize);
+                            }
+                        }
+                    }
+                }
+            })
+        });
+        if (changed.load(Ordering::Relaxed) as f64) < config.tolerance * n as f64 {
+            break;
+        }
+    }
+
+    let raw: Vec<VertexId> = labels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
+    let (membership, num_communities) = gve_leiden::dendrogram::renumber(&raw);
+    BaselineResult {
+        membership,
+        num_communities,
+        passes: sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+
+    #[test]
+    fn separates_two_cliques() {
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 5, b + 5, 1.0));
+            }
+        }
+        edges.push((0, 5, 1.0)); // weak bridge
+        let g = GraphBuilder::from_edges(10, &edges);
+        let r = label_propagation(&g);
+        assert_eq!(r.membership[0], r.membership[4]);
+        assert_eq!(r.membership[5], r.membership[9]);
+        assert_ne!(r.membership[0], r.membership[5]);
+    }
+
+    #[test]
+    fn recovers_strong_planted_structure() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1000, 8, 14.0, 0.5)
+            .seed(2)
+            .generate();
+        let r = label_propagation(&planted.graph);
+        let nmi = gve_quality::normalized_mutual_information(&r.membership, &planted.labels);
+        assert!(nmi > 0.8, "NMI {nmi}");
+    }
+
+    #[test]
+    fn quality_below_leiden_on_mixed_graphs() {
+        // LPA is the quality floor: Leiden must beat or match it.
+        let g = gve_generate::sbm::PlantedPartition::new(1500, 12, 10.0, 3.0)
+            .seed(4)
+            .generate()
+            .graph;
+        let q_lpa = gve_quality::modularity(&g, &label_propagation(&g).membership);
+        let q_leiden = gve_quality::modularity(&g, &gve_leiden::leiden(&g).membership);
+        assert!(
+            q_leiden >= q_lpa - 1e-9,
+            "Leiden {q_leiden} lost to LPA {q_lpa}"
+        );
+    }
+
+    #[test]
+    fn labels_are_dense_and_valid() {
+        let g = gve_generate::kmer::kmer_chains(3000, 12, 0.05, 3);
+        let r = label_propagation(&g);
+        gve_quality::validate_membership(&r.membership, 3000).unwrap();
+        let max = *r.membership.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, r.num_communities);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(label_propagation(&CsrGraph::empty(0)).num_communities, 0);
+        let r = label_propagation(&CsrGraph::empty(3));
+        assert_eq!(r.membership, vec![0, 1, 2]);
+    }
+}

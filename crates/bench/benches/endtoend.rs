@@ -1,0 +1,27 @@
+//! End-to-end Criterion comparison of every implementation on one graph
+//! per dataset class — the microbench companion to `fig6_compare`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implementations");
+    group.sample_size(10);
+    for dataset in gve_generate::suite::quick_suite() {
+        // Quarter scale keeps the full 5-implementation matrix quick.
+        let graph = dataset.generate(0.25, 42);
+        for imp in gve_bench::implementations() {
+            group.bench_with_input(
+                BenchmarkId::new(imp.name, dataset.name),
+                &graph,
+                |b, graph| {
+                    b.iter(|| black_box((imp.run)(graph)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_implementations);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the dataset generators and graph builders —
+//! the substrate costs that sit in front of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gve_generate::{rmat::Rmat, PlantedPartition};
+use gve_graph::GraphBuilder;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("rmat_web_scale13", |b| {
+        b.iter(|| black_box(Rmat::web(13, 8.0).seed(1).generate()));
+    });
+    group.bench_function("planted_partition_16k", |b| {
+        b.iter(|| black_box(PlantedPartition::new(16_000, 32, 12.0, 2.0).seed(1).generate()));
+    });
+    group.bench_function("road_grid_40k", |b| {
+        b.iter(|| black_box(gve_generate::grid::road_grid(200, 200, 2.1, 1)));
+    });
+    group.bench_function("kmer_chains_50k", |b| {
+        b.iter(|| black_box(gve_generate::kmer::kmer_chains(50_000, 16, 0.05, 1)));
+    });
+    group.finish();
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_builder");
+    group.sample_size(10);
+    // A fixed raw edge list with duplicates, exercised through the full
+    // normalize pipeline (symmetrize + sort + dedup).
+    let mut edges = Vec::with_capacity(200_000);
+    let mut state = 42u64;
+    for _ in 0..200_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let u = ((state >> 16) % 20_000) as u32;
+        let v = ((state >> 40) % 20_000) as u32;
+        edges.push((u, v, 1.0f32));
+    }
+    group.bench_function("normalize_200k_edges", |b| {
+        b.iter(|| black_box(GraphBuilder::from_edges(20_000, &edges)));
+    });
+    let graph = GraphBuilder::from_edges(20_000, &edges);
+    group.bench_function("binary_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = gve_graph::io::binary::encode(&graph);
+            black_box(gve_graph::io::binary::decode(&bytes).unwrap())
+        });
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| black_box(gve_graph::traversal::connected_components(&graph)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_builder);
+criterion_main!(benches);

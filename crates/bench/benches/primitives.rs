@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the primitive substrate: the
+//! collision-free hashtable against `std::collections::HashMap` (the
+//! §4.1 hashtable claim) and sequential vs parallel prefix sums.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gve_prim::scan::{exclusive_scan_in_place, parallel_exclusive_scan};
+use gve_prim::CommunityMap;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashtable_accumulate");
+    // Simulated neighbourhood scan: 64 accumulations over 16 distinct
+    // communities out of a 100k id space — the local-moving hot loop.
+    let keys: Vec<u32> = (0..64u32).map(|i| (i % 16) * 6151).collect();
+    group.bench_function("collision_free", |b| {
+        let mut map = CommunityMap::new(100_000);
+        b.iter(|| {
+            map.clear();
+            for &k in &keys {
+                map.add(k, 1.0);
+            }
+            black_box(map.max_key())
+        });
+    });
+    group.bench_function("std_hashmap", |b| {
+        let mut map: HashMap<u32, f64> = HashMap::new();
+        b.iter(|| {
+            map.clear();
+            for &k in &keys {
+                *map.entry(k).or_insert(0.0) += 1.0;
+            }
+            black_box(
+                map.iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(&k, &v)| (k, v)),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclusive_scan");
+    for size in [1 << 14, 1 << 20] {
+        let input: Vec<u64> = (0..size as u64).map(|i| i % 17).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", size), &input, |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |mut v| black_box(exclusive_scan_in_place(&mut v)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", size), &input, |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |mut v| black_box(parallel_exclusive_scan(&mut v)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hashtable, bench_scan
+}
+criterion_main!(benches);

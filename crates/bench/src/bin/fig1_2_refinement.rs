@@ -1,0 +1,104 @@
+//! Figures 1 and 2: greedy vs random refinement, including the medium
+//! and heavy variants.
+//!
+//! Figure 1 reports each configuration's runtime relative to
+//! greedy/default (lower is better); Figure 2 reports modularity. The
+//! paper's finding: greedy/default is the best on average in both.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin fig1_2_refinement -- --reps 3
+//! ```
+
+use gve_bench::{report, report::Table, BenchArgs};
+use gve_leiden::{Leiden, LeidenConfig, RefinementStrategy, Variant};
+use std::time::Instant;
+
+fn configs() -> Vec<(&'static str, LeidenConfig)> {
+    let strategies = [
+        ("greedy", RefinementStrategy::Greedy),
+        ("random", RefinementStrategy::Random),
+    ];
+    let variants = [
+        ("default", Variant::Default),
+        ("medium", Variant::Medium),
+        ("heavy", Variant::Heavy),
+    ];
+    let mut out = Vec::new();
+    for (sname, strategy) in strategies {
+        for (vname, variant) in variants {
+            let name: &'static str = Box::leak(format!("{sname}/{vname}").into_boxed_str());
+            out.push((
+                name,
+                LeidenConfig::default().refinement(strategy).variant(variant),
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+    let configs = configs();
+
+    // Per-graph measurements.
+    let mut per_graph = Table::new(
+        "Figures 1-2 (per graph): runtime and modularity per refinement configuration",
+        &["Graph", "Config", "Time", "Rel. time", "Modularity"],
+    );
+    // Averages across graphs — the quantity the figures plot.
+    let mut rel_time_sum = vec![0.0f64; configs.len()];
+    let mut modularity_sum = vec![0.0f64; configs.len()];
+    let mut graphs = 0usize;
+
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        let mut times = Vec::new();
+        let mut mods = Vec::new();
+        for (_, config) in &configs {
+            let runner = Leiden::new(config.clone());
+            let mut total = 0.0;
+            let mut membership = Vec::new();
+            for _ in 0..args.reps {
+                let start = Instant::now();
+                membership = runner.run(&graph).membership;
+                total += start.elapsed().as_secs_f64();
+            }
+            times.push(total / args.reps as f64);
+            mods.push(gve_quality::modularity(&graph, &membership));
+        }
+        let baseline = times[0]; // greedy/default
+        graphs += 1;
+        for (i, (name, _)) in configs.iter().enumerate() {
+            let rel = times[i] / baseline;
+            rel_time_sum[i] += rel;
+            modularity_sum[i] += mods[i];
+            per_graph.push(vec![
+                dataset.name.to_string(),
+                name.to_string(),
+                report::fmt_secs(times[i]),
+                format!("{rel:.2}"),
+                format!("{:.4}", mods[i]),
+            ]);
+        }
+    }
+    per_graph.print();
+
+    let mut summary = Table::new(
+        "Figures 1-2 (averages): relative runtime (Fig. 1) and modularity (Fig. 2)",
+        &["Config", "Avg rel. runtime", "Avg modularity"],
+    );
+    for (i, (name, _)) in configs.iter().enumerate() {
+        summary.push(vec![
+            name.to_string(),
+            format!("{:.3}", rel_time_sum[i] / graphs as f64),
+            format!("{:.4}", modularity_sum[i] / graphs as f64),
+        ]);
+    }
+    summary.print();
+
+    if let Some(csv) = &args.csv {
+        per_graph.write_csv(csv).expect("failed to write CSV");
+        summary.write_csv(csv).expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,83 @@
+//! Figures 3 and 4: move-based vs refine-based super-vertex labeling.
+//!
+//! The paper observes both variants land at roughly the same runtime and
+//! modularity, and keeps move-based (Traag et al.'s recommendation).
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin fig3_4_labeling -- --reps 3
+//! ```
+
+use gve_bench::{report, report::Table, BenchArgs};
+use gve_leiden::{Labeling, Leiden, LeidenConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+    let configs = [
+        ("move-based", Labeling::MoveBased),
+        ("refine-based", Labeling::RefineBased),
+    ];
+
+    let mut per_graph = Table::new(
+        "Figures 3-4 (per graph): runtime and modularity per labeling",
+        &["Graph", "Labeling", "Time", "Rel. time", "Modularity", "Passes"],
+    );
+    let mut rel_sum = [0.0f64; 2];
+    let mut mod_sum = [0.0f64; 2];
+    let mut graphs = 0usize;
+
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        let mut times = [0.0f64; 2];
+        let mut mods = [0.0f64; 2];
+        let mut passes = [0usize; 2];
+        for (i, (_, labeling)) in configs.iter().enumerate() {
+            let runner = Leiden::new(LeidenConfig::default().labeling(*labeling));
+            let mut total = 0.0;
+            let mut membership = Vec::new();
+            for _ in 0..args.reps {
+                let start = Instant::now();
+                let result = runner.run(&graph);
+                total += start.elapsed().as_secs_f64();
+                passes[i] = result.passes;
+                membership = result.membership;
+            }
+            times[i] = total / args.reps as f64;
+            mods[i] = gve_quality::modularity(&graph, &membership);
+        }
+        graphs += 1;
+        for (i, (name, _)) in configs.iter().enumerate() {
+            let rel = times[i] / times[0];
+            rel_sum[i] += rel;
+            mod_sum[i] += mods[i];
+            per_graph.push(vec![
+                dataset.name.to_string(),
+                name.to_string(),
+                report::fmt_secs(times[i]),
+                format!("{rel:.2}"),
+                format!("{:.4}", mods[i]),
+                passes[i].to_string(),
+            ]);
+        }
+    }
+    per_graph.print();
+
+    let mut summary = Table::new(
+        "Figures 3-4 (averages): relative runtime (Fig. 3) and modularity (Fig. 4)",
+        &["Labeling", "Avg rel. runtime", "Avg modularity"],
+    );
+    for (i, (name, _)) in configs.iter().enumerate() {
+        summary.push(vec![
+            name.to_string(),
+            format!("{:.3}", rel_sum[i] / graphs as f64),
+            format!("{:.4}", mod_sum[i] / graphs as f64),
+        ]);
+    }
+    summary.print();
+
+    if let Some(csv) = &args.csv {
+        per_graph.write_csv(csv).expect("failed to write CSV");
+        summary.write_csv(csv).expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 6(a–d) and Table 1: the implementation comparison matrix.
+//!
+//! Runs every implementation on every suite graph and reports
+//! (a) runtime, (b) GVE-Leiden's speedup over each comparator,
+//! (c) modularity, and (d) the fraction of internally-disconnected
+//! communities. Finishes with the Table 1 summary of average speedups.
+//!
+//! cuGraph Leiden (GPU) has no CPU stand-in and is omitted — see the
+//! substitution table in DESIGN.md.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin fig6_compare -- --reps 3
+//! ```
+
+use gve_bench::{implementations, measure, report, report::Table, BarChart, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+    let imps = implementations();
+    let gve_index = imps.len() - 1; // gve-leiden is last
+
+    let mut fig6 = Table::new(
+        "Figure 6(a-d): runtime / speedup vs gve-leiden / modularity / disconnected fraction",
+        &["Graph", "Implementation", "Time", "Speedup", "Modularity", "Disconnected"],
+    );
+    // Per-implementation geometric-mean speedup accumulators (Table 1).
+    let mut log_speedup_sum = vec![0.0f64; imps.len()];
+    let mut modularity_sum = vec![0.0f64; imps.len()];
+    let mut disconnected_sum = vec![0.0f64; imps.len()];
+    let mut graphs = 0usize;
+
+    let mut charts = Vec::new();
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        let measured: Vec<_> = imps.iter().map(|imp| measure(&graph, imp, args.reps)).collect();
+        let gve_time = measured[gve_index].seconds;
+        graphs += 1;
+        let mut chart = BarChart::new(format!("runtime on {} (s, log scale)", dataset.name)).log_scale();
+        for m in &measured {
+            chart.push(m.name, m.seconds);
+        }
+        charts.push(chart);
+        for (i, m) in measured.iter().enumerate() {
+            let speedup = m.seconds / gve_time;
+            log_speedup_sum[i] += speedup.ln();
+            modularity_sum[i] += m.modularity;
+            disconnected_sum[i] += m.disconnected_fraction;
+            fig6.push(vec![
+                dataset.name.to_string(),
+                m.name.to_string(),
+                report::fmt_secs(m.seconds),
+                report::fmt_speedup(speedup),
+                format!("{:.4}", m.modularity),
+                if m.disconnected_fraction == 0.0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.2e}", m.disconnected_fraction)
+                },
+            ]);
+        }
+    }
+    fig6.print();
+    println!("Figure 6(a) as bars:");
+    for chart in &charts {
+        print!("{}", chart.render(48));
+    }
+    println!();
+
+    let mut table1 = Table::new(
+        "Table 1: average speedup of gve-leiden vs each implementation (geometric mean)",
+        &["Implementation", "Parallelism", "GVE-Leiden speedup", "Avg modularity", "Avg disconnected"],
+    );
+    for (i, imp) in imps.iter().enumerate() {
+        table1.push(vec![
+            imp.name.to_string(),
+            if imp.parallel { "Parallel" } else { "Sequential" }.to_string(),
+            report::fmt_speedup((log_speedup_sum[i] / graphs as f64).exp()),
+            format!("{:.4}", modularity_sum[i] / graphs as f64),
+            format!("{:.2e}", disconnected_sum[i] / graphs as f64),
+        ]);
+    }
+    table1.print();
+
+    if let Some(csv) = &args.csv {
+        fig6.write_csv(csv).expect("failed to write CSV");
+        table1.write_csv(csv).expect("failed to write CSV");
+    }
+}

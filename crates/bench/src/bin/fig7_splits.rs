@@ -1,0 +1,109 @@
+//! Figure 7: phase split (left) and pass split (right) of GVE-Leiden.
+//!
+//! The paper finds local-moving dominates on web/road/k-mer graphs,
+//! aggregation dominates on social networks, and the first pass consumes
+//! ~63% of the total on average.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin fig7_splits
+//! ```
+
+use gve_bench::{chart::stacked_bar, report::Table, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+
+    let mut phase = Table::new(
+        "Figure 7(a): phase split of GVE-Leiden runtime",
+        &["Graph", "Local-move %", "Refine %", "Aggregate %", "Others %"],
+    );
+    let mut pass = Table::new(
+        "Figure 7(b): pass split of GVE-Leiden runtime",
+        &["Graph", "Passes", "Pass 1 %", "Pass 2 %", "Rest %"],
+    );
+    let mut avg = [0.0f64; 4];
+    let mut first_pass_sum = 0.0f64;
+    let mut graphs = 0usize;
+
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        // Average the splits over the repetitions.
+        let mut fractions = [0.0f64; 4];
+        let mut pass_fracs = [0.0f64; 3];
+        let mut passes = 0usize;
+        for _ in 0..args.reps {
+            let result = gve_leiden::leiden(&graph);
+            let (l, r, a, o) = result.timings.fractions();
+            fractions[0] += l;
+            fractions[1] += r;
+            fractions[2] += a;
+            fractions[3] += o;
+            passes = result.passes;
+            let total: f64 = result
+                .pass_stats
+                .iter()
+                .map(|p| p.duration.as_secs_f64())
+                .sum();
+            if total > 0.0 {
+                let p1 = result.pass_stats.first().map(|p| p.duration.as_secs_f64()).unwrap_or(0.0);
+                let p2 = result.pass_stats.get(1).map(|p| p.duration.as_secs_f64()).unwrap_or(0.0);
+                pass_fracs[0] += p1 / total;
+                pass_fracs[1] += p2 / total;
+                pass_fracs[2] += (total - p1 - p2) / total;
+            }
+        }
+        let reps = args.reps as f64;
+        graphs += 1;
+        for (slot, value) in avg.iter_mut().zip(fractions) {
+            *slot += value / reps;
+        }
+        first_pass_sum += pass_fracs[0] / reps;
+        phase.push(vec![
+            dataset.name.to_string(),
+            format!("{:.1}", 100.0 * fractions[0] / reps),
+            format!("{:.1}", 100.0 * fractions[1] / reps),
+            format!("{:.1}", 100.0 * fractions[2] / reps),
+            format!("{:.1}", 100.0 * fractions[3] / reps),
+        ]);
+        pass.push(vec![
+            dataset.name.to_string(),
+            passes.to_string(),
+            format!("{:.1}", 100.0 * pass_fracs[0] / reps),
+            format!("{:.1}", 100.0 * pass_fracs[1] / reps),
+            format!("{:.1}", 100.0 * pass_fracs[2] / reps),
+        ]);
+    }
+    phase.print();
+    println!("Figure 7(a) as stacked bars (L = local-move, R = refine, A = aggregate, o = others):");
+    for row in &phase.rows {
+        let fractions: Vec<(char, f64)> = ['L', 'R', 'A', 'o']
+            .iter()
+            .zip(&row[1..])
+            .map(|(&c, cell)| (c, cell.parse::<f64>().unwrap_or(0.0)))
+            .collect();
+        println!("{}", stacked_bar(&format!("{:<16}", row[0]), &fractions, 50));
+    }
+    println!();
+    pass.print();
+
+    let g = graphs as f64;
+    println!(
+        "Average split: local-move {:.0}%, refinement {:.0}%, aggregation {:.0}%, others {:.0}%; \
+         first pass {:.0}% of runtime",
+        100.0 * avg[0] / g,
+        100.0 * avg[1] / g,
+        100.0 * avg[2] / g,
+        100.0 * avg[3] / g,
+        100.0 * first_pass_sum / g,
+    );
+    println!(
+        "(Paper reference: 46% local-moving, 19% refinement, 20% aggregation, 15% others; \
+         first pass 63%.)"
+    );
+
+    if let Some(csv) = &args.csv {
+        phase.write_csv(csv).expect("failed to write CSV");
+        pass.write_csv(csv).expect("failed to write CSV");
+    }
+}

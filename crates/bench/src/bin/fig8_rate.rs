@@ -1,0 +1,57 @@
+//! Figure 8: runtime / |E| factor of GVE-Leiden per graph.
+//!
+//! The paper's observation: low-degree graphs (road, k-mer) and graphs
+//! with poor community structure (social) cost more time *per edge* than
+//! dense, well-clusterable web crawls.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin fig8_rate
+//! ```
+
+use gve_bench::{report, report::Table, BenchArgs};
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+
+    let mut table = Table::new(
+        "Figure 8: runtime/|E| factor with GVE-Leiden (ns per arc; lower is better)",
+        &["Graph", "Class", "|E|", "Time", "ns per arc", "Edges/s"],
+    );
+    let mut by_class: std::collections::BTreeMap<&str, (f64, usize)> = Default::default();
+
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        let mut total = 0.0;
+        for _ in 0..args.reps {
+            let start = Instant::now();
+            let _ = gve_leiden::leiden(&graph);
+            total += start.elapsed().as_secs_f64();
+        }
+        let seconds = total / args.reps as f64;
+        let arcs = graph.num_arcs();
+        let per_arc_ns = seconds * 1e9 / arcs as f64;
+        let entry = by_class.entry(dataset.class.title()).or_default();
+        entry.0 += per_arc_ns;
+        entry.1 += 1;
+        table.push(vec![
+            dataset.name.to_string(),
+            dataset.class.title().to_string(),
+            arcs.to_string(),
+            report::fmt_secs(seconds),
+            format!("{per_arc_ns:.1}"),
+            format!("{:.2}M", arcs as f64 / seconds / 1e6),
+        ]);
+    }
+    table.print();
+
+    println!("Per-class average ns/arc (paper: road & k-mer highest, web lowest):");
+    for (class, (sum, count)) in by_class {
+        println!("  {class}: {:.1}", sum / count as f64);
+    }
+
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("failed to write CSV");
+    }
+}

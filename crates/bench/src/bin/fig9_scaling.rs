@@ -1,0 +1,112 @@
+//! Figure 9: strong scaling of GVE-Leiden and its phases.
+//!
+//! Varies the thread count in powers of two and reports the overall
+//! speedup over one thread plus the per-phase speedups. The paper sees
+//! ≈1.6× per thread doubling up to 32 threads, with NUMA effects
+//! flattening the curve at 64.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin fig9_scaling -- --quick
+//! ```
+
+use gve_bench::{report::Table, BenchArgs};
+use gve_leiden::PhaseTimings;
+use std::time::Instant;
+
+fn thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    // Sweep at least to 4 threads so the multi-threaded code paths are
+    // exercised even on small hosts; beyond the hardware count the
+    // numbers measure oversubscription, not scaling (flagged below).
+    let max = hw.max(4);
+    let mut counts = Vec::new();
+    let mut t = 1;
+    while t <= max {
+        counts.push(t);
+        t *= 2;
+    }
+    if *counts.last().unwrap() != max {
+        counts.push(max);
+    }
+    if hw < max {
+        eprintln!(
+            "note: host exposes only {hw} hardware thread(s); rows beyond {hw} threads \
+             measure oversubscription overhead, not strong scaling"
+        );
+    }
+    counts
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // NOTE: --threads is ignored here; this binary sweeps thread counts.
+    let counts = thread_counts();
+
+    let mut table = Table::new(
+        "Figure 9: strong scaling of GVE-Leiden (speedup over 1 thread)",
+        &["Graph", "Threads", "Time", "Overall", "Local-move", "Refine", "Aggregate"],
+    );
+    // Average speedup per doubling, across graphs.
+    let mut doubling_factors: Vec<f64> = Vec::new();
+
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        let mut baseline: Option<(f64, PhaseTimings)> = None;
+        let mut prev_time: Option<f64> = None;
+        for &threads in &counts {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build thread pool");
+            let mut total = 0.0;
+            let mut timings = PhaseTimings::default();
+            for _ in 0..args.reps {
+                let start = Instant::now();
+                let result = pool.install(|| gve_leiden::leiden(&graph));
+                total += start.elapsed().as_secs_f64();
+                timings.accumulate(&result.timings);
+            }
+            let seconds = total / args.reps as f64;
+            let (base_time, base_timings) =
+                baseline.get_or_insert_with(|| (seconds, timings.clone()));
+            let phase_speedup = |sel: fn(&PhaseTimings) -> f64| -> String {
+                let base = sel(base_timings);
+                let now = sel(&timings);
+                if now > 0.0 && base > 0.0 {
+                    format!("{:.2}x", base / now)
+                } else {
+                    "-".to_string()
+                }
+            };
+            table.push(vec![
+                dataset.name.to_string(),
+                threads.to_string(),
+                gve_bench::report::fmt_secs(seconds),
+                format!("{:.2}x", *base_time / seconds),
+                phase_speedup(|t| t.local_move.as_secs_f64()),
+                phase_speedup(|t| t.refinement.as_secs_f64()),
+                phase_speedup(|t| t.aggregation.as_secs_f64()),
+            ]);
+            if let Some(prev) = prev_time {
+                if threads > 1 {
+                    doubling_factors.push(prev / seconds);
+                }
+            }
+            prev_time = Some(seconds);
+        }
+    }
+    table.print();
+
+    if !doubling_factors.is_empty() {
+        let geo = (doubling_factors.iter().map(|f| f.ln()).sum::<f64>()
+            / doubling_factors.len() as f64)
+            .exp();
+        println!(
+            "Average speedup per thread doubling: {geo:.2}x (paper: ~1.6x up to 32 threads)"
+        );
+    }
+
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("failed to write CSV");
+    }
+}

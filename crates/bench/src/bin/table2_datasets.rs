@@ -1,0 +1,37 @@
+//! Table 2: the dataset suite — |V|, |E|, D_avg, and |Γ| as found by
+//! GVE-Leiden.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin table2_datasets -- --scale 1.0
+//! ```
+
+use gve_bench::{report::Table, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+    let mut table = Table::new(
+        format!(
+            "Table 2: dataset suite (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        &["Graph", "Class", "|V|", "|E|", "D_avg", "|Gamma|"],
+    );
+    for dataset in args.suite() {
+        let graph = dataset.generate(args.scale, args.seed);
+        let stats = gve_graph::props::stats(&graph);
+        let result = gve_leiden::leiden(&graph);
+        table.push(vec![
+            dataset.name.to_string(),
+            dataset.class.title().to_string(),
+            stats.vertices.to_string(),
+            stats.arcs.to_string(),
+            format!("{:.1}", stats.avg_degree),
+            result.num_communities.to_string(),
+        ]);
+    }
+    table.print();
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,166 @@
+//! Terminal bar charts — the paper's figures are bar charts, so the
+//! harness can render the same visual shape directly in the terminal.
+
+/// A horizontal bar chart with labeled rows.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    /// Chart caption.
+    pub title: String,
+    /// `(label, value)` rows in display order.
+    pub rows: Vec<(String, f64)>,
+    /// Use a logarithmic value axis (the paper's runtime figures are
+    /// log-scale).
+    pub log_scale: bool,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            rows: Vec::new(),
+            log_scale: false,
+        }
+    }
+
+    /// Switches the value axis to log scale.
+    pub fn log_scale(mut self) -> Self {
+        self.log_scale = true;
+        self
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.rows.push((label.into(), value));
+    }
+
+    /// Renders the chart with bars up to `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!("{}\n", self.title);
+        if self.rows.is_empty() {
+            return out;
+        }
+        let label_width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap();
+        let transform = |v: f64| -> f64 {
+            if self.log_scale {
+                // Map onto log axis anchored at the minimum positive value.
+                let min = self
+                    .rows
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .filter(|&v| v > 0.0)
+                    .fold(f64::INFINITY, f64::min);
+                if v <= 0.0 || !min.is_finite() {
+                    0.0
+                } else {
+                    (v / min).ln() + 1.0
+                }
+            } else {
+                v.max(0.0)
+            }
+        };
+        let max = self
+            .rows
+            .iter()
+            .map(|&(_, v)| transform(v))
+            .fold(0.0f64, f64::max);
+        for (label, value) in &self.rows {
+            let scaled = if max > 0.0 {
+                (transform(*value) / max * width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "  {label:<label_width$} |{} {value:.4}\n",
+                "#".repeat(scaled)
+            ));
+        }
+        out
+    }
+}
+
+/// A stacked 100%-bar (the Figure 7 phase-split shape): each row is
+/// split into labeled segments proportional to its fractions.
+pub fn stacked_bar(label: &str, fractions: &[(char, f64)], width: usize) -> String {
+    let mut bar = String::new();
+    let total: f64 = fractions.iter().map(|&(_, f)| f).sum();
+    if total <= 0.0 {
+        return format!("  {label} |{}|", " ".repeat(width));
+    }
+    let mut used = 0usize;
+    for (i, &(symbol, fraction)) in fractions.iter().enumerate() {
+        let cells = if i + 1 == fractions.len() {
+            width.saturating_sub(used)
+        } else {
+            ((fraction / total) * width as f64).round() as usize
+        };
+        bar.push_str(&symbol.to_string().repeat(cells));
+        used += cells;
+    }
+    bar.truncate(width);
+    format!("  {label} |{bar}|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bars_scale_proportionally() {
+        let mut chart = BarChart::new("demo");
+        chart.push("a", 1.0);
+        chart.push("bb", 2.0);
+        let text = chart.render(10);
+        assert!(text.starts_with("demo\n"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(lines[1]), 5);
+        assert_eq!(hashes(lines[2]), 10);
+        // Labels padded to equal width.
+        assert!(lines[1].contains("a  |"));
+    }
+
+    #[test]
+    fn log_scale_compresses_ratios() {
+        let mut chart = BarChart::new("log").log_scale();
+        chart.push("small", 1.0);
+        chart.push("big", 1000.0);
+        let text = chart.render(40);
+        let lines: Vec<&str> = text.lines().collect();
+        let hashes = |s: &str| s.matches('#').count();
+        // Log scale: the 1000× bar is not 1000× longer.
+        assert!(hashes(lines[2]) <= 40);
+        assert!(hashes(lines[1]) >= 4, "{text}");
+    }
+
+    #[test]
+    fn empty_chart_renders_title_only() {
+        let chart = BarChart::new("empty");
+        assert_eq!(chart.render(10), "empty\n");
+    }
+
+    #[test]
+    fn zero_values_render_no_bar() {
+        let mut chart = BarChart::new("zeros");
+        chart.push("z", 0.0);
+        let text = chart.render(10);
+        assert!(!text.lines().nth(1).unwrap().contains('#'));
+    }
+
+    #[test]
+    fn stacked_bar_fills_width() {
+        let bar = stacked_bar("g", &[('L', 0.5), ('R', 0.3), ('A', 0.2)], 20);
+        let inner = bar.split('|').nth(1).unwrap();
+        assert_eq!(inner.len(), 20);
+        assert_eq!(inner.matches('L').count(), 10);
+        assert_eq!(inner.matches('R').count(), 6);
+        assert_eq!(inner.matches('A').count(), 4);
+    }
+
+    #[test]
+    fn stacked_bar_handles_zero_total() {
+        let bar = stacked_bar("g", &[('L', 0.0)], 8);
+        assert!(bar.contains("|        |"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The aggregation phase (Algorithm 4 of the paper).
+//!
+//! Collapses each refined community into a super-vertex. Two CSRs are
+//! built per pass:
+//!
+//! 1. the community-vertices CSR `G'_{C'}` (exact counts + prefix sum +
+//!    atomic scatter) — [`gve_graph::GroupedCsr`];
+//! 2. the super-vertex graph `G''` in a *holey* CSR whose per-community
+//!    capacity is overestimated by the community's total degree, skipping
+//!    an exact counting pass — [`gve_graph::HoleyCsrBuilder`].
+//!
+//! Cross-community weights are tallied in the per-thread collision-free
+//! hashtable, then flushed as super-arcs (including the `(c, c)`
+//! self-loop carrying the intra-community weight `σ_c`).
+
+use crate::localmove::scan_communities;
+use gve_graph::{CsrGraph, GroupedCsr, HoleyCsrBuilder, VertexId};
+use gve_prim::parfor::dynamic_workers;
+use gve_prim::scan::parallel_offsets_from_counts;
+use gve_prim::{CommunityMap, PerThread};
+use rayon::prelude::*;
+use std::sync::atomic::AtomicU32;
+
+/// Builds the super-vertex graph for a dense membership in
+/// `0..num_communities`.
+pub fn aggregate(
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    membership_plain: &[VertexId],
+    num_communities: usize,
+    chunk_size: usize,
+    tables: &PerThread<CommunityMap>,
+) -> CsrGraph {
+    // Community-vertices CSR (Algorithm 4, lines 3–6).
+    let groups = GroupedCsr::group_by(membership_plain, num_communities);
+
+    // Overestimated super-vertex degrees: total degree per community
+    // (lines 8–9).
+    let capacities: Vec<u64> = (0..num_communities as VertexId)
+        .into_par_iter()
+        .map(|c| {
+            groups
+                .members(c)
+                .iter()
+                .map(|&i| graph.degree(i) as u64)
+                .sum::<u64>()
+                // A community of isolated vertices has total degree 0 but
+                // still needs no slots; max(1) would waste nothing but
+                // keep the invariant simple. Isolated communities emit no
+                // arcs, so 0 capacity is fine.
+        })
+        .collect();
+    let builder = HoleyCsrBuilder::new(&capacities);
+
+    // Per-community scans (lines 11–16), dynamically scheduled since
+    // community sizes are wildly skewed.
+    dynamic_workers(num_communities, chunk_size.max(1), |claims| {
+        tables.with(|ht| {
+            for range in claims {
+                for c in range {
+                    let c = c as VertexId;
+                    ht.clear();
+                    for &i in groups.members(c) {
+                        // include_self = true: self-loops carry intra
+                        // weight into the super-vertex self-loop.
+                        scan_communities(ht, graph, membership, i, true);
+                    }
+                    for (d, w) in ht.iter() {
+                        builder.add_arc(c, d, w as f32);
+                    }
+                }
+            }
+        })
+    });
+
+    builder.into_csr()
+}
+
+/// Sort-reduce aggregation: the alternative design the paper's related
+/// work cites (Cheong et al. \[4\]). Every arc is rewritten as a
+/// community-pair record, the records are parallel-sorted, and equal
+/// pairs are reduced into super-arcs in a single pass. No per-thread
+/// hashtables, no holey CSR — at the cost of materializing and sorting
+/// all |E| records.
+pub fn aggregate_sort_reduce(
+    graph: &CsrGraph,
+    membership_plain: &[VertexId],
+    num_communities: usize,
+) -> CsrGraph {
+    // 1. Rewrite arcs as (src community, dst community, weight).
+    let mut records: Vec<(VertexId, VertexId, f32)> = (0..graph.num_vertices() as VertexId)
+        .into_par_iter()
+        .flat_map_iter(|u| {
+            let cu = membership_plain[u as usize];
+            graph
+                .edges(u)
+                .map(move |(v, w)| (cu, membership_plain[v as usize], w))
+        })
+        .collect();
+
+    // 2. Parallel sort by community pair.
+    records.par_sort_unstable_by_key(|&(s, d, _)| ((s as u64) << 32) | d as u64);
+
+    // 3. Reduce equal runs; accumulate per-community arc counts as we go.
+    let mut counts = vec![0u64; num_communities];
+    let mut reduced: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    for &(s, d, w) in &records {
+        match reduced.last_mut() {
+            Some(last) if last.0 == s && last.1 == d => last.2 += w,
+            _ => {
+                counts[s as usize] += 1;
+                reduced.push((s, d, w));
+            }
+        }
+    }
+
+    // 4. Assemble the CSR directly — the reduced records are already in
+    // row order.
+    let offsets = parallel_offsets_from_counts(&counts);
+    let mut targets = Vec::with_capacity(reduced.len());
+    let mut weights = Vec::with_capacity(reduced.len());
+    for (_, d, w) in reduced {
+        targets.push(d);
+        weights.push(w);
+    }
+    CsrGraph::from_raw(offsets, targets, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+    use gve_prim::PerThread;
+
+    fn atomic_membership(plain: &[u32]) -> Vec<AtomicU32> {
+        plain.iter().map(|&c| AtomicU32::new(c)).collect()
+    }
+
+    fn run_aggregate(graph: &CsrGraph, membership: &[u32], k: usize) -> CsrGraph {
+        let atomic = atomic_membership(membership);
+        let tables = PerThread::new({
+            let n = graph.num_vertices().max(k);
+            move || CommunityMap::new(n)
+        });
+        aggregate(graph, &atomic, membership, k, 64, &tables)
+    }
+
+    #[test]
+    fn two_triangles_collapse_to_two_super_vertices() {
+        let graph = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let sup = run_aggregate(&graph, &[0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(sup.num_vertices(), 2);
+        // Self-loops carry σ_c = 6 (each triangle's arcs), bridge = 1.
+        let mut e0: Vec<_> = sup.edges(0).collect();
+        e0.sort_by_key(|&(v, _)| v);
+        assert_eq!(e0, vec![(0, 6.0), (1, 1.0)]);
+        let mut e1: Vec<_> = sup.edges(1).collect();
+        e1.sort_by_key(|&(v, _)| v);
+        assert_eq!(e1, vec![(0, 1.0), (1, 6.0)]);
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let graph = gve_generate::rmat::Rmat::social(9, 6.0).seed(4).generate();
+        let n = graph.num_vertices();
+        // Arbitrary 7-way partition.
+        let membership: Vec<u32> = (0..n as u32).map(|v| v % 7).collect();
+        let sup = run_aggregate(&graph, &membership, 7);
+        assert_eq!(sup.num_vertices(), 7);
+        assert!(
+            (sup.total_arc_weight() - graph.total_arc_weight()).abs() < 1e-6,
+            "2m changed: {} vs {}",
+            sup.total_arc_weight(),
+            graph.total_arc_weight()
+        );
+    }
+
+    #[test]
+    fn modularity_invariant_under_aggregation() {
+        // Q(partition on G) == Q(singletons on aggregated G) — the
+        // correctness condition Louvain/Leiden rely on.
+        let graph = gve_generate::sbm::PlantedPartition::new(300, 6, 8.0, 1.0)
+            .seed(2)
+            .generate()
+            .graph;
+        let membership: Vec<u32> = (0..300u32).map(|v| v % 6).collect();
+        let sup = run_aggregate(&graph, &membership, 6);
+        let q_fine = gve_quality::modularity(&graph, &membership);
+        let singleton: Vec<u32> = (0..6).collect();
+        let q_coarse = gve_quality::modularity(&sup, &singleton);
+        assert!(
+            (q_fine - q_coarse).abs() < 1e-9,
+            "Q not preserved: {q_fine} vs {q_coarse}"
+        );
+    }
+
+    #[test]
+    fn weighted_degrees_sum_per_community() {
+        let graph = GraphBuilder::from_edges(
+            4,
+            &[(0, 1, 2.0), (2, 3, 3.0), (1, 2, 1.0)],
+        );
+        let sup = run_aggregate(&graph, &[0, 0, 1, 1], 2);
+        assert_eq!(sup.weighted_degree(0), graph.weighted_degree(0) + graph.weighted_degree(1));
+        assert_eq!(sup.weighted_degree(1), graph.weighted_degree(2) + graph.weighted_degree(3));
+    }
+
+    #[test]
+    fn singleton_partition_reproduces_graph_weights() {
+        let graph = GraphBuilder::from_edges(3, &[(0, 1, 1.5), (1, 2, 2.5)]);
+        let membership: Vec<u32> = (0..3).collect();
+        let sup = run_aggregate(&graph, &membership, 3);
+        assert_eq!(sup.num_vertices(), 3);
+        assert_eq!(sup.num_arcs(), graph.num_arcs());
+        assert_eq!(sup.total_arc_weight(), graph.total_arc_weight());
+    }
+
+    #[test]
+    fn sort_reduce_matches_hashtable_aggregation() {
+        let graph = gve_generate::sbm::PlantedPartition::new(500, 8, 10.0, 1.5)
+            .seed(7)
+            .generate()
+            .graph;
+        let membership: Vec<u32> = (0..500u32).map(|v| v % 8).collect();
+        let by_hash = run_aggregate(&graph, &membership, 8);
+        let by_sort = aggregate_sort_reduce(&graph, &membership, 8);
+        assert_eq!(by_sort.num_vertices(), by_hash.num_vertices());
+        assert_eq!(by_sort.num_arcs(), by_hash.num_arcs());
+        assert!((by_sort.total_arc_weight() - by_hash.total_arc_weight()).abs() < 1e-6);
+        // Same rows up to arc order.
+        for c in 0..8u32 {
+            let mut a: Vec<_> = by_sort.edges(c).collect();
+            let mut b: Vec<_> = by_hash.edges(c).collect();
+            a.sort_by_key(|&(v, _)| v);
+            b.sort_by_key(|&(v, _)| v);
+            assert_eq!(a.len(), b.len(), "community {c}");
+            for ((va, wa), (vb, wb)) in a.iter().zip(&b) {
+                assert_eq!(va, vb);
+                assert!((wa - wb).abs() < 1e-4, "community {c}: {wa} vs {wb}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_reduce_preserves_modularity() {
+        let graph = gve_generate::rmat::Rmat::web(9, 6.0).seed(2).generate();
+        let n = graph.num_vertices();
+        let membership: Vec<u32> = (0..n as u32).map(|v| v % 11).collect();
+        let sup = aggregate_sort_reduce(&graph, &membership, 11);
+        let singleton: Vec<u32> = (0..11).collect();
+        let q_fine = gve_quality::modularity(&graph, &membership);
+        let q_coarse = gve_quality::modularity(&sup, &singleton);
+        assert!((q_fine - q_coarse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_community_gets_no_arcs() {
+        let graph = GraphBuilder::from_edges(3, &[(0, 1, 1.0)]);
+        let sup = run_aggregate(&graph, &[0, 0, 1], 2);
+        assert_eq!(sup.num_vertices(), 2);
+        assert_eq!(sup.degree(1), 0);
+        assert_eq!(sup.edges(0).collect::<Vec<_>>(), vec![(0, 2.0)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dendrogram bookkeeping: renumbering and top-level lookup.
+//!
+//! Each pass coarsens the graph; the top-level membership `C` maps every
+//! *original* vertex to its current super-vertex. After a pass produces a
+//! child membership `C'` over the current super-vertices, the dendrogram
+//! lookup composes the two: `C[v] ← C'[C[v]]` (Algorithm 1, lines 12 and
+//! 16).
+
+use gve_graph::VertexId;
+use rayon::prelude::*;
+
+/// Renumbers community ids to dense `0..k` in first-seen order; returns
+/// the dense vector and `k`. Sequential — the remap table is tiny
+/// relative to the scatter that follows.
+pub fn renumber(membership: &[VertexId]) -> (Vec<VertexId>, usize) {
+    let max = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut remap = vec![VertexId::MAX; max];
+    let mut next: VertexId = 0;
+    let mut out = Vec::with_capacity(membership.len());
+    for &c in membership {
+        let slot = &mut remap[c as usize];
+        if *slot == VertexId::MAX {
+            *slot = next;
+            next += 1;
+        }
+        out.push(*slot);
+    }
+    (out, next as usize)
+}
+
+/// Composes the top-level membership with a child membership, in
+/// parallel: `top[v] = child[top[v]]`.
+pub fn lookup(top: &mut [VertexId], child: &[VertexId]) {
+    top.par_iter_mut().for_each(|c| {
+        *c = child[*c as usize];
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumber_first_seen_order() {
+        let (out, k) = renumber(&[5, 2, 5, 0]);
+        assert_eq!(out, vec![0, 1, 0, 2]);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn renumber_empty() {
+        let (out, k) = renumber(&[]);
+        assert!(out.is_empty());
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn lookup_composes() {
+        // Original 5 vertices currently in super-vertices [0,0,1,2,1];
+        // pass merges super-vertices 0,1 → 0 and 2 → 1.
+        let mut top = vec![0, 0, 1, 2, 1];
+        lookup(&mut top, &[0, 0, 1]);
+        assert_eq!(top, vec![0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn lookup_identity_is_noop() {
+        let mut top = vec![2, 0, 1];
+        lookup(&mut top, &[0, 1, 2]);
+        assert_eq!(top, vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,919 @@
+//! GVE-Leiden: fast parallel Leiden community detection in shared memory.
+//!
+//! Reproduction of *"Fast Leiden Algorithm for Community Detection in
+//! Shared Memory Setting"* (Sahu, Kothapalli, Banerjee — ICPP 2024).
+//! The Leiden algorithm (Traag et al. 2019) fixes the Louvain method's
+//! tendency to produce internally-disconnected communities by inserting a
+//! *refinement* phase between local moving and aggregation. GVE-Leiden is
+//! the paper's heavily optimized multicore implementation; this crate is
+//! a faithful Rust port of Algorithms 1–4 with all the published
+//! optimizations:
+//!
+//! * asynchronous local moving with flag-based vertex pruning;
+//! * collision-free per-thread hashtables (`H_t`);
+//! * greedy (default) or randomized constrained-merge refinement;
+//! * CSR-based aggregation with parallel prefix sums and a holey
+//!   super-vertex CSR;
+//! * threshold scaling, iteration/pass caps and aggregation tolerance;
+//! * move-based (default) or refine-based super-vertex labeling.
+//!
+//! # Pipeline (Figure 5 of the paper)
+//!
+//! Each pass: the **local-moving phase** greedily reassigns vertices to
+//! neighbouring communities until the per-iteration modularity gain drops
+//! below the tolerance; the resulting communities become *bounds* for the
+//! **refinement phase**, which restarts every vertex as a singleton and
+//! merges isolated vertices within their bound; the **aggregation phase**
+//! collapses each refined community into a super-vertex. Passes repeat on
+//! the shrinking super-vertex graph until convergence, the pass cap, or
+//! until aggregation stops shrinking the graph.
+//!
+//! # Example
+//!
+//! ```
+//! use gve_leiden::{Leiden, LeidenConfig};
+//! use gve_graph::GraphBuilder;
+//!
+//! // Two triangles joined by a bridge.
+//! let graph = GraphBuilder::from_edges(6, &[
+//!     (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0),
+//!     (3, 4, 1.0), (4, 5, 1.0), (5, 3, 1.0),
+//!     (2, 3, 1.0),
+//! ]);
+//! let result = Leiden::new(LeidenConfig::default()).run(&graph);
+//! assert_eq!(result.num_communities, 2);
+//! assert_eq!(result.membership[0], result.membership[1]);
+//! assert_ne!(result.membership[0], result.membership[5]);
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod config;
+pub mod dendrogram;
+pub mod localmove;
+mod math;
+pub mod objective;
+mod refine;
+mod sync;
+pub mod timing;
+
+pub use config::{AggregationStrategy, Labeling, LeidenConfig, RefinementStrategy, Scheduling, Variant};
+pub use math::delta_modularity;
+pub use objective::{GainCoeffs, Objective};
+pub use timing::{PassStats, PhaseTimings};
+
+use gve_graph::{props::vertex_weights, CsrGraph, VertexId};
+use gve_prim::atomics::{atomic_f64_from_slice, AtomicF64};
+use gve_prim::{AtomicBitset, CommunityMap, PerThread};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Outcome of a GVE-Leiden run.
+#[derive(Debug, Clone)]
+pub struct LeidenResult {
+    /// Community of every input vertex, renumbered to dense `0..k`.
+    pub membership: Vec<VertexId>,
+    /// Number of communities `k` (the `|Γ|` column of Table 2).
+    pub num_communities: usize,
+    /// Passes performed (`l_p`).
+    pub passes: usize,
+    /// Total local-moving iterations across passes (`Σ l_i`).
+    pub move_iterations: usize,
+    /// Accumulated per-phase wall time (Figure 7(a)).
+    pub timings: PhaseTimings,
+    /// Per-pass statistics (Figure 7(b)).
+    pub pass_stats: Vec<PassStats>,
+    /// Dendrogram levels, recorded only when
+    /// [`LeidenConfig::record_dendrogram`] is set: level `l` maps each
+    /// vertex of the pass-`l` graph to its refined community (a vertex
+    /// of the pass-`l+1` graph). Composing all levels yields
+    /// `membership` up to renumbering.
+    pub dendrogram: Vec<Vec<VertexId>>,
+}
+
+impl LeidenResult {
+    /// Number of communities in the final partition.
+    pub fn community_count(&self) -> usize {
+        self.num_communities
+    }
+
+    /// Membership of the original vertices after the first `level`
+    /// passes (requires [`LeidenConfig::record_dendrogram`]):
+    /// `level = 0` is the singleton partition, `level = passes` equals
+    /// the final membership up to renumbering. Intermediate levels are
+    /// the coarsening hierarchy — useful for multi-resolution views.
+    ///
+    /// # Panics
+    /// Panics when `level > dendrogram.len()` or the dendrogram was not
+    /// recorded (and `level > 0`).
+    pub fn membership_at_level(&self, level: usize) -> Vec<VertexId> {
+        assert!(
+            level <= self.dendrogram.len(),
+            "level {level} exceeds recorded depth {}",
+            self.dendrogram.len()
+        );
+        let n = self.membership.len();
+        let mut out: Vec<VertexId> = (0..n as VertexId).collect();
+        for step in &self.dendrogram[..level] {
+            for c in out.iter_mut() {
+                *c = step[*c as usize];
+            }
+        }
+        out
+    }
+}
+
+/// The GVE-Leiden runner. Construct once, run on any number of graphs.
+#[derive(Debug, Clone)]
+pub struct Leiden {
+    config: LeidenConfig,
+}
+
+impl Default for Leiden {
+    fn default() -> Self {
+        Self::new(LeidenConfig::default())
+    }
+}
+
+/// Runs GVE-Leiden with default configuration.
+pub fn leiden(graph: &CsrGraph) -> LeidenResult {
+    Leiden::default().run(graph)
+}
+
+/// Derives a per-vertex RNG stream seed (splitmix64 mixing).
+#[inline]
+pub(crate) fn stream_seed(seed: u64, index: u64) -> u32 {
+    let mut z = (seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 32) as u32
+}
+
+impl Leiden {
+    /// Creates a runner with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid (see
+    /// [`LeidenConfig::validate`]).
+    pub fn new(config: LeidenConfig) -> Self {
+        config.validate().expect("invalid Leiden configuration");
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LeidenConfig {
+        &self.config
+    }
+
+    /// Runs the algorithm (Algorithm 1 of the paper) and returns the
+    /// top-level community membership of every vertex.
+    pub fn run(&self, graph: &CsrGraph) -> LeidenResult {
+        self.run_inner(graph, None, None)
+    }
+
+    /// Runs the algorithm seeded with a previous community membership —
+    /// the *Naive-dynamic* strategy for evolving graphs (the paper
+    /// points at dynamic Leiden as the natural extension, §4.1).
+    ///
+    /// `previous` need not use dense ids; it is renumbered internally.
+    ///
+    /// # Panics
+    /// Panics when `previous.len() != graph.num_vertices()`.
+    pub fn run_seeded(&self, graph: &CsrGraph, previous: &[VertexId]) -> LeidenResult {
+        assert_eq!(previous.len(), graph.num_vertices());
+        let (dense, _) = dendrogram::renumber(previous);
+        self.run_inner(graph, Some(dense), None)
+    }
+
+    /// Runs the algorithm seeded with a previous membership *and* an
+    /// initial frontier: only the frontier vertices are initially
+    /// unprocessed in the first pass's local-moving phase, and the wave
+    /// expands outward through the pruning flags — the *Dynamic
+    /// Frontier* strategy for batch updates.
+    ///
+    /// # Panics
+    /// Panics when `previous.len() != graph.num_vertices()` or a
+    /// frontier vertex is out of range.
+    pub fn run_frontier(
+        &self,
+        graph: &CsrGraph,
+        previous: &[VertexId],
+        frontier: &[VertexId],
+    ) -> LeidenResult {
+        assert_eq!(previous.len(), graph.num_vertices());
+        assert!(frontier
+            .iter()
+            .all(|&v| (v as usize) < graph.num_vertices()));
+        let (dense, _) = dendrogram::renumber(previous);
+        self.run_inner(graph, Some(dense), Some(frontier.to_vec()))
+    }
+
+    fn run_inner(
+        &self,
+        graph: &CsrGraph,
+        first_init: Option<Vec<VertexId>>,
+        first_frontier: Option<Vec<VertexId>>,
+    ) -> LeidenResult {
+        let config = &self.config;
+        let n = graph.num_vertices();
+        let mut timings = PhaseTimings::default();
+        let mut pass_stats = Vec::new();
+
+        let t_init = Instant::now();
+        let mut top: Vec<VertexId> = (0..n as VertexId).collect();
+        let m = graph.total_arc_weight() / 2.0;
+        timings.other += t_init.elapsed();
+
+        // Degenerate inputs: no vertices or no edges → singletons.
+        if n == 0 || m <= 0.0 {
+            return LeidenResult {
+                num_communities: n,
+                membership: top,
+                passes: 0,
+                move_iterations: 0,
+                timings,
+                pass_stats,
+                dendrogram: Vec::new(),
+            };
+        }
+
+        // One collision-free hashtable per worker, sized for the largest
+        // (first) graph and reused across phases and passes — the O(T·N)
+        // memory term.
+        let tables: PerThread<CommunityMap> = PerThread::new(move || CommunityMap::new(n));
+        let coeffs = config.objective.coeffs(m);
+        // CPM penalizes by community *size*; vertex sizes must then be
+        // carried across aggregations (a super-vertex's size is the
+        // number of original vertices it represents).
+        let use_sizes = config.objective.penalty_is_size();
+        let mut sizes: Vec<f64> = if use_sizes { vec![1.0; n] } else { Vec::new() };
+
+        let mut current: Option<CsrGraph> = None;
+        let mut init_labels: Option<Vec<VertexId>> = first_init;
+        let mut tolerance = config.initial_tolerance;
+        let mut move_iterations = 0usize;
+        let mut passes = 0usize;
+        let mut dendrogram: Vec<Vec<VertexId>> = Vec::new();
+
+        for pass in 0..config.max_passes {
+            let g: &CsrGraph = current.as_ref().unwrap_or(graph);
+            let n_cur = g.num_vertices();
+            let t_pass = Instant::now();
+
+            // Initialization: K', C', Σ' (Algorithm 1, line 4). With
+            // move-based labeling, later passes start from the mapped
+            // parent communities instead of singletons.
+            let t0 = Instant::now();
+            // Penalty weights: weighted degrees K' for modularity,
+            // carried vertex sizes for CPM.
+            let penalty: Vec<f64> = if use_sizes {
+                sizes.clone()
+            } else {
+                vertex_weights(g)
+            };
+            let init_sigma = |penalty: &[f64]| -> Vec<f64> {
+                match &init_labels {
+                    Some(labels) => {
+                        let mut s = vec![0.0f64; n_cur];
+                        for (v, &c) in labels.iter().enumerate() {
+                            s[c as usize] += penalty[v];
+                        }
+                        s
+                    }
+                    None => penalty.to_vec(),
+                }
+            };
+            // Pruning flags: everything unprocessed, or only the given
+            // frontier on the first pass of a dynamic run.
+            let unprocessed = match (&first_frontier, pass) {
+                (Some(frontier), 0) => {
+                    let bits = AtomicBitset::new(n_cur);
+                    for &v in frontier {
+                        bits.set(v as usize);
+                    }
+                    bits
+                }
+                _ => AtomicBitset::new_all_set(n_cur),
+            };
+            timings.other += t0.elapsed();
+
+            // Local-moving (Algorithm 2) and refinement (Algorithm 3),
+            // under the configured scheduling.
+            let (gains, moved, bounds, refined): (Vec<f64>, bool, Vec<VertexId>, Vec<VertexId>) =
+                match config.scheduling {
+                    Scheduling::Asynchronous => {
+                        let t0 = Instant::now();
+                        let membership: Vec<AtomicU32> = match &init_labels {
+                            Some(labels) => {
+                                labels.iter().map(|&c| AtomicU32::new(c)).collect()
+                            }
+                            None => (0..n_cur as u32).map(AtomicU32::new).collect(),
+                        };
+                        let sigma: Vec<AtomicF64> =
+                            atomic_f64_from_slice(&init_sigma(&penalty));
+                        timings.other += t0.elapsed();
+
+                        let t1 = Instant::now();
+                        let gains = localmove::local_move(
+                            g,
+                            &membership,
+                            &penalty,
+                            &sigma,
+                            coeffs,
+                            tolerance,
+                            config,
+                            &tables,
+                            &unprocessed,
+                        );
+                        timings.local_move += t1.elapsed();
+
+                        // Reset to singletons within bounds (line 6).
+                        let t2 = Instant::now();
+                        let bounds: Vec<VertexId> = membership
+                            .par_iter()
+                            .map(|c| c.load(Ordering::Relaxed))
+                            .collect();
+                        membership
+                            .par_iter()
+                            .enumerate()
+                            .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
+                        sigma
+                            .par_iter()
+                            .zip(penalty.par_iter())
+                            .for_each(|(s, &p)| s.store(p));
+                        timings.other += t2.elapsed();
+
+                        let t3 = Instant::now();
+                        let moved = refine::refine(
+                            g,
+                            &bounds,
+                            &membership,
+                            &penalty,
+                            &sigma,
+                            coeffs,
+                            config,
+                            &tables,
+                            pass as u64,
+                        );
+                        timings.refinement += t3.elapsed();
+
+                        let refined: Vec<VertexId> = membership
+                            .par_iter()
+                            .map(|c| c.load(Ordering::Relaxed))
+                            .collect();
+                        (gains, moved, bounds, refined)
+                    }
+                    Scheduling::ColorSynchronous => {
+                        // Deterministic path: plain state, decisions per
+                        // color class against frozen Σ'.
+                        let t0 = Instant::now();
+                        let coloring = gve_graph::coloring::jones_plassmann(g, config.seed);
+                        let mut membership: Vec<VertexId> = match &init_labels {
+                            Some(labels) => labels.clone(),
+                            None => (0..n_cur as VertexId).collect(),
+                        };
+                        let mut sigma = init_sigma(&penalty);
+                        timings.other += t0.elapsed();
+
+                        let t1 = Instant::now();
+                        let gains = sync::local_move_sync(
+                            g,
+                            &mut membership,
+                            &penalty,
+                            &mut sigma,
+                            coeffs,
+                            tolerance,
+                            config,
+                            &tables,
+                            &coloring,
+                            &unprocessed,
+                        );
+                        timings.local_move += t1.elapsed();
+
+                        let t2 = Instant::now();
+                        let bounds = membership.clone();
+                        for (v, c) in membership.iter_mut().enumerate() {
+                            *c = v as VertexId;
+                        }
+                        sigma.copy_from_slice(&penalty);
+                        timings.other += t2.elapsed();
+
+                        let t3 = Instant::now();
+                        let moved = sync::refine_sync(
+                            g,
+                            &bounds,
+                            &mut membership,
+                            &penalty,
+                            &mut sigma,
+                            coeffs,
+                            config,
+                            &tables,
+                            &coloring,
+                            pass as u64,
+                        );
+                        timings.refinement += t3.elapsed();
+                        (gains, moved, bounds, membership)
+                    }
+                };
+            let li = gains.len();
+            move_iterations += li;
+
+            // Renumber refined communities and update the dendrogram
+            // (lines 11–12 / 16).
+            let t4 = Instant::now();
+            let (dense, k) = dendrogram::renumber(&refined);
+            dendrogram::lookup(&mut top, &dense);
+            if config.record_dendrogram {
+                dendrogram.push(dense.clone());
+            }
+            timings.other += t4.elapsed();
+
+            passes += 1;
+            pass_stats.push(PassStats {
+                pass,
+                vertices: n_cur,
+                arcs: g.num_arcs(),
+                move_iterations: li,
+                iteration_gains: gains,
+                refine_moved: moved,
+                communities: k,
+                duration: t_pass.elapsed(),
+            });
+
+            // Global convergence (line 8): local-moving converged in one
+            // iteration and refinement moved nothing.
+            if li + usize::from(moved) <= 1 {
+                break;
+            }
+            // Aggregation tolerance (line 10): communities shrank too
+            // little for another pass to pay off.
+            if config.use_aggregation_tolerance
+                && (k as f64) > config.aggregation_tolerance * (n_cur as f64)
+            {
+                break;
+            }
+            if pass + 1 == config.max_passes {
+                break;
+            }
+
+            // Aggregation phase (Algorithm 4, or the sort-reduce
+            // alternative).
+            let t5 = Instant::now();
+            let supergraph = match config.aggregation {
+                config::AggregationStrategy::Hashtable => {
+                    let dense_atomic: Vec<AtomicU32> =
+                        dense.iter().map(|&c| AtomicU32::new(c)).collect();
+                    aggregate::aggregate(
+                        g,
+                        &dense_atomic,
+                        &dense,
+                        k,
+                        (config.chunk_size / 4).max(1),
+                        &tables,
+                    )
+                }
+                config::AggregationStrategy::SortReduce => {
+                    aggregate::aggregate_sort_reduce(g, &dense, k)
+                }
+            };
+            timings.aggregation += t5.elapsed();
+
+            // Super-vertex labeling for the next pass (line 14).
+            let t6 = Instant::now();
+            init_labels = match config.labeling {
+                Labeling::MoveBased => {
+                    // Every member of a refined community shares the same
+                    // bound, so any member defines the mapping.
+                    let mut label_of = vec![VertexId::MAX; k];
+                    for v in 0..n_cur {
+                        label_of[dense[v] as usize] = bounds[v];
+                    }
+                    let (dense_bounds, _) = dendrogram::renumber(&label_of);
+                    Some(dense_bounds)
+                }
+                Labeling::RefineBased => None,
+            };
+            timings.other += t6.elapsed();
+
+            // Fold vertex sizes into the super-vertices (CPM only).
+            if use_sizes {
+                let mut next_sizes = vec![0.0f64; k];
+                for (v, &c) in dense.iter().enumerate() {
+                    next_sizes[c as usize] += sizes[v];
+                }
+                sizes = next_sizes;
+            }
+
+            current = Some(supergraph);
+            // Threshold scaling (line 15).
+            if config.threshold_scaling {
+                tolerance /= config.tolerance_drop;
+            }
+        }
+
+        // Final dense renumbering of the top-level membership.
+        let t7 = Instant::now();
+        let (final_membership, num_communities) = dendrogram::renumber(&top);
+        timings.other += t7.elapsed();
+
+        LeidenResult {
+            membership: final_membership,
+            num_communities,
+            passes,
+            move_iterations,
+            timings,
+            pass_stats,
+            dendrogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn detects_two_triangles() {
+        let result = leiden(&two_triangles());
+        assert_eq!(result.num_communities, 2);
+        assert_eq!(result.membership[0], result.membership[1]);
+        assert_eq!(result.membership[1], result.membership[2]);
+        assert_eq!(result.membership[3], result.membership[4]);
+        assert_ne!(result.membership[0], result.membership[3]);
+        assert!(result.passes >= 1);
+    }
+
+    #[test]
+    fn membership_is_dense() {
+        let result = leiden(&two_triangles());
+        let max = *result.membership.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, result.num_communities);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let result = leiden(&CsrGraph::empty(0));
+        assert!(result.membership.is_empty());
+        assert_eq!(result.num_communities, 0);
+        assert_eq!(result.passes, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_singletons() {
+        let result = leiden(&CsrGraph::empty(5));
+        assert_eq!(result.membership, vec![0, 1, 2, 3, 4]);
+        assert_eq!(result.num_communities, 5);
+    }
+
+    #[test]
+    fn single_self_loop_vertex() {
+        let g = GraphBuilder::from_edges(1, &[(0, 0, 2.0)]);
+        let result = leiden(&g);
+        assert_eq!(result.membership, vec![0]);
+        assert_eq!(result.num_communities, 1);
+    }
+
+    #[test]
+    fn recovers_planted_partition() {
+        let planted = gve_generate::sbm::PlantedPartition::new(2000, 10, 16.0, 1.0)
+            .seed(11)
+            .generate();
+        let result = leiden(&planted.graph);
+        let nmi = gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+        assert!(nmi > 0.9, "NMI {nmi}, k = {}", result.num_communities);
+    }
+
+    #[test]
+    fn modularity_beats_trivial_partitions() {
+        let g = gve_generate::rmat::Rmat::web(11, 8.0).seed(2).generate();
+        let result = leiden(&g);
+        let q = gve_quality::modularity(&g, &result.membership);
+        let singletons: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        assert!(q > gve_quality::modularity(&g, &singletons));
+        assert!(q > gve_quality::modularity(&g, &vec![0; g.num_vertices()]) + 0.05);
+        assert!((-0.5..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn communities_are_internally_connected() {
+        // The Leiden guarantee (Figure 6(d) shows zero disconnected
+        // communities for GVE-Leiden).
+        for seed in [1u64, 2, 3] {
+            let g = gve_generate::rmat::Rmat::social(11, 6.0).seed(seed).generate();
+            let result = leiden(&g);
+            let report = gve_quality::disconnected_communities(&g, &result.membership);
+            assert!(
+                report.all_connected(),
+                "seed {seed}: {} of {} disconnected",
+                report.disconnected,
+                report.communities
+            );
+        }
+    }
+
+    #[test]
+    fn refine_based_labeling_also_works() {
+        let g = two_triangles();
+        let result = Leiden::new(LeidenConfig::default().labeling(Labeling::RefineBased)).run(&g);
+        assert_eq!(result.num_communities, 2);
+    }
+
+    #[test]
+    fn random_refinement_also_recovers_structure() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1000, 8, 14.0, 1.0)
+            .seed(4)
+            .generate();
+        let config = LeidenConfig::default()
+            .refinement(RefinementStrategy::Random)
+            .seed(7);
+        let result = Leiden::new(config).run(&planted.graph);
+        let nmi = gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+        assert!(nmi > 0.85, "NMI {nmi}");
+    }
+
+    #[test]
+    fn variants_run_to_completion() {
+        let g = gve_generate::rmat::Rmat::web(9, 6.0).seed(9).generate();
+        for variant in [Variant::Default, Variant::Medium, Variant::Heavy] {
+            let result = Leiden::new(LeidenConfig::default().variant(variant)).run(&g);
+            assert!(result.num_communities >= 1, "{variant:?}");
+            gve_quality::validate_membership(&result.membership, g.num_vertices()).unwrap();
+        }
+    }
+
+    #[test]
+    fn pass_cap_is_respected() {
+        let mut config = LeidenConfig::default();
+        config.max_passes = 1;
+        let g = gve_generate::rmat::Rmat::web(9, 6.0).seed(1).generate();
+        let result = Leiden::new(config).run(&g);
+        assert_eq!(result.passes, 1);
+        assert_eq!(result.pass_stats.len(), 1);
+    }
+
+    #[test]
+    fn timings_cover_all_phases() {
+        let g = gve_generate::rmat::Rmat::web(10, 8.0).seed(6).generate();
+        let result = leiden(&g);
+        assert!(result.timings.local_move.as_nanos() > 0);
+        assert!(result.timings.refinement.as_nanos() > 0);
+        assert!(result.timings.other.as_nanos() > 0);
+        // Pass stats mirror the pass count.
+        assert_eq!(result.pass_stats.len(), result.passes);
+        // First pass operates on the input graph.
+        assert_eq!(result.pass_stats[0].vertices, g.num_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Leiden configuration")]
+    fn invalid_config_panics() {
+        let mut config = LeidenConfig::default();
+        config.max_passes = 0;
+        Leiden::new(config);
+    }
+
+    #[test]
+    fn cpm_objective_recovers_planted_partition() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1500, 10, 14.0, 1.0)
+            .seed(6)
+            .generate();
+        // CPM resolution ≈ the planted intra-block density keeps the
+        // blocks optimal.
+        let config = LeidenConfig::default().objective(Objective::Cpm { resolution: 0.02 });
+        let result = Leiden::new(config).run(&planted.graph);
+        let nmi =
+            gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+        assert!(nmi > 0.9, "CPM NMI {nmi}, k = {}", result.num_communities);
+        let report = gve_quality::disconnected_communities(&planted.graph, &result.membership);
+        assert!(report.all_connected());
+    }
+
+    #[test]
+    fn density_scale_cpm_agrees_with_modularity_on_planted_graph() {
+        // With the resolution at the graph's inter/intra density
+        // crossover, CPM and modularity should find essentially the same
+        // planted partition.
+        let planted = gve_generate::sbm::PlantedPartition::new(1000, 8, 12.0, 1.0)
+            .seed(3)
+            .generate();
+        let g = &planted.graph;
+        let mod_members = leiden(g).membership;
+        // Intra-block density ≈ intra_degree / block_size = 12 / 125.
+        let cpm_cfg = LeidenConfig::default().objective(Objective::Cpm { resolution: 0.05 });
+        let cpm_members = Leiden::new(cpm_cfg).run(g).membership;
+        let agreement =
+            gve_quality::normalized_mutual_information(&mod_members, &cpm_members);
+        assert!(agreement > 0.9, "objectives disagree: NMI {agreement}");
+    }
+
+    #[test]
+    fn cpm_resolution_controls_granularity() {
+        let g = gve_generate::sbm::PlantedPartition::new(800, 8, 12.0, 1.0)
+            .seed(9)
+            .generate()
+            .graph;
+        let run = |resolution: f64| {
+            Leiden::new(LeidenConfig::default().objective(Objective::Cpm { resolution }))
+                .run(&g)
+                .num_communities
+        };
+        let coarse = run(0.001);
+        let fine = run(0.2);
+        assert!(
+            fine > coarse,
+            "higher CPM resolution must give more communities: {coarse} vs {fine}"
+        );
+    }
+
+    #[test]
+    fn modularity_resolution_controls_granularity() {
+        let g = gve_generate::sbm::PlantedPartition::new(800, 8, 12.0, 1.0)
+            .seed(10)
+            .generate()
+            .graph;
+        let run = |resolution: f64| {
+            Leiden::new(
+                LeidenConfig::default().objective(Objective::Modularity { resolution }),
+            )
+            .run(&g)
+            .num_communities
+        };
+        assert!(run(4.0) >= run(1.0), "γ=4 coarser than γ=1?");
+        assert!(run(1.0) >= run(0.25), "γ=1 coarser than γ=0.25?");
+    }
+
+    #[test]
+    fn seeded_run_reaches_same_quality() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1200, 10, 14.0, 1.0)
+            .seed(12)
+            .generate();
+        let g = &planted.graph;
+        let from_scratch = leiden(g);
+        let seeded = Leiden::default().run_seeded(g, &from_scratch.membership);
+        let q0 = gve_quality::modularity(g, &from_scratch.membership);
+        let q1 = gve_quality::modularity(g, &seeded.membership);
+        assert!(q1 > q0 - 0.02, "seeded Q {q1} vs scratch {q0}");
+        // Seeding with the converged answer should converge quickly.
+        assert!(seeded.passes <= from_scratch.passes.max(2));
+    }
+
+    #[test]
+    fn frontier_run_matches_full_quality() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1200, 10, 14.0, 1.0)
+            .seed(13)
+            .generate();
+        let g = &planted.graph;
+        let base = leiden(g);
+        // Tiny frontier: pretend only a handful of vertices changed.
+        let frontier: Vec<u32> = (0..20).collect();
+        let result = Leiden::default().run_frontier(g, &base.membership, &frontier);
+        gve_quality::validate_membership(&result.membership, g.num_vertices()).unwrap();
+        let q_base = gve_quality::modularity(g, &base.membership);
+        let q_frontier = gve_quality::modularity(g, &result.membership);
+        assert!(
+            q_frontier > q_base - 0.02,
+            "frontier Q {q_frontier} vs base {q_base}"
+        );
+        let report = gve_quality::disconnected_communities(g, &result.membership);
+        assert!(report.all_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn seeded_run_rejects_wrong_length() {
+        let g = two_triangles();
+        Leiden::default().run_seeded(&g, &[0, 1]);
+    }
+
+    #[test]
+    fn dendrogram_recording_composes_to_membership() {
+        let g = gve_generate::sbm::PlantedPartition::new(800, 8, 12.0, 1.0)
+            .seed(14)
+            .generate()
+            .graph;
+        let mut config = LeidenConfig::default();
+        config.record_dendrogram = true;
+        let result = Leiden::new(config).run(&g);
+        assert_eq!(result.dendrogram.len(), result.passes);
+        // Level 0 covers the input graph; each level's ids index the
+        // next level.
+        assert_eq!(result.dendrogram[0].len(), g.num_vertices());
+        for window in result.dendrogram.windows(2) {
+            let max = *window[0].iter().max().unwrap() as usize;
+            assert_eq!(max + 1, window[1].len());
+        }
+        // Composing all levels reproduces the final membership (the
+        // final renumbering preserves first-appearance order, so the
+        // composition matches exactly after densification).
+        let mut composed: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for level in &result.dendrogram {
+            for c in composed.iter_mut() {
+                *c = level[*c as usize];
+            }
+        }
+        let (composed_dense, _) = dendrogram::renumber(&composed);
+        assert_eq!(composed_dense, result.membership);
+    }
+
+    #[test]
+    fn dendrogram_not_recorded_by_default() {
+        let g = two_triangles();
+        assert!(leiden(&g).dendrogram.is_empty());
+    }
+
+    #[test]
+    fn color_synchronous_is_deterministic_across_thread_counts() {
+        // Unit weights → integral Σ' sums → bitwise determinism.
+        let g = gve_generate::sbm::PlantedPartition::new(1000, 8, 12.0, 1.0)
+            .seed(17)
+            .generate()
+            .graph;
+        let config = LeidenConfig::default().scheduling(Scheduling::ColorSynchronous);
+        let run_in = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| Leiden::new(config.clone()).run(&g).membership)
+        };
+        let reference = run_in(1);
+        assert_eq!(run_in(2), reference, "2 threads diverged");
+        assert_eq!(run_in(4), reference, "4 threads diverged");
+        // And across repeated runs in the same pool.
+        assert_eq!(run_in(4), reference);
+    }
+
+    #[test]
+    fn color_synchronous_matches_async_quality() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1500, 10, 14.0, 1.0)
+            .seed(18)
+            .generate();
+        let g = &planted.graph;
+        let async_q = gve_quality::modularity(g, &leiden(g).membership);
+        let sync_result = Leiden::new(
+            LeidenConfig::default().scheduling(Scheduling::ColorSynchronous),
+        )
+        .run(g);
+        let sync_q = gve_quality::modularity(g, &sync_result.membership);
+        assert!(
+            (async_q - sync_q).abs() < 0.05,
+            "async {async_q} vs color-sync {sync_q}"
+        );
+        let nmi =
+            gve_quality::normalized_mutual_information(&sync_result.membership, &planted.labels);
+        assert!(nmi > 0.9, "NMI {nmi}");
+        let report = gve_quality::disconnected_communities(g, &sync_result.membership);
+        assert!(report.all_connected());
+    }
+
+    #[test]
+    fn sort_reduce_aggregation_end_to_end() {
+        let planted = gve_generate::sbm::PlantedPartition::new(1200, 10, 14.0, 1.0)
+            .seed(19)
+            .generate();
+        let g = &planted.graph;
+        let result = Leiden::new(
+            LeidenConfig::default().aggregation(AggregationStrategy::SortReduce),
+        )
+        .run(g);
+        let nmi =
+            gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+        assert!(nmi > 0.9, "NMI {nmi}");
+        let q_default = gve_quality::modularity(g, &leiden(g).membership);
+        let q_sort = gve_quality::modularity(g, &result.membership);
+        assert!((q_default - q_sort).abs() < 0.05, "{q_default} vs {q_sort}");
+    }
+
+    #[test]
+    fn color_synchronous_supports_random_refinement() {
+        let g = gve_generate::rmat::Rmat::web(9, 6.0).seed(3).generate();
+        let config = LeidenConfig::default()
+            .scheduling(Scheduling::ColorSynchronous)
+            .refinement(RefinementStrategy::Random)
+            .seed(5);
+        let a = Leiden::new(config.clone()).run(&g).membership;
+        let b = Leiden::new(config).run(&g).membership;
+        assert_eq!(a, b, "seeded random refinement must be reproducible");
+        gve_quality::validate_membership(&a, g.num_vertices()).unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Delta-modularity arithmetic (Equation 2 of the paper).
+
+/// Delta-modularity of moving vertex `i` from community `d` to `c`:
+///
+/// `ΔQ_{i:d→c} = (K_{i→c} − K_{i→d}) / m − K_i (K_i + Σ_c − Σ_d) / (2m²)`
+///
+/// `K_{i→x}` excludes self-loops; `Σ_d` includes vertex `i`'s weight,
+/// `Σ_c` does not. All inputs are `f64` — the paper stores 32-bit weights
+/// but accumulates in 64-bit (§5.1.2).
+#[inline(always)]
+pub fn delta_modularity(
+    k_i_to_c: f64,
+    k_i_to_d: f64,
+    k_i: f64,
+    sigma_c: f64,
+    sigma_d: f64,
+    m: f64,
+) -> f64 {
+    (k_i_to_c - k_i_to_d) / m - k_i * (k_i + sigma_c - sigma_d) / (2.0 * m * m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staying_in_place_is_zero() {
+        // Moving from d to d: K_{i→c} = K_{i→d}, Σ_c = Σ_d − K_i
+        // (community without i), so both terms vanish.
+        let k_i = 3.0;
+        let sigma_d = 10.0;
+        let dq = delta_modularity(2.0, 2.0, k_i, sigma_d - k_i, sigma_d, 7.0);
+        assert_eq!(dq, 0.0);
+    }
+
+    #[test]
+    fn stronger_connection_wins() {
+        // Same community sizes; more weight towards c means higher gain.
+        let low = delta_modularity(1.0, 0.0, 2.0, 5.0, 7.0, 10.0);
+        let high = delta_modularity(3.0, 0.0, 2.0, 5.0, 7.0, 10.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn heavier_target_community_penalized() {
+        let light = delta_modularity(2.0, 0.0, 2.0, 3.0, 7.0, 10.0);
+        let heavy = delta_modularity(2.0, 0.0, 2.0, 30.0, 7.0, 10.0);
+        assert!(light > heavy);
+    }
+}

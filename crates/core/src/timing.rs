@@ -1,0 +1,117 @@
+//! Phase and pass timing instrumentation.
+//!
+//! Figure 7 of the paper splits GVE-Leiden's runtime by phase
+//! (local-moving / refinement / aggregation / others) and by pass (first
+//! vs rest); Figure 9 splits the strong-scaling curves the same way.
+//! Every run records enough to regenerate those plots.
+
+use std::time::Duration;
+
+/// Accumulated time per algorithm phase across all passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Local-moving phase (Algorithm 2).
+    pub local_move: Duration,
+    /// Refinement phase (Algorithm 3).
+    pub refinement: Duration,
+    /// Aggregation phase (Algorithm 4).
+    pub aggregation: Duration,
+    /// Everything else: initialization, renumbering, dendrogram lookup,
+    /// membership resets.
+    pub other: Duration,
+}
+
+impl PhaseTimings {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.local_move + self.refinement + self.aggregation + self.other
+    }
+
+    /// Per-phase fractions `(local, refine, aggregate, other)` of the
+    /// total — the Figure 7(a) split. All zeros for a zero total.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.local_move.as_secs_f64() / total,
+            self.refinement.as_secs_f64() / total,
+            self.aggregation.as_secs_f64() / total,
+            self.other.as_secs_f64() / total,
+        )
+    }
+
+    /// Element-wise sum, for averaging across repetitions.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.local_move += other.local_move;
+        self.refinement += other.refinement;
+        self.aggregation += other.aggregation;
+        self.other += other.other;
+    }
+}
+
+/// Statistics of one pass of the algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassStats {
+    /// Pass index (0-based).
+    pub pass: usize,
+    /// Vertices in the graph this pass operated on.
+    pub vertices: usize,
+    /// Directed arcs in that graph.
+    pub arcs: usize,
+    /// Local-moving iterations performed (`l_i`).
+    pub move_iterations: usize,
+    /// Total objective gain of each local-moving iteration — the raw
+    /// convergence curve (its length equals `move_iterations`).
+    pub iteration_gains: Vec<f64>,
+    /// Whether the refinement phase moved any vertex (`l_j`).
+    pub refine_moved: bool,
+    /// Communities after refinement.
+    pub communities: usize,
+    /// Wall time of the whole pass.
+    pub duration: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_fractions() {
+        let t = PhaseTimings {
+            local_move: Duration::from_millis(40),
+            refinement: Duration::from_millis(20),
+            aggregation: Duration::from_millis(30),
+            other: Duration::from_millis(10),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        let (l, r, a, o) = t.fractions();
+        assert!((l - 0.4).abs() < 1e-9);
+        assert!((r - 0.2).abs() < 1e-9);
+        assert!((a - 0.3).abs() < 1e-9);
+        assert!((o - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_gives_zero_fractions() {
+        let t = PhaseTimings::default();
+        assert_eq!(t.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut a = PhaseTimings {
+            local_move: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let b = PhaseTimings {
+            local_move: Duration::from_millis(2),
+            refinement: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.local_move, Duration::from_millis(3));
+        assert_eq!(a.refinement, Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,128 @@
+//! Golden tests on canonical graphs with known answers: Zachary's
+//! karate club and the ring-of-cliques resolution-limit demonstration.
+
+use gve_generate::ring::{ring_labels, ring_of_cliques};
+use gve_graph::GraphBuilder;
+use gve_leiden::{leiden, Leiden, LeidenConfig, Objective};
+
+/// Zachary's karate club (34 vertices, 78 edges) — the canonical
+/// community-detection test graph.
+fn karate_club() -> gve_graph::CsrGraph {
+    const EDGES: [(u32, u32); 78] = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
+        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
+        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
+        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
+        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
+        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
+        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
+        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
+        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+    ];
+    let weighted: Vec<(u32, u32, f32)> = EDGES.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+    GraphBuilder::from_edges(34, &weighted)
+}
+
+#[test]
+fn karate_club_reaches_published_modularity() {
+    let graph = karate_club();
+    // The known modularity optimum is Q ≈ 0.4198 with 4 communities;
+    // good heuristics land within a hair of it.
+    let mut best_q = f64::NEG_INFINITY;
+    let mut best_k = 0;
+    for seed in 0..5u64 {
+        let result = Leiden::new(LeidenConfig::default().seed(seed)).run(&graph);
+        let q = gve_quality::modularity(&graph, &result.membership);
+        if q > best_q {
+            best_q = q;
+            best_k = result.num_communities;
+        }
+    }
+    assert!(best_q > 0.40, "karate Q = {best_q}");
+    assert!(best_q <= 0.4198 + 1e-6, "Q above the known optimum: {best_q}");
+    assert!((3..=5).contains(&best_k), "karate communities: {best_k}");
+}
+
+#[test]
+fn karate_club_instructor_and_president_split() {
+    // The ground-truth social split: vertex 0 (instructor) and vertex 33
+    // (president) must end in different communities, with their closest
+    // allies on the right sides.
+    let graph = karate_club();
+    let result = leiden(&graph);
+    let m = &result.membership;
+    assert_ne!(m[0], m[33], "the factions merged");
+    for ally_of_0 in [1, 3, 13] {
+        assert_eq!(m[ally_of_0], m[0], "vertex {ally_of_0} left the instructor");
+    }
+    for ally_of_33 in [32, 30, 29] {
+        assert_eq!(m[ally_of_33], m[33], "vertex {ally_of_33} left the president");
+    }
+}
+
+#[test]
+fn modularity_hits_the_resolution_limit_on_clique_rings() {
+    // 30 cliques of 5 vertices: 2m = 2·(30·10 + 30) = 660, and
+    // merging adjacent cliques raises modularity once the clique count
+    // exceeds ~sqrt(2m) ≈ 26 — so at 30 cliques the per-clique
+    // partition is NOT the modularity optimum.
+    let num_cliques = 30;
+    let graph = ring_of_cliques(num_cliques, 5);
+    let per_clique = ring_labels(num_cliques, 5);
+    let result = leiden(&graph);
+    let q_found = gve_quality::modularity(&graph, &result.membership);
+    let q_per_clique = gve_quality::modularity(&graph, &per_clique);
+    assert!(
+        q_found >= q_per_clique - 1e-9,
+        "optimizer under the planted partition: {q_found} vs {q_per_clique}"
+    );
+    assert!(
+        result.num_communities < num_cliques,
+        "expected merged cliques (resolution limit), got {} communities",
+        result.num_communities
+    );
+}
+
+#[test]
+fn cpm_escapes_the_resolution_limit() {
+    // Same ring; CPM with γ between the ring-edge density (~1/25) and
+    // the intra-clique density (1.0) keeps every clique separate — the
+    // §2 claim that CPM "overcomes" the resolution limit.
+    let num_cliques = 30;
+    let graph = ring_of_cliques(num_cliques, 5);
+    let config = LeidenConfig::default().objective(Objective::Cpm { resolution: 0.5 });
+    let result = Leiden::new(config).run(&graph);
+    assert_eq!(
+        result.num_communities, num_cliques,
+        "CPM must recover one community per clique"
+    );
+    let nmi = gve_quality::normalized_mutual_information(
+        &result.membership,
+        &ring_labels(num_cliques, 5),
+    );
+    assert!((nmi - 1.0).abs() < 1e-9, "NMI {nmi}");
+}
+
+#[test]
+fn small_ring_is_below_the_limit_for_modularity_too() {
+    // With few cliques, modularity also finds the per-clique optimum.
+    let graph = ring_of_cliques(8, 5);
+    let result = leiden(&graph);
+    assert_eq!(result.num_communities, 8);
+    let nmi =
+        gve_quality::normalized_mutual_information(&result.membership, &ring_labels(8, 5));
+    assert!((nmi - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn iteration_gains_trace_is_coherent() {
+    let graph = karate_club();
+    let result = leiden(&graph);
+    for stats in &result.pass_stats {
+        assert_eq!(stats.iteration_gains.len(), stats.move_iterations);
+        // Every recorded gain is finite and (for greedy moves) nonnegative.
+        for &g in &stats.iteration_gains {
+            assert!(g.is_finite() && g >= 0.0, "gain {g}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Affected-vertex frontiers for incremental detection.
+//!
+//! Given a batch of edge updates and the pre-update communities, only
+//! some vertices can improve by moving; the rest keep their optima. Two
+//! published marking rules are implemented:
+//!
+//! * **Dynamic Frontier** (Sahu et al.): mark the endpoints of
+//!   *cross-community insertions* and *intra-community deletions*, plus
+//!   their immediate neighbours; the local-moving phase's pruning flags
+//!   then propagate the wave exactly as far as changes cascade.
+//! * **Delta screening** (Zarayeneh et al.): a coarser superset — for
+//!   each affected insertion source also mark the entire target
+//!   community that the vertex would most plausibly join, and for
+//!   intra-community deletions mark the whole former community (it may
+//!   split).
+
+use crate::update::BatchUpdate;
+use gve_graph::{CsrGraph, GroupedCsr, VertexId};
+
+/// True for the update pairs that can change the community optimum.
+fn affects(u: VertexId, v: VertexId, membership: &[VertexId], insertion: bool) -> bool {
+    let cu = membership.get(u as usize).copied();
+    let cv = membership.get(v as usize).copied();
+    match (cu, cv) {
+        // New vertices (beyond the old membership) always matter.
+        (None, _) | (_, None) => true,
+        (Some(cu), Some(cv)) => {
+            if insertion {
+                cu != cv // cross-community insertion creates pull
+            } else {
+                cu == cv // intra-community deletion may split
+            }
+        }
+    }
+}
+
+/// Computes the Dynamic Frontier for a batch: affected endpoints plus
+/// their one-hop neighbourhoods, deduplicated.
+pub fn dynamic_frontier(
+    graph: &CsrGraph,
+    membership: &[VertexId],
+    batch: &BatchUpdate,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut marked = vec![false; n];
+    let mark = |v: VertexId, marked: &mut Vec<bool>| {
+        if (v as usize) < n {
+            marked[v as usize] = true;
+        }
+    };
+    let mut seeds: Vec<VertexId> = Vec::new();
+    for &(u, v, _) in &batch.insertions {
+        if affects(u, v, membership, true) {
+            seeds.push(u);
+            seeds.push(v);
+        }
+    }
+    for &(u, v) in &batch.deletions {
+        if affects(u, v, membership, false) {
+            seeds.push(u);
+            seeds.push(v);
+        }
+    }
+    for &s in &seeds {
+        mark(s, &mut marked);
+        if (s as usize) < n {
+            for &j in graph.neighbors(s) {
+                mark(j, &mut marked);
+            }
+        }
+    }
+    marked
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &m)| m.then_some(v as VertexId))
+        .collect()
+}
+
+/// Computes the delta-screening frontier: the Dynamic Frontier plus the
+/// full membership of every community an affected update touches.
+pub fn delta_screening_frontier(
+    graph: &CsrGraph,
+    membership: &[VertexId],
+    batch: &BatchUpdate,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut marked = vec![false; n];
+    for v in dynamic_frontier(graph, membership, batch) {
+        marked[v as usize] = true;
+    }
+    // Group the previous communities once; mark whole communities whose
+    // structure the batch perturbs.
+    let num_ids = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    if num_ids > 0 {
+        let groups = GroupedCsr::group_by(membership, num_ids);
+        let mark_community = |c: VertexId, marked: &mut Vec<bool>| {
+            for &member in groups.members(c) {
+                if (member as usize) < n {
+                    marked[member as usize] = true;
+                }
+            }
+        };
+        for &(u, v, _) in &batch.insertions {
+            if affects(u, v, membership, true) {
+                // The source may be pulled into the target's community.
+                if let Some(&cv) = membership.get(v as usize) {
+                    mark_community(cv, &mut marked);
+                }
+                if let Some(&cu) = membership.get(u as usize) {
+                    mark_community(cu, &mut marked);
+                }
+            }
+        }
+        for &(u, v) in &batch.deletions {
+            if affects(u, v, membership, false) {
+                if let Some(&cu) = membership.get(u as usize) {
+                    mark_community(cu, &mut marked);
+                }
+            }
+        }
+    }
+    marked
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &m)| m.then_some(v as VertexId))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+
+    /// Two triangles {0,1,2} and {3,4,5} bridged by 2-3.
+    fn setup() -> (CsrGraph, Vec<u32>) {
+        let graph = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        );
+        (graph, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn cross_community_insertion_marks_neighbourhoods() {
+        let (graph, membership) = setup();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 5, 1.0); // cross-community
+        let frontier = dynamic_frontier(&graph, &membership, &batch);
+        // 0, 5 and their neighbours.
+        assert!(frontier.contains(&0));
+        assert!(frontier.contains(&5));
+        assert!(frontier.contains(&1)); // neighbour of 0
+        assert!(frontier.contains(&4)); // neighbour of 5
+    }
+
+    #[test]
+    fn intra_community_insertion_is_ignored() {
+        let (graph, membership) = setup();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 1, 1.0); // same community — strengthens it
+        assert!(dynamic_frontier(&graph, &membership, &batch).is_empty());
+    }
+
+    #[test]
+    fn intra_community_deletion_marks_neighbourhoods() {
+        let (graph, membership) = setup();
+        let mut batch = BatchUpdate::new();
+        batch.delete(3, 4); // same community — may split it
+        let frontier = dynamic_frontier(&graph, &membership, &batch);
+        assert!(frontier.contains(&3));
+        assert!(frontier.contains(&4));
+        assert!(frontier.contains(&5));
+    }
+
+    #[test]
+    fn cross_community_deletion_is_ignored() {
+        let (graph, membership) = setup();
+        let mut batch = BatchUpdate::new();
+        batch.delete(2, 3); // the bridge — communities only separate further
+        assert!(dynamic_frontier(&graph, &membership, &batch).is_empty());
+    }
+
+    #[test]
+    fn delta_screening_is_a_superset_marking_communities() {
+        let (graph, membership) = setup();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 5, 1.0);
+        let df = dynamic_frontier(&graph, &membership, &batch);
+        let ds = delta_screening_frontier(&graph, &membership, &batch);
+        for v in &df {
+            assert!(ds.contains(v), "delta screening missed frontier vertex {v}");
+        }
+        // Both whole communities are marked.
+        assert_eq!(ds.len(), 6);
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_deduplicated() {
+        let (graph, membership) = setup();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 5, 1.0);
+        batch.insert(0, 4, 1.0);
+        batch.delete(3, 4);
+        let frontier = dynamic_frontier(&graph, &membership, &batch);
+        assert!(frontier.windows(2).all(|w| w[0] < w[1]), "{frontier:?}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic Leiden: community detection on evolving graphs.
+//!
+//! The paper closes §4.1 noting that its refine-based variant "may be
+//! more suitable for the design of dynamic Leiden algorithm (for dynamic
+//! graphs)" — the extension its authors pursued in follow-up work. This
+//! crate builds that extension on top of `gve-leiden`:
+//!
+//! * [`BatchUpdate`] — a batch of edge insertions and deletions,
+//!   applied to a CSR graph with [`apply_batch`];
+//! * [`DynamicStrategy`] — how much prior work is reused per batch:
+//!   - `FullStatic`: rerun from scratch (the correctness reference);
+//!   - `NaiveDynamic`: seed the first pass with the previous
+//!     membership — all vertices reprocessed, but convergence is fast;
+//!   - `DeltaScreening`: seed with the previous membership and process
+//!     only vertices whose neighbourhood the batch could affect, plus
+//!     the communities they might join (Zarayeneh et al.'s screening
+//!     rule);
+//!   - `DynamicFrontier`: seed with the previous membership and mark
+//!     only the endpoints of changed edges (plus their neighbours);
+//!     the pruning flags spread the wave exactly as far as it needs to
+//!     go;
+//! * [`DynamicLeiden`] — a stateful detector that owns the evolving
+//!   graph and its current membership and processes batches.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod frontier;
+pub mod stream;
+pub mod update;
+
+pub use frontier::{delta_screening_frontier, dynamic_frontier};
+pub use stream::{collect_windows, ChurnStream, TimedUpdate, UpdateKind};
+pub use update::{apply_batch, BatchUpdate};
+
+use gve_graph::{CsrGraph, VertexId};
+use gve_leiden::{Leiden, LeidenConfig, LeidenResult};
+
+/// How a batch update is propagated into the community structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DynamicStrategy {
+    /// Rerun static GVE-Leiden from scratch on the updated graph.
+    FullStatic,
+    /// Seed with the previous membership (Naive-dynamic).
+    NaiveDynamic,
+    /// Seed with the previous membership and restrict initial processing
+    /// via delta-screening.
+    DeltaScreening,
+    /// Seed with the previous membership and restrict initial processing
+    /// to the batch's frontier (Dynamic Frontier).
+    #[default]
+    DynamicFrontier,
+}
+
+/// Stateful dynamic community detector over an evolving graph.
+#[derive(Debug, Clone)]
+pub struct DynamicLeiden {
+    runner: Leiden,
+    strategy: DynamicStrategy,
+    graph: CsrGraph,
+    membership: Vec<VertexId>,
+    batches_applied: usize,
+}
+
+impl DynamicLeiden {
+    /// Creates the detector and runs an initial static detection.
+    pub fn new(graph: CsrGraph, config: LeidenConfig, strategy: DynamicStrategy) -> Self {
+        let runner = Leiden::new(config);
+        let initial = runner.run(&graph);
+        Self {
+            runner,
+            strategy,
+            graph,
+            membership: initial.membership,
+            batches_applied: 0,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The current community membership (dense ids).
+    pub fn membership(&self) -> &[VertexId] {
+        &self.membership
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_applied(&self) -> usize {
+        self.batches_applied
+    }
+
+    /// The update strategy in use.
+    pub fn strategy(&self) -> DynamicStrategy {
+        self.strategy
+    }
+
+    /// Applies a batch of edge updates and refreshes the communities
+    /// according to the configured strategy. Returns the full result of
+    /// the refresh run.
+    pub fn apply(&mut self, batch: &BatchUpdate) -> LeidenResult {
+        let new_graph = apply_batch(&self.graph, batch);
+        // Vertices may have been appended by the batch; extend the old
+        // membership with singletons for them.
+        let mut previous = self.membership.clone();
+        let next_id = previous.iter().map(|&c| c + 1).max().unwrap_or(0);
+        for offset in 0..new_graph.num_vertices().saturating_sub(previous.len()) {
+            previous.push(next_id + offset as VertexId);
+        }
+
+        let result = match self.strategy {
+            DynamicStrategy::FullStatic => self.runner.run(&new_graph),
+            DynamicStrategy::NaiveDynamic => self.runner.run_seeded(&new_graph, &previous),
+            DynamicStrategy::DeltaScreening => {
+                let frontier = delta_screening_frontier(&new_graph, &previous, batch);
+                self.runner.run_frontier(&new_graph, &previous, &frontier)
+            }
+            DynamicStrategy::DynamicFrontier => {
+                let frontier = dynamic_frontier(&new_graph, &previous, batch);
+                self.runner.run_frontier(&new_graph, &previous, &frontier)
+            }
+        };
+        self.graph = new_graph;
+        self.membership = result.membership.clone();
+        self.batches_applied += 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_generate::PlantedPartition;
+    use gve_prim::Xorshift32;
+
+    fn random_batch(
+        graph: &CsrGraph,
+        insertions: usize,
+        deletions: usize,
+        seed: u32,
+    ) -> BatchUpdate {
+        let mut rng = Xorshift32::new(seed);
+        let n = graph.num_vertices() as u32;
+        let mut batch = BatchUpdate::new();
+        for _ in 0..insertions {
+            let u = rng.next_bounded(n);
+            let v = rng.next_bounded(n);
+            if u != v {
+                batch.insert(u, v, 1.0);
+            }
+        }
+        let mut attempts = 0;
+        while batch.deletions.len() < deletions && attempts < deletions * 20 {
+            attempts += 1;
+            let u = rng.next_bounded(n);
+            let neighbors = graph.neighbors(u);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let v = neighbors[rng.next_bounded(neighbors.len() as u32) as usize];
+            if u != v {
+                batch.delete(u, v);
+            }
+        }
+        batch
+    }
+
+    fn planted_graph(seed: u64) -> (CsrGraph, Vec<u32>) {
+        let planted = PlantedPartition::new(1500, 10, 14.0, 1.0).seed(seed).generate();
+        (planted.graph, planted.labels)
+    }
+
+    #[test]
+    fn every_strategy_tracks_static_quality() {
+        let (graph, _) = planted_graph(5);
+        let static_detector = Leiden::default();
+        for strategy in [
+            DynamicStrategy::FullStatic,
+            DynamicStrategy::NaiveDynamic,
+            DynamicStrategy::DeltaScreening,
+            DynamicStrategy::DynamicFrontier,
+        ] {
+            let mut dynamic =
+                DynamicLeiden::new(graph.clone(), LeidenConfig::default(), strategy);
+            let mut current = graph.clone();
+            for step in 0..3 {
+                let batch = random_batch(&current, 60, 40, 100 + step);
+                dynamic.apply(&batch);
+                current = apply_batch(&current, &batch);
+                let q_dynamic = gve_quality::modularity(&current, dynamic.membership());
+                let q_static =
+                    gve_quality::modularity(&current, &static_detector.run(&current).membership);
+                assert!(
+                    q_dynamic > q_static - 0.03,
+                    "{strategy:?} step {step}: dynamic Q {q_dynamic} vs static {q_static}"
+                );
+            }
+            assert_eq!(dynamic.batches_applied(), 3);
+        }
+    }
+
+    #[test]
+    fn dynamic_communities_stay_connected() {
+        let (graph, _) = planted_graph(9);
+        let mut dynamic = DynamicLeiden::new(
+            graph.clone(),
+            LeidenConfig::default(),
+            DynamicStrategy::DynamicFrontier,
+        );
+        for step in 0..4 {
+            let batch = random_batch(dynamic.graph(), 40, 30, 500 + step);
+            dynamic.apply(&batch);
+            let report =
+                gve_quality::disconnected_communities(dynamic.graph(), dynamic.membership());
+            assert!(
+                report.all_connected(),
+                "step {step}: {} disconnected",
+                report.disconnected
+            );
+        }
+    }
+
+    #[test]
+    fn batch_can_grow_the_vertex_set() {
+        let (graph, _) = planted_graph(3);
+        let n = graph.num_vertices() as u32;
+        let mut dynamic = DynamicLeiden::new(
+            graph,
+            LeidenConfig::default(),
+            DynamicStrategy::NaiveDynamic,
+        );
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, n, 1.0); // brand-new vertex n
+        batch.insert(n, n + 1, 1.0); // and n + 1
+        dynamic.apply(&batch);
+        assert_eq!(dynamic.graph().num_vertices(), n as usize + 2);
+        assert_eq!(dynamic.membership().len(), n as usize + 2);
+        gve_quality::validate_membership(dynamic.membership(), n as usize + 2).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_refresh() {
+        let (graph, _) = planted_graph(7);
+        let mut dynamic = DynamicLeiden::new(
+            graph.clone(),
+            LeidenConfig::default(),
+            DynamicStrategy::DynamicFrontier,
+        );
+        let before = gve_quality::modularity(&graph, dynamic.membership());
+        dynamic.apply(&BatchUpdate::new());
+        let after = gve_quality::modularity(&graph, dynamic.membership());
+        assert!(after > before - 0.01, "refresh lost quality: {before} -> {after}");
+        assert_eq!(dynamic.graph(), &graph);
+    }
+
+    #[test]
+    fn default_strategy_is_dynamic_frontier() {
+        assert_eq!(DynamicStrategy::default(), DynamicStrategy::DynamicFrontier);
+    }
+}

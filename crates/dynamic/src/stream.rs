@@ -1,0 +1,213 @@
+//! Timestamped edge-churn streams and windowing.
+//!
+//! Real dynamic-graph workloads arrive as a *stream* of timestamped
+//! insertions and deletions (interaction logs, crawl deltas), which a
+//! detector consumes in windows. [`ChurnStream`] synthesizes such a
+//! stream over a base graph with Poisson arrivals, and
+//! [`collect_windows`] slices it into fixed-duration [`BatchUpdate`]s —
+//! the shape the paper's follow-up dynamic work evaluates on.
+
+use crate::update::BatchUpdate;
+use gve_graph::{CsrGraph, EdgeWeight, VertexId};
+use gve_prim::Xorshift32;
+
+/// One timestamped update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedUpdate {
+    /// Event timestamp (seconds since the stream epoch).
+    pub time: f64,
+    /// The update itself.
+    pub kind: UpdateKind,
+}
+
+/// Insertion or deletion payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateKind {
+    /// Undirected edge insertion.
+    Insert(VertexId, VertexId, EdgeWeight),
+    /// Undirected edge deletion (no-op if absent at apply time).
+    Delete(VertexId, VertexId),
+}
+
+/// Infinite Poisson churn stream over a base graph's vertex set.
+///
+/// Insertions pick uniform endpoint pairs; deletions pick a random
+/// vertex's random *base-graph* neighbour — approximating deletion of a
+/// live edge without tracking the evolving state (deleting an already
+/// deleted edge is a no-op downstream, so staleness is harmless).
+#[derive(Debug, Clone)]
+pub struct ChurnStream<'a> {
+    base: &'a CsrGraph,
+    insert_rate: f64,
+    delete_rate: f64,
+    rng: Xorshift32,
+    clock: f64,
+}
+
+impl<'a> ChurnStream<'a> {
+    /// Creates a stream with the given events-per-second rates.
+    pub fn new(base: &'a CsrGraph, insert_rate: f64, delete_rate: f64, seed: u64) -> Self {
+        assert!(base.num_vertices() >= 2, "stream needs at least two vertices");
+        assert!(insert_rate >= 0.0 && delete_rate >= 0.0);
+        assert!(insert_rate + delete_rate > 0.0, "at least one rate must be positive");
+        Self {
+            base,
+            insert_rate,
+            delete_rate,
+            rng: Xorshift32::new((seed as u32) ^ ((seed >> 32) as u32) | 1),
+            clock: 0.0,
+        }
+    }
+
+    fn exponential(&mut self, rate: f64) -> f64 {
+        // Inverse-CDF sampling; next_f64 ∈ [0, 1) so 1 − u ∈ (0, 1].
+        -(1.0 - self.rng.next_f64()).ln() / rate
+    }
+}
+
+impl Iterator for ChurnStream<'_> {
+    type Item = TimedUpdate;
+
+    fn next(&mut self) -> Option<TimedUpdate> {
+        let total = self.insert_rate + self.delete_rate;
+        self.clock += self.exponential(total);
+        let n = self.base.num_vertices() as u32;
+        let is_insert = self.rng.next_f64() * total < self.insert_rate;
+        let kind = if is_insert {
+            let u = self.rng.next_bounded(n);
+            let mut v = self.rng.next_bounded(n);
+            while v == u {
+                v = self.rng.next_bounded(n);
+            }
+            UpdateKind::Insert(u, v, 1.0)
+        } else {
+            // Random live-ish edge from the base graph.
+            let mut u = self.rng.next_bounded(n);
+            let mut guard = 0;
+            while self.base.degree(u) == 0 && guard < 64 {
+                u = self.rng.next_bounded(n);
+                guard += 1;
+            }
+            let neighbors = self.base.neighbors(u);
+            if neighbors.is_empty() {
+                // Degenerate base graph: fall back to an insertion.
+                let v = (u + 1) % n;
+                UpdateKind::Insert(u, v, 1.0)
+            } else {
+                let v = neighbors[self.rng.next_bounded(neighbors.len() as u32) as usize];
+                UpdateKind::Delete(u, v)
+            }
+        };
+        Some(TimedUpdate {
+            time: self.clock,
+            kind,
+        })
+    }
+}
+
+/// Collects the next `count` windows of `window_seconds` each from a
+/// timestamped stream, one [`BatchUpdate`] per window.
+pub fn collect_windows(
+    stream: impl Iterator<Item = TimedUpdate>,
+    window_seconds: f64,
+    count: usize,
+) -> Vec<BatchUpdate> {
+    assert!(window_seconds > 0.0);
+    let mut windows = vec![BatchUpdate::new(); count];
+    let horizon = window_seconds * count as f64;
+    for event in stream {
+        if event.time >= horizon {
+            break;
+        }
+        let slot = (event.time / window_seconds) as usize;
+        match event.kind {
+            UpdateKind::Insert(u, v, w) => {
+                windows[slot].insert(u, v, w);
+            }
+            UpdateKind::Delete(u, v) => {
+                windows[slot].delete(u, v);
+            }
+        }
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+
+    fn base() -> CsrGraph {
+        GraphBuilder::from_edges(
+            50,
+            &(0..100u32).map(|i| (i % 50, (i * 7 + 1) % 50, 1.0)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn timestamps_are_increasing() {
+        let g = base();
+        let events: Vec<_> = ChurnStream::new(&g, 10.0, 5.0, 1).take(200).collect();
+        assert_eq!(events.len(), 200);
+        for w in events.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+    }
+
+    #[test]
+    fn rates_control_the_mix() {
+        let g = base();
+        let events: Vec<_> = ChurnStream::new(&g, 30.0, 10.0, 2).take(4000).collect();
+        let inserts = events
+            .iter()
+            .filter(|e| matches!(e.kind, UpdateKind::Insert(..)))
+            .count();
+        let fraction = inserts as f64 / events.len() as f64;
+        assert!((fraction - 0.75).abs() < 0.05, "insert fraction {fraction}");
+        // Mean inter-arrival ≈ 1/40 s.
+        let mean_gap = events.last().unwrap().time / events.len() as f64;
+        assert!((mean_gap - 1.0 / 40.0).abs() < 0.005, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let g = base();
+        let a: Vec<_> = ChurnStream::new(&g, 5.0, 5.0, 9).take(50).collect();
+        let b: Vec<_> = ChurnStream::new(&g, 5.0, 5.0, 9).take(50).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_partition_the_stream() {
+        let g = base();
+        let windows = collect_windows(ChurnStream::new(&g, 100.0, 50.0, 3), 1.0, 5);
+        assert_eq!(windows.len(), 5);
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        // ≈150 events/s × 5 s.
+        assert!((500..1000).contains(&total), "total events {total}");
+        assert!(windows.iter().all(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn windows_apply_cleanly_to_the_graph() {
+        let g = base();
+        let windows = collect_windows(ChurnStream::new(&g, 50.0, 20.0, 4), 1.0, 3);
+        let mut current = g.clone();
+        for batch in &windows {
+            current = crate::apply_batch(&current, batch);
+            current.validate().unwrap();
+            assert!(current.is_symmetric());
+        }
+        assert_ne!(current, g);
+    }
+
+    #[test]
+    fn deletions_reference_base_edges() {
+        let g = base();
+        for event in ChurnStream::new(&g, 0.0001, 10.0, 5).take(100) {
+            if let UpdateKind::Delete(u, v) = event.kind {
+                assert!(g.has_arc(u, v), "delete of non-base edge {u}-{v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Batch edge updates applied to an immutable CSR graph.
+//!
+//! A [`BatchUpdate`] collects undirected insertions and deletions;
+//! [`apply_batch`] produces the updated graph in one parallel rebuild:
+//! per-vertex edit lists are grouped, then every vertex row is merged
+//! (old neighbours − deletions + insertions) independently.
+
+use gve_graph::{CsrGraph, EdgeWeight, GraphBuilder, VertexId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A batch of undirected edge updates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchUpdate {
+    /// Edges to insert (undirected; also used to update weights of
+    /// existing edges — the weights add).
+    pub insertions: Vec<(VertexId, VertexId, EdgeWeight)>,
+    /// Edges to delete (undirected; deleting a missing edge is a no-op).
+    pub deletions: Vec<(VertexId, VertexId)>,
+}
+
+impl BatchUpdate {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an undirected insertion.
+    pub fn insert(&mut self, u: VertexId, v: VertexId, w: EdgeWeight) -> &mut Self {
+        self.insertions.push((u, v, w));
+        self
+    }
+
+    /// Queues an undirected deletion.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.deletions.push((u, v));
+        self
+    }
+
+    /// True when the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Total number of queued updates.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// Highest vertex id referenced by the batch, if any.
+    pub fn max_vertex(&self) -> Option<VertexId> {
+        self.insertions
+            .iter()
+            .map(|&(u, v, _)| u.max(v))
+            .chain(self.deletions.iter().map(|&(u, v)| u.max(v)))
+            .max()
+    }
+}
+
+/// Applies a batch to a graph, returning the updated graph. The vertex
+/// set grows to cover any new ids referenced by the batch; weights of
+/// repeated insertions (and of insertions over existing edges) add up.
+pub fn apply_batch(graph: &CsrGraph, batch: &BatchUpdate) -> CsrGraph {
+    if batch.is_empty() {
+        return graph.clone();
+    }
+    let n = graph
+        .num_vertices()
+        .max(batch.max_vertex().map_or(0, |v| v as usize + 1));
+
+    // Group directed edits per source vertex.
+    let mut inserts: HashMap<VertexId, Vec<(VertexId, EdgeWeight)>> = HashMap::new();
+    for &(u, v, w) in &batch.insertions {
+        inserts.entry(u).or_default().push((v, w));
+        if u != v {
+            inserts.entry(v).or_default().push((u, w));
+        }
+    }
+    let mut deletes: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for &(u, v) in &batch.deletions {
+        deletes.entry(u).or_default().push(v);
+        if u != v {
+            deletes.entry(v).or_default().push(u);
+        }
+    }
+
+    // Rebuild every row independently.
+    let rows: Vec<Vec<(VertexId, EdgeWeight)>> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|u| {
+            let old: Box<dyn Iterator<Item = (VertexId, EdgeWeight)>> =
+                if (u as usize) < graph.num_vertices() {
+                    Box::new(graph.edges(u))
+                } else {
+                    Box::new(std::iter::empty())
+                };
+            let dels = deletes.get(&u);
+            let mut row: Vec<(VertexId, EdgeWeight)> = old
+                .filter(|(v, _)| dels.is_none_or(|d| !d.contains(v)))
+                .collect();
+            if let Some(ins) = inserts.get(&u) {
+                for &(v, w) in ins {
+                    // Merge with an existing arc when present.
+                    match row.iter_mut().find(|(t, _)| *t == v) {
+                        Some(slot) => slot.1 += w,
+                        None => row.push((v, w)),
+                    }
+                }
+                row.sort_unstable_by_key(|&(v, _)| v);
+            }
+            row
+        })
+        .collect();
+
+    let mut builder = GraphBuilder::new()
+        .with_vertices(n)
+        .symmetrize(false)
+        .dedup(false);
+    for (u, row) in rows.iter().enumerate() {
+        for &(v, w) in row {
+            builder.add_edge(u as VertexId, v, w);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn insertion_adds_both_arcs() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 3, 2.0);
+        let updated = apply_batch(&g, &batch);
+        assert_eq!(updated.num_arcs(), g.num_arcs() + 2);
+        assert!(updated.has_arc(0, 3));
+        assert!(updated.has_arc(3, 0));
+        assert!(updated.is_symmetric());
+    }
+
+    #[test]
+    fn deletion_removes_both_arcs() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.delete(1, 2);
+        let updated = apply_batch(&g, &batch);
+        assert_eq!(updated.num_arcs(), g.num_arcs() - 2);
+        assert!(!updated.has_arc(1, 2));
+        assert!(!updated.has_arc(2, 1));
+    }
+
+    #[test]
+    fn deleting_missing_edge_is_noop() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.delete(0, 3);
+        assert_eq!(apply_batch(&g, &batch), g);
+    }
+
+    #[test]
+    fn inserting_existing_edge_adds_weight() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 1, 0.5);
+        let updated = apply_batch(&g, &batch);
+        assert_eq!(updated.num_arcs(), g.num_arcs());
+        assert_eq!(updated.edges(0).collect::<Vec<_>>(), vec![(1, 1.5)]);
+        assert_eq!(updated.edges(1).next(), Some((0, 1.5)));
+    }
+
+    #[test]
+    fn new_vertices_are_appended() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.insert(3, 6, 1.0);
+        let updated = apply_batch(&g, &batch);
+        assert_eq!(updated.num_vertices(), 7);
+        assert!(updated.has_arc(6, 3));
+        assert_eq!(updated.degree(5), 0);
+    }
+
+    #[test]
+    fn self_loop_insertion() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.insert(2, 2, 4.0);
+        let updated = apply_batch(&g, &batch);
+        // Self-loop stored once.
+        assert_eq!(updated.degree(2), 3);
+        assert!(updated.has_arc(2, 2));
+        assert_eq!(updated.weighted_degree(2), 2.0 + 4.0);
+    }
+
+    #[test]
+    fn empty_batch_returns_clone() {
+        let g = path_graph();
+        assert_eq!(apply_batch(&g, &BatchUpdate::new()), g);
+    }
+
+    #[test]
+    fn mixed_batch_and_accessors() {
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 2, 1.0).delete(0, 1).insert(1, 3, 1.0);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.max_vertex(), Some(3));
+        let updated = apply_batch(&g, &batch);
+        assert!(updated.has_arc(0, 2));
+        assert!(updated.has_arc(1, 3));
+        assert!(!updated.has_arc(0, 1));
+        assert!(updated.is_symmetric());
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips() {
+        let g = path_graph();
+        let mut add = BatchUpdate::new();
+        add.insert(0, 3, 1.0);
+        let mut remove = BatchUpdate::new();
+        remove.delete(0, 3);
+        assert_eq!(apply_batch(&apply_batch(&g, &add), &remove), g);
+    }
+}

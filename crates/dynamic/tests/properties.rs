@@ -1,0 +1,99 @@
+//! Property-based tests: `apply_batch` against a naive reference model.
+
+use gve_dynamic::{apply_batch, BatchUpdate};
+use gve_graph::{CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_graph_and_batch() -> impl Strategy<Value = (CsrGraph, BatchUpdate)> {
+    (3u32..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1u32..4), 0..80);
+        let inserts = proptest::collection::vec((0..n + 4, 0..n + 4, 1u32..4), 0..20);
+        let deletes = proptest::collection::vec((0..n, 0..n), 0..20);
+        (Just(n), edges, inserts, deletes).prop_map(|(n, edges, inserts, deletes)| {
+            let typed: Vec<(u32, u32, f32)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u, v, w as f32))
+                .collect();
+            let graph = GraphBuilder::from_edges(n as usize, &typed);
+            let mut batch = BatchUpdate::new();
+            for (u, v, w) in inserts {
+                batch.insert(u, v, w as f32);
+            }
+            for (u, v) in deletes {
+                batch.delete(u, v);
+            }
+            (graph, batch)
+        })
+    })
+}
+
+/// Reference model: undirected weight map keyed by normalized pairs.
+fn weight_map(graph: &CsrGraph) -> BTreeMap<(u32, u32), f32> {
+    let mut map = BTreeMap::new();
+    for (u, v, w) in graph.arcs() {
+        if u <= v {
+            map.insert((u, v), w);
+        }
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// apply_batch ≡ editing the undirected weight map directly.
+    #[test]
+    fn apply_batch_matches_model((graph, batch) in arb_graph_and_batch()) {
+        let updated = apply_batch(&graph, &batch);
+        updated.validate().unwrap();
+        prop_assert!(updated.is_symmetric());
+
+        // Build the expected map: delete first? The implementation
+        // deletes old arcs then merges insertions, and deletions do not
+        // affect same-batch insertions. Model accordingly.
+        let mut expected = weight_map(&graph);
+        for &(u, v) in &batch.deletions {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            expected.remove(&key);
+        }
+        for &(u, v, w) in &batch.insertions {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            *expected.entry(key).or_insert(0.0) += w;
+        }
+        let got = weight_map(&updated);
+        prop_assert_eq!(got.len(), expected.len());
+        for (key, w) in &expected {
+            let gw = got.get(key).copied();
+            prop_assert!(gw.is_some(), "missing edge {:?}", key);
+            prop_assert!((gw.unwrap() - w).abs() < 1e-5, "edge {:?}: {:?} vs {}", key, gw, w);
+        }
+    }
+
+    /// Applying the inverse batch restores the original edge set (when
+    /// insertions touch only new pairs).
+    #[test]
+    fn insert_only_batches_are_invertible((graph, batch) in arb_graph_and_batch()) {
+        // Keep only insertions on pairs absent from the graph, without
+        // duplicates inside the batch.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut add = BatchUpdate::new();
+        for &(u, v, w) in &batch.insertions {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            let exists = (u as usize) < graph.num_vertices()
+                && (v as usize) < graph.num_vertices()
+                && graph.has_arc(u, v);
+            if !exists && seen.insert(key) {
+                add.insert(u, v, w);
+            }
+        }
+        let mut remove = BatchUpdate::new();
+        for &(u, v, _) in &add.insertions {
+            remove.delete(u, v);
+        }
+        let there = apply_batch(&graph, &add);
+        let back = apply_batch(&there, &remove);
+        // Vertex count may have grown (new ids); compare edge maps.
+        prop_assert_eq!(weight_map(&back), weight_map(&graph));
+    }
+}

@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Classic scale-free generator: each new vertex attaches to `m`
+//! existing vertices with probability proportional to their degree,
+//! implemented with the repeated-endpoint trick (sampling a uniform
+//! position in the running arc list is degree-proportional sampling).
+//! Inherently sequential, but fast enough for the suite's scales.
+
+use gve_graph::{CsrGraph, GraphBuilder, VertexId};
+use gve_prim::Xorshift32;
+
+/// Generates a Barabási–Albert graph with `n` vertices, each newcomer
+/// attaching `m` edges.
+///
+/// # Panics
+/// Panics when `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut rng = Xorshift32::new(seed as u32 ^ (seed >> 32) as u32);
+    // Endpoint pool: every arc endpoint appears once, so uniform picks
+    // are degree-proportional.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(n * m);
+
+    // Seed clique over the first m + 1 vertices keeps early sampling
+    // well-defined.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            edges.push((u, v, 1.0));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+
+    for v in (m + 1)..n {
+        let v = v as VertexId;
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m {
+            let pick = pool[rng.next_bounded(pool.len() as u32) as usize];
+            if pick != v && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+            guard += 1;
+            if guard > 64 * m {
+                // Degenerate corner (tiny pools): fall back to uniform.
+                let pick = rng.next_bounded(v);
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
+            }
+        }
+        for &u in &chosen {
+            edges.push((u, v, 1.0));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+
+    let mut builder = GraphBuilder::new().with_vertices(n);
+    builder.extend(edges);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_connectivity_floor() {
+        let g = barabasi_albert(500, 3, 11);
+        assert_eq!(g.num_vertices(), 500);
+        // Every non-seed vertex has degree >= m.
+        for u in 4..500u32 {
+            assert!(g.degree(u) >= 3, "vertex {u} degree {}", g.degree(u));
+        }
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let g = barabasi_albert(2000, 2, 5);
+        let s = gve_graph::props::stats(&g);
+        assert!(s.max_degree as f64 > 5.0 * s.avg_degree);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 2, 9), barabasi_albert(200, 2, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_small_n() {
+        barabasi_albert(3, 3, 0);
+    }
+}

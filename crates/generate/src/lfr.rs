@@ -1,0 +1,343 @@
+//! Simplified LFR benchmark graphs (Lancichinetti–Fortunato–Radicchi).
+//!
+//! The LFR benchmark is the standard testbed for community detection
+//! (used by the comparative study the paper cites \[15\]): power-law
+//! degrees, power-law community sizes, and a *mixing parameter* `μ` —
+//! the fraction of each vertex's edges that leave its community. This is
+//! a simplified configuration-model construction: exact degree sequences
+//! are approximated by stub pairing with rejection, which preserves the
+//! three properties that matter for benchmarking detectors (degree
+//! heterogeneity, size heterogeneity, controlled mixing).
+
+use crate::stream_seed;
+use gve_graph::{CsrGraph, GraphBuilder, VertexId};
+use gve_prim::Xorshift32;
+
+/// LFR generator configuration.
+#[derive(Debug, Clone)]
+pub struct Lfr {
+    vertices: usize,
+    avg_degree: f64,
+    max_degree: usize,
+    degree_exponent: f64,
+    min_community: usize,
+    max_community: usize,
+    community_exponent: f64,
+    mixing: f64,
+    seed: u64,
+}
+
+/// An LFR graph with its planted community labels.
+#[derive(Debug, Clone)]
+pub struct LfrResult {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// Planted community of each vertex.
+    pub labels: Vec<VertexId>,
+    /// Number of planted communities.
+    pub communities: usize,
+}
+
+impl Lfr {
+    /// Creates a generator with the classic LFR defaults: degree
+    /// exponent 2.5, community-size exponent 1.5.
+    pub fn new(vertices: usize, avg_degree: f64, mixing: f64) -> Self {
+        assert!(vertices >= 16, "LFR needs a non-trivial vertex count");
+        assert!((0.0..=1.0).contains(&mixing), "mixing must be in [0, 1]");
+        assert!(avg_degree >= 1.0);
+        let max_degree = ((vertices as f64).sqrt() * 2.0) as usize;
+        Self {
+            vertices,
+            avg_degree,
+            max_degree: max_degree.max(4),
+            degree_exponent: 2.5,
+            min_community: 16.max((avg_degree * 1.5) as usize),
+            max_community: (vertices / 4).max(32),
+            community_exponent: 1.5,
+            mixing,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum degree.
+    pub fn max_degree(mut self, max_degree: usize) -> Self {
+        assert!(max_degree >= 2);
+        self.max_degree = max_degree;
+        self
+    }
+
+    /// Sets the community size range.
+    pub fn community_sizes(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 2 && max >= min);
+        self.min_community = min;
+        self.max_community = max;
+        self
+    }
+
+    /// Samples from a truncated power-law `P(x) ∝ x^{-exponent}` over
+    /// `[lo, hi]` via inverse-CDF.
+    fn power_law(rng: &mut Xorshift32, lo: f64, hi: f64, exponent: f64) -> f64 {
+        let a = 1.0 - exponent;
+        let u = rng.next_f64();
+        ((hi.powf(a) - lo.powf(a)) * u + lo.powf(a)).powf(1.0 / a)
+    }
+
+    /// Generates the benchmark graph.
+    pub fn generate(&self) -> LfrResult {
+        let n = self.vertices;
+        let mut rng = Xorshift32::new(stream_seed(self.seed, 0) | 1);
+
+        // 1. Power-law degree sequence, rescaled to the target average.
+        let mut degrees: Vec<usize> = (0..n)
+            .map(|_| {
+                Self::power_law(&mut rng, 2.0, self.max_degree as f64, self.degree_exponent)
+                    .round() as usize
+            })
+            .collect();
+        let current_avg = degrees.iter().sum::<usize>() as f64 / n as f64;
+        let scale = self.avg_degree / current_avg;
+        for d in degrees.iter_mut() {
+            *d = ((*d as f64 * scale).round() as usize).clamp(2, self.max_degree);
+        }
+
+        // 2. Power-law community sizes covering all vertices.
+        let mut community_sizes: Vec<usize> = Vec::new();
+        let mut covered = 0usize;
+        while covered < n {
+            let size = Self::power_law(
+                &mut rng,
+                self.min_community as f64,
+                self.max_community as f64,
+                self.community_exponent,
+            )
+            .round() as usize;
+            let size = size.clamp(self.min_community, self.max_community).min(n - covered);
+            community_sizes.push(size);
+            covered += size;
+        }
+        // Fold a runt community into its predecessor.
+        if community_sizes.len() > 1 && *community_sizes.last().unwrap() < self.min_community {
+            let runt = community_sizes.pop().unwrap();
+            *community_sizes.last_mut().unwrap() += runt;
+        }
+        let num_communities = community_sizes.len();
+
+        // 3. Assign vertices to communities: contiguous blocks (vertex
+        // order carries no structure — degrees were sampled i.i.d.).
+        let mut labels = vec![0 as VertexId; n];
+        let mut start = 0usize;
+        let mut blocks: Vec<std::ops::Range<usize>> = Vec::with_capacity(num_communities);
+        for (c, &size) in community_sizes.iter().enumerate() {
+            labels[start..start + size].fill(c as VertexId);
+            blocks.push(start..start + size);
+            start += size;
+        }
+
+        // 4. Split each vertex's degree into intra/inter budgets, capping
+        // intra at community size − 1.
+        let mut intra_budget = vec![0usize; n];
+        let mut inter_budget = vec![0usize; n];
+        for (v, &degree) in degrees.iter().enumerate() {
+            let size = community_sizes[labels[v] as usize];
+            let intra = (((1.0 - self.mixing) * degree as f64).round() as usize)
+                .min(size.saturating_sub(1));
+            intra_budget[v] = intra;
+            inter_budget[v] = degree - intra;
+        }
+
+        // 5. Intra edges: stub pairing within each block, with bounded
+        // rejection of self-pairs.
+        let mut builder = GraphBuilder::new().with_vertices(n);
+        for block in &blocks {
+            let mut stubs: Vec<VertexId> = Vec::new();
+            for v in block.clone() {
+                stubs.extend(std::iter::repeat_n(v as VertexId, intra_budget[v]));
+            }
+            // Fisher–Yates shuffle, then pair consecutive stubs.
+            for i in (1..stubs.len()).rev() {
+                let j = rng.next_bounded(i as u32 + 1) as usize;
+                stubs.swap(i, j);
+            }
+            for pair in stubs.chunks_exact(2) {
+                if pair[0] != pair[1] {
+                    builder.add_edge(pair[0], pair[1], 1.0);
+                }
+            }
+        }
+
+        // 6. Inter edges: global stub pairing, rejecting same-community
+        // pairs a few times before giving up on a stub.
+        let mut stubs: Vec<VertexId> = Vec::new();
+        for v in 0..n {
+            stubs.extend(std::iter::repeat_n(v as VertexId, inter_budget[v]));
+        }
+        for i in (1..stubs.len()).rev() {
+            let j = rng.next_bounded(i as u32 + 1) as usize;
+            stubs.swap(i, j);
+        }
+        let mut i = 0;
+        while i + 1 < stubs.len() {
+            let a = stubs[i];
+            let mut paired = false;
+            for look in 1..=8.min(stubs.len() - 1 - i) {
+                let b = stubs[i + look];
+                if labels[a as usize] != labels[b as usize] {
+                    stubs.swap(i + 1, i + look);
+                    builder.add_edge(a, b, 1.0);
+                    paired = true;
+                    break;
+                }
+            }
+            i += if paired { 2 } else { 1 };
+        }
+
+        LfrResult {
+            graph: builder.build(),
+            labels,
+            communities: num_communities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let r = Lfr::new(2000, 12.0, 0.2).seed(7).generate();
+        assert_eq!(r.graph.num_vertices(), 2000);
+        assert_eq!(r.labels.len(), 2000);
+        assert!(r.communities >= 2, "got {} communities", r.communities);
+        assert!(r.graph.is_symmetric());
+        let again = Lfr::new(2000, 12.0, 0.2).seed(7).generate();
+        assert_eq!(r.graph, again.graph);
+        assert_eq!(r.labels, again.labels);
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let r = Lfr::new(4000, 10.0, 0.3).seed(2).generate();
+        let stats = gve_graph::props::stats(&r.graph);
+        assert!(
+            (stats.avg_degree - 10.0).abs() < 2.5,
+            "avg degree {}",
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn mixing_parameter_is_respected() {
+        for (mu, lo, hi) in [(0.1, 0.02, 0.22), (0.4, 0.25, 0.55)] {
+            let r = Lfr::new(3000, 12.0, mu).seed(4).generate();
+            let mut inter = 0usize;
+            let mut total = 0usize;
+            for (u, v, _) in r.graph.arcs() {
+                total += 1;
+                if r.labels[u as usize] != r.labels[v as usize] {
+                    inter += 1;
+                }
+            }
+            let measured = inter as f64 / total as f64;
+            assert!(
+                (lo..hi).contains(&measured),
+                "μ = {mu}: measured mixing {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn degrees_are_heterogeneous() {
+        let r = Lfr::new(4000, 10.0, 0.2).seed(9).generate();
+        let stats = gve_graph::props::stats(&r.graph);
+        assert!(
+            stats.max_degree as f64 > 3.0 * stats.avg_degree,
+            "max {} vs avg {}",
+            stats.max_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn community_sizes_are_heterogeneous() {
+        let r = Lfr::new(5000, 10.0, 0.2).seed(11).generate();
+        let mut sizes = vec![0usize; r.communities];
+        for &c in &r.labels {
+            sizes[c as usize] += 1;
+        }
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > 2 * min, "sizes too uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn leiden_recovers_low_mixing_lfr() {
+        let r = Lfr::new(2000, 14.0, 0.1).seed(5).generate();
+        let detected = gve_leiden_stub(&r.graph);
+        let nmi = nmi_stub(&detected, &r.labels);
+        assert!(nmi > 0.8, "NMI {nmi}");
+    }
+
+    // The generate crate cannot depend on the detector crates (it sits
+    // below them); these stubs run a minimal Louvain-style sanity check
+    // via label propagation instead.
+    fn gve_leiden_stub(graph: &CsrGraph) -> Vec<u32> {
+        // A few rounds of synchronous majority label propagation — weak,
+        // but enough to recover μ = 0.1 structure.
+        let n = graph.num_vertices();
+        let mut labels: Vec<u32> = (0..n as u32).collect();
+        for _ in 0..30 {
+            let mut next = labels.clone();
+            for u in 0..n as u32 {
+                let mut counts = std::collections::HashMap::new();
+                for (v, w) in graph.edges(u) {
+                    *counts.entry(labels[v as usize]).or_insert(0.0) += w as f64;
+                }
+                if let Some((&best, _)) = counts
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                {
+                    next[u as usize] = best;
+                }
+            }
+            if next == labels {
+                break;
+            }
+            labels = next;
+        }
+        labels
+    }
+
+    fn nmi_stub(a: &[u32], b: &[u32]) -> f64 {
+        // Entropy-based NMI, local copy to avoid a dependency cycle.
+        use std::collections::HashMap;
+        let n = a.len() as f64;
+        let mut joint: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut pa: HashMap<u32, f64> = HashMap::new();
+        let mut pb: HashMap<u32, f64> = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            *joint.entry((x, y)).or_default() += 1.0;
+            *pa.entry(x).or_default() += 1.0;
+            *pb.entry(y).or_default() += 1.0;
+        }
+        let mut mi = 0.0;
+        for (&(x, y), &nxy) in &joint {
+            mi += (nxy / n) * ((n * nxy) / (pa[&x] * pb[&y])).ln();
+        }
+        let h = |p: &HashMap<u32, f64>| -> f64 {
+            p.values().map(|&c| -(c / n) * (c / n).ln()).sum()
+        };
+        let denom = (h(&pa) + h(&pb)) / 2.0;
+        if denom == 0.0 {
+            1.0
+        } else {
+            mi / denom
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Ring of cliques — the canonical resolution-limit testbed.
+//!
+//! `k` cliques of `s` vertices each, joined in a ring by single edges.
+//! The obviously correct partition is one community per clique, but
+//! modularity maximization *merges adjacent cliques* once `k` exceeds
+//! roughly `2m / s²` — the resolution limit of Fortunato & Barthélemy
+//! that §2 of the paper brings up, and that the Constant Potts Model
+//! avoids.
+
+use gve_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a ring of `num_cliques` cliques of `clique_size` vertices.
+/// Vertex `c * clique_size + i` is member `i` of clique `c`; the ring
+/// edge connects member 0 of each clique to member 1 of the next.
+///
+/// # Panics
+/// Panics for fewer than 3 cliques or cliques smaller than 3 vertices.
+pub fn ring_of_cliques(num_cliques: usize, clique_size: usize) -> CsrGraph {
+    assert!(num_cliques >= 3, "need at least 3 cliques for a ring");
+    assert!(clique_size >= 3, "cliques need at least 3 vertices");
+    let mut builder = GraphBuilder::new().with_vertices(num_cliques * clique_size);
+    for c in 0..num_cliques {
+        let base = (c * clique_size) as VertexId;
+        for i in 0..clique_size as VertexId {
+            for j in (i + 1)..clique_size as VertexId {
+                builder.add_edge(base + i, base + j, 1.0);
+            }
+        }
+        let next_base = (((c + 1) % num_cliques) * clique_size) as VertexId;
+        builder.add_edge(base, next_base + 1, 1.0);
+    }
+    builder.build()
+}
+
+/// The planted one-community-per-clique labels for a ring built by
+/// [`ring_of_cliques`].
+pub fn ring_labels(num_cliques: usize, clique_size: usize) -> Vec<VertexId> {
+    (0..num_cliques * clique_size)
+        .map(|v| (v / clique_size) as VertexId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_correct() {
+        let g = ring_of_cliques(5, 4);
+        assert_eq!(g.num_vertices(), 20);
+        // 5 cliques × C(4,2) edges + 5 ring edges, two arcs each.
+        assert_eq!(g.num_arcs(), 2 * (5 * 6 + 5));
+        assert!(g.is_symmetric());
+        assert!(gve_graph::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn labels_partition_cliques() {
+        let labels = ring_labels(4, 3);
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 cliques")]
+    fn rejects_short_rings() {
+        ring_of_cliques(2, 4);
+    }
+}

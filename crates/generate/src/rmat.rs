@@ -1,0 +1,178 @@
+//! R-MAT recursive matrix graph generator (Chakrabarti, Zhan, Faloutsos).
+//!
+//! Each edge picks a quadrant of the adjacency matrix with probabilities
+//! `(a, b, c, d)` recursively `scale` times, producing power-law degree
+//! distributions. Skewed parameter sets mimic web crawls; flatter ones
+//! mimic social networks. Generation is parallel and reproducible: edge
+//! `i` derives its own RNG stream from the seed.
+
+use crate::stream_seed;
+use gve_graph::{CsrGraph, GraphBuilder, VertexId};
+use gve_prim::Xorshift32;
+use rayon::prelude::*;
+
+/// R-MAT generator configuration.
+#[derive(Debug, Clone)]
+pub struct Rmat {
+    scale: u32,
+    edge_factor: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    noise: f64,
+}
+
+impl Rmat {
+    /// Creates a generator for `2^scale` vertices with `edge_factor`
+    /// undirected edges per vertex and explicit quadrant probabilities
+    /// (`d = 1 - a - b - c`).
+    ///
+    /// # Panics
+    /// Panics when the probabilities are out of range.
+    pub fn new(scale: u32, edge_factor: f64, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "negative probability");
+        assert!(a + b + c <= 1.0 + 1e-9, "probabilities exceed 1");
+        assert!(scale < 31, "scale too large for u32 vertex ids");
+        Self {
+            scale,
+            edge_factor,
+            a,
+            b,
+            c,
+            seed: 0,
+            noise: 0.1,
+        }
+    }
+
+    /// Web-crawl-like preset: strongly skewed quadrants (Graph500 uses
+    /// a = 0.57, b = c = 0.19), giving hub-dominated power laws and
+    /// pronounced community structure.
+    pub fn web(scale: u32, edge_factor: f64) -> Self {
+        Self::new(scale, edge_factor, 0.57, 0.19, 0.19)
+    }
+
+    /// Social-network-like preset: milder skew (a = 0.45,
+    /// b = c = 0.22), yielding heavier cross-links and weaker
+    /// communities — the paper's social graphs are its least clusterable.
+    pub fn social(scale: u32, edge_factor: f64) -> Self {
+        Self::new(scale, edge_factor, 0.45, 0.22, 0.22)
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-level probability noise that breaks the exact
+    /// self-similarity of pure R-MAT (default 0.1).
+    pub fn noise(mut self, noise: f64) -> Self {
+        assert!((0.0..=1.0).contains(&noise));
+        self.noise = noise;
+        self
+    }
+
+    /// Number of vertices the generated graph will have.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    fn sample_edge(&self, rng: &mut Xorshift32) -> (VertexId, VertexId) {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..self.scale {
+            // Jitter quadrant probabilities a little per level.
+            let jitter = |p: f64, r: &mut Xorshift32| {
+                p * (1.0 - self.noise + 2.0 * self.noise * r.next_f64())
+            };
+            let a = jitter(self.a, rng);
+            let b = jitter(self.b, rng);
+            let c = jitter(self.c, rng);
+            let d = jitter(1.0 - self.a - self.b - self.c, rng);
+            let total = a + b + c + d;
+            let roll = rng.next_f64() * total;
+            let (bit_u, bit_v) = if roll < a {
+                (0, 0)
+            } else if roll < a + b {
+                (0, 1)
+            } else if roll < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | bit_u;
+            v = (v << 1) | bit_v;
+        }
+        (u, v)
+    }
+
+    /// Generates the graph: duplicate arcs merged, reverse arcs added,
+    /// self-loops dropped (as the paper's preprocessing does for crawls).
+    pub fn generate(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let m = (n as f64 * self.edge_factor) as usize;
+        let edges: Vec<(VertexId, VertexId, f32)> = (0..m as u64)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = Xorshift32::new(stream_seed(self.seed, i));
+                let (u, v) = self.sample_edge(&mut rng);
+                (u, v, 1.0)
+            })
+            .collect();
+        let mut builder = GraphBuilder::new().with_vertices(n).drop_self_loops(true);
+        builder.extend(edges);
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = Rmat::web(10, 8.0).seed(1).generate();
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_arcs() > 0);
+        assert!(g.is_symmetric());
+        // Dedup may shrink below 2 * n * ef, but not to nothing.
+        assert!(g.num_arcs() > 1024);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Rmat::social(8, 4.0).seed(7).generate();
+        let b = Rmat::social(8, 4.0).seed(7).generate();
+        assert_eq!(a, b);
+        let c = Rmat::social(8, 4.0).seed(8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = Rmat::web(8, 8.0).seed(3).generate();
+        for u in 0..g.num_vertices() as u32 {
+            assert!(!g.neighbors(u).contains(&u));
+        }
+    }
+
+    #[test]
+    fn web_preset_is_skewed() {
+        // Hub-dominated: the max degree should far exceed the average.
+        let g = Rmat::web(12, 8.0).seed(5).generate();
+        let s = gve_graph::props::stats(&g);
+        assert!(
+            s.max_degree as f64 > 8.0 * s.avg_degree,
+            "max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities exceed 1")]
+    fn rejects_bad_probabilities() {
+        Rmat::new(4, 2.0, 0.6, 0.3, 0.3);
+    }
+}

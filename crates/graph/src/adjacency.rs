@@ -1,0 +1,147 @@
+//! Mutable 2D-vector adjacency representation.
+//!
+//! The "Weighted 2D-vector-based" input graph of Figure 5: a
+//! `Vec<Vec<(vertex, weight)>>`. Used for incremental construction in
+//! tests and examples, then frozen into a [`CsrGraph`].
+
+use crate::{CsrGraph, EdgeWeight, VertexId};
+
+/// Adjacency-list graph, convertible to and from [`CsrGraph`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdjacencyList {
+    rows: Vec<Vec<(VertexId, EdgeWeight)>>,
+}
+
+impl AdjacencyList {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of stored arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Appends vertices until the graph has at least `n` of them.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.rows.len() {
+            self.rows.resize(n, Vec::new());
+        }
+    }
+
+    /// Adds a directed arc `u → v` with weight `w`, growing the vertex set
+    /// as needed.
+    pub fn add_arc(&mut self, u: VertexId, v: VertexId, w: EdgeWeight) {
+        self.ensure_vertices((u.max(v) as usize) + 1);
+        self.rows[u as usize].push((v, w));
+    }
+
+    /// Adds an undirected edge (both arcs). A self-loop is stored as a
+    /// single arc, matching the CSR convention.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: EdgeWeight) {
+        self.add_arc(u, v, w);
+        if u != v {
+            self.rows[v as usize].push((u, w));
+        }
+    }
+
+    /// Neighbor list of vertex `u`.
+    #[inline]
+    pub fn edges(&self, u: VertexId) -> &[(VertexId, EdgeWeight)] {
+        &self.rows[u as usize]
+    }
+
+    /// Freezes into an immutable CSR graph.
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut running = 0u64;
+        for row in &self.rows {
+            offsets.push(running);
+            running += row.len() as u64;
+        }
+        offsets.push(running);
+        let mut targets = Vec::with_capacity(running as usize);
+        let mut weights = Vec::with_capacity(running as usize);
+        for row in &self.rows {
+            for &(v, w) in row {
+                targets.push(v);
+                weights.push(w);
+            }
+        }
+        CsrGraph::from_raw(offsets, targets, weights)
+    }
+
+    /// Thaws a CSR graph back into the mutable form.
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        let mut rows = Vec::with_capacity(graph.num_vertices());
+        for u in 0..graph.num_vertices() as VertexId {
+            rows.push(graph.edges(u).collect());
+        }
+        Self { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_creates_both_arcs() {
+        let mut g = AdjacencyList::new(0);
+        g.add_edge(0, 2, 1.5);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edges(0), &[(2, 1.5)]);
+        assert_eq!(g.edges(2), &[(0, 1.5)]);
+        assert_eq!(g.edges(1), &[]);
+        assert_eq!(g.num_arcs(), 2);
+    }
+
+    #[test]
+    fn self_loop_stored_once() {
+        let mut g = AdjacencyList::new(1);
+        g.add_edge(0, 0, 2.0);
+        assert_eq!(g.edges(0), &[(0, 2.0)]);
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        g.add_edge(0, 3, 4.0);
+        let csr = g.to_csr();
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_arcs(), 8);
+        assert!(csr.is_symmetric());
+        assert_eq!(AdjacencyList::from_csr(&csr), g);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut g = AdjacencyList::new(2);
+        g.ensure_vertices(5);
+        assert_eq!(g.num_vertices(), 5);
+        g.ensure_vertices(1);
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn empty_to_csr() {
+        let g = AdjacencyList::new(3);
+        let csr = g.to_csr();
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_arcs(), 0);
+    }
+}

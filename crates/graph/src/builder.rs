@@ -1,0 +1,308 @@
+//! Edge-list ingestion into a clean symmetric CSR.
+//!
+//! The paper preprocesses every input graph so that "edges are undirected
+//! and weighted with a default of 1" (§5.1.3). [`GraphBuilder`] performs
+//! that normalization: optional symmetrization (add reverse arcs),
+//! duplicate-arc merging (weights summed), and a self-loop policy. The
+//! build is a parallel counting sort by source followed by per-vertex
+//! sorting and in-place deduplication.
+
+use crate::{CsrGraph, EdgeWeight, VertexId};
+use gve_prim::scan::parallel_offsets_from_counts;
+use gve_prim::SharedSlice;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Builder accumulating `(u, v, w)` edges and producing a [`CsrGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId, EdgeWeight)>,
+    num_vertices: Option<usize>,
+    symmetrize: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// A builder with the paper's defaults: symmetrize, merge duplicate
+    /// arcs, keep self-loops.
+    pub fn new() -> Self {
+        Self {
+            edges: Vec::new(),
+            num_vertices: None,
+            symmetrize: true,
+            dedup: true,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Fixes the vertex count instead of inferring `max id + 1`.
+    pub fn with_vertices(mut self, n: usize) -> Self {
+        self.num_vertices = Some(n);
+        self
+    }
+
+    /// Enables/disables adding reverse arcs (default on).
+    pub fn symmetrize(mut self, on: bool) -> Self {
+        self.symmetrize = on;
+        self
+    }
+
+    /// Enables/disables merging duplicate arcs by summing weights
+    /// (default on).
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
+
+    /// Enables/disables dropping self-loops (default off — kept).
+    pub fn drop_self_loops(mut self, on: bool) -> Self {
+        self.drop_self_loops = on;
+        self
+    }
+
+    /// Number of raw edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge has been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds one edge.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: EdgeWeight) -> &mut Self {
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Adds one edge with the default unit weight.
+    pub fn add_unweighted(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.add_edge(u, v, 1.0)
+    }
+
+    /// Bulk-adds edges.
+    pub fn extend(
+        &mut self,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, EdgeWeight)>,
+    ) -> &mut Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// One-shot construction from a fixed edge slice.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId, EdgeWeight)]) -> CsrGraph {
+        let mut b = Self::new().with_vertices(n);
+        b.extend(edges.iter().copied());
+        b.build()
+    }
+
+    /// Builds the CSR graph, consuming nothing (the builder can be
+    /// reused).
+    pub fn build(&self) -> CsrGraph {
+        let inferred = self
+            .edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = self.num_vertices.unwrap_or(inferred).max(inferred);
+
+        // Expand to arcs according to policy.
+        let mut arcs: Vec<(VertexId, VertexId, EdgeWeight)> = Vec::with_capacity(
+            self.edges.len() * if self.symmetrize { 2 } else { 1 },
+        );
+        for &(u, v, w) in &self.edges {
+            if u == v {
+                if !self.drop_self_loops {
+                    arcs.push((u, v, w));
+                }
+                continue;
+            }
+            arcs.push((u, v, w));
+            if self.symmetrize {
+                arcs.push((v, u, w));
+            }
+        }
+
+        // Parallel counting sort by source.
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        arcs.par_iter().for_each(|&(u, _, _)| {
+            counts[u as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let counts_u64: Vec<u64> = counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as u64)
+            .collect();
+        let offsets = parallel_offsets_from_counts(&counts_u64);
+        for c in &counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        let total = arcs.len();
+        let mut targets = vec![0 as VertexId; total];
+        let mut weights = vec![0.0 as EdgeWeight; total];
+        {
+            let t_out = SharedSlice::new(&mut targets);
+            let w_out = SharedSlice::new(&mut weights);
+            let offsets = &offsets;
+            let counts = &counts;
+            arcs.par_iter().for_each(|&(u, v, w)| {
+                let slot = counts[u as usize].fetch_add(1, Ordering::Relaxed) as u64;
+                let index = (offsets[u as usize] + slot) as usize;
+                // SAFETY: (vertex base + claimed slot) indices are unique.
+                unsafe {
+                    t_out.write(index, v);
+                    w_out.write(index, w);
+                }
+            });
+        }
+
+        // Per-vertex neighbor sort (+ optional merge of duplicates).
+        let mut rows: Vec<(Vec<VertexId>, Vec<EdgeWeight>)> = (0..n)
+            .into_par_iter()
+            .map(|u| {
+                let lo = offsets[u] as usize;
+                let hi = offsets[u + 1] as usize;
+                let mut pairs: Vec<(VertexId, EdgeWeight)> = targets[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(weights[lo..hi].iter().copied())
+                    .collect();
+                pairs.sort_unstable_by_key(|&(v, _)| v);
+                let mut ts = Vec::with_capacity(pairs.len());
+                let mut ws = Vec::with_capacity(pairs.len());
+                for (v, w) in pairs {
+                    if self.dedup && ts.last() == Some(&v) {
+                        *ws.last_mut().unwrap() += w;
+                    } else {
+                        ts.push(v);
+                        ws.push(w);
+                    }
+                }
+                (ts, ws)
+            })
+            .collect();
+
+        // Final assembly.
+        let final_counts: Vec<u64> = rows.iter().map(|(t, _)| t.len() as u64).collect();
+        let final_offsets = parallel_offsets_from_counts(&final_counts);
+        let final_total = *final_offsets.last().unwrap() as usize;
+        let mut final_targets = Vec::with_capacity(final_total);
+        let mut final_weights = Vec::with_capacity(final_total);
+        for (t, w) in rows.drain(..) {
+            final_targets.extend(t);
+            final_weights.extend(w);
+        }
+        CsrGraph::from_raw(final_offsets, final_targets, final_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrizes_by_default() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        assert_eq!(g.num_arcs(), 4);
+        assert!(g.is_symmetric());
+        assert_eq!(g.edges(1).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn merges_duplicates_summing_weights() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]);
+        // All three become the same undirected edge; both arcs get 7.0.
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(1, 7.0)]);
+        assert_eq!(g.edges(1).collect::<Vec<_>>(), vec![(0, 7.0)]);
+    }
+
+    #[test]
+    fn keeps_self_loops_once_by_default() {
+        let g = GraphBuilder::from_edges(2, &[(0, 0, 3.0), (0, 1, 1.0)]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(0, 3.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn drop_self_loops_policy() {
+        let mut b = GraphBuilder::new().drop_self_loops(true);
+        b.add_edge(0, 0, 3.0).add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn no_dedup_keeps_parallel_arcs() {
+        let mut b = GraphBuilder::new().dedup(false);
+        b.add_edge(0, 1, 1.0).add_edge(0, 1, 2.0);
+        let g = b.build();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(1, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn asymmetric_mode() {
+        let mut b = GraphBuilder::new().symmetrize(false);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn infers_vertex_count_and_respects_floor() {
+        let mut b = GraphBuilder::new();
+        b.add_unweighted(0, 5);
+        assert_eq!(b.build().num_vertices(), 6);
+        let mut b = GraphBuilder::new().with_vertices(10);
+        b.add_unweighted(0, 5);
+        assert_eq!(b.build().num_vertices(), 10);
+        // Explicit count smaller than ids: grows to fit.
+        let mut b = GraphBuilder::new().with_vertices(2);
+        b.add_unweighted(0, 5);
+        assert_eq!(b.build().num_vertices(), 6);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new();
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn neighbors_come_out_sorted() {
+        let g = GraphBuilder::from_edges(5, &[(0, 4, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 1, 1.0)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn large_random_build_is_symmetric_and_clean() {
+        let mut edges = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 16) % 500) as u32;
+            let v = ((state >> 40) % 500) as u32;
+            edges.push((u, v, 1.0));
+        }
+        let g = GraphBuilder::from_edges(500, &edges);
+        assert!(g.is_symmetric());
+        // Dedup: no repeated neighbor entries.
+        for u in 0..500u32 {
+            let nb = g.neighbors(u);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "vertex {u}");
+        }
+    }
+}

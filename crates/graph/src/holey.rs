@@ -1,0 +1,298 @@
+//! Holey CSR and group-by CSR — the aggregation-phase data structures.
+//!
+//! Algorithm 4 of the paper builds two CSRs per pass:
+//!
+//! 1. `G'_{C'}` — *community vertices*: for each community, the list of
+//!    its member vertices. Counts are exact, so the CSR is dense
+//!    ([`GroupedCsr`]).
+//! 2. `G''` — the *super-vertex graph*: per-community degree is
+//!    **overestimated** by the community's total degree, the offsets are
+//!    prefix-summed over the overestimate, and edges are written into the
+//!    gap-containing ("holey") arrays as they are discovered
+//!    ([`HoleyCsrBuilder`]). Avoiding an exact counting pass is the
+//!    optimization; the holes are squeezed out when freezing to
+//!    [`CsrGraph`].
+
+use crate::{CsrGraph, EdgeWeight, VertexId};
+use gve_prim::scan::parallel_offsets_from_counts;
+use gve_prim::SharedSlice;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Over-allocated CSR filled concurrently with atomic slot claiming.
+#[derive(Debug)]
+pub struct HoleyCsrBuilder {
+    offsets: Vec<u64>,
+    fill: Vec<AtomicU32>,
+    targets: Vec<AtomicU32>,
+    /// f32 weight bit patterns, written once per claimed slot.
+    weights: Vec<AtomicU32>,
+}
+
+impl HoleyCsrBuilder {
+    /// Creates a builder whose vertex `u` can hold up to `capacities[u]`
+    /// arcs.
+    pub fn new(capacities: &[u64]) -> Self {
+        let offsets = parallel_offsets_from_counts(capacities);
+        let total = *offsets.last().unwrap() as usize;
+        Self {
+            offsets,
+            fill: (0..capacities.len()).map(|_| AtomicU32::new(0)).collect(),
+            targets: (0..total).map(|_| AtomicU32::new(0)).collect(),
+            weights: (0..total).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.fill.len()
+    }
+
+    /// Arcs added to vertex `u` so far.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.fill[u as usize].load(Ordering::Relaxed) as usize
+    }
+
+    /// Adds arc `u → v` with weight `w`. Thread-safe; slots are claimed
+    /// with a `fetch_add` on the per-vertex cursor.
+    ///
+    /// # Panics
+    /// Panics when vertex `u`'s capacity is exceeded (a bug in the degree
+    /// overestimate, never expected in correct use).
+    #[inline]
+    pub fn add_arc(&self, u: VertexId, v: VertexId, w: EdgeWeight) {
+        let u = u as usize;
+        let slot = self.fill[u].fetch_add(1, Ordering::Relaxed) as u64;
+        let lo = self.offsets[u];
+        let hi = self.offsets[u + 1];
+        assert!(
+            lo + slot < hi,
+            "holey CSR capacity exceeded for vertex {u}: cap {}",
+            hi - lo
+        );
+        let index = (lo + slot) as usize;
+        self.targets[index].store(v, Ordering::Relaxed);
+        self.weights[index].store(w.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Squeezes the holes out, producing a dense [`CsrGraph`].
+    pub fn into_csr(self) -> CsrGraph {
+        let n = self.fill.len();
+        let counts: Vec<u64> = self
+            .fill
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed) as u64)
+            .collect();
+        let dense_offsets = parallel_offsets_from_counts(&counts);
+        let total = *dense_offsets.last().unwrap() as usize;
+        let mut targets = vec![0 as VertexId; total];
+        let mut weights = vec![0.0 as EdgeWeight; total];
+        {
+            let t_out = SharedSlice::new(&mut targets);
+            let w_out = SharedSlice::new(&mut weights);
+            let src_t = &self.targets;
+            let src_w = &self.weights;
+            let holey_offsets = &self.offsets;
+            (0..n).into_par_iter().for_each(|u| {
+                let src = holey_offsets[u] as usize;
+                let dst = dense_offsets[u] as usize;
+                let len = counts[u] as usize;
+                for k in 0..len {
+                    // SAFETY: destination ranges [dst, dst+len) are
+                    // disjoint across vertices by construction of the
+                    // prefix sum.
+                    unsafe {
+                        t_out.write(dst + k, src_t[src + k].load(Ordering::Relaxed));
+                        w_out.write(
+                            dst + k,
+                            EdgeWeight::from_bits(src_w[src + k].load(Ordering::Relaxed)),
+                        );
+                    }
+                }
+            });
+        }
+        CsrGraph::from_raw(dense_offsets, targets, weights)
+    }
+}
+
+/// Exact-size CSR mapping group id → member elements, built in parallel.
+///
+/// This is the community-vertices structure `G'_{C'}`: `group_by` counts
+/// members per group, prefix-sums the counts into offsets, then scatters
+/// members with atomic per-group cursors (Algorithm 4, lines 3–6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupedCsr {
+    offsets: Vec<u64>,
+    members: Vec<VertexId>,
+}
+
+impl GroupedCsr {
+    /// Groups elements `0..keys.len()` by `keys[i] ∈ 0..num_groups`.
+    pub fn group_by(keys: &[VertexId], num_groups: usize) -> Self {
+        // Count members per group.
+        let counts: Vec<AtomicU32> = (0..num_groups).map(|_| AtomicU32::new(0)).collect();
+        keys.par_iter().for_each(|&k| {
+            counts[k as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let counts_u64: Vec<u64> = counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as u64)
+            .collect();
+        let offsets = parallel_offsets_from_counts(&counts_u64);
+        // Scatter members; reuse `counts` as cursors.
+        for c in &counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut members = vec![0 as VertexId; total];
+        {
+            let out = SharedSlice::new(&mut members);
+            let offsets = &offsets;
+            let counts = &counts;
+            (0..keys.len()).into_par_iter().for_each(|i| {
+                let g = keys[i] as usize;
+                let slot = counts[g].fetch_add(1, Ordering::Relaxed) as u64;
+                // SAFETY: (group base + claimed slot) pairs are unique.
+                unsafe { out.write((offsets[g] + slot) as usize, i as VertexId) };
+            });
+        }
+        Self { offsets, members }
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total members across all groups.
+    #[inline]
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members of group `g`.
+    #[inline]
+    pub fn members(&self, g: VertexId) -> &[VertexId] {
+        let g = g as usize;
+        &self.members[self.offsets[g] as usize..self.offsets[g + 1] as usize]
+    }
+
+    /// Size of group `g`.
+    #[inline]
+    pub fn group_len(&self, g: VertexId) -> usize {
+        self.members(g).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holey_roundtrip_with_holes() {
+        // Capacities larger than actual arcs: 0 gets cap 4 but 2 arcs.
+        let b = HoleyCsrBuilder::new(&[4, 3, 2]);
+        b.add_arc(0, 1, 1.0);
+        b.add_arc(0, 2, 2.0);
+        b.add_arc(1, 0, 1.0);
+        b.add_arc(2, 0, 2.0);
+        assert_eq!(b.degree(0), 2);
+        assert_eq!(b.num_vertices(), 3);
+        let g = b.into_csr();
+        assert_eq!(g.num_arcs(), 4);
+        let mut e0: Vec<_> = g.edges(0).collect();
+        e0.sort_by_key(|&(v, _)| v);
+        assert_eq!(e0, vec![(1, 1.0), (2, 2.0)]);
+        assert_eq!(g.edges(1).collect::<Vec<_>>(), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn holey_zero_capacity_vertices() {
+        let b = HoleyCsrBuilder::new(&[0, 2, 0]);
+        b.add_arc(1, 0, 1.0);
+        let g = b.into_csr();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn holey_overflow_panics() {
+        let b = HoleyCsrBuilder::new(&[1]);
+        b.add_arc(0, 0, 1.0);
+        b.add_arc(0, 0, 1.0);
+    }
+
+    #[test]
+    fn holey_concurrent_fill() {
+        use rayon::prelude::*;
+        let n = 100u32;
+        let per = 50u32;
+        let caps = vec![per as u64; n as usize];
+        let b = HoleyCsrBuilder::new(&caps);
+        (0..n * per).into_par_iter().for_each(|i| {
+            b.add_arc(i % n, i / n, 1.0);
+        });
+        let g = b.into_csr();
+        assert_eq!(g.num_arcs(), (n * per) as usize);
+        for u in 0..n {
+            assert_eq!(g.degree(u), per as usize);
+            let mut nb: Vec<_> = g.neighbors(u).to_vec();
+            nb.sort_unstable();
+            assert_eq!(nb, (0..per).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn group_by_basic() {
+        let keys = vec![1, 0, 1, 2, 1];
+        let g = GroupedCsr::group_by(&keys, 3);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.num_members(), 5);
+        assert_eq!(g.members(0), &[1]);
+        let mut g1 = g.members(1).to_vec();
+        g1.sort_unstable();
+        assert_eq!(g1, vec![0, 2, 4]);
+        assert_eq!(g.members(2), &[3]);
+        assert_eq!(g.group_len(1), 3);
+    }
+
+    #[test]
+    fn group_by_empty_groups() {
+        let keys = vec![2, 2];
+        let g = GroupedCsr::group_by(&keys, 4);
+        assert_eq!(g.group_len(0), 0);
+        assert_eq!(g.group_len(1), 0);
+        assert_eq!(g.group_len(2), 2);
+        assert_eq!(g.group_len(3), 0);
+    }
+
+    #[test]
+    fn group_by_no_elements() {
+        let g = GroupedCsr::group_by(&[], 3);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.num_members(), 0);
+    }
+
+    #[test]
+    fn group_by_large_partitions_everything_once() {
+        let n = 200_000usize;
+        let keys: Vec<u32> = (0..n).map(|i| (i % 977) as u32).collect();
+        let g = GroupedCsr::group_by(&keys, 977);
+        assert_eq!(g.num_members(), n);
+        let mut seen = vec![false; n];
+        for grp in 0..977u32 {
+            for &m in g.members(grp) {
+                assert_eq!(keys[m as usize], grp);
+                assert!(!seen[m as usize]);
+                seen[m as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,337 @@
+//! Graph file formats: Matrix Market and plain edge lists.
+//!
+//! The paper's datasets come from the SuiteSparse Matrix Collection in
+//! Matrix Market coordinate format; SNAP graphs ship as whitespace edge
+//! lists. Both readers normalize through [`GraphBuilder`], applying the
+//! paper's preprocessing (symmetrize, default weight 1).
+
+pub mod binary;
+pub mod dot;
+
+use crate::{CsrGraph, EdgeWeight, GraphBuilder, VertexId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the graph readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structured parse failure with line number (1-based) and message.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a whitespace-separated edge list: one `u v [w]` per line;
+/// `#` and `%` lines are comments. Vertex ids are 0-based.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut builder = GraphBuilder::new();
+    let reader = BufReader::new(reader);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: VertexId = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing source"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad source: {e}")))?;
+        let v: VertexId = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing target"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad target: {e}")))?;
+        let w: EdgeWeight = match parts.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad weight: {e}")))?,
+            None => 1.0,
+        };
+        builder.add_edge(u, v, w);
+    }
+    Ok(builder.build())
+}
+
+/// Writes each undirected edge once (`u <= v`) as `u v w` lines.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    for (u, v, w) in graph.arcs() {
+        if u <= v {
+            writeln!(out, "{u} {v} {w}")?;
+        }
+    }
+    out.flush()
+}
+
+/// Reads a Matrix Market `coordinate` file as an undirected weighted
+/// graph.
+///
+/// Supports the `real`, `integer` and `pattern` fields and all symmetry
+/// kinds (`general`, `symmetric`, `skew-symmetric` read as absolute
+/// weights, `hermitian` rejected). Entries are 1-based per the format.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?
+        .1
+        .map(|h| (0, h))
+        .map_err(IoError::Io)?;
+    let header_tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if header_tokens.len() < 5
+        || header_tokens[0] != "%%matrixmarket"
+        || header_tokens[1] != "matrix"
+    {
+        return Err(parse_err(1, "not a MatrixMarket matrix header"));
+    }
+    if header_tokens[2] != "coordinate" {
+        return Err(parse_err(1, "only coordinate format is supported"));
+    }
+    let field = header_tokens[3].as_str();
+    let pattern = match field {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(1, format!("unsupported field type '{other}'"))),
+    };
+    match header_tokens[4].as_str() {
+        "general" | "symmetric" | "skew-symmetric" => {}
+        other => return Err(parse_err(1, format!("unsupported symmetry '{other}'"))),
+    }
+
+    // Dimensions line (first non-comment).
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        if dims.is_none() {
+            let rows: usize = parts
+                .next()
+                .ok_or_else(|| parse_err(lineno + 1, "missing rows"))?
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad rows: {e}")))?;
+            let cols: usize = parts
+                .next()
+                .ok_or_else(|| parse_err(lineno + 1, "missing cols"))?
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad cols: {e}")))?;
+            let nnz: usize = parts
+                .next()
+                .ok_or_else(|| parse_err(lineno + 1, "missing nnz"))?
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad nnz: {e}")))?;
+            dims = Some((rows, cols, nnz));
+            builder = GraphBuilder::new().with_vertices(rows.max(cols));
+            continue;
+        }
+        let u: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad row index: {e}")))?;
+        let v: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing col index"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad col index: {e}")))?;
+        if u == 0 || v == 0 {
+            return Err(parse_err(lineno + 1, "MatrixMarket indices are 1-based"));
+        }
+        let w: EdgeWeight = if pattern {
+            1.0
+        } else {
+            let raw: f64 = parts
+                .next()
+                .ok_or_else(|| parse_err(lineno + 1, "missing value"))?
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad value: {e}")))?;
+            // Community detection needs positive weights; SuiteSparse
+            // matrices may carry signs — the paper uses a default of 1,
+            // we preserve magnitude.
+            raw.abs() as EdgeWeight
+        };
+        builder.add_edge((u - 1) as VertexId, (v - 1) as VertexId, w);
+    }
+    let (rows, cols, _) = dims.ok_or_else(|| parse_err(2, "missing dimensions line"))?;
+    if rows != cols {
+        // Rectangular matrices become bipartite-ish graphs over
+        // max(rows, cols) vertices; accepted but unusual for this crate.
+    }
+    Ok(builder.build())
+}
+
+/// Writes a graph as a `coordinate real symmetric` Matrix Market file,
+/// emitting each undirected edge once with 1-based lower-triangular
+/// indices.
+pub fn write_matrix_market<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(out, "% written by gve-graph")?;
+    let nnz = graph.arcs().filter(|&(u, v, _)| u >= v).count();
+    writeln!(out, "{} {} {}", graph.num_vertices(), graph.num_vertices(), nnz)?;
+    for (u, v, w) in graph.arcs() {
+        if u >= v {
+            writeln!(out, "{} {} {}", u + 1, v + 1, w)?;
+        }
+    }
+    out.flush()
+}
+
+/// Loads a graph from a path, dispatching on extension: `.mtx` →
+/// Matrix Market, `.gveg` → binary snapshot, anything else → edge list.
+pub fn read_path(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => read_matrix_market(file),
+        Some("gveg") => binary::read_binary(file),
+        _ => read_edge_list(file),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let input = "# comment\n0 1\n1 2 2.5\n\n% also comment\n2 0 1\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.edges(1).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.5)]);
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_missing_target() {
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_symmetric_real() {
+        let input = "\
+%%MatrixMarket matrix coordinate real symmetric
+% a triangle
+3 3 3
+2 1 1.0
+3 1 2.0
+3 2 3.0
+";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn matrix_market_pattern_general_dedups() {
+        // Directed pattern entries both ways collapse to one undirected
+        // edge with summed weight (matches the paper: reverse edges are
+        // added, duplicates merged).
+        let input = "\
+%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_array_format() {
+        let input = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_matrix_market(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_index() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_matrix_market(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (0, 0, 4.0)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn read_path_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join("gve-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+
+        let mtx = dir.join("g.mtx");
+        write_matrix_market(&g, std::fs::File::create(&mtx).unwrap()).unwrap();
+        assert_eq!(read_path(&mtx).unwrap(), g);
+
+        let txt = dir.join("g.txt");
+        write_edge_list(&g, std::fs::File::create(&txt).unwrap()).unwrap();
+        assert_eq!(read_path(&txt).unwrap(), g);
+    }
+
+    #[test]
+    fn empty_header_is_error() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Compact binary CSR snapshot format.
+//!
+//! Text formats dominate graph distribution (Matrix Market, edge lists)
+//! but parse slowly; converting a dataset once and reloading the raw CSR
+//! arrays makes repeated benchmarking of the paper's suite practical.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   "GVEG"           4 bytes
+//! version u16              currently 1
+//! flags   u16              reserved, 0
+//! |V|     u64
+//! arcs    u64
+//! offsets u64 × (|V| + 1)
+//! targets u32 × arcs
+//! weights f32 × arcs
+//! ```
+
+use crate::io::IoError;
+use crate::{CsrGraph, EdgeWeight, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"GVEG";
+const VERSION: u16 = 1;
+
+fn parse_err(message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Serializes a graph into the binary snapshot format.
+pub fn encode(graph: &CsrGraph) -> Bytes {
+    let n = graph.num_vertices();
+    let arcs = graph.num_arcs();
+    let mut buf = BytesMut::with_capacity(4 + 2 + 2 + 16 + 8 * (n + 1) + 4 * arcs + 4 * arcs);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(arcs as u64);
+    for &o in graph.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &t in graph.targets() {
+        buf.put_u32_le(t);
+    }
+    for &w in graph.weights() {
+        buf.put_f32_le(w);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the binary snapshot format.
+pub fn decode(mut data: &[u8]) -> Result<CsrGraph, IoError> {
+    if data.remaining() < 8 + 16 {
+        return Err(parse_err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(parse_err("bad magic (not a GVEG file)"));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(parse_err(format!("unsupported version {version}")));
+    }
+    let _flags = data.get_u16_le();
+    let n = data.get_u64_le() as usize;
+    let arcs = data.get_u64_le() as usize;
+    let need = 8 * (n + 1) + 4 * arcs + 4 * arcs;
+    if data.remaining() < need {
+        return Err(parse_err(format!(
+            "truncated body: need {need} bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    let mut targets: Vec<VertexId> = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        targets.push(data.get_u32_le());
+    }
+    let mut weights: Vec<EdgeWeight> = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        weights.push(data.get_f32_le());
+    }
+    CsrGraph::try_from_raw(offsets, targets, weights)
+        .map_err(|e| parse_err(format!("invalid CSR payload: {e}")))
+}
+
+/// Writes the binary snapshot to a writer.
+pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(&encode(graph))
+}
+
+/// Reads a binary snapshot from a reader.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, IoError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> CsrGraph {
+        GraphBuilder::from_edges(
+            5,
+            &[(0, 1, 1.5), (1, 2, 2.0), (2, 3, 0.25), (3, 4, 4.0), (0, 0, 7.0)],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_exactly() {
+        let g = sample();
+        let decoded = decode(&encode(&g)).unwrap();
+        assert_eq!(decoded, g);
+    }
+
+    #[test]
+    fn roundtrip_through_io_traits() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(decode(&encode(&g)).unwrap(), g);
+        let g3 = CsrGraph::empty(3);
+        assert_eq!(decode(&encode(&g3)).unwrap(), g3);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut data = encode(&sample()).to_vec();
+        data[0] = b'X';
+        let err = decode(&data).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut data = encode(&sample()).to_vec();
+        data[4] = 99;
+        assert!(decode(&data).unwrap_err().to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let data = encode(&sample()).to_vec();
+        for cut in [0, 3, 8, 20, data.len() - 1] {
+            assert!(decode(&data[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_payload() {
+        let g = sample();
+        let mut data = encode(&g).to_vec();
+        // Corrupt a target id to be out of range: targets start after
+        // header (24) + offsets (8 * (n + 1)).
+        let target_base = 24 + 8 * (g.num_vertices() + 1);
+        data[target_base] = 0xFF;
+        data[target_base + 1] = 0xFF;
+        data[target_base + 2] = 0xFF;
+        data[target_base + 3] = 0xFF;
+        assert!(decode(&data).unwrap_err().to_string().contains("invalid CSR"));
+    }
+
+    #[test]
+    fn large_random_graph_roundtrips() {
+        let g = crate::builder::GraphBuilder::from_edges(
+            1000,
+            &(0..5000u32)
+                .map(|i| ((i * 7919) % 1000, (i * 104729) % 1000, (i % 13) as f32 + 0.5))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(decode(&encode(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,112 @@
+//! GraphViz DOT export for small graphs.
+//!
+//! Visual inspection closes the loop when debugging community
+//! detection: export the graph with vertices colored by community and
+//! render it with `dot -Tsvg`. Intended for graphs small enough to draw
+//! (hundreds of vertices); the writer refuses nothing but warns in the
+//! header comment when the graph is large.
+
+use crate::{CsrGraph, VertexId};
+use std::io::{self, BufWriter, Write};
+
+/// A palette of visually distinct fill colors; communities beyond the
+/// palette wrap around.
+const PALETTE: [&str; 12] = [
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f",
+    "#e5c494", "#b3b3b3", "#1b9e77", "#d95f02", "#7570b3", "#e7298a",
+];
+
+/// Writes the graph as an undirected DOT document, one node per vertex.
+/// When `membership` is given, nodes are filled by community color and
+/// cross-community edges are drawn dashed.
+pub fn write_dot<W: Write>(
+    graph: &CsrGraph,
+    membership: Option<&[VertexId]>,
+    writer: W,
+) -> io::Result<()> {
+    if let Some(m) = membership {
+        assert_eq!(m.len(), graph.num_vertices(), "membership length mismatch");
+    }
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "graph gve {{")?;
+    if graph.num_vertices() > 1000 {
+        writeln!(out, "  // {} vertices — consider sfdp for layout", graph.num_vertices())?;
+    }
+    writeln!(out, "  node [shape=circle style=filled fontsize=10];")?;
+    for v in 0..graph.num_vertices() as VertexId {
+        match membership {
+            Some(m) => {
+                let color = PALETTE[(m[v as usize] as usize) % PALETTE.len()];
+                writeln!(out, "  {v} [fillcolor=\"{color}\" label=\"{v}\"];")?;
+            }
+            None => writeln!(out, "  {v};")?,
+        }
+    }
+    for (u, v, w) in graph.arcs() {
+        if u > v {
+            continue; // one line per undirected edge (self-loops included once)
+        }
+        let mut attrs: Vec<String> = Vec::new();
+        if w != 1.0 {
+            attrs.push(format!("label=\"{w}\""));
+        }
+        if let Some(m) = membership {
+            if m[u as usize] != m[v as usize] {
+                attrs.push("style=dashed".into());
+            }
+        }
+        if attrs.is_empty() {
+            writeln!(out, "  {u} -- {v};")?;
+        } else {
+            writeln!(out, "  {u} -- {v} [{}];", attrs.join(" "))?;
+        }
+    }
+    writeln!(out, "}}")?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn render(graph: &CsrGraph, membership: Option<&[VertexId]>) -> String {
+        let mut buf = Vec::new();
+        write_dot(graph, membership, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn plain_export_lists_all_edges_once() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.5)]);
+        let dot = render(&g, None);
+        assert!(dot.starts_with("graph gve {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2 [label=\"2.5\"];"));
+        assert!(!dot.contains("2 -- 1"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn membership_colors_nodes_and_dashes_bridges() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0), (1, 2, 1.0)]);
+        let dot = render(&g, Some(&[0, 0, 1, 1]));
+        assert!(dot.contains("fillcolor"));
+        assert!(dot.contains("1 -- 2 [style=dashed];"));
+        assert!(dot.contains("0 -- 1;"));
+    }
+
+    #[test]
+    fn self_loops_appear_once() {
+        let g = GraphBuilder::from_edges(1, &[(0, 0, 1.0)]);
+        let dot = render(&g, None);
+        assert_eq!(dot.matches("0 -- 0").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership length")]
+    fn rejects_bad_membership() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1, 1.0)]);
+        render(&g, Some(&[0]));
+    }
+}

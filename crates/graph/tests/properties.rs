@@ -1,0 +1,137 @@
+//! Property-based tests of the graph substrate.
+
+use gve_graph::holey::{GroupedCsr, HoleyCsrBuilder};
+use gve_graph::{io, AdjacencyList, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32, f32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 1u32..5), 0..max_m)
+            .prop_map(move |edges| {
+                (
+                    n,
+                    edges
+                        .into_iter()
+                        .map(|(u, v, w)| (u, v, w as f32))
+                        .collect(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder always yields a structurally valid, symmetric,
+    /// sorted-and-deduplicated CSR.
+    #[test]
+    fn builder_output_is_clean((n, edges) in arb_edges(80, 300)) {
+        let g = GraphBuilder::from_edges(n as usize, &edges);
+        g.validate().unwrap();
+        prop_assert!(g.is_symmetric());
+        for u in 0..g.num_vertices() as u32 {
+            let nb = g.neighbors(u);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "vertex {} not clean", u);
+        }
+        // Total weight = 2 × Σ non-loop weights + Σ loop weights.
+        let loops: f64 = edges.iter().filter(|&&(u, v, _)| u == v).map(|&(_, _, w)| w as f64).sum();
+        let nonloops: f64 = edges.iter().filter(|&&(u, v, _)| u != v).map(|&(_, _, w)| w as f64).sum();
+        prop_assert!((g.total_arc_weight() - (2.0 * nonloops + loops)).abs() < 1e-6);
+    }
+
+    /// AdjacencyList ↔ CSR conversion is lossless.
+    #[test]
+    fn adjacency_roundtrip((n, edges) in arb_edges(60, 200)) {
+        let g = GraphBuilder::from_edges(n as usize, &edges);
+        let adj = AdjacencyList::from_csr(&g);
+        prop_assert_eq!(adj.to_csr(), g);
+    }
+
+    /// Matrix Market and binary formats round-trip any built graph.
+    #[test]
+    fn io_roundtrips((n, edges) in arb_edges(50, 150)) {
+        let g = GraphBuilder::from_edges(n as usize, &edges);
+        let mut mtx = Vec::new();
+        io::write_matrix_market(&g, &mut mtx).unwrap();
+        prop_assert_eq!(io::read_matrix_market(mtx.as_slice()).unwrap(), g.clone());
+        let bin = io::binary::encode(&g);
+        prop_assert_eq!(io::binary::decode(&bin).unwrap(), g);
+    }
+
+    /// Holey CSR with exact capacities reproduces the dense build.
+    #[test]
+    fn holey_equals_direct_build((n, edges) in arb_edges(50, 150)) {
+        let reference = GraphBuilder::from_edges(n as usize, &edges);
+        let caps: Vec<u64> = (0..reference.num_vertices() as u32)
+            .map(|u| reference.degree(u) as u64)
+            .collect();
+        let holey = HoleyCsrBuilder::new(&caps);
+        for (u, v, w) in reference.arcs() {
+            holey.add_arc(u, v, w);
+        }
+        let rebuilt = holey.into_csr();
+        // Arc order within a vertex may differ; compare sorted rows.
+        prop_assert_eq!(rebuilt.num_vertices(), reference.num_vertices());
+        prop_assert_eq!(rebuilt.num_arcs(), reference.num_arcs());
+        for u in 0..reference.num_vertices() as u32 {
+            let mut a: Vec<_> = rebuilt.edges(u).map(|(v, w)| (v, w.to_bits())).collect();
+            let mut b: Vec<_> = reference.edges(u).map(|(v, w)| (v, w.to_bits())).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "vertex {} differs", u);
+        }
+    }
+
+    /// group_by produces an exact partition of the elements.
+    #[test]
+    fn group_by_is_a_partition(keys in proptest::collection::vec(0u32..20, 0..500)) {
+        let groups = GroupedCsr::group_by(&keys, 20);
+        prop_assert_eq!(groups.num_members(), keys.len());
+        let mut seen = vec![false; keys.len()];
+        for g in 0..20u32 {
+            for &member in groups.members(g) {
+                prop_assert_eq!(keys[member as usize], g);
+                prop_assert!(!seen[member as usize], "member {} twice", member);
+                seen[member as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Connected components agree with BFS reachability from every
+    /// component representative.
+    #[test]
+    fn components_agree_with_bfs((n, edges) in arb_edges(60, 120)) {
+        let g = GraphBuilder::from_edges(n as usize, &edges);
+        let (comp, count) = gve_graph::traversal::connected_components(&g);
+        prop_assert_eq!(comp.len(), g.num_vertices());
+        if g.num_vertices() > 0 {
+            prop_assert_eq!(*comp.iter().max().unwrap() as usize + 1, count);
+            let dist = gve_graph::traversal::bfs_distances(&g, 0);
+            for v in 0..g.num_vertices() {
+                prop_assert_eq!(comp[v] == comp[0], dist[v] != u32::MAX);
+            }
+        }
+    }
+
+    /// Vertex weights sum to the total arc weight.
+    #[test]
+    fn weights_are_consistent((n, edges) in arb_edges(60, 200)) {
+        let g = GraphBuilder::from_edges(n as usize, &edges);
+        let k = gve_graph::props::vertex_weights(&g);
+        let total: f64 = k.iter().sum();
+        prop_assert!((total - g.total_arc_weight()).abs() < 1e-6);
+        prop_assert!(
+            (gve_graph::props::total_edge_weight(&g) - total / 2.0).abs() < 1e-9
+        );
+    }
+}
+
+#[test]
+fn empty_graph_edge_cases() {
+    let g = CsrGraph::empty(0);
+    assert!(g.is_symmetric());
+    let (comp, count) = gve_graph::traversal::connected_components(&g);
+    assert!(comp.is_empty());
+    assert_eq!(count, 0);
+}

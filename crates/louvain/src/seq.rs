@@ -1,0 +1,208 @@
+//! Textbook sequential Louvain (Blondel et al. 2008).
+//!
+//! The unoptimized single-threaded reference: plain arrays, in-order
+//! vertex sweeps, no pruning, no threshold scaling, sequential
+//! aggregation. Deterministic, which makes it the anchor for
+//! correctness tests of the parallel implementations and the natural
+//! stand-in for the paper's sequential comparators.
+
+use gve_graph::{CsrGraph, VertexId};
+use gve_leiden::delta_modularity;
+use gve_prim::CommunityMap;
+
+/// Result of a sequential Louvain run.
+#[derive(Debug, Clone)]
+pub struct SeqResult {
+    /// Community of every vertex, dense `0..k`.
+    pub membership: Vec<VertexId>,
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Passes performed.
+    pub passes: usize,
+}
+
+/// Runs sequential Louvain with the classic stopping rule: sweep until
+/// an iteration produces no improvement above `tolerance`, aggregate,
+/// repeat until a pass changes nothing or `max_passes` is hit.
+pub fn sequential_louvain(graph: &CsrGraph, tolerance: f64, max_passes: usize) -> SeqResult {
+    let n = graph.num_vertices();
+    let mut top: Vec<VertexId> = (0..n as VertexId).collect();
+    let m = graph.total_arc_weight() / 2.0;
+    if n == 0 || m <= 0.0 {
+        return SeqResult {
+            num_communities: n,
+            membership: top,
+            passes: 0,
+        };
+    }
+
+    let mut current: Option<CsrGraph> = None;
+    let mut passes = 0;
+    for _ in 0..max_passes {
+        let g = current.as_ref().unwrap_or(graph);
+        let n_cur = g.num_vertices();
+        let weights: Vec<f64> = (0..n_cur as VertexId).map(|u| g.weighted_degree(u)).collect();
+        let mut membership: Vec<VertexId> = (0..n_cur as VertexId).collect();
+        let mut sigma = weights.clone();
+        let mut ht = CommunityMap::new(n_cur);
+
+        // Local-moving sweeps.
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let mut delta_q = 0.0;
+            for i in 0..n_cur as VertexId {
+                let current_c = membership[i as usize];
+                ht.clear();
+                for (j, w) in g.edges(i) {
+                    if j != i {
+                        ht.add(membership[j as usize], w as f64);
+                    }
+                }
+                let k_i = weights[i as usize];
+                let k_to_current = ht.weight(current_c);
+                let mut best: Option<(VertexId, f64)> = None;
+                for (d, k_to_d) in ht.iter() {
+                    if d == current_c {
+                        continue;
+                    }
+                    let gain = delta_modularity(
+                        k_to_d,
+                        k_to_current,
+                        k_i,
+                        sigma[d as usize],
+                        sigma[current_c as usize],
+                        m,
+                    );
+                    if best.map(|(bd, bg)| gain > bg || (gain == bg && d < bd)).unwrap_or(true) {
+                        best = Some((d, gain));
+                    }
+                }
+                if let Some((target, gain)) = best {
+                    if gain > 0.0 {
+                        sigma[current_c as usize] -= k_i;
+                        sigma[target as usize] += k_i;
+                        membership[i as usize] = target;
+                        delta_q += gain;
+                    }
+                }
+            }
+            if delta_q <= tolerance {
+                break;
+            }
+        }
+
+        // Renumber, update the dendrogram.
+        let (dense, k) = gve_leiden::dendrogram::renumber(&membership);
+        for c in top.iter_mut() {
+            *c = dense[*c as usize];
+        }
+        passes += 1;
+        if iterations <= 1 || k == n_cur {
+            break;
+        }
+
+        // Sequential aggregation via the same collision-free map.
+        current = Some(aggregate_sequential(g, &dense, k));
+    }
+
+    let (final_membership, num_communities) = gve_leiden::dendrogram::renumber(&top);
+    SeqResult {
+        membership: final_membership,
+        num_communities,
+        passes,
+    }
+}
+
+/// Sequentially collapses communities into super-vertices.
+pub(crate) fn aggregate_sequential(
+    graph: &CsrGraph,
+    membership: &[VertexId],
+    num_communities: usize,
+) -> CsrGraph {
+    // Group members per community.
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_communities];
+    for (v, &c) in membership.iter().enumerate() {
+        members[c as usize].push(v as VertexId);
+    }
+    let mut ht = CommunityMap::new(num_communities);
+    let mut builder = gve_graph::GraphBuilder::new()
+        .with_vertices(num_communities)
+        .symmetrize(false)
+        .dedup(false);
+    for (c, group) in members.iter().enumerate() {
+        ht.clear();
+        for &i in group {
+            for (j, w) in graph.edges(i) {
+                ht.add(membership[j as usize], w as f64);
+            }
+        }
+        for (d, w) in ht.iter() {
+            builder.add_edge(c as VertexId, d, w as f32);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_the_triangles() {
+        let r = sequential_louvain(&two_triangles(), 1e-6, 10);
+        assert_eq!(r.num_communities, 2);
+        assert_eq!(r.membership[0], r.membership[1]);
+        assert_ne!(r.membership[0], r.membership[5]);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let g = gve_generate::rmat::Rmat::web(9, 4.0).seed(8).generate();
+        let a = sequential_louvain(&g, 1e-6, 10);
+        let b = sequential_louvain(&g, 1e-6, 10);
+        assert_eq!(a.membership, b.membership);
+    }
+
+    #[test]
+    fn quality_matches_parallel_ballpark() {
+        let g = gve_generate::sbm::PlantedPartition::new(800, 8, 12.0, 1.0)
+            .seed(2)
+            .generate()
+            .graph;
+        let q_seq = gve_quality::modularity(&g, &sequential_louvain(&g, 1e-6, 10).membership);
+        let q_par = gve_quality::modularity(&g, &crate::louvain(&g).membership);
+        assert!((q_seq - q_par).abs() < 0.1, "seq {q_seq} vs par {q_par}");
+    }
+
+    #[test]
+    fn sequential_aggregation_preserves_weight() {
+        let g = two_triangles();
+        let sup = aggregate_sequential(&g, &[0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(sup.num_vertices(), 2);
+        assert_eq!(sup.total_arc_weight(), g.total_arc_weight());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sequential_louvain(&CsrGraph::empty(0), 1e-6, 10).passes, 0);
+        let r = sequential_louvain(&CsrGraph::empty(4), 1e-6, 10);
+        assert_eq!(r.membership, vec![0, 1, 2, 3]);
+    }
+}

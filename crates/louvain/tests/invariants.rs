@@ -1,0 +1,61 @@
+//! Property-based invariants of GVE-Louvain and the sequential baseline.
+
+use gve_graph::{CsrGraph, GraphBuilder};
+use gve_louvain::{louvain, seq::sequential_louvain};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2u32..80).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u32..4), 0..250).prop_map(move |edges| {
+            let typed: Vec<(u32, u32, f32)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u, v, w as f32))
+                .collect();
+            GraphBuilder::from_edges(n as usize, &typed)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Parallel Louvain always yields a valid dense partition with
+    /// modularity no worse than singletons.
+    #[test]
+    fn parallel_louvain_invariants(graph in arb_graph()) {
+        let result = louvain(&graph);
+        gve_quality::validate_membership(&result.membership, graph.num_vertices()).unwrap();
+        let max = result.membership.iter().copied().max().unwrap_or(0) as usize;
+        prop_assert_eq!(max + 1, result.num_communities.max(1));
+        let q = gve_quality::modularity(&graph, &result.membership);
+        prop_assert!((-0.5..=1.0 + 1e-9).contains(&q));
+        let singletons: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+        let q0 = gve_quality::modularity(&graph, &singletons);
+        prop_assert!(q >= q0 - 0.02, "Q {} < singleton {}", q, q0);
+        prop_assert_eq!(result.pass_stats.len(), result.passes);
+    }
+
+    /// Sequential Louvain is deterministic and monotone in quality.
+    #[test]
+    fn sequential_louvain_invariants(graph in arb_graph()) {
+        let a = sequential_louvain(&graph, 1e-6, 10);
+        let b = sequential_louvain(&graph, 1e-6, 10);
+        prop_assert_eq!(&a.membership, &b.membership, "nondeterministic");
+        gve_quality::validate_membership(&a.membership, graph.num_vertices()).unwrap();
+        let q = gve_quality::modularity(&graph, &a.membership);
+        let singletons: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+        prop_assert!(q >= gve_quality::modularity(&graph, &singletons) - 1e-9);
+    }
+
+    /// Parallel and sequential Louvain land in the same quality band.
+    #[test]
+    fn parallel_matches_sequential_quality(graph in arb_graph()) {
+        prop_assume!(graph.num_arcs() > 0);
+        let q_par = gve_quality::modularity(&graph, &louvain(&graph).membership);
+        let q_seq = gve_quality::modularity(
+            &graph,
+            &sequential_louvain(&graph, 1e-6, 10).membership,
+        );
+        prop_assert!((q_par - q_seq).abs() < 0.15, "par {} vs seq {}", q_par, q_seq);
+    }
+}

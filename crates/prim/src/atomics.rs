@@ -1,0 +1,204 @@
+//! Atomic `f64` built on `AtomicU64` bit manipulation.
+//!
+//! GVE-Leiden updates the total edge weight of each community (`Σ'`)
+//! *asynchronously* from many threads (Algorithm 2, line 12 and
+//! Algorithm 3, lines 10–11). Rust has no `AtomicF64`, so we emulate one
+//! with compare-and-swap loops over the IEEE-754 bit pattern, exactly as
+//! the C++ original does with `#pragma omp atomic` / `atomicCAS`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `f64` that can be read and updated atomically.
+///
+/// All operations use [`Ordering::Relaxed`] by default: the Leiden
+/// local-moving phase is a heuristic that tolerates stale reads (this is
+/// what the paper calls the *asynchronous* variant), so no cross-variable
+/// ordering is required. Operations that need stronger guarantees (the
+/// refinement phase's isolation CAS) take an explicit ordering.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates a new atomic with the given initial value.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        Self(AtomicU64::new(value.to_bits()))
+    }
+
+    /// Loads the current value (relaxed).
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Stores a new value (relaxed).
+    #[inline]
+    pub fn store(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `delta` and returns the previous value.
+    ///
+    /// Implemented as a CAS loop over the bit pattern; `fetch_update` with
+    /// relaxed orderings compiles down to the same `lock cmpxchg` loop the
+    /// OpenMP atomic add uses on x86-64.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Atomically subtracts `delta` and returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, delta: f64) -> f64 {
+        self.fetch_add(-delta)
+    }
+
+    /// Single-shot compare-and-swap on the exact bit pattern.
+    ///
+    /// This is the `atomicCAS(Σ'[c], K'[i], 0)` of Algorithm 3: the
+    /// refinement phase claims an *isolated* vertex by swapping its
+    /// community weight from exactly `K'[i]` to `0`. Returns `Ok(old)` on
+    /// success and `Err(observed)` on failure, mirroring
+    /// [`AtomicU64::compare_exchange`].
+    ///
+    /// Bit-pattern equality is what we want here: `Σ'[c]` was *stored* as
+    /// the same `f64` it is compared against, so no epsilon is needed.
+    #[inline]
+    pub fn compare_exchange(&self, expected: f64, new: f64) -> Result<f64, f64> {
+        match self.0.compare_exchange(
+            expected.to_bits(),
+            new.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(prev) => Ok(f64::from_bits(prev)),
+            Err(observed) => Err(f64::from_bits(observed)),
+        }
+    }
+
+    /// Consumes the atomic and returns the inner value.
+    #[inline]
+    pub fn into_inner(self) -> f64 {
+        f64::from_bits(self.0.into_inner())
+    }
+}
+
+impl From<f64> for AtomicF64 {
+    fn from(value: f64) -> Self {
+        Self::new(value)
+    }
+}
+
+impl Clone for AtomicF64 {
+    fn clone(&self) -> Self {
+        Self::new(self.load())
+    }
+}
+
+/// Allocates a vector of `n` atomics, all initialized to `value`.
+pub fn atomic_f64_vec(n: usize, value: f64) -> Vec<AtomicF64> {
+    (0..n).map(|_| AtomicF64::new(value)).collect()
+}
+
+/// Copies a plain `f64` slice into a freshly allocated atomic vector.
+pub fn atomic_f64_from_slice(values: &[f64]) -> Vec<AtomicF64> {
+    values.iter().map(|&v| AtomicF64::new(v)).collect()
+}
+
+/// Snapshots an atomic vector back into a plain `Vec<f64>`.
+pub fn atomic_f64_snapshot(values: &[AtomicF64]) -> Vec<f64> {
+    values.iter().map(AtomicF64::load).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_load_store_roundtrip() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF64::new(1.0);
+        assert_eq!(a.fetch_add(2.0), 1.0);
+        assert_eq!(a.load(), 3.0);
+        assert_eq!(a.fetch_sub(0.5), 3.0);
+        assert_eq!(a.load(), 2.5);
+    }
+
+    #[test]
+    fn compare_exchange_succeeds_on_exact_bits() {
+        let a = AtomicF64::new(4.25);
+        assert_eq!(a.compare_exchange(4.25, 0.0), Ok(4.25));
+        assert_eq!(a.load(), 0.0);
+    }
+
+    #[test]
+    fn compare_exchange_fails_on_mismatch() {
+        let a = AtomicF64::new(4.25);
+        assert_eq!(a.compare_exchange(4.0, 0.0), Err(4.25));
+        assert_eq!(a.load(), 4.25);
+    }
+
+    #[test]
+    fn compare_exchange_distinguishes_zero_signs() {
+        // Bit-pattern CAS treats +0.0 and -0.0 as different, which is the
+        // conservative behaviour we rely on: weights are stored, not
+        // computed, so the expected pattern always matches exactly.
+        let a = AtomicF64::new(0.0);
+        assert!(a.compare_exchange(-0.0, 1.0).is_err());
+        assert!(a.compare_exchange(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly_with_integral_values() {
+        let a = Arc::new(AtomicF64::new(0.0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Integral doubles up to 2^53 add associatively, so the result is exact.
+        assert_eq!(a.load(), 80_000.0);
+    }
+
+    #[test]
+    fn into_inner_and_clone() {
+        let a = AtomicF64::new(7.0);
+        let b = a.clone();
+        assert_eq!(b.into_inner(), 7.0);
+        assert_eq!(a.into_inner(), 7.0);
+    }
+
+    #[test]
+    fn vector_helpers_roundtrip() {
+        let v = atomic_f64_vec(4, 2.0);
+        assert_eq!(atomic_f64_snapshot(&v), vec![2.0; 4]);
+        let w = atomic_f64_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(atomic_f64_snapshot(&w), vec![1.0, 2.0, 3.0]);
+    }
+}

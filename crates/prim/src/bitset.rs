@@ -1,0 +1,207 @@
+//! Atomic bitset used for flag-based vertex pruning.
+//!
+//! GVE-Leiden replaces NetworKit's global work queues with a per-vertex
+//! "unprocessed" flag (Algorithm 2, lines 2, 6 and 14): a vertex is marked
+//! processed when visited and its neighbours are re-marked unprocessed when
+//! it moves. A `Vec<AtomicU64>` bitset keeps this O(N/8) bytes and lets
+//! many threads flip flags without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-size bitset whose bits can be set/cleared/tested concurrently.
+#[derive(Debug)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// Creates a bitset of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(BITS)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, len }
+    }
+
+    /// Creates a bitset of `len` bits, all set.
+    pub fn new_all_set(len: usize) -> Self {
+        let set = Self::new(len);
+        set.set_all();
+        set
+    }
+
+    /// Number of bits in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset holds no bits at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn split(&self, index: usize) -> (usize, u64) {
+        debug_assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (index / BITS, 1u64 << (index % BITS))
+    }
+
+    /// Tests bit `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        let (word, mask) = self.split(index);
+        self.words[word].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Sets bit `index`; returns the previous value.
+    #[inline]
+    pub fn set(&self, index: usize) -> bool {
+        let (word, mask) = self.split(index);
+        self.words[word].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Clears bit `index`; returns the previous value.
+    #[inline]
+    pub fn clear(&self, index: usize) -> bool {
+        let (word, mask) = self.split(index);
+        self.words[word].fetch_and(!mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Atomically tests-and-clears bit `index`; returns `true` when the bit
+    /// was set and this call cleared it.
+    ///
+    /// This is the pruning primitive: "if unprocessed { mark processed }"
+    /// becomes a single `fetch_and`, so two threads racing on the same
+    /// vertex cannot both claim it within one iteration.
+    #[inline]
+    pub fn take(&self, index: usize) -> bool {
+        self.clear(index)
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&self) {
+        if self.len == 0 {
+            return;
+        }
+        let full_words = self.len / BITS;
+        for word in &self.words[..full_words] {
+            word.store(u64::MAX, Ordering::Relaxed);
+        }
+        let tail = self.len % BITS;
+        if tail != 0 {
+            self.words[full_words].store((1u64 << tail) - 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&self) {
+        for word in &self.words {
+            word.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts the set bits (not atomic with respect to concurrent updates).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// True when no bit is set (not atomic with respect to updates).
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_is_all_clear() {
+        let b = AtomicBitset::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.none_set());
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = AtomicBitset::new(0);
+        assert!(b.is_empty());
+        b.set_all(); // must not panic
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let b = AtomicBitset::new(100);
+        assert!(!b.set(63));
+        assert!(b.get(63));
+        assert!(b.set(63)); // second set reports previously-set
+        assert!(b.clear(63));
+        assert!(!b.get(63));
+        assert!(!b.clear(63));
+    }
+
+    #[test]
+    fn set_all_respects_tail_bits() {
+        let b = AtomicBitset::new(70);
+        b.set_all();
+        assert_eq!(b.count_ones(), 70);
+        for i in 0..70 {
+            assert!(b.get(i), "bit {i}");
+        }
+        b.clear_all();
+        assert!(b.none_set());
+    }
+
+    #[test]
+    fn set_all_exact_word_boundary() {
+        let b = AtomicBitset::new(128);
+        b.set_all();
+        assert_eq!(b.count_ones(), 128);
+    }
+
+    #[test]
+    fn new_all_set() {
+        let b = AtomicBitset::new_all_set(65);
+        assert_eq!(b.count_ones(), 65);
+    }
+
+    #[test]
+    fn take_claims_exactly_once() {
+        let b = AtomicBitset::new(1);
+        b.set(0);
+        assert!(b.take(0));
+        assert!(!b.take(0));
+    }
+
+    #[test]
+    fn concurrent_take_claims_each_bit_once() {
+        let n = 4096;
+        let b = Arc::new(AtomicBitset::new_all_set(n));
+        let claimed: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || (0..n).filter(|&i| b.take(i)).count())
+            })
+            .map(|t| t.join().unwrap())
+            .collect();
+        assert_eq!(claimed.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_range_panics_in_debug() {
+        let b = AtomicBitset::new(10);
+        b.get(10);
+    }
+}

@@ -1,0 +1,40 @@
+//! Parallel primitives underpinning the GVE-Leiden reproduction.
+//!
+//! The paper's implementation leans on a small set of building blocks that
+//! are independent of the Leiden algorithm itself:
+//!
+//! * [`scan`] — sequential and parallel exclusive/inclusive prefix sums,
+//!   used to build CSR offset arrays during the aggregation phase
+//!   (Algorithm 4, lines 3–4 and 8–9 of the paper);
+//! * [`hashtable`] — the *collision-free per-thread hashtable* (`H_t` in
+//!   Algorithms 2–4): a direct-indexed accumulator with a touched-key list,
+//!   giving O(1) insert/lookup and O(touched) clear;
+//! * [`atomics`] — an atomic `f64` add/CAS built on `AtomicU64` bit games,
+//!   used for the asynchronously updated community weights `Σ'`;
+//! * [`bitset`] — an atomic bitset used for flag-based vertex pruning;
+//! * [`rng`] — the xorshift32 generator the paper uses for randomized
+//!   refinement;
+//! * [`workspace`] — per-worker scratch buffers sized once per pass (the
+//!   `O(T·N)` memory term in the paper's space complexity);
+//! * [`parfor`] — helpers approximating OpenMP's `schedule(dynamic, chunk)`
+//!   on top of rayon.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod atomics;
+pub mod bitset;
+pub mod hashtable;
+pub mod parfor;
+pub mod rng;
+pub mod scan;
+pub mod shared_slice;
+pub mod workspace;
+
+pub use atomics::AtomicF64;
+pub use bitset::AtomicBitset;
+pub use hashtable::CommunityMap;
+pub use rng::Xorshift32;
+pub use scan::{exclusive_scan_in_place, parallel_exclusive_scan};
+pub use shared_slice::SharedSlice;
+pub use workspace::PerThread;

@@ -1,0 +1,154 @@
+//! OpenMP-`schedule(dynamic)`-style parallel loops on top of rayon.
+//!
+//! The paper attributes part of GVE-Leiden's load balance to OpenMP's
+//! *dynamic* loop schedule: workers repeatedly grab fixed-size chunks of
+//! the iteration space from a shared counter, so a worker stuck on a hub
+//! vertex does not stall the rest of its static share. [`dynamic_workers`]
+//! reproduces that exactly with an atomic cursor and
+//! [`rayon::broadcast`], and is the scheduling primitive used by the
+//! local-moving, refinement and aggregation phases.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size, matching the grain the GVE C++ code uses for its
+/// `schedule(dynamic, 2048)` loops.
+pub const DEFAULT_CHUNK: usize = 2048;
+
+/// Iterator over the chunks a single worker claims from the shared cursor.
+pub struct ChunkClaims<'a> {
+    cursor: &'a AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl Iterator for ChunkClaims<'_> {
+    type Item = Range<usize>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Range<usize>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+}
+
+/// Runs `worker` once on every rayon worker thread; each invocation pulls
+/// dynamic chunks of `0..len` from a shared cursor until the range is
+/// exhausted. Returns each worker's result.
+///
+/// The worker closure receives the claims iterator, so per-worker state
+/// (hashtables, RNGs) is naturally created once per thread:
+///
+/// ```
+/// use gve_prim::parfor::dynamic_workers;
+/// let hits: Vec<u64> = dynamic_workers(10_000, 256, |claims| {
+///     let mut local = 0u64; // per-worker state
+///     for range in claims {
+///         local += range.len() as u64;
+///     }
+///     local
+/// });
+/// assert_eq!(hits.iter().sum::<u64>(), 10_000);
+/// ```
+pub fn dynamic_workers<R, F>(len: usize, chunk: usize, worker: F) -> Vec<R>
+where
+    F: Fn(ChunkClaims<'_>) -> R + Sync,
+    R: Send,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let cursor = AtomicUsize::new(0);
+    rayon::broadcast(|_| {
+        worker(ChunkClaims {
+            cursor: &cursor,
+            len,
+            chunk,
+        })
+    })
+}
+
+/// Dynamic-scheduled parallel for over `0..len`.
+pub fn par_for_dynamic<F>(len: usize, chunk: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    dynamic_workers(len, chunk, |claims| {
+        for range in claims {
+            for i in range {
+                body(i);
+            }
+        }
+    });
+}
+
+/// Dynamic-scheduled parallel for that sums a per-element `f64`
+/// contribution (used for the per-iteration total delta-modularity `ΔQ`).
+pub fn par_for_dynamic_sum<F>(len: usize, chunk: usize, body: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    dynamic_workers(len, chunk, |claims| {
+        let mut acc = 0.0;
+        for range in claims {
+            for i in range {
+                acc += body(i);
+            }
+        }
+        acc
+    })
+    .into_iter()
+    .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let n = 100_000;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_dynamic(n, 97, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_length_runs_nothing() {
+        let touched = AtomicUsize::new(0);
+        par_for_dynamic(0, 8, |_| {
+            touched.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn chunk_larger_than_len_still_covers() {
+        let sum = par_for_dynamic_sum(5, 1000, |i| i as f64);
+        assert_eq!(sum, 10.0);
+    }
+
+    #[test]
+    fn sum_matches_closed_form() {
+        let n = 50_000usize;
+        let sum = par_for_dynamic_sum(n, 64, |i| i as f64);
+        assert_eq!(sum, (n as f64 - 1.0) * n as f64 / 2.0);
+    }
+
+    #[test]
+    fn workers_results_are_collected() {
+        let results = dynamic_workers(1000, 10, |claims| claims.map(|r| r.len()).sum::<usize>());
+        assert_eq!(results.len(), rayon::current_num_threads());
+        assert_eq!(results.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        par_for_dynamic(10, 0, |_| {});
+    }
+}

@@ -1,0 +1,160 @@
+//! Sequential and parallel prefix sums.
+//!
+//! The aggregation phase builds two CSR offset arrays per pass with
+//! exclusive scans over per-community counts (Algorithm 4, lines 3–4 and
+//! 8–9). The parallel scan is the classic two-pass chunked algorithm:
+//! per-chunk sums, a small sequential scan of the chunk totals, then a
+//! parallel local scan with offsets — the same structure as
+//! `__parallel_scan` in GCC's libstdc++ parallel mode that the original
+//! C++ implementation relies on.
+
+use rayon::prelude::*;
+
+/// Minimum number of elements per parallel chunk; below
+/// `PARALLEL_THRESHOLD` the sequential scan is used outright.
+const CHUNK: usize = 16 * 1024;
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// In-place exclusive prefix sum; returns the total of all input values.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
+pub fn exclusive_scan_in_place(values: &mut [u64]) -> u64 {
+    let mut running = 0u64;
+    for v in values.iter_mut() {
+        let next = running + *v;
+        *v = running;
+        running = next;
+    }
+    running
+}
+
+/// In-place inclusive prefix sum; returns the total.
+pub fn inclusive_scan_in_place(values: &mut [u64]) -> u64 {
+    let mut running = 0u64;
+    for v in values.iter_mut() {
+        running += *v;
+        *v = running;
+    }
+    running
+}
+
+/// Parallel in-place exclusive prefix sum; returns the total.
+///
+/// Falls back to the sequential scan for small inputs where the
+/// fork/join overhead would dominate.
+pub fn parallel_exclusive_scan(values: &mut [u64]) -> u64 {
+    if values.len() < PARALLEL_THRESHOLD {
+        return exclusive_scan_in_place(values);
+    }
+    // Pass 1: per-chunk totals.
+    let mut chunk_totals: Vec<u64> = values
+        .par_chunks(CHUNK)
+        .map(|chunk| chunk.iter().sum())
+        .collect();
+    // Small sequential scan over the totals.
+    let grand_total = exclusive_scan_in_place(&mut chunk_totals);
+    // Pass 2: local exclusive scan with the chunk offset added.
+    values
+        .par_chunks_mut(CHUNK)
+        .zip(chunk_totals.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let mut running = offset;
+            for v in chunk.iter_mut() {
+                let next = running + *v;
+                *v = running;
+                running = next;
+            }
+        });
+    grand_total
+}
+
+/// Exclusive scan from a borrowed count slice into a fresh offsets array
+/// with one extra trailing slot holding the total — the exact shape CSR
+/// `offsets` arrays want.
+///
+/// `[3, 1, 4]` yields `[0, 3, 4, 8]`.
+pub fn offsets_from_counts(counts: &[u64]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut running = 0u64;
+    for &c in counts {
+        offsets.push(running);
+        running += c;
+    }
+    offsets.push(running);
+    offsets
+}
+
+/// Parallel variant of [`offsets_from_counts`].
+pub fn parallel_offsets_from_counts(counts: &[u64]) -> Vec<u64> {
+    if counts.len() < PARALLEL_THRESHOLD {
+        return offsets_from_counts(counts);
+    }
+    let mut offsets = vec![0u64; counts.len() + 1];
+    offsets[..counts.len()].copy_from_slice(counts);
+    let total = parallel_exclusive_scan(&mut offsets[..counts.len()]);
+    offsets[counts.len()] = total;
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_basic() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn exclusive_scan_empty_and_single() {
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_in_place(&mut empty), 0);
+        let mut one = vec![7];
+        assert_eq!(exclusive_scan_in_place(&mut one), 7);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn inclusive_scan_basic() {
+        let mut v = vec![3, 1, 4];
+        let total = inclusive_scan_in_place(&mut v);
+        assert_eq!(v, vec![3, 4, 8]);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_small() {
+        let mut a = vec![5, 0, 2, 9];
+        let mut b = a.clone();
+        let ta = exclusive_scan_in_place(&mut a);
+        let tb = parallel_exclusive_scan(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_large() {
+        let input: Vec<u64> = (0..300_000u64).map(|i| (i * 2_654_435_761) % 97).collect();
+        let mut a = input.clone();
+        let mut b = input;
+        let ta = exclusive_scan_in_place(&mut a);
+        let tb = parallel_exclusive_scan(&mut b);
+        assert_eq!(ta, tb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offsets_from_counts_shape() {
+        assert_eq!(offsets_from_counts(&[3, 1, 4]), vec![0, 3, 4, 8]);
+        assert_eq!(offsets_from_counts(&[]), vec![0]);
+    }
+
+    #[test]
+    fn parallel_offsets_match_large() {
+        let counts: Vec<u64> = (0..200_000u64).map(|i| i % 13).collect();
+        assert_eq!(parallel_offsets_from_counts(&counts), offsets_from_counts(&counts));
+    }
+}

@@ -1,0 +1,132 @@
+//! Unsynchronized shared mutable slice for provably disjoint writes.
+//!
+//! Several GVE-Leiden phases write into preallocated arrays from many
+//! threads at *disjoint* indices — e.g. compacting a holey CSR, where
+//! each vertex owns a distinct destination range computed by prefix sum,
+//! or scattering renumbered community ids. Atomics would impose needless
+//! ordering; `SharedSlice` exposes raw writes and places the disjointness
+//! obligation on the (unsafe) caller, exactly like the C++ original's
+//! plain stores into `omp parallel for` partitions.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A `&mut [T]` that may be shared across threads for disjoint-index
+/// writes.
+///
+/// All access is `unsafe`: the caller must guarantee that no index is
+/// written by two threads concurrently and that reads do not race with
+/// writes to the same index.
+pub struct SharedSlice<'a, T> {
+    data: *const UnsafeCell<T>,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice. The borrow keeps the underlying storage
+    /// exclusively reachable through this wrapper for `'a`.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
+        // Cast through UnsafeCell to make later aliased writes defined.
+        let data = slice.as_mut_ptr() as *const UnsafeCell<T>;
+        Self {
+            data,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the wrapped slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the wrapped slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds, and no other thread may access the same
+    /// index concurrently.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        // SAFETY: caller guarantees bounds and exclusivity for this index.
+        unsafe { *UnsafeCell::raw_get(self.data.add(index)) = value };
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds, and no other thread may be writing the
+    /// same index concurrently.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        // SAFETY: caller guarantees bounds and no concurrent writer.
+        unsafe { *UnsafeCell::raw_get(self.data.add(index)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let n = 100_000;
+        let mut buf = vec![0u64; n];
+        {
+            let shared = SharedSlice::new(&mut buf);
+            (0..n).into_par_iter().for_each(|i| {
+                // SAFETY: each index written by exactly one task.
+                unsafe { shared.write(i, i as u64 * 3) };
+            });
+        }
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn read_back_sequentially() {
+        let mut buf = vec![1u32, 2, 3];
+        let shared = SharedSlice::new(&mut buf);
+        assert_eq!(shared.len(), 3);
+        assert!(!shared.is_empty());
+        // SAFETY: single-threaded access.
+        unsafe {
+            shared.write(1, 9);
+            assert_eq!(shared.read(1), 9);
+            assert_eq!(shared.read(0), 1);
+        }
+    }
+
+    #[test]
+    fn range_partitioned_writes() {
+        // Mimics CSR compaction: each "vertex" owns a distinct range.
+        let ranges = [(0usize, 3usize), (3, 4), (4, 9), (9, 10)];
+        let mut buf = vec![0u8; 10];
+        {
+            let shared = SharedSlice::new(&mut buf);
+            ranges.par_iter().enumerate().for_each(|(id, &(lo, hi))| {
+                for i in lo..hi {
+                    // SAFETY: ranges are disjoint.
+                    unsafe { shared.write(i, id as u8) };
+                }
+            });
+        }
+        assert_eq!(buf, vec![0, 0, 0, 1, 2, 2, 2, 2, 2, 3]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Partition comparison against ground truth: NMI and ARI.
+//!
+//! The synthetic suite replaces the paper's real graphs, so quality
+//! claims need a second leg to stand on: when the generator plants a
+//! partition (the SBM), we check that detected communities *recover* it.
+//! Normalized mutual information and the adjusted Rand index are the two
+//! standard agreement scores.
+
+use gve_graph::VertexId;
+use std::collections::HashMap;
+
+/// Joint contingency counts between two labelings.
+struct Contingency {
+    joint: HashMap<(VertexId, VertexId), u64>,
+    a_sizes: HashMap<VertexId, u64>,
+    b_sizes: HashMap<VertexId, u64>,
+    n: u64,
+}
+
+fn contingency(a: &[VertexId], b: &[VertexId]) -> Contingency {
+    assert_eq!(a.len(), b.len(), "labelings must have equal length");
+    let mut joint = HashMap::new();
+    let mut a_sizes = HashMap::new();
+    let mut b_sizes = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *joint.entry((x, y)).or_insert(0) += 1;
+        *a_sizes.entry(x).or_insert(0) += 1;
+        *b_sizes.entry(y).or_insert(0) += 1;
+    }
+    Contingency {
+        joint,
+        a_sizes,
+        b_sizes,
+        n: a.len() as u64,
+    }
+}
+
+/// Normalized mutual information in `[0, 1]` (arithmetic-mean
+/// normalization). Returns 1 for identical partitions (up to label
+/// permutation) and ~0 for independent ones. Two trivial partitions
+/// (both single-cluster or both all-singletons) score 1 by convention.
+pub fn normalized_mutual_information(a: &[VertexId], b: &[VertexId]) -> f64 {
+    let c = contingency(a, b);
+    if c.n == 0 {
+        return 1.0;
+    }
+    let n = c.n as f64;
+    let mut mi = 0.0f64;
+    for (&(x, y), &nxy) in &c.joint {
+        let nxy = nxy as f64;
+        let nx = c.a_sizes[&x] as f64;
+        let ny = c.b_sizes[&y] as f64;
+        mi += (nxy / n) * ((n * nxy) / (nx * ny)).ln();
+    }
+    let h = |sizes: &HashMap<VertexId, u64>| -> f64 {
+        sizes
+            .values()
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&c.a_sizes);
+    let hb = h(&c.b_sizes);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both partitions trivial and identical in structure
+    }
+    let denom = (ha + hb) / 2.0;
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index in `[-1, 1]`; 1 for identical partitions, ~0 for
+/// random agreement.
+pub fn adjusted_rand_index(a: &[VertexId], b: &[VertexId]) -> f64 {
+    let c = contingency(a, b);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let sum_joint: f64 = c.joint.values().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = c.a_sizes.values().map(|&v| choose2(v)).sum();
+    let sum_b: f64 = c.b_sizes.values().map(|&v| choose2(v)).sum();
+    let total = choose2(c.n);
+    let expected = sum_a * sum_b / total;
+    let max = (sum_a + sum_b) / 2.0;
+    if (max - expected).abs() < f64::EPSILON {
+        1.0 // both partitions trivial
+    } else {
+        (sum_joint - expected) / (max - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_is_ignored() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![5, 5, 9, 9, 1, 1];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_partitions_score_low() {
+        // a splits by half, b alternates: independent given balance.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(normalized_mutual_information(&a, &b) < 0.05);
+        assert!(adjusted_rand_index(&a, &b).abs() < 0.25);
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(nmi > 0.2 && nmi < 1.0, "nmi {nmi}");
+        assert!(ari > 0.2 && ari < 1.0, "ari {ari}");
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let one = vec![0, 0, 0];
+        assert!((normalized_mutual_information(&one, &one) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&one, &one) - 1.0).abs() < 1e-12);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(normalized_mutual_information(&empty, &empty), 1.0);
+        assert_eq!(adjusted_rand_index(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        normalized_mutual_information(&[0, 1], &[0]);
+    }
+}

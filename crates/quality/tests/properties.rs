@@ -1,0 +1,106 @@
+//! Property-based tests of the quality metrics against each other and
+//! against naive reference computations.
+
+use gve_graph::{CsrGraph, GraphBuilder};
+use gve_quality as quality;
+use proptest::prelude::*;
+
+fn arb_graph_and_membership() -> impl Strategy<Value = (CsrGraph, Vec<u32>)> {
+    (2u32..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1u32..4), 1..150);
+        let labels = proptest::collection::vec(0u32..8, n as usize);
+        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
+            let typed: Vec<(u32, u32, f32)> =
+                edges.into_iter().map(|(u, v, w)| (u, v, w as f32)).collect();
+            (GraphBuilder::from_edges(n as usize, &typed), labels)
+        })
+    })
+}
+
+/// Naive O(V²)-ish modularity straight from Equation 1's first form.
+fn naive_modularity(graph: &CsrGraph, membership: &[u32]) -> f64 {
+    let two_m = graph.total_arc_weight();
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let m = two_m / 2.0;
+    let k: Vec<f64> = (0..graph.num_vertices() as u32)
+        .map(|u| graph.weighted_degree(u))
+        .collect();
+    let mut q = 0.0;
+    for (u, v, w) in graph.arcs() {
+        if membership[u as usize] == membership[v as usize] {
+            q += w as f64 - k[u as usize] * k[v as usize] / two_m;
+        }
+    }
+    // Vertices in the same community with no arc still contribute the
+    // null-model term.
+    for u in 0..graph.num_vertices() {
+        for v in 0..graph.num_vertices() {
+            if membership[u] == membership[v] && !graph.has_arc(u as u32, v as u32) {
+                q -= k[u] * k[v] / two_m;
+            }
+        }
+    }
+    q / (2.0 * m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The production modularity matches the naive double-sum form.
+    #[test]
+    fn modularity_matches_naive_double_sum((graph, membership) in arb_graph_and_membership()) {
+        let fast = quality::modularity(&graph, &membership);
+        let slow = naive_modularity(&graph, &membership);
+        prop_assert!((fast - slow).abs() < 1e-9, "fast {} vs naive {}", fast, slow);
+    }
+
+    /// Coverage bounds and its relation to modularity: Q ≤ coverage.
+    #[test]
+    fn coverage_bounds_modularity((graph, membership) in arb_graph_and_membership()) {
+        let coverage = quality::coverage(&graph, &membership);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&coverage));
+        let q = quality::modularity(&graph, &membership);
+        prop_assert!(q <= coverage + 1e-12, "Q {} > coverage {}", q, coverage);
+    }
+
+    /// Conductance is within [0, 1] for every partition (cut ≤ min-side
+    /// volume by definition of volume).
+    #[test]
+    fn conductance_is_bounded((graph, membership) in arb_graph_and_membership()) {
+        let phi = quality::average_conductance(&graph, &membership);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&phi), "phi = {}", phi);
+    }
+
+    /// The per-community report is consistent with the global metrics.
+    #[test]
+    fn report_totals_match_global_metrics((graph, membership) in arb_graph_and_membership()) {
+        let report = quality::community_report(&graph, &membership);
+        let sizes: usize = report.iter().map(|d| d.size).sum();
+        prop_assert_eq!(sizes, graph.num_vertices());
+        let internal: f64 = report.iter().map(|d| d.internal_weight).sum();
+        let boundary: f64 = report.iter().map(|d| d.boundary_weight).sum();
+        prop_assert!((internal + boundary - graph.total_arc_weight()).abs() < 1e-6);
+        let coverage = quality::coverage(&graph, &membership);
+        if graph.total_arc_weight() > 0.0 {
+            prop_assert!((internal / graph.total_arc_weight() - coverage).abs() < 1e-9);
+        }
+        // Connectivity flags agree with the dedicated detector.
+        let broken = report.iter().filter(|d| !d.connected).count();
+        let check = quality::disconnected_communities(&graph, &membership);
+        prop_assert_eq!(broken, check.disconnected);
+    }
+
+    /// CPM at γ = 0 equals the intra weight; increasing γ can only
+    /// decrease the score.
+    #[test]
+    fn cpm_is_monotone_in_gamma((graph, membership) in arb_graph_and_membership()) {
+        let at0 = quality::cpm(&graph, &membership, 0.0);
+        let at1 = quality::cpm(&graph, &membership, 0.5);
+        let at2 = quality::cpm(&graph, &membership, 2.0);
+        prop_assert!(at0 >= at1 - 1e-12);
+        prop_assert!(at1 >= at2 - 1e-12);
+        prop_assert!((at0 - quality::coverage(&graph, &membership) * graph.total_arc_weight() / 2.0).abs() < 1e-9);
+    }
+}

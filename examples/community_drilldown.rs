@@ -1,0 +1,73 @@
+//! Multi-resolution drill-down: record the coarsening hierarchy, report
+//! per-community structure, and re-detect inside the largest community
+//! at a finer resolution — the analysis loop a downstream user runs
+//! after the headline detection.
+//!
+//! ```text
+//! cargo run --release --example community_drilldown
+//! ```
+
+use gve::graph::subgraph::community_subgraph;
+use gve::leiden::{Leiden, LeidenConfig, Objective};
+use gve::quality;
+
+fn main() {
+    let lfr = gve::generate::Lfr::new(6000, 14.0, 0.25).seed(3).generate();
+    let graph = &lfr.graph;
+    println!(
+        "LFR benchmark: |V| = {}, |E| = {}, {} planted communities",
+        graph.num_vertices(),
+        graph.num_arcs(),
+        lfr.communities
+    );
+
+    // Detect with the hierarchy recorded.
+    let mut config = LeidenConfig::default();
+    config.record_dendrogram = true;
+    let result = Leiden::new(config).run(graph);
+    println!(
+        "\ndetected {} communities in {} passes (NMI vs planted: {:.3})",
+        result.num_communities,
+        result.passes,
+        quality::normalized_mutual_information(&result.membership, &lfr.labels)
+    );
+
+    // The coarsening hierarchy, level by level.
+    println!("\nhierarchy (level: communities, modularity):");
+    for level in 0..=result.dendrogram.len() {
+        let membership = result.membership_at_level(level);
+        let k = quality::community_count(&membership);
+        let q = quality::modularity(graph, &membership);
+        println!("  level {level}: {k:>6} communities, Q = {q:.4}");
+    }
+
+    // Per-community structural report.
+    let report = quality::community_report(graph, &result.membership);
+    println!("\ntop communities by size:");
+    print!("{}", quality::format_report(&report, 8));
+
+    // Drill into the largest community at a finer resolution.
+    let largest = report[0].id;
+    let sub = community_subgraph(graph, &result.membership, largest);
+    println!(
+        "\ndrilling into community {largest} ({} vertices, {} arcs):",
+        sub.graph.num_vertices(),
+        sub.graph.num_arcs()
+    );
+    let fine = Leiden::new(
+        LeidenConfig::default().objective(Objective::Modularity { resolution: 4.0 }),
+    )
+    .run(&sub.graph);
+    println!(
+        "  at resolution 4.0 it splits into {} sub-communities (Q = {:.4})",
+        fine.num_communities,
+        quality::modularity(&sub.graph, &fine.membership)
+    );
+    // Map a few sub-community members back to original vertex ids.
+    let sample: Vec<u32> = (0..sub.graph.num_vertices() as u32)
+        .filter(|&v| fine.membership[v as usize] == 0)
+        .take(5)
+        .map(|v| sub.original_of(v))
+        .collect();
+    println!("  sample members of sub-community 0 (original ids): {sample:?}");
+}

@@ -1,0 +1,52 @@
+//! Validating detection against planted ground truth.
+//!
+//! The synthetic suite replaces the paper's real graphs, so this example
+//! shows the second leg quality claims stand on: on a stochastic block
+//! model the planted partition is *known*, and recovery is measured with
+//! NMI/ARI as the mixing ratio degrades toward the detectability limit.
+//!
+//! ```text
+//! cargo run --release --example ground_truth_recovery
+//! ```
+
+use gve::generate::PlantedPartition;
+use gve::leiden::{Leiden, LeidenConfig, RefinementStrategy};
+use gve::quality;
+
+fn main() {
+    let n = 4000;
+    let k = 16;
+    let degree = 16.0;
+    println!("planted partition: {n} vertices, {k} blocks, degree {degree}");
+    println!("\nmix = fraction of each vertex's edges leaving its block\n");
+    println!("mix   NMI(greedy)  ARI(greedy)  NMI(random)  communities");
+
+    for mix_percent in [10, 20, 30, 40, 50] {
+        let mix = mix_percent as f64 / 100.0;
+        let planted = PlantedPartition::new(n, k, degree * (1.0 - mix), degree * mix)
+            .seed(99)
+            .generate();
+
+        let greedy = Leiden::new(LeidenConfig::default()).run(&planted.graph);
+        let random = Leiden::new(
+            LeidenConfig::default()
+                .refinement(RefinementStrategy::Random)
+                .seed(5),
+        )
+        .run(&planted.graph);
+
+        let nmi_g = quality::normalized_mutual_information(&greedy.membership, &planted.labels);
+        let ari_g = quality::adjusted_rand_index(&greedy.membership, &planted.labels);
+        let nmi_r = quality::normalized_mutual_information(&random.membership, &planted.labels);
+        println!(
+            "{:.2}  {nmi_g:<11.3}  {ari_g:<11.3}  {nmi_r:<11.3}  {}",
+            mix, greedy.num_communities
+        );
+    }
+
+    println!(
+        "\nLow mixing → perfect recovery (NMI ≈ 1); past ~40% the planted\n\
+         structure stops being the modularity optimum and recovery decays —\n\
+         that is a property of the problem, not the solver."
+    );
+}

@@ -1,0 +1,278 @@
+//! `gve` — the command-line graph processing tool the paper names as the
+//! home of GVE-Leiden ("a forthcoming command-line graph processing tool
+//! named GVE", §4.2).
+//!
+//! ```text
+//! gve generate --class web --vertices 20000 --out crawl.mtx
+//! gve detect crawl.mtx --algorithm leiden --out crawl.membership
+//! gve quality crawl.mtx crawl.membership
+//! ```
+
+use gve::graph::{io, CsrGraph, VertexId};
+use gve::quality;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         gve generate --class <web|social|road|kmer|er|lfr> --vertices <n> \
+         [--degree <f>] [--seed <n>] --out <path>\n  \
+         gve detect <graph> [--algorithm <leiden|louvain|seq-leiden|seq-louvain|nk-leiden>] \
+         [--objective <modularity|cpm>] [--resolution <f>] [--out <path>]\n  \
+         gve quality <graph> <membership> [--detail <n>]\n  \
+         gve stats <graph>\n  \
+         gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("quality") => cmd_quality(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_generate(args: &[String]) {
+    let class = flag_value(args, "--class").unwrap_or_else(|| usage());
+    let vertices: usize = flag_value(args, "--vertices")
+        .unwrap_or("10000")
+        .parse()
+        .expect("bad --vertices");
+    let degree: f64 = flag_value(args, "--degree")
+        .unwrap_or("8")
+        .parse()
+        .expect("bad --degree");
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .expect("bad --seed");
+    let out = flag_value(args, "--out").unwrap_or_else(|| usage());
+
+    let graph = match class {
+        "web" => gve::generate::PlantedPartition::new(
+            vertices,
+            (vertices / 256).max(4),
+            degree * 0.85,
+            degree * 0.15,
+        )
+        .seed(seed)
+        .generate()
+        .graph,
+        "social" => gve::generate::PlantedPartition::new(
+            vertices,
+            (vertices / 512).max(16),
+            degree * 0.7,
+            degree * 0.3,
+        )
+        .seed(seed)
+        .generate()
+        .graph,
+        "road" => {
+            let width = (vertices as f64).sqrt().ceil() as usize;
+            gve::generate::grid::road_grid(width, vertices.div_ceil(width), degree, seed)
+        }
+        "kmer" => gve::generate::kmer::kmer_chains(vertices, 16, 0.05, seed),
+        "er" => gve::generate::er::erdos_renyi(vertices, (vertices as f64 * degree / 2.0) as usize, seed),
+        "lfr" => gve::generate::Lfr::new(vertices, degree, 0.3).seed(seed).generate().graph,
+        other => {
+            eprintln!("unknown class {other}");
+            usage()
+        }
+    };
+    write_graph(&graph, out);
+    let stats = gve::graph::props::stats(&graph);
+    eprintln!(
+        "wrote {out}: |V| = {}, |E| = {}, avg degree {:.1}",
+        stats.vertices, stats.arcs, stats.avg_degree
+    );
+}
+
+fn write_graph(graph: &CsrGraph, out: &str) {
+    let file = std::fs::File::create(out).expect("cannot create output file");
+    if out.ends_with(".mtx") {
+        io::write_matrix_market(graph, file).expect("write failed");
+    } else if out.ends_with(".gveg") {
+        io::binary::write_binary(graph, file).expect("write failed");
+    } else {
+        io::write_edge_list(graph, file).expect("write failed");
+    }
+}
+
+fn cmd_stats(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let graph = load_graph(path);
+    let stats = gve::graph::props::stats(&graph);
+    let (_, components) = gve::graph::traversal::connected_components(&graph);
+    println!("vertices:     {}", stats.vertices);
+    println!("arcs:         {}", stats.arcs);
+    println!("avg degree:   {:.2}", stats.avg_degree);
+    println!("max degree:   {}", stats.max_degree);
+    println!("self loops:   {}", stats.self_loops);
+    println!("total weight: {:.2}", stats.total_weight);
+    println!("components:   {components}");
+}
+
+fn cmd_convert(args: &[String]) {
+    let (input, output) = match (args.first(), args.get(1)) {
+        (Some(i), Some(o)) => (i, o),
+        _ => usage(),
+    };
+    let graph = load_graph(input);
+    write_graph(&graph, output);
+    eprintln!(
+        "converted {input} -> {output} (|V| = {}, |E| = {})",
+        graph.num_vertices(),
+        graph.num_arcs()
+    );
+}
+
+fn load_graph(path: &str) -> CsrGraph {
+    io::read_path(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read graph {path}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_detect(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let algorithm = flag_value(args, "--algorithm").unwrap_or("leiden");
+    let graph = load_graph(path);
+    eprintln!(
+        "loaded {path}: |V| = {}, |E| = {}",
+        graph.num_vertices(),
+        graph.num_arcs()
+    );
+
+    let resolution: f64 = flag_value(args, "--resolution")
+        .unwrap_or("1.0")
+        .parse()
+        .expect("bad --resolution");
+    let objective = match flag_value(args, "--objective").unwrap_or("modularity") {
+        "modularity" => gve::leiden::Objective::Modularity { resolution },
+        "cpm" => gve::leiden::Objective::Cpm { resolution },
+        other => {
+            eprintln!("unknown objective {other}");
+            usage()
+        }
+    };
+    let leiden_config = gve::leiden::LeidenConfig::default().objective(objective);
+
+    let start = std::time::Instant::now();
+    let membership: Vec<VertexId> = match algorithm {
+        "leiden" => gve::leiden::Leiden::new(leiden_config).run(&graph).membership,
+        "louvain" => gve::louvain::louvain(&graph).membership,
+        "seq-leiden" => gve::baselines::seq::sequential_leiden(&graph).membership,
+        "seq-louvain" => gve::louvain::seq::sequential_louvain(&graph, 1e-6, 10).membership,
+        "nk-leiden" => gve::baselines::nk::nk_leiden(&graph).membership,
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage()
+        }
+    };
+    let elapsed = start.elapsed();
+
+    let q = quality::modularity(&graph, &membership);
+    eprintln!(
+        "{algorithm}: {} communities, modularity {q:.4}, {:.3}s \
+         ({:.1}M edges/s)",
+        quality::community_count(&membership),
+        elapsed.as_secs_f64(),
+        graph.num_arcs() as f64 / elapsed.as_secs_f64() / 1e6,
+    );
+
+    if let Some(out) = flag_value(args, "--out") {
+        let mut text = String::with_capacity(membership.len() * 8);
+        for (v, c) in membership.iter().enumerate() {
+            text.push_str(&format!("{v} {c}\n"));
+        }
+        std::fs::write(out, text).expect("failed to write membership");
+        eprintln!("membership written to {out}");
+    } else {
+        // Without --out, print the membership to stdout.
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        use std::io::Write;
+        for (v, c) in membership.iter().enumerate() {
+            writeln!(lock, "{v} {c}").expect("stdout write failed");
+        }
+    }
+}
+
+fn cmd_quality(args: &[String]) {
+    let (graph_path, membership_path) = match (args.first(), args.get(1)) {
+        (Some(g), Some(m)) => (g, m),
+        _ => usage(),
+    };
+    let graph = load_graph(graph_path);
+    let text = std::fs::read_to_string(membership_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read membership {membership_path}: {e}");
+        exit(1);
+    });
+    let mut membership = vec![0 as VertexId; graph.num_vertices()];
+    let mut assigned = vec![false; graph.num_vertices()];
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let v: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("bad vertex at line {}", lineno + 1));
+        let c: VertexId = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("bad community at line {}", lineno + 1));
+        if v >= membership.len() {
+            eprintln!("error: membership names vertex {v} but the graph has only {} vertices", membership.len());
+            exit(1);
+        }
+        membership[v] = c;
+        assigned[v] = true;
+    }
+    let missing = assigned.iter().filter(|&&a| !a).count();
+    if missing > 0 {
+        eprintln!(
+            "error: membership file covers {} of {} vertices ({missing} missing)",
+            graph.num_vertices() - missing,
+            graph.num_vertices()
+        );
+        exit(1);
+    }
+    quality::validate_membership(&membership, graph.num_vertices()).expect("invalid membership");
+
+    let q = quality::modularity(&graph, &membership);
+    let report = quality::disconnected_communities(&graph, &membership);
+    println!("communities:       {}", quality::community_count(&membership));
+    println!("modularity:        {q:.4}");
+    println!("cpm (gamma=1/2m):  {:.4}", {
+        let two_m = graph.total_arc_weight();
+        quality::cpm(&graph, &membership, 1.0 / two_m.max(1.0))
+    });
+    println!(
+        "disconnected:      {} of {} ({:.2e})",
+        report.disconnected,
+        report.communities,
+        report.fraction()
+    );
+    if let Some(limit) = flag_value(args, "--detail") {
+        let limit: usize = limit.parse().expect("bad --detail");
+        let details = quality::community_report(&graph, &membership);
+        println!("\ntop communities:");
+        print!("{}", quality::format_report(&details, limit));
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end tests of the `gve` command-line tool: the
+//! generate → detect → quality pipeline through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gve"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gve-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_detect_quality_pipeline() {
+    let dir = temp_dir();
+    let graph = dir.join("g.mtx");
+    let membership = dir.join("g.mem");
+
+    let out = gve()
+        .args([
+            "generate", "--class", "web", "--vertices", "2000", "--degree", "10", "--seed", "3",
+            "--out", graph.to_str().unwrap(),
+        ])
+        .output()
+        .expect("generate failed to spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = gve()
+        .args([
+            "detect",
+            graph.to_str().unwrap(),
+            "--algorithm",
+            "leiden",
+            "--out",
+            membership.to_str().unwrap(),
+        ])
+        .output()
+        .expect("detect failed to spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("communities"), "{log}");
+
+    let out = gve()
+        .args([
+            "quality",
+            graph.to_str().unwrap(),
+            membership.to_str().unwrap(),
+            "--detail",
+            "3",
+        ])
+        .output()
+        .expect("quality failed to spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("modularity:"), "{text}");
+    assert!(text.contains("disconnected:      0 of"), "{text}");
+    assert!(text.contains("conductance"), "{text}");
+}
+
+#[test]
+fn convert_roundtrips_between_formats() {
+    let dir = temp_dir();
+    let mtx = dir.join("c.mtx");
+    let bin = dir.join("c.gveg");
+    let txt = dir.join("c.txt");
+
+    assert!(gve()
+        .args([
+            "generate", "--class", "kmer", "--vertices", "1000", "--out",
+            mtx.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(gve()
+        .args(["convert", mtx.to_str().unwrap(), bin.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(gve()
+        .args(["convert", bin.to_str().unwrap(), txt.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // stats on every format agree on the arc count.
+    let arc_line = |path: &std::path::Path| -> String {
+        let out = gve().args(["stats", path.to_str().unwrap()]).output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("arcs:"))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(arc_line(&mtx), arc_line(&bin));
+    assert_eq!(arc_line(&mtx), arc_line(&txt));
+}
+
+#[test]
+fn detect_supports_every_algorithm() {
+    let dir = temp_dir();
+    let graph = dir.join("algos.mtx");
+    assert!(gve()
+        .args([
+            "generate", "--class", "social", "--vertices", "1500", "--out",
+            graph.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    for algo in ["leiden", "louvain", "seq-leiden", "seq-louvain", "nk-leiden"] {
+        let out = gve()
+            .args(["detect", graph.to_str().unwrap(), "--algorithm", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo} failed");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("communities"), "{algo}: {stderr}");
+    }
+}
+
+#[test]
+fn cpm_objective_flag_changes_results() {
+    let dir = temp_dir();
+    let graph = dir.join("cpm.mtx");
+    assert!(gve()
+        .args([
+            "generate", "--class", "web", "--vertices", "1500", "--out",
+            graph.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let count = |extra: &[&str]| -> String {
+        let mut args = vec!["detect", graph.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = gve().args(&args).output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stderr)
+            .lines()
+            .find(|l| l.contains("communities"))
+            .unwrap()
+            .to_string()
+    };
+    let modularity = count(&[]);
+    let cpm_fine = count(&["--objective", "cpm", "--resolution", "0.2"]);
+    assert_ne!(modularity, cpm_fine);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!gve().status().unwrap().success());
+    assert!(!gve().args(["detect"]).status().unwrap().success());
+    assert!(!gve()
+        .args(["generate", "--class", "nope", "--out", "/tmp/x"])
+        .status()
+        .unwrap()
+        .success());
+}

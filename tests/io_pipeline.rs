@@ -1,0 +1,84 @@
+//! File-based pipeline tests: generate → persist → reload → detect,
+//! through both supported formats, mirroring how the paper's datasets
+//! would be consumed from disk.
+
+use gve::generate::PlantedPartition;
+use gve::graph::{io, GraphBuilder};
+use gve::quality;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gve-io-pipeline-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn matrix_market_roundtrip_preserves_detection() {
+    let planted = PlantedPartition::new(600, 6, 10.0, 1.0).seed(8).generate();
+    let path = temp_path("planted.mtx");
+    io::write_matrix_market(&planted.graph, std::fs::File::create(&path).unwrap()).unwrap();
+    let loaded = io::read_path(&path).unwrap();
+    assert_eq!(loaded, planted.graph);
+
+    let result = gve::leiden::leiden(&loaded);
+    let nmi = quality::normalized_mutual_information(&result.membership, &planted.labels);
+    assert!(nmi > 0.9, "NMI after roundtrip: {nmi}");
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_structure() {
+    // Use a graph whose last vertex has an edge, so the edge list covers
+    // the full vertex range.
+    let graph = GraphBuilder::from_edges(
+        5,
+        &[(0, 1, 1.5), (1, 2, 2.0), (2, 3, 1.0), (3, 4, 0.5), (0, 4, 1.0)],
+    );
+    let path = temp_path("ring.txt");
+    io::write_edge_list(&graph, std::fs::File::create(&path).unwrap()).unwrap();
+    let loaded = io::read_path(&path).unwrap();
+    assert_eq!(loaded, graph);
+}
+
+#[test]
+fn weighted_graphs_survive_both_formats() {
+    let graph = GraphBuilder::from_edges(
+        4,
+        &[(0, 1, 0.25), (1, 2, 3.75), (2, 3, 100.5), (0, 0, 7.0)],
+    );
+    for name in ["w.mtx", "w.txt"] {
+        let path = temp_path(name);
+        if name.ends_with(".mtx") {
+            io::write_matrix_market(&graph, std::fs::File::create(&path).unwrap()).unwrap();
+        } else {
+            io::write_edge_list(&graph, std::fs::File::create(&path).unwrap()).unwrap();
+        }
+        let loaded = io::read_path(&path).unwrap();
+        assert_eq!(loaded, graph, "format {name}");
+        // Weighted detection works on the reloaded graph.
+        let result = gve::leiden::leiden(&loaded);
+        quality::validate_membership(&result.membership, 4).unwrap();
+    }
+}
+
+#[test]
+fn membership_file_format_is_parseable() {
+    // The CLI's membership format: `vertex community` per line.
+    let graph = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+    let result = gve::leiden::leiden(&graph);
+    let mut text = String::new();
+    for (v, c) in result.membership.iter().enumerate() {
+        text.push_str(&format!("{v} {c}\n"));
+    }
+    let path = temp_path("membership.txt");
+    std::fs::write(&path, &text).unwrap();
+
+    let reloaded = std::fs::read_to_string(&path).unwrap();
+    let mut membership = vec![0u32; 3];
+    for line in reloaded.lines() {
+        let mut parts = line.split_whitespace();
+        let v: usize = parts.next().unwrap().parse().unwrap();
+        let c: u32 = parts.next().unwrap().parse().unwrap();
+        membership[v] = c;
+    }
+    assert_eq!(membership, result.membership);
+}
