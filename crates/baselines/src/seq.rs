@@ -60,7 +60,9 @@ pub fn sequential_leiden_with(graph: &CsrGraph, config: &SeqLeidenConfig) -> Bas
     for _ in 0..config.max_passes {
         let g = current.as_ref().unwrap_or(graph);
         let n_cur = g.num_vertices();
-        let weights: Vec<f64> = (0..n_cur as VertexId).map(|u| g.weighted_degree(u)).collect();
+        let weights: Vec<f64> = (0..n_cur as VertexId)
+            .map(|u| g.weighted_degree(u))
+            .collect();
 
         // ---- Local moving (queue-driven) ----
         let mut membership: Vec<VertexId> = match init_labels.take() {

@@ -13,7 +13,13 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| black_box(Rmat::web(13, 8.0).seed(1).generate()));
     });
     group.bench_function("planted_partition_16k", |b| {
-        b.iter(|| black_box(PlantedPartition::new(16_000, 32, 12.0, 2.0).seed(1).generate()));
+        b.iter(|| {
+            black_box(
+                PlantedPartition::new(16_000, 32, 12.0, 2.0)
+                    .seed(1)
+                    .generate(),
+            )
+        });
     });
     group.bench_function("road_grid_40k", |b| {
         b.iter(|| black_box(gve_generate::grid::road_grid(200, 200, 2.1, 1)));

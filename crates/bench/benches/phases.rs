@@ -42,8 +42,10 @@ fn bench_aggregate(c: &mut Criterion) {
     let n = graph.num_vertices();
     // A realistic post-refinement partition, obtained from one Leiden
     // pass.
-    let mut config = LeidenConfig::default();
-    config.max_passes = 1;
+    let config = LeidenConfig {
+        max_passes: 1,
+        ..LeidenConfig::default()
+    };
     let partition = Leiden::new(config).run(&graph).membership;
     let k = gve_quality::community_count(&partition);
     let tables = PerThread::new(move || CommunityMap::new(n));
@@ -62,8 +64,10 @@ fn bench_full_runs(c: &mut Criterion) {
     c.bench_function("leiden/full/web13", |b| {
         b.iter(|| black_box(gve_leiden::leiden(&graph)));
     });
-    let mut one_pass = LeidenConfig::default();
-    one_pass.max_passes = 1;
+    let one_pass = LeidenConfig {
+        max_passes: 1,
+        ..LeidenConfig::default()
+    };
     let runner = Leiden::new(one_pass);
     c.bench_function("leiden/single_pass/web13", |b| {
         b.iter(|| black_box(runner.run(&graph)));

@@ -13,6 +13,8 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// Optional JSON output path (machine-readable results).
+    pub json: Option<String>,
     /// Optional rayon thread count override (builds the global pool).
     pub threads: Option<usize>,
     /// Run only the quick four-graph suite instead of all 13.
@@ -26,6 +28,7 @@ impl Default for BenchArgs {
             reps: 1,
             seed: 42,
             csv: None,
+            json: None,
             threads: None,
             quick: false,
         }
@@ -53,11 +56,14 @@ impl BenchArgs {
                 "--reps" => args.reps = value("--reps").parse().expect("bad --reps"),
                 "--seed" => args.seed = value("--seed").parse().expect("bad --seed"),
                 "--csv" => args.csv = Some(value("--csv")),
-                "--threads" => args.threads = Some(value("--threads").parse().expect("bad --threads")),
+                "--json" => args.json = Some(value("--json")),
+                "--threads" => {
+                    args.threads = Some(value("--threads").parse().expect("bad --threads"))
+                }
                 "--quick" => args.quick = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --scale <f64> --reps <n> --seed <n> --csv <path> --threads <n> --quick"
+                        "options: --scale <f64> --reps <n> --seed <n> --csv <path> --json <path> --threads <n> --quick"
                     );
                     std::process::exit(0);
                 }
@@ -111,13 +117,25 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "--scale", "0.5", "--reps", "3", "--seed", "7", "--csv", "/tmp/x.csv", "--threads",
-            "4", "--quick",
+            "--scale",
+            "0.5",
+            "--reps",
+            "3",
+            "--seed",
+            "7",
+            "--csv",
+            "/tmp/x.csv",
+            "--json",
+            "/tmp/x.json",
+            "--threads",
+            "4",
+            "--quick",
         ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.reps, 3);
         assert_eq!(a.seed, 7);
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
         assert_eq!(a.threads, Some(4));
         assert!(a.quick);
     }

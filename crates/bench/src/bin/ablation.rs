@@ -50,7 +50,14 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: each optimization toggled off, relative to the full configuration",
-        &["Graph", "Config", "Time", "Rel. time", "Modularity", "Passes"],
+        &[
+            "Graph",
+            "Config",
+            "Time",
+            "Rel. time",
+            "Modularity",
+            "Passes",
+        ],
     );
     let mut rel_sum = vec![0.0f64; configs.len()];
     let mut graphs = 0usize;
@@ -78,10 +85,7 @@ fn main() {
                 name.to_string(),
                 report::fmt_secs(seconds),
                 format!("{rel:.2}"),
-                format!(
-                    "{:.4}",
-                    gve_quality::modularity(&graph, &result.membership)
-                ),
+                format!("{:.4}", gve_quality::modularity(&graph, &result.membership)),
                 result.passes.to_string(),
             ]);
         }

@@ -23,7 +23,10 @@ fn main() {
     for dataset in suite {
         let graph = dataset.generate(args.scale, args.seed);
         let mut table = Table::new(
-            format!("convergence on {}: per-iteration gain per pass", dataset.name),
+            format!(
+                "convergence on {}: per-iteration gain per pass",
+                dataset.name
+            ),
             &["Config", "Pass", "Tolerance", "Iteration gains"],
         );
         for (name, variant) in [("default", Variant::Default), ("medium", Variant::Medium)] {

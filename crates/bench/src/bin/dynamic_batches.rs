@@ -51,7 +51,15 @@ fn main() {
 
     let mut table = Table::new(
         "Dynamic Leiden: per-batch update time and quality vs full static rerun",
-        &["Graph", "Batch", "Strategy", "Time/batch", "Rel. time", "Modularity", "Q gap"],
+        &[
+            "Graph",
+            "Batch",
+            "Strategy",
+            "Time/batch",
+            "Rel. time",
+            "Modularity",
+            "Q gap",
+        ],
     );
 
     for dataset in args.suite() {
@@ -67,10 +75,8 @@ fn main() {
                 stream.push(batch);
             }
             let final_graph = graph;
-            let q_static = gve_quality::modularity(
-                &final_graph,
-                &gve_leiden::leiden(&final_graph).membership,
-            );
+            let q_static =
+                gve_quality::modularity(&final_graph, &gve_leiden::leiden(&final_graph).membership);
 
             let mut static_time = None;
             for (name, strategy) in strategies {

@@ -29,7 +29,9 @@ fn configs() -> Vec<(&'static str, LeidenConfig)> {
             let name: &'static str = Box::leak(format!("{sname}/{vname}").into_boxed_str());
             out.push((
                 name,
-                LeidenConfig::default().refinement(strategy).variant(variant),
+                LeidenConfig::default()
+                    .refinement(strategy)
+                    .variant(variant),
             ));
         }
     }

@@ -21,7 +21,14 @@ fn main() {
 
     let mut per_graph = Table::new(
         "Figures 3-4 (per graph): runtime and modularity per labeling",
-        &["Graph", "Labeling", "Time", "Rel. time", "Modularity", "Passes"],
+        &[
+            "Graph",
+            "Labeling",
+            "Time",
+            "Rel. time",
+            "Modularity",
+            "Passes",
+        ],
     );
     let mut rel_sum = [0.0f64; 2];
     let mut mod_sum = [0.0f64; 2];

@@ -13,6 +13,7 @@
 //! ```
 
 use gve_bench::{implementations, measure, report, report::Table, BarChart, BenchArgs};
+use gve_serve::json::Json;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -22,7 +23,14 @@ fn main() {
 
     let mut fig6 = Table::new(
         "Figure 6(a-d): runtime / speedup vs gve-leiden / modularity / disconnected fraction",
-        &["Graph", "Implementation", "Time", "Speedup", "Modularity", "Disconnected"],
+        &[
+            "Graph",
+            "Implementation",
+            "Time",
+            "Speedup",
+            "Modularity",
+            "Disconnected",
+        ],
     );
     // Per-implementation geometric-mean speedup accumulators (Table 1).
     let mut log_speedup_sum = vec![0.0f64; imps.len()];
@@ -31,12 +39,17 @@ fn main() {
     let mut graphs = 0usize;
 
     let mut charts = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     for dataset in args.suite() {
         let graph = dataset.generate(args.scale, args.seed);
-        let measured: Vec<_> = imps.iter().map(|imp| measure(&graph, imp, args.reps)).collect();
+        let measured: Vec<_> = imps
+            .iter()
+            .map(|imp| measure(&graph, imp, args.reps))
+            .collect();
         let gve_time = measured[gve_index].seconds;
         graphs += 1;
-        let mut chart = BarChart::new(format!("runtime on {} (s, log scale)", dataset.name)).log_scale();
+        let mut chart =
+            BarChart::new(format!("runtime on {} (s, log scale)", dataset.name)).log_scale();
         for m in &measured {
             chart.push(m.name, m.seconds);
         }
@@ -46,6 +59,16 @@ fn main() {
             log_speedup_sum[i] += speedup.ln();
             modularity_sum[i] += m.modularity;
             disconnected_sum[i] += m.disconnected_fraction;
+            json_rows.push(Json::obj([
+                ("graph", Json::from(dataset.name)),
+                ("vertices", Json::from(graph.num_vertices())),
+                ("arcs", Json::from(graph.num_arcs())),
+                ("implementation", Json::from(m.name)),
+                ("seconds", Json::from(m.seconds)),
+                ("speedup_vs_gve", Json::from(speedup)),
+                ("modularity", Json::from(m.modularity)),
+                ("disconnected_fraction", Json::from(m.disconnected_fraction)),
+            ]));
             fig6.push(vec![
                 dataset.name.to_string(),
                 m.name.to_string(),
@@ -69,12 +92,23 @@ fn main() {
 
     let mut table1 = Table::new(
         "Table 1: average speedup of gve-leiden vs each implementation (geometric mean)",
-        &["Implementation", "Parallelism", "GVE-Leiden speedup", "Avg modularity", "Avg disconnected"],
+        &[
+            "Implementation",
+            "Parallelism",
+            "GVE-Leiden speedup",
+            "Avg modularity",
+            "Avg disconnected",
+        ],
     );
     for (i, imp) in imps.iter().enumerate() {
         table1.push(vec![
             imp.name.to_string(),
-            if imp.parallel { "Parallel" } else { "Sequential" }.to_string(),
+            if imp.parallel {
+                "Parallel"
+            } else {
+                "Sequential"
+            }
+            .to_string(),
             report::fmt_speedup((log_speedup_sum[i] / graphs as f64).exp()),
             format!("{:.4}", modularity_sum[i] / graphs as f64),
             format!("{:.2e}", disconnected_sum[i] / graphs as f64),
@@ -85,5 +119,17 @@ fn main() {
     if let Some(csv) = &args.csv {
         fig6.write_csv(csv).expect("failed to write CSV");
         table1.write_csv(csv).expect("failed to write CSV");
+    }
+
+    if let Some(json_path) = &args.json {
+        let doc = Json::obj([
+            ("figure", Json::from("fig6_compare")),
+            ("scale", Json::from(args.scale)),
+            ("reps", Json::from(args.reps)),
+            ("seed", Json::from(args.seed)),
+            ("results", Json::Arr(json_rows)),
+        ]);
+        std::fs::write(json_path, doc.render()).expect("failed to write JSON");
+        eprintln!("wrote {json_path}");
     }
 }

@@ -16,7 +16,13 @@ fn main() {
 
     let mut phase = Table::new(
         "Figure 7(a): phase split of GVE-Leiden runtime",
-        &["Graph", "Local-move %", "Refine %", "Aggregate %", "Others %"],
+        &[
+            "Graph",
+            "Local-move %",
+            "Refine %",
+            "Aggregate %",
+            "Others %",
+        ],
     );
     let mut pass = Table::new(
         "Figure 7(b): pass split of GVE-Leiden runtime",
@@ -46,8 +52,16 @@ fn main() {
                 .map(|p| p.duration.as_secs_f64())
                 .sum();
             if total > 0.0 {
-                let p1 = result.pass_stats.first().map(|p| p.duration.as_secs_f64()).unwrap_or(0.0);
-                let p2 = result.pass_stats.get(1).map(|p| p.duration.as_secs_f64()).unwrap_or(0.0);
+                let p1 = result
+                    .pass_stats
+                    .first()
+                    .map(|p| p.duration.as_secs_f64())
+                    .unwrap_or(0.0);
+                let p2 = result
+                    .pass_stats
+                    .get(1)
+                    .map(|p| p.duration.as_secs_f64())
+                    .unwrap_or(0.0);
                 pass_fracs[0] += p1 / total;
                 pass_fracs[1] += p2 / total;
                 pass_fracs[2] += (total - p1 - p2) / total;
@@ -75,14 +89,19 @@ fn main() {
         ]);
     }
     phase.print();
-    println!("Figure 7(a) as stacked bars (L = local-move, R = refine, A = aggregate, o = others):");
+    println!(
+        "Figure 7(a) as stacked bars (L = local-move, R = refine, A = aggregate, o = others):"
+    );
     for row in &phase.rows {
         let fractions: Vec<(char, f64)> = ['L', 'R', 'A', 'o']
             .iter()
             .zip(&row[1..])
             .map(|(&c, cell)| (c, cell.parse::<f64>().unwrap_or(0.0)))
             .collect();
-        println!("{}", stacked_bar(&format!("{:<16}", row[0]), &fractions, 50));
+        println!(
+            "{}",
+            stacked_bar(&format!("{:<16}", row[0]), &fractions, 50)
+        );
     }
     println!();
     pass.print();

@@ -14,7 +14,9 @@ use gve_leiden::PhaseTimings;
 use std::time::Instant;
 
 fn thread_counts() -> Vec<usize> {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     // Sweep at least to 4 threads so the multi-threaded code paths are
     // exercised even on small hosts; beyond the hardware count the
     // numbers measure oversubscription, not scaling (flagged below).
@@ -44,7 +46,15 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 9: strong scaling of GVE-Leiden (speedup over 1 thread)",
-        &["Graph", "Threads", "Time", "Overall", "Local-move", "Refine", "Aggregate"],
+        &[
+            "Graph",
+            "Threads",
+            "Time",
+            "Overall",
+            "Local-move",
+            "Refine",
+            "Aggregate",
+        ],
     );
     // Average speedup per doubling, across graphs.
     let mut doubling_factors: Vec<f64> = Vec::new();
@@ -101,9 +111,7 @@ fn main() {
         let geo = (doubling_factors.iter().map(|f| f.ln()).sum::<f64>()
             / doubling_factors.len() as f64)
             .exp();
-        println!(
-            "Average speedup per thread doubling: {geo:.2}x (paper: ~1.6x up to 32 threads)"
-        );
+        println!("Average speedup per thread doubling: {geo:.2}x (paper: ~1.6x up to 32 threads)");
     }
 
     if let Some(csv) = &args.csv {

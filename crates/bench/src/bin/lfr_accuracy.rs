@@ -21,7 +21,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("LFR accuracy: NMI vs mixing parameter (n = {n}, degree 14)"),
-        &["mu", "Implementation", "NMI", "ARI", "Communities (found/planted)"],
+        &[
+            "mu",
+            "Implementation",
+            "NMI",
+            "ARI",
+            "Communities (found/planted)",
+        ],
     );
 
     for &mu in &mixings {

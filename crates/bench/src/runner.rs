@@ -4,6 +4,9 @@ use gve_graph::CsrGraph;
 use gve_graph::VertexId;
 use std::time::Instant;
 
+/// Boxed detection routine: graph in, membership vector out.
+pub type DetectFn = Box<dyn Fn(&CsrGraph) -> Vec<VertexId> + Sync>;
+
 /// A community-detection implementation under test.
 pub struct Implementation {
     /// Display name used in tables.
@@ -11,7 +14,7 @@ pub struct Implementation {
     /// Whether the implementation is parallel (for Table 1's column).
     pub parallel: bool,
     /// Runs detection and returns the membership vector.
-    pub run: Box<dyn Fn(&CsrGraph) -> Vec<VertexId> + Sync>,
+    pub run: DetectFn,
 }
 
 /// The five implementations of the Figure 6 comparison, in the paper's
@@ -123,7 +126,13 @@ mod tests {
         let names: Vec<_> = imps.iter().map(|i| i.name).collect();
         assert_eq!(
             names,
-            vec!["seq-leiden", "seq-louvain", "nk-leiden", "gve-louvain", "gve-leiden"]
+            vec![
+                "seq-leiden",
+                "seq-louvain",
+                "nk-leiden",
+                "gve-louvain",
+                "gve-leiden"
+            ]
         );
         assert!(!imps[0].parallel);
         assert!(imps[4].parallel);

@@ -44,10 +44,10 @@ pub fn aggregate(
                 .iter()
                 .map(|&i| graph.degree(i) as u64)
                 .sum::<u64>()
-                // A community of isolated vertices has total degree 0 but
-                // still needs no slots; max(1) would waste nothing but
-                // keep the invariant simple. Isolated communities emit no
-                // arcs, so 0 capacity is fine.
+            // A community of isolated vertices has total degree 0 but
+            // still needs no slots; max(1) would waste nothing but
+            // keep the invariant simple. Isolated communities emit no
+            // arcs, so 0 capacity is fine.
         })
         .collect();
     let builder = HoleyCsrBuilder::new(&capacities);
@@ -207,13 +207,16 @@ mod tests {
 
     #[test]
     fn weighted_degrees_sum_per_community() {
-        let graph = GraphBuilder::from_edges(
-            4,
-            &[(0, 1, 2.0), (2, 3, 3.0), (1, 2, 1.0)],
-        );
+        let graph = GraphBuilder::from_edges(4, &[(0, 1, 2.0), (2, 3, 3.0), (1, 2, 1.0)]);
         let sup = run_aggregate(&graph, &[0, 0, 1, 1], 2);
-        assert_eq!(sup.weighted_degree(0), graph.weighted_degree(0) + graph.weighted_degree(1));
-        assert_eq!(sup.weighted_degree(1), graph.weighted_degree(2) + graph.weighted_degree(3));
+        assert_eq!(
+            sup.weighted_degree(0),
+            graph.weighted_degree(0) + graph.weighted_degree(1)
+        );
+        assert_eq!(
+            sup.weighted_degree(1),
+            graph.weighted_degree(2) + graph.weighted_degree(3)
+        );
     }
 
     #[test]

@@ -212,7 +212,8 @@ impl LeidenConfig {
         if self.chunk_size == 0 {
             return Err("chunk_size must be positive".into());
         }
-        if !(self.objective.resolution() > 0.0) {
+        // partial_cmp keeps NaN resolutions rejected alongside <= 0.
+        if self.objective.resolution().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("objective resolution must be positive".into());
         }
         Ok(())
@@ -253,24 +254,34 @@ mod tests {
 
     #[test]
     fn validate_rejects_nonsense() {
-        let mut c = LeidenConfig::default();
-        c.max_passes = 0;
+        let c = LeidenConfig {
+            max_passes: 0,
+            ..LeidenConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = LeidenConfig::default();
-        c.tolerance_drop = 0.5;
+        let c = LeidenConfig {
+            tolerance_drop: 0.5,
+            ..LeidenConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = LeidenConfig::default();
-        c.aggregation_tolerance = 1.5;
+        let c = LeidenConfig {
+            aggregation_tolerance: 1.5,
+            ..LeidenConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = LeidenConfig::default();
-        c.chunk_size = 0;
+        let c = LeidenConfig {
+            chunk_size: 0,
+            ..LeidenConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn objective_resolution_validated() {
-        let mut c = LeidenConfig::default();
-        c.objective = Objective::Cpm { resolution: 0.0 };
+        let mut c = LeidenConfig {
+            objective: Objective::Cpm { resolution: 0.0 },
+            ..LeidenConfig::default()
+        };
         assert!(c.validate().is_err());
         c.objective = Objective::Modularity { resolution: -1.0 };
         assert!(c.validate().is_err());

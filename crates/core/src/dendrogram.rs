@@ -13,7 +13,11 @@ use rayon::prelude::*;
 /// the dense vector and `k`. Sequential — the remap table is tiny
 /// relative to the scatter that follows.
 pub fn renumber(membership: &[VertexId]) -> (Vec<VertexId>, usize) {
-    let max = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let max = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut remap = vec![VertexId::MAX; max];
     let mut next: VertexId = 0;
     let mut out = Vec::with_capacity(membership.len());

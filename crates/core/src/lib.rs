@@ -59,7 +59,9 @@ mod refine;
 mod sync;
 pub mod timing;
 
-pub use config::{AggregationStrategy, Labeling, LeidenConfig, RefinementStrategy, Scheduling, Variant};
+pub use config::{
+    AggregationStrategy, Labeling, LeidenConfig, RefinementStrategy, Scheduling, Variant,
+};
 pub use math::delta_modularity;
 pub use objective::{GainCoeffs, Objective};
 pub use timing::{PassStats, PhaseTimings};
@@ -146,8 +148,8 @@ pub fn leiden(graph: &CsrGraph) -> LeidenResult {
 /// Derives a per-vertex RNG stream seed (splitmix64 mixing).
 #[inline]
 pub(crate) fn stream_seed(seed: u64, index: u64) -> u32 {
-    let mut z = (seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z =
+        (seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     ((z ^ (z >> 31)) >> 32) as u32
@@ -308,13 +310,10 @@ impl Leiden {
                     Scheduling::Asynchronous => {
                         let t0 = Instant::now();
                         let membership: Vec<AtomicU32> = match &init_labels {
-                            Some(labels) => {
-                                labels.iter().map(|&c| AtomicU32::new(c)).collect()
-                            }
+                            Some(labels) => labels.iter().map(|&c| AtomicU32::new(c)).collect(),
                             None => (0..n_cur as u32).map(AtomicU32::new).collect(),
                         };
-                        let sigma: Vec<AtomicF64> =
-                            atomic_f64_from_slice(&init_sigma(&penalty));
+                        let sigma: Vec<AtomicF64> = atomic_f64_from_slice(&init_sigma(&penalty));
                         timings.other += t0.elapsed();
 
                         let t1 = Instant::now();
@@ -619,7 +618,9 @@ mod tests {
         // The Leiden guarantee (Figure 6(d) shows zero disconnected
         // communities for GVE-Leiden).
         for seed in [1u64, 2, 3] {
-            let g = gve_generate::rmat::Rmat::social(11, 6.0).seed(seed).generate();
+            let g = gve_generate::rmat::Rmat::social(11, 6.0)
+                .seed(seed)
+                .generate();
             let result = leiden(&g);
             let report = gve_quality::disconnected_communities(&g, &result.membership);
             assert!(
@@ -663,8 +664,10 @@ mod tests {
 
     #[test]
     fn pass_cap_is_respected() {
-        let mut config = LeidenConfig::default();
-        config.max_passes = 1;
+        let config = LeidenConfig {
+            max_passes: 1,
+            ..LeidenConfig::default()
+        };
         let g = gve_generate::rmat::Rmat::web(9, 6.0).seed(1).generate();
         let result = Leiden::new(config).run(&g);
         assert_eq!(result.passes, 1);
@@ -687,8 +690,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid Leiden configuration")]
     fn invalid_config_panics() {
-        let mut config = LeidenConfig::default();
-        config.max_passes = 0;
+        let config = LeidenConfig {
+            max_passes: 0,
+            ..LeidenConfig::default()
+        };
         Leiden::new(config);
     }
 
@@ -701,8 +706,7 @@ mod tests {
         // blocks optimal.
         let config = LeidenConfig::default().objective(Objective::Cpm { resolution: 0.02 });
         let result = Leiden::new(config).run(&planted.graph);
-        let nmi =
-            gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+        let nmi = gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
         assert!(nmi > 0.9, "CPM NMI {nmi}, k = {}", result.num_communities);
         let report = gve_quality::disconnected_communities(&planted.graph, &result.membership);
         assert!(report.all_connected());
@@ -721,8 +725,7 @@ mod tests {
         // Intra-block density ≈ intra_degree / block_size = 12 / 125.
         let cpm_cfg = LeidenConfig::default().objective(Objective::Cpm { resolution: 0.05 });
         let cpm_members = Leiden::new(cpm_cfg).run(g).membership;
-        let agreement =
-            gve_quality::normalized_mutual_information(&mod_members, &cpm_members);
+        let agreement = gve_quality::normalized_mutual_information(&mod_members, &cpm_members);
         assert!(agreement > 0.9, "objectives disagree: NMI {agreement}");
     }
 
@@ -752,11 +755,9 @@ mod tests {
             .generate()
             .graph;
         let run = |resolution: f64| {
-            Leiden::new(
-                LeidenConfig::default().objective(Objective::Modularity { resolution }),
-            )
-            .run(&g)
-            .num_communities
+            Leiden::new(LeidenConfig::default().objective(Objective::Modularity { resolution }))
+                .run(&g)
+                .num_communities
         };
         assert!(run(4.0) >= run(1.0), "γ=4 coarser than γ=1?");
         assert!(run(1.0) >= run(0.25), "γ=1 coarser than γ=0.25?");
@@ -811,8 +812,10 @@ mod tests {
             .seed(14)
             .generate()
             .graph;
-        let mut config = LeidenConfig::default();
-        config.record_dendrogram = true;
+        let config = LeidenConfig {
+            record_dendrogram: true,
+            ..LeidenConfig::default()
+        };
         let result = Leiden::new(config).run(&g);
         assert_eq!(result.dendrogram.len(), result.passes);
         // Level 0 covers the input graph; each level's ids index the
@@ -870,10 +873,8 @@ mod tests {
             .generate();
         let g = &planted.graph;
         let async_q = gve_quality::modularity(g, &leiden(g).membership);
-        let sync_result = Leiden::new(
-            LeidenConfig::default().scheduling(Scheduling::ColorSynchronous),
-        )
-        .run(g);
+        let sync_result =
+            Leiden::new(LeidenConfig::default().scheduling(Scheduling::ColorSynchronous)).run(g);
         let sync_q = gve_quality::modularity(g, &sync_result.membership);
         assert!(
             (async_q - sync_q).abs() < 0.05,
@@ -892,12 +893,10 @@ mod tests {
             .seed(19)
             .generate();
         let g = &planted.graph;
-        let result = Leiden::new(
-            LeidenConfig::default().aggregation(AggregationStrategy::SortReduce),
-        )
-        .run(g);
-        let nmi =
-            gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+        let result =
+            Leiden::new(LeidenConfig::default().aggregation(AggregationStrategy::SortReduce))
+                .run(g);
+        let nmi = gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
         assert!(nmi > 0.9, "NMI {nmi}");
         let q_default = gve_quality::modularity(g, &leiden(g).membership);
         let q_sort = gve_quality::modularity(g, &result.membership);

@@ -114,8 +114,7 @@ pub fn local_move(
                         ht.clear();
                         scan_communities(ht, graph, membership, i, false);
                         let p_i = penalty[i as usize];
-                        if let Some((target, gain)) = choose_best(ht, current, p_i, sigma, coeffs)
-                        {
+                        if let Some((target, gain)) = choose_best(ht, current, p_i, sigma, coeffs) {
                             // Asynchronous commit: weight transfer is
                             // atomic per community, membership is a
                             // plain store.
@@ -157,11 +156,19 @@ mod tests {
         let weights: Vec<f64> = (0..n as u32).map(|u| graph.weighted_degree(u)).collect();
         let sigma = atomic_f64_from_slice(&weights);
         let m = graph.total_arc_weight() / 2.0;
-        (membership, weights, sigma, Objective::default().coeffs(m.max(f64::MIN_POSITIVE)))
+        (
+            membership,
+            weights,
+            sigma,
+            Objective::default().coeffs(m.max(f64::MIN_POSITIVE)),
+        )
     }
 
     fn snapshot(membership: &[AtomicU32]) -> Vec<u32> {
-        membership.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        membership
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     #[test]
@@ -283,8 +290,10 @@ mod tests {
     fn iteration_cap_respected() {
         let graph = gve_generate::rmat::Rmat::web(8, 4.0).seed(1).generate();
         let (membership, weights, sigma, coeffs) = setup(&graph);
-        let mut config = LeidenConfig::default();
-        config.max_iterations = 1;
+        let config = LeidenConfig {
+            max_iterations: 1,
+            ..LeidenConfig::default()
+        };
         let tables = PerThread::new({
             let n = graph.num_vertices();
             move || CommunityMap::new(n)
@@ -329,13 +338,13 @@ mod tests {
 
     #[test]
     fn pruning_off_still_converges() {
-        let graph = GraphBuilder::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
-        );
+        let graph =
+            GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
         let (membership, weights, sigma, coeffs) = setup(&graph);
-        let mut config = LeidenConfig::default();
-        config.pruning = false;
+        let config = LeidenConfig {
+            pruning: false,
+            ..LeidenConfig::default()
+        };
         let tables = PerThread::new(|| CommunityMap::new(4));
         let unprocessed = AtomicBitset::new_all_set(4);
         let gains = local_move(

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn default_is_unit_modularity() {
-        assert_eq!(Objective::default(), Objective::Modularity { resolution: 1.0 });
+        assert_eq!(
+            Objective::default(),
+            Objective::Modularity { resolution: 1.0 }
+        );
         assert_eq!(Objective::default().resolution(), 1.0);
         assert!(!Objective::default().penalty_is_size());
     }

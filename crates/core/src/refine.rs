@@ -56,7 +56,7 @@ pub(crate) fn refine(
     pass_seed: u64,
 ) -> bool {
     let n = graph.num_vertices();
-    
+
     dynamic_workers(n, config.chunk_size, |claims| {
         tables.with(|ht| {
             let mut candidates: Vec<(VertexId, f64)> = Vec::new();
@@ -179,7 +179,10 @@ mod tests {
     }
 
     fn snapshot(membership: &[AtomicU32]) -> Vec<u32> {
-        membership.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        membership
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Barbell: two triangles bridged, all in ONE bound community —
@@ -206,7 +209,15 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(6));
         let moved = refine(
-            &graph, &bounds, &membership, &weights, &sigma, Objective::default().coeffs(m), &config, &tables, 0,
+            &graph,
+            &bounds,
+            &membership,
+            &weights,
+            &sigma,
+            Objective::default().coeffs(m),
+            &config,
+            &tables,
+            0,
         );
         assert!(moved);
         let mem = snapshot(&membership);
@@ -241,7 +252,15 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(6));
         refine(
-            &graph, &bounds, &membership, &weights, &sigma, Objective::default().coeffs(m), &config, &tables, 0,
+            &graph,
+            &bounds,
+            &membership,
+            &weights,
+            &sigma,
+            Objective::default().coeffs(m),
+            &config,
+            &tables,
+            0,
         );
         let mem = snapshot(&membership);
         for v in 0..6usize {
@@ -269,7 +288,15 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(move || CommunityMap::new(n));
         refine(
-            &graph, &bounds, &membership, &weights, &sigma, Objective::default().coeffs(m), &config, &tables, 1,
+            &graph,
+            &bounds,
+            &membership,
+            &weights,
+            &sigma,
+            Objective::default().coeffs(m),
+            &config,
+            &tables,
+            1,
         );
         let mem = snapshot(&membership);
         let mut expect = vec![0.0f64; n];
@@ -289,7 +316,10 @@ mod tests {
     #[test]
     fn random_strategy_is_seed_deterministic_sequentially() {
         // With one rayon thread the random refinement is reproducible.
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let run = |seed: u64| {
             pool.install(|| {
                 let graph = GraphBuilder::from_edges(
@@ -313,7 +343,15 @@ mod tests {
                     .seed(seed);
                 let tables = PerThread::new(|| CommunityMap::new(6));
                 refine(
-                    &graph, &bounds, &membership, &weights, &sigma, Objective::default().coeffs(m), &config, &tables, 0,
+                    &graph,
+                    &bounds,
+                    &membership,
+                    &weights,
+                    &sigma,
+                    Objective::default().coeffs(m),
+                    &config,
+                    &tables,
+                    0,
                 );
                 snapshot(&membership)
             })
@@ -331,7 +369,15 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(3));
         let moved = refine(
-            &graph, &bounds, &membership, &weights, &sigma, Objective::default().coeffs(1.0), &config, &tables, 0,
+            &graph,
+            &bounds,
+            &membership,
+            &weights,
+            &sigma,
+            Objective::default().coeffs(1.0),
+            &config,
+            &tables,
+            0,
         );
         assert!(!moved);
         assert_eq!(snapshot(&membership), vec![0, 1, 2]);

@@ -313,7 +313,10 @@ mod tests {
         );
         assert!(moved);
         for v in 0..6usize {
-            assert_eq!(bounds[membership[v] as usize], bounds[v], "bound escape at {v}");
+            assert_eq!(
+                bounds[membership[v] as usize], bounds[v],
+                "bound escape at {v}"
+            );
         }
     }
 }

@@ -9,15 +9,84 @@ use gve_leiden::{leiden, Leiden, LeidenConfig, Objective};
 /// community-detection test graph.
 fn karate_club() -> gve_graph::CsrGraph {
     const EDGES: [(u32, u32); 78] = [
-        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
-        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
-        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
-        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
-        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
-        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
-        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
-        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
-        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
     ];
     let weighted: Vec<(u32, u32, f32)> = EDGES.iter().map(|&(u, v)| (u, v, 1.0)).collect();
     GraphBuilder::from_edges(34, &weighted)
@@ -39,7 +108,10 @@ fn karate_club_reaches_published_modularity() {
         }
     }
     assert!(best_q > 0.40, "karate Q = {best_q}");
-    assert!(best_q <= 0.4198 + 1e-6, "Q above the known optimum: {best_q}");
+    assert!(
+        best_q <= 0.4198 + 1e-6,
+        "Q above the known optimum: {best_q}"
+    );
     assert!((3..=5).contains(&best_k), "karate communities: {best_k}");
 }
 
@@ -56,7 +128,10 @@ fn karate_club_instructor_and_president_split() {
         assert_eq!(m[ally_of_0], m[0], "vertex {ally_of_0} left the instructor");
     }
     for ally_of_33 in [32, 30, 29] {
-        assert_eq!(m[ally_of_33], m[33], "vertex {ally_of_33} left the president");
+        assert_eq!(
+            m[ally_of_33], m[33],
+            "vertex {ally_of_33} left the president"
+        );
     }
 }
 
@@ -109,8 +184,7 @@ fn small_ring_is_below_the_limit_for_modularity_too() {
     let graph = ring_of_cliques(8, 5);
     let result = leiden(&graph);
     assert_eq!(result.num_communities, 8);
-    let nmi =
-        gve_quality::normalized_mutual_information(&result.membership, &ring_labels(8, 5));
+    let nmi = gve_quality::normalized_mutual_information(&result.membership, &ring_labels(8, 5));
     assert!((nmi - 1.0).abs() < 1e-9);
 }
 

@@ -90,7 +90,11 @@ pub fn delta_screening_frontier(
     }
     // Group the previous communities once; mark whole communities whose
     // structure the batch perturbs.
-    let num_ids = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let num_ids = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     if num_ids > 0 {
         let groups = GroupedCsr::group_by(membership, num_ids);
         let mark_community = |c: VertexId, marked: &mut Vec<bool>| {

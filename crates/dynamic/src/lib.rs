@@ -76,6 +76,37 @@ impl DynamicLeiden {
         }
     }
 
+    /// Creates the detector from an **existing** partition, without
+    /// re-running static detection.
+    ///
+    /// This is the stateful refresh handle long-lived consumers (e.g.
+    /// `gve-serve`'s partition cache) use: they already paid for a
+    /// detection, and only want incremental batch refreshes from here
+    /// on. Returns an error when `membership` does not cover the
+    /// graph's vertices.
+    pub fn from_state(
+        graph: CsrGraph,
+        membership: Vec<VertexId>,
+        config: LeidenConfig,
+        strategy: DynamicStrategy,
+    ) -> Result<Self, String> {
+        if membership.len() != graph.num_vertices() {
+            return Err(format!(
+                "membership covers {} vertices but the graph has {}",
+                membership.len(),
+                graph.num_vertices()
+            ));
+        }
+        config.validate()?;
+        Ok(Self {
+            runner: Leiden::new(config),
+            strategy,
+            graph,
+            membership,
+            batches_applied: 0,
+        })
+    }
+
     /// The current graph.
     pub fn graph(&self) -> &CsrGraph {
         &self.graph
@@ -167,7 +198,9 @@ mod tests {
     }
 
     fn planted_graph(seed: u64) -> (CsrGraph, Vec<u32>) {
-        let planted = PlantedPartition::new(1500, 10, 14.0, 1.0).seed(seed).generate();
+        let planted = PlantedPartition::new(1500, 10, 14.0, 1.0)
+            .seed(seed)
+            .generate();
         (planted.graph, planted.labels)
     }
 
@@ -181,8 +214,7 @@ mod tests {
             DynamicStrategy::DeltaScreening,
             DynamicStrategy::DynamicFrontier,
         ] {
-            let mut dynamic =
-                DynamicLeiden::new(graph.clone(), LeidenConfig::default(), strategy);
+            let mut dynamic = DynamicLeiden::new(graph.clone(), LeidenConfig::default(), strategy);
             let mut current = graph.clone();
             for step in 0..3 {
                 let batch = random_batch(&current, 60, 40, 100 + step);
@@ -250,7 +282,10 @@ mod tests {
         let before = gve_quality::modularity(&graph, dynamic.membership());
         dynamic.apply(&BatchUpdate::new());
         let after = gve_quality::modularity(&graph, dynamic.membership());
-        assert!(after > before - 0.01, "refresh lost quality: {before} -> {after}");
+        assert!(
+            after > before - 0.01,
+            "refresh lost quality: {before} -> {after}"
+        );
         assert_eq!(dynamic.graph(), &graph);
     }
 

@@ -47,9 +47,15 @@ pub struct ChurnStream<'a> {
 impl<'a> ChurnStream<'a> {
     /// Creates a stream with the given events-per-second rates.
     pub fn new(base: &'a CsrGraph, insert_rate: f64, delete_rate: f64, seed: u64) -> Self {
-        assert!(base.num_vertices() >= 2, "stream needs at least two vertices");
+        assert!(
+            base.num_vertices() >= 2,
+            "stream needs at least two vertices"
+        );
         assert!(insert_rate >= 0.0 && delete_rate >= 0.0);
-        assert!(insert_rate + delete_rate > 0.0, "at least one rate must be positive");
+        assert!(
+            insert_rate + delete_rate > 0.0,
+            "at least one rate must be positive"
+        );
         Self {
             base,
             insert_rate,
@@ -140,7 +146,9 @@ mod tests {
     fn base() -> CsrGraph {
         GraphBuilder::from_edges(
             50,
-            &(0..100u32).map(|i| (i % 50, (i * 7 + 1) % 50, 1.0)).collect::<Vec<_>>(),
+            &(0..100u32)
+                .map(|i| (i % 50, (i * 7 + 1) % 50, 1.0))
+                .collect::<Vec<_>>(),
         )
     }
 

@@ -96,8 +96,8 @@ impl Lfr {
         // 1. Power-law degree sequence, rescaled to the target average.
         let mut degrees: Vec<usize> = (0..n)
             .map(|_| {
-                Self::power_law(&mut rng, 2.0, self.max_degree as f64, self.degree_exponent)
-                    .round() as usize
+                Self::power_law(&mut rng, 2.0, self.max_degree as f64, self.degree_exponent).round()
+                    as usize
             })
             .collect();
         let current_avg = degrees.iter().sum::<usize>() as f64 / n as f64;
@@ -117,7 +117,9 @@ impl Lfr {
                 self.community_exponent,
             )
             .round() as usize;
-            let size = size.clamp(self.min_community, self.max_community).min(n - covered);
+            let size = size
+                .clamp(self.min_community, self.max_community)
+                .min(n - covered);
             community_sizes.push(size);
             covered += size;
         }
@@ -174,8 +176,8 @@ impl Lfr {
         // 6. Inter edges: global stub pairing, rejecting same-community
         // pairs a few times before giving up on a stub.
         let mut stubs: Vec<VertexId> = Vec::new();
-        for v in 0..n {
-            stubs.extend(std::iter::repeat_n(v as VertexId, inter_budget[v]));
+        for (v, &budget) in inter_budget.iter().enumerate().take(n) {
+            stubs.extend(std::iter::repeat_n(v as VertexId, budget));
         }
         for i in (1..stubs.len()).rev() {
             let j = rng.next_bounded(i as u32 + 1) as usize;
@@ -330,9 +332,8 @@ mod tests {
         for (&(x, y), &nxy) in &joint {
             mi += (nxy / n) * ((n * nxy) / (pa[&x] * pb[&y])).ln();
         }
-        let h = |p: &HashMap<u32, f64>| -> f64 {
-            p.values().map(|&c| -(c / n) * (c / n).ln()).sum()
-        };
+        let h =
+            |p: &HashMap<u32, f64>| -> f64 { p.values().map(|&c| -(c / n) * (c / n).ln()).sum() };
         let denom = (h(&pa) + h(&pb)) / 2.0;
         if denom == 0.0 {
             1.0

@@ -26,8 +26,8 @@ pub mod er;
 pub mod grid;
 pub mod kmer;
 pub mod lfr;
-pub mod rmat;
 pub mod ring;
+pub mod rmat;
 pub mod sbm;
 pub mod suite;
 

@@ -158,7 +158,9 @@ mod tests {
 
     #[test]
     fn intra_edges_dominate() {
-        let r = PlantedPartition::new(2000, 20, 10.0, 1.0).seed(9).generate();
+        let r = PlantedPartition::new(2000, 20, 10.0, 1.0)
+            .seed(9)
+            .generate();
         let mut intra = 0usize;
         let mut inter = 0usize;
         for (u, v, _) in r.graph.arcs() {

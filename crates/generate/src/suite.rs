@@ -59,20 +59,26 @@ impl Dataset {
     /// derived from the dataset name.
     pub fn generate(&self, scale: f64, seed: u64) -> CsrGraph {
         let n = self.vertices(scale);
-        let seed = seed ^ self
-            .name
-            .bytes()
-            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let seed = seed
+            ^ self
+                .name
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
         match self.class {
             // Web crawls are highly clusterable (Q ≈ 0.98 in Fig. 6(c))
             // with thousands of communities (Table 2): strong planted
             // structure, many blocks.
             GraphClass::Web => {
                 let communities = (n / 256).max(4);
-                PlantedPartition::new(n, communities, self.avg_degree * 0.85, self.avg_degree * 0.15)
-                    .seed(seed)
-                    .generate()
-                    .graph
+                PlantedPartition::new(
+                    n,
+                    communities,
+                    self.avg_degree * 0.85,
+                    self.avg_degree * 0.15,
+                )
+                .seed(seed)
+                .generate()
+                .graph
             }
             // Social networks have the paper's weakest community
             // structure (Fig. 6(c): Q ≈ 0.67–0.75, vs ≈ 0.98 for web;

@@ -116,9 +116,8 @@ impl GraphBuilder {
         let n = self.num_vertices.unwrap_or(inferred).max(inferred);
 
         // Expand to arcs according to policy.
-        let mut arcs: Vec<(VertexId, VertexId, EdgeWeight)> = Vec::with_capacity(
-            self.edges.len() * if self.symmetrize { 2 } else { 1 },
-        );
+        let mut arcs: Vec<(VertexId, VertexId, EdgeWeight)> =
+            Vec::with_capacity(self.edges.len() * if self.symmetrize { 2 } else { 1 });
         for &(u, v, w) in &self.edges {
             if u == v {
                 if !self.drop_self_loops {

@@ -61,8 +61,8 @@ const UNCOLORED: u32 = u32::MAX;
 /// Mixes a seed and vertex id into a stable random priority.
 #[inline]
 fn priority(seed: u64, v: VertexId) -> u64 {
-    let mut z = (seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z =
+        (seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     // Tie-break by id so priorities are a strict total order.
@@ -146,7 +146,14 @@ mod tests {
         // but JP on a cycle usually finds 2–3.
         let g = GraphBuilder::from_edges(
             6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (5, 0, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 0, 1.0),
+            ],
         );
         let coloring = jones_plassmann(&g, 3);
         coloring.validate(&g).unwrap();
@@ -160,7 +167,11 @@ mod tests {
             let mut state = seed;
             for _ in 0..2000 {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                edges.push((((state >> 16) % 500) as u32, ((state >> 40) % 500) as u32, 1.0));
+                edges.push((
+                    ((state >> 16) % 500) as u32,
+                    ((state >> 40) % 500) as u32,
+                    1.0,
+                ));
             }
             let g = GraphBuilder::from_edges(500, &edges);
             let coloring = jones_plassmann(&g, seed);
@@ -178,7 +189,9 @@ mod tests {
     fn deterministic_per_seed() {
         let g = GraphBuilder::from_edges(
             100,
-            &(0..300u32).map(|i| ((i * 13) % 100, (i * 29) % 100, 1.0)).collect::<Vec<_>>(),
+            &(0..300u32)
+                .map(|i| ((i * 13) % 100, (i * 29) % 100, 1.0))
+                .collect::<Vec<_>>(),
         );
         assert_eq!(jones_plassmann(&g, 5), jones_plassmann(&g, 5));
     }

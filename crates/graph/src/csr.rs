@@ -181,14 +181,10 @@ impl CsrGraph {
     /// Checks structural symmetry: every arc `(u, v, w)` has a matching
     /// reverse arc `(v, u, w)`. O(arcs · log) — intended for tests.
     pub fn is_symmetric(&self) -> bool {
-        let mut fwd: Vec<(VertexId, VertexId, u32)> = self
-            .arcs()
-            .map(|(u, v, w)| (u, v, w.to_bits()))
-            .collect();
-        let mut rev: Vec<(VertexId, VertexId, u32)> = self
-            .arcs()
-            .map(|(u, v, w)| (v, u, w.to_bits()))
-            .collect();
+        let mut fwd: Vec<(VertexId, VertexId, u32)> =
+            self.arcs().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut rev: Vec<(VertexId, VertexId, u32)> =
+            self.arcs().map(|(u, v, w)| (v, u, w.to_bits())).collect();
         fwd.sort_unstable();
         rev.sort_unstable();
         fwd == rev

@@ -208,7 +208,13 @@ pub fn write_matrix_market<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<
     writeln!(out, "%%MatrixMarket matrix coordinate real symmetric")?;
     writeln!(out, "% written by gve-graph")?;
     let nnz = graph.arcs().filter(|&(u, v, _)| u >= v).count();
-    writeln!(out, "{} {} {}", graph.num_vertices(), graph.num_vertices(), nnz)?;
+    writeln!(
+        out,
+        "{} {} {}",
+        graph.num_vertices(),
+        graph.num_vertices(),
+        nnz
+    )?;
     for (u, v, w) in graph.arcs() {
         if u >= v {
             writeln!(out, "{} {} {}", u + 1, v + 1, w)?;

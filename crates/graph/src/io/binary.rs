@@ -114,7 +114,13 @@ mod tests {
     fn sample() -> CsrGraph {
         GraphBuilder::from_edges(
             5,
-            &[(0, 1, 1.5), (1, 2, 2.0), (2, 3, 0.25), (3, 4, 4.0), (0, 0, 7.0)],
+            &[
+                (0, 1, 1.5),
+                (1, 2, 2.0),
+                (2, 3, 0.25),
+                (3, 4, 4.0),
+                (0, 0, 7.0),
+            ],
         )
     }
 
@@ -175,7 +181,10 @@ mod tests {
         data[target_base + 1] = 0xFF;
         data[target_base + 2] = 0xFF;
         data[target_base + 3] = 0xFF;
-        assert!(decode(&data).unwrap_err().to_string().contains("invalid CSR"));
+        assert!(decode(&data)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid CSR"));
     }
 
     #[test]
@@ -183,7 +192,13 @@ mod tests {
         let g = crate::builder::GraphBuilder::from_edges(
             1000,
             &(0..5000u32)
-                .map(|i| ((i * 7919) % 1000, (i * 104729) % 1000, (i % 13) as f32 + 0.5))
+                .map(|i| {
+                    (
+                        (i * 7919) % 1000,
+                        (i * 104729) % 1000,
+                        (i % 13) as f32 + 0.5,
+                    )
+                })
                 .collect::<Vec<_>>(),
         );
         assert_eq!(decode(&encode(&g)).unwrap(), g);

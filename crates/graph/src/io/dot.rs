@@ -12,8 +12,8 @@ use std::io::{self, BufWriter, Write};
 /// A palette of visually distinct fill colors; communities beyond the
 /// palette wrap around.
 const PALETTE: [&str; 12] = [
-    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f",
-    "#e5c494", "#b3b3b3", "#1b9e77", "#d95f02", "#7570b3", "#e7298a",
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3",
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a",
 ];
 
 /// Writes the graph as an undirected DOT document, one node per vertex.
@@ -30,7 +30,11 @@ pub fn write_dot<W: Write>(
     let mut out = BufWriter::new(writer);
     writeln!(out, "graph gve {{")?;
     if graph.num_vertices() > 1000 {
-        writeln!(out, "  // {} vertices — consider sfdp for layout", graph.num_vertices())?;
+        writeln!(
+            out,
+            "  // {} vertices — consider sfdp for layout",
+            graph.num_vertices()
+        )?;
     }
     writeln!(out, "  node [shape=circle style=filled fontsize=10];")?;
     for v in 0..graph.num_vertices() as VertexId {

@@ -101,10 +101,7 @@ mod tests {
     use crate::GraphBuilder;
 
     fn triangle_plus_loop() -> CsrGraph {
-        GraphBuilder::from_edges(
-            3,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (0, 0, 4.0)],
-        )
+        GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (0, 0, 4.0)])
     }
 
     #[test]

@@ -132,7 +132,8 @@ mod tests {
     #[test]
     fn connectivity_predicate() {
         assert!(!is_connected(&two_components()));
-        let ring = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let ring =
+            GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
         assert!(is_connected(&ring));
         assert!(is_connected(&CsrGraph::empty(0)));
         assert!(!is_connected(&CsrGraph::empty(2)));
@@ -142,8 +143,7 @@ mod tests {
     fn long_path_converges() {
         // Path of 10_000 vertices: pointer jumping must keep rounds low
         // enough to finish fast.
-        let edges: Vec<(u32, u32, f32)> =
-            (0..9999u32).map(|i| (i, i + 1, 1.0)).collect();
+        let edges: Vec<(u32, u32, f32)> = (0..9999u32).map(|i| (i, i + 1, 1.0)).collect();
         let g = GraphBuilder::from_edges(10_000, &edges);
         let (comp, count) = connected_components(&g);
         assert_eq!(count, 1);

@@ -6,16 +6,15 @@ use proptest::prelude::*;
 
 fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32, f32)>)> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, 1u32..5), 0..max_m)
-            .prop_map(move |edges| {
-                (
-                    n,
-                    edges
-                        .into_iter()
-                        .map(|(u, v, w)| (u, v, w as f32))
-                        .collect(),
-                )
-            })
+        proptest::collection::vec((0..n, 0..n, 1u32..5), 0..max_m).prop_map(move |edges| {
+            (
+                n,
+                edges
+                    .into_iter()
+                    .map(|(u, v, w)| (u, v, w as f32))
+                    .collect(),
+            )
+        })
     })
 }
 

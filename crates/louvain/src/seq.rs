@@ -41,7 +41,9 @@ pub fn sequential_louvain(graph: &CsrGraph, tolerance: f64, max_passes: usize) -
     for _ in 0..max_passes {
         let g = current.as_ref().unwrap_or(graph);
         let n_cur = g.num_vertices();
-        let weights: Vec<f64> = (0..n_cur as VertexId).map(|u| g.weighted_degree(u)).collect();
+        let weights: Vec<f64> = (0..n_cur as VertexId)
+            .map(|u| g.weighted_degree(u))
+            .collect();
         let mut membership: Vec<VertexId> = (0..n_cur as VertexId).collect();
         let mut sigma = weights.clone();
         let mut ht = CommunityMap::new(n_cur);
@@ -74,7 +76,10 @@ pub fn sequential_louvain(graph: &CsrGraph, tolerance: f64, max_passes: usize) -
                         sigma[current_c as usize],
                         m,
                     );
-                    if best.map(|(bd, bg)| gain > bg || (gain == bg && d < bd)).unwrap_or(true) {
+                    if best
+                        .map(|(bd, bg)| gain > bg || (gain == bg && d < bd))
+                        .unwrap_or(true)
+                    {
                         best = Some((d, gain));
                     }
                 }

@@ -45,7 +45,11 @@ impl AtomicBitset {
 
     #[inline]
     fn split(&self, index: usize) -> (usize, u64) {
-        debug_assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        debug_assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (index / BITS, 1u64 << (index % BITS))
     }
 

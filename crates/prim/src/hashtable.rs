@@ -84,7 +84,11 @@ impl CommunityMap {
     #[inline]
     pub fn get(&self, key: u32) -> Option<f64> {
         let slot = key as usize;
-        self.touched.get(slot).copied().unwrap_or(false).then(|| self.values[slot])
+        self.touched
+            .get(slot)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.values[slot])
     }
 
     /// Returns the accumulated weight for `key`, `0.0` if untouched.

@@ -155,6 +155,9 @@ mod tests {
     #[test]
     fn parallel_offsets_match_large() {
         let counts: Vec<u64> = (0..200_000u64).map(|i| i % 13).collect();
-        assert_eq!(parallel_offsets_from_counts(&counts), offsets_from_counts(&counts));
+        assert_eq!(
+            parallel_offsets_from_counts(&counts),
+            offsets_from_counts(&counts)
+        );
     }
 }

@@ -37,7 +37,9 @@ impl<T: Send> PerThread<T> {
     /// Creates a pool with an explicit number of fast-path slots.
     pub fn with_capacity(slots: usize, make: impl Fn() -> T + Send + Sync + 'static) -> Self {
         Self {
-            slots: (0..slots.max(1)).map(|_| Padded(Mutex::new(None))).collect(),
+            slots: (0..slots.max(1))
+                .map(|_| Padded(Mutex::new(None)))
+                .collect(),
             overflow: Mutex::new(Vec::new()),
             make: Box::new(make),
         }

@@ -2,8 +2,8 @@
 //! models.
 
 use gve_prim::scan::{
-    exclusive_scan_in_place, inclusive_scan_in_place, offsets_from_counts,
-    parallel_exclusive_scan, parallel_offsets_from_counts,
+    exclusive_scan_in_place, inclusive_scan_in_place, offsets_from_counts, parallel_exclusive_scan,
+    parallel_offsets_from_counts,
 };
 use gve_prim::{AtomicBitset, CommunityMap, Xorshift32};
 use proptest::prelude::*;

@@ -27,6 +27,10 @@ pub mod report;
 
 pub use compare::{adjusted_rand_index, normalized_mutual_information};
 pub use connectivity::{disconnected_communities, ConnectivityReport};
-pub use metrics::{average_conductance, coverage, cpm, delta_modularity, modularity, modularity_with_resolution};
+pub use metrics::{
+    average_conductance, coverage, cpm, delta_modularity, modularity, modularity_with_resolution,
+};
+pub use partition::{
+    community_count, community_sizes, renumber, size_stats, validate_membership, SizeStats,
+};
 pub use report::{community_report, format_report, CommunityDetail};
-pub use partition::{community_count, community_sizes, renumber, size_stats, validate_membership, SizeStats};

@@ -36,7 +36,11 @@ pub fn modularity_with_resolution(
     if two_m == 0.0 {
         return 0.0;
     }
-    let num_communities = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let num_communities = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
 
     // Per-community totals, accumulated per worker and merged.
     let (sigma, total) = (0..graph.num_vertices())
@@ -98,7 +102,11 @@ pub fn delta_modularity(
 /// the paper, citing Traag et al. 2011).
 pub fn cpm(graph: &CsrGraph, membership: &[VertexId], gamma: f64) -> f64 {
     assert_eq!(membership.len(), graph.num_vertices());
-    let num_communities = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let num_communities = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut sizes = vec![0u64; num_communities];
     for &c in membership {
         sizes[c as usize] += 1;
@@ -154,7 +162,11 @@ pub fn average_conductance(graph: &CsrGraph, membership: &[VertexId]) -> f64 {
     if two_m == 0.0 {
         return 0.0;
     }
-    let num_communities = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let num_communities = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     // volume[c] = Σ_{v∈c} K_v ; cut[c] = weight of arcs leaving c.
     let (volume, cut) = (0..graph.num_vertices())
         .into_par_iter()
@@ -334,7 +346,14 @@ mod tests {
             .filter(|&(v, _)| before[v as usize] == 0 && v != 2)
             .map(|(_, w)| w as f64)
             .sum();
-        let dq = delta_modularity(k_2_to_1, k_2_to_0, k[2], sigma(&before, 1), sigma(&before, 0), m);
+        let dq = delta_modularity(
+            k_2_to_1,
+            k_2_to_0,
+            k[2],
+            sigma(&before, 1),
+            sigma(&before, 0),
+            m,
+        );
         assert!(
             (dq - (q_after - q_before)).abs() < 1e-12,
             "eq2 {dq} vs recomputed {}",

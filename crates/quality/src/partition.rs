@@ -37,7 +37,11 @@ pub fn community_count(membership: &[VertexId]) -> usize {
 
 /// Sizes of each community, indexed by community id (gaps appear as 0).
 pub fn community_sizes(membership: &[VertexId]) -> Vec<usize> {
-    let max = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let max = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut sizes = vec![0usize; max];
     for &c in membership {
         sizes[c as usize] += 1;
@@ -50,7 +54,11 @@ pub fn community_sizes(membership: &[VertexId]) -> Vec<usize> {
 ///
 /// This is the "renumber communities" step of Algorithm 1 (line 11).
 pub fn renumber(membership: &[VertexId]) -> (Vec<VertexId>, usize) {
-    let max = membership.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let max = membership
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut remap = vec![VertexId::MAX; max];
     let mut next = 0 as VertexId;
     let mut out = Vec::with_capacity(membership.len());

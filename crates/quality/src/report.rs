@@ -111,9 +111,7 @@ pub fn community_report(graph: &CsrGraph, membership: &[VertexId]) -> Vec<Commun
 /// Renders the report's top `limit` communities as an aligned text
 /// table.
 pub fn format_report(details: &[CommunityDetail], limit: usize) -> String {
-    let mut out = String::from(
-        "  id     size   internal   boundary   conductance  connected\n",
-    );
+    let mut out = String::from("  id     size   internal   boundary   conductance  connected\n");
     for d in details.iter().take(limit) {
         out.push_str(&format!(
             "{:>4} {:>8} {:>10.1} {:>10.1} {:>12.4}  {}\n",

@@ -10,8 +10,10 @@ fn arb_graph_and_membership() -> impl Strategy<Value = (CsrGraph, Vec<u32>)> {
         let edges = proptest::collection::vec((0..n, 0..n, 1u32..4), 1..150);
         let labels = proptest::collection::vec(0u32..8, n as usize);
         (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
-            let typed: Vec<(u32, u32, f32)> =
-                edges.into_iter().map(|(u, v, w)| (u, v, w as f32)).collect();
+            let typed: Vec<(u32, u32, f32)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u, v, w as f32))
+                .collect();
             (GraphBuilder::from_edges(n as usize, &typed), labels)
         })
     })

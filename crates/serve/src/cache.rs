@@ -1,0 +1,268 @@
+//! Partition cache.
+//!
+//! Detection results are memoized under `(graph name, graph epoch,
+//! config fingerprint)`. Identical queries against an unchanged graph
+//! are answered without touching the job engine; an epoch bump (dynamic
+//! update) naturally misses, and stale epochs are evicted eagerly so
+//! the cache never grows with graph history. A per-graph **latest**
+//! pointer backs the membership/community read endpoints, which want
+//! "the current partition" without restating a config.
+
+use crate::jobs::DetectRequest;
+use gve_graph::VertexId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: which graph state and which detection config.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PartitionKey {
+    /// Registered graph name.
+    pub graph: String,
+    /// Graph epoch the partition was computed against.
+    pub epoch: u64,
+    /// Fingerprint of the detection config.
+    pub fingerprint: u64,
+}
+
+/// How a cached partition was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionOrigin {
+    /// Full detection by a job-engine worker.
+    Detection,
+    /// Incremental refresh after a dynamic-update batch.
+    IncrementalRefresh,
+}
+
+impl PartitionOrigin {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionOrigin::Detection => "detection",
+            PartitionOrigin::IncrementalRefresh => "incremental-refresh",
+        }
+    }
+}
+
+/// A memoized detection result.
+#[derive(Debug, Clone)]
+pub struct CachedPartition {
+    /// Dense community membership.
+    pub membership: Arc<Vec<VertexId>>,
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Modularity at computation time.
+    pub modularity: f64,
+    /// Wall-clock seconds the computation took.
+    pub seconds: f64,
+    /// Full detection or incremental refresh.
+    pub origin: PartitionOrigin,
+    /// The request that produced this partition — kept so dynamic
+    /// updates can refresh under the same configuration.
+    pub request: DetectRequest,
+}
+
+/// Monotonic counters exported through `/stats`.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Detect requests answered from cache.
+    pub hits: AtomicU64,
+    /// Detect requests that had to compute.
+    pub misses: AtomicU64,
+    /// Partitions inserted (jobs + refreshes).
+    pub insertions: AtomicU64,
+    /// Entries evicted because their epoch went stale.
+    pub evictions: AtomicU64,
+}
+
+/// The shared partition cache.
+#[derive(Debug, Default)]
+pub struct PartitionCache {
+    entries: Mutex<HashMap<PartitionKey, Arc<CachedPartition>>>,
+    latest: Mutex<HashMap<String, PartitionKey>>,
+    /// Counter block (public for `/stats` reporting).
+    pub stats: CacheStats,
+}
+
+impl PartitionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache lookup, counting a hit or miss.
+    pub fn get(&self, key: &PartitionKey) -> Option<Arc<CachedPartition>> {
+        let found = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Lookup without counting (used by read endpoints and the job
+    /// engine's double-check, which are not "detect requests").
+    pub fn peek(&self, key: &PartitionKey) -> Option<Arc<CachedPartition>> {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts a partition and makes it the graph's latest.
+    pub fn insert(&self, key: PartitionKey, partition: CachedPartition) -> Arc<CachedPartition> {
+        let partition = Arc::new(partition);
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key.clone(), Arc::clone(&partition));
+        self.latest
+            .lock()
+            .expect("latest lock poisoned")
+            .insert(key.graph.clone(), key);
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        partition
+    }
+
+    /// The most recent partition for `graph`, with its key.
+    pub fn latest(&self, graph: &str) -> Option<(PartitionKey, Arc<CachedPartition>)> {
+        let key = self
+            .latest
+            .lock()
+            .expect("latest lock poisoned")
+            .get(graph)
+            .cloned()?;
+        let partition = self.peek(&key)?;
+        Some((key, partition))
+    }
+
+    /// Evicts every entry of `graph` whose epoch predates
+    /// `current_epoch`. Called after an update batch bumps the epoch.
+    pub fn evict_stale(&self, graph: &str, current_epoch: u64) -> usize {
+        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        let before = entries.len();
+        entries.retain(|key, _| key.graph != graph || key.epoch >= current_epoch);
+        let evicted = before - entries.len();
+        drop(entries);
+        self.stats
+            .evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        let mut latest = self.latest.lock().expect("latest lock poisoned");
+        if let Some(key) = latest.get(graph) {
+            if key.epoch < current_epoch {
+                latest.remove(graph);
+            }
+        }
+        evicted
+    }
+
+    /// Drops every entry of `graph` (graph deregistered).
+    pub fn forget_graph(&self, graph: &str) {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .retain(|key, _| key.graph != graph);
+        self.latest
+            .lock()
+            .expect("latest lock poisoned")
+            .remove(graph);
+    }
+
+    /// Number of resident partitions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(graph: &str, epoch: u64, fingerprint: u64) -> PartitionKey {
+        PartitionKey {
+            graph: graph.to_string(),
+            epoch,
+            fingerprint,
+        }
+    }
+
+    fn partition(communities: usize) -> CachedPartition {
+        CachedPartition {
+            membership: Arc::new(vec![0; 4]),
+            num_communities: communities,
+            modularity: 0.5,
+            seconds: 0.01,
+            origin: PartitionOrigin::Detection,
+            request: DetectRequest::default(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = PartitionCache::new();
+        assert!(cache.get(&key("g", 0, 7)).is_none());
+        cache.insert(key("g", 0, 7), partition(2));
+        assert!(cache.get(&key("g", 0, 7)).is_some());
+        assert!(
+            cache.get(&key("g", 1, 7)).is_none(),
+            "epoch is part of the key"
+        );
+        assert!(
+            cache.get(&key("g", 0, 8)).is_none(),
+            "fingerprint is part of the key"
+        );
+        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn latest_tracks_most_recent_insert() {
+        let cache = PartitionCache::new();
+        cache.insert(key("g", 0, 1), partition(2));
+        cache.insert(key("g", 0, 2), partition(3));
+        let (k, p) = cache.latest("g").unwrap();
+        assert_eq!(k.fingerprint, 2);
+        assert_eq!(p.num_communities, 3);
+        assert!(cache.latest("other").is_none());
+    }
+
+    #[test]
+    fn stale_epochs_are_evicted() {
+        let cache = PartitionCache::new();
+        cache.insert(key("g", 0, 1), partition(2));
+        cache.insert(key("g", 0, 2), partition(2));
+        cache.insert(key("h", 0, 1), partition(2));
+        cache.insert(key("g", 1, 1), partition(4));
+        assert_eq!(cache.evict_stale("g", 1), 2);
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.peek(&key("h", 0, 1)).is_some(),
+            "other graphs untouched"
+        );
+        let (k, p) = cache.latest("g").unwrap();
+        assert_eq!((k.epoch, p.num_communities), (1, 4));
+    }
+
+    #[test]
+    fn latest_cleared_when_its_epoch_goes_stale() {
+        let cache = PartitionCache::new();
+        cache.insert(key("g", 0, 1), partition(2));
+        cache.evict_stale("g", 5);
+        assert!(cache.latest("g").is_none());
+        cache.insert(key("g", 5, 1), partition(2));
+        cache.forget_graph("g");
+        assert!(cache.latest("g").is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,684 @@
+//! HTTP route handlers.
+//!
+//! Stateless dispatch from a parsed [`Request`] to the service state:
+//! registry for graph lifecycle, job engine for detection, partition
+//! cache for reads, and `gve-dynamic` for update ingestion. Every
+//! response body is JSON; errors come back as `{"error": "..."}` with a
+//! meaningful status code.
+
+use crate::cache::{CachedPartition, PartitionOrigin};
+use crate::http::{Request, Response};
+use crate::jobs::{DetectRequest, JobState};
+use crate::json::Json;
+use crate::registry::{validate_name, GraphSource, RegistryError};
+use crate::ServerState;
+use gve_dynamic::{apply_batch, BatchUpdate, DynamicLeiden, DynamicStrategy};
+use gve_graph::{CsrGraph, GraphBuilder, VertexId};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest community membership list returned inline.
+const MAX_INLINE_VERTICES: usize = 100_000;
+
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+}
+
+impl From<RegistryError> for ApiError {
+    fn from(error: RegistryError) -> Self {
+        let status = match error {
+            RegistryError::AlreadyExists(_) => 409,
+            RegistryError::NotFound(_) => 404,
+            RegistryError::Load(_) => 400,
+        };
+        ApiError::new(status, error.to_string())
+    }
+}
+
+fn ok(status: u16, body: Json) -> Response {
+    Response::json(status, body.render())
+}
+
+/// Top-level dispatch. Never panics a connection thread: route errors
+/// become JSON error responses.
+pub fn handle(state: &ServerState, request: &Request) -> Response {
+    match route(state, request) {
+        Ok(response) => response,
+        Err(e) => ok(e.status, Json::obj([("error", Json::from(e.message))])),
+    }
+}
+
+fn route(state: &ServerState, request: &Request) -> Result<Response, ApiError> {
+    let segments = request.segments();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", []) | ("GET", ["healthz"]) => Ok(ok(
+            200,
+            Json::obj([
+                ("status", Json::from("ok")),
+                ("service", Json::from("gve-serve")),
+            ]),
+        )),
+        ("GET", ["stats"]) => Ok(stats(state)),
+        ("GET", ["graphs"]) => Ok(list_graphs(state)),
+        ("POST", ["graphs"]) => register_graph(state, request),
+        ("GET", ["graphs", name]) => graph_info(state, name),
+        ("DELETE", ["graphs", name]) => remove_graph(state, name),
+        ("POST", ["graphs", name, "detect"]) => detect(state, name, request),
+        ("GET", ["graphs", name, "membership"]) => membership(state, name, request),
+        ("GET", ["graphs", name, "communities", community]) => communities(state, name, community),
+        ("POST", ["graphs", name, "updates"]) => updates(state, name, request),
+        ("GET", ["jobs", id]) => job_status(state, id),
+        ("POST", ["jobs", id, "cancel"]) => job_cancel(state, id),
+        (_, _) => Err(ApiError::new(
+            404,
+            format!("no route for {method} {}", request.path),
+        )),
+    }
+}
+
+fn parse_body(request: &Request) -> Result<Json, ApiError> {
+    let text = request
+        .body_utf8()
+        .map_err(|e| ApiError::new(e.status, e.message))?;
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    crate::json::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+fn require_u64(body: &Json, field: &str) -> Result<u64, ApiError> {
+    body.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::bad_request(format!("missing numeric field '{field}'")))
+}
+
+fn optional_u64(body: &Json, field: &str, default: u64) -> u64 {
+    body.get(field).and_then(Json::as_u64).unwrap_or(default)
+}
+
+fn optional_f64(body: &Json, field: &str, default: f64) -> f64 {
+    body.get(field).and_then(Json::as_f64).unwrap_or(default)
+}
+
+// ---------------------------------------------------------------- graphs
+
+fn graph_json(state: &ServerState, name: &str) -> Result<Json, ApiError> {
+    let entry = state.registry.snapshot(name)?;
+    let mut fields = vec![
+        ("name".to_string(), Json::from(name)),
+        ("epoch".to_string(), Json::from(entry.epoch)),
+        (
+            "vertices".to_string(),
+            Json::from(entry.graph.num_vertices()),
+        ),
+        ("arcs".to_string(), Json::from(entry.graph.num_arcs())),
+        ("source".to_string(), Json::from(entry.source.label())),
+        (
+            "batches_applied".to_string(),
+            Json::from(entry.batches_applied),
+        ),
+    ];
+    if let Some((key, partition)) = state.cache.latest(name) {
+        fields.push((
+            "latest_partition".to_string(),
+            Json::obj([
+                ("epoch", Json::from(key.epoch)),
+                ("current", Json::from(key.epoch == entry.epoch)),
+                ("num_communities", Json::from(partition.num_communities)),
+                ("modularity", Json::from(partition.modularity)),
+                ("origin", Json::from(partition.origin.label())),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(fields))
+}
+
+fn list_graphs(state: &ServerState) -> Response {
+    let graphs: Vec<Json> = state
+        .registry
+        .names()
+        .iter()
+        .filter_map(|name| graph_json(state, name).ok())
+        .collect();
+    ok(200, Json::obj([("graphs", Json::Arr(graphs))]))
+}
+
+fn graph_info(state: &ServerState, name: &str) -> Result<Response, ApiError> {
+    Ok(ok(200, graph_json(state, name)?))
+}
+
+fn remove_graph(state: &ServerState, name: &str) -> Result<Response, ApiError> {
+    if !state.registry.remove(name) {
+        return Err(RegistryError::NotFound(name.to_string()).into());
+    }
+    state.cache.forget_graph(name);
+    Ok(ok(200, Json::obj([("removed", Json::from(name))])))
+}
+
+fn parse_vertex_id(value: &Json) -> Result<VertexId, ApiError> {
+    let id = value
+        .as_u64()
+        .ok_or_else(|| ApiError::bad_request("vertex ids must be non-negative integers"))?;
+    VertexId::try_from(id).map_err(|_| ApiError::bad_request(format!("vertex id {id} too large")))
+}
+
+fn parse_edge_list(edges: &Json) -> Result<Vec<(VertexId, VertexId, f32)>, ApiError> {
+    let items = edges
+        .as_array()
+        .ok_or_else(|| ApiError::bad_request("'edges' must be an array of [u, v, w?]"))?;
+    let mut parsed = Vec::with_capacity(items.len());
+    for item in items {
+        let parts = item
+            .as_array()
+            .ok_or_else(|| ApiError::bad_request("each edge must be [u, v] or [u, v, w]"))?;
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(ApiError::bad_request(
+                "each edge must be [u, v] or [u, v, w]",
+            ));
+        }
+        let u = parse_vertex_id(&parts[0])?;
+        let v = parse_vertex_id(&parts[1])?;
+        let w = parts.get(2).and_then(Json::as_f64).unwrap_or(1.0) as f32;
+        parsed.push((u, v, w));
+    }
+    Ok(parsed)
+}
+
+fn generate_graph(spec: &Json) -> Result<(CsrGraph, String), ApiError> {
+    let class = spec
+        .get("class")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("'generate' needs a 'class' field"))?;
+    let seed = optional_u64(spec, "seed", 42);
+    let graph = match class {
+        "sbm" | "planted" => {
+            let vertices = require_u64(spec, "vertices")? as usize;
+            let communities = optional_u64(spec, "communities", 10) as usize;
+            let intra = optional_f64(spec, "intra_degree", 10.0);
+            let inter = optional_f64(spec, "inter_degree", 1.0);
+            gve_generate::PlantedPartition::new(vertices, communities, intra, inter)
+                .seed(seed)
+                .generate()
+                .graph
+        }
+        "er" => {
+            let vertices = require_u64(spec, "vertices")? as usize;
+            let edges = optional_u64(spec, "edges", (vertices as u64) * 8) as usize;
+            gve_generate::er::erdos_renyi(vertices, edges, seed)
+        }
+        "ring" => {
+            let cliques = optional_u64(spec, "cliques", 16) as usize;
+            let clique_size = optional_u64(spec, "clique_size", 8) as usize;
+            if cliques < 3 || clique_size < 3 {
+                return Err(ApiError::bad_request(
+                    "ring needs cliques >= 3 and clique_size >= 3",
+                ));
+            }
+            gve_generate::ring_of_cliques(cliques, clique_size)
+        }
+        "grid" => {
+            let width = require_u64(spec, "width")? as usize;
+            let height = require_u64(spec, "height")? as usize;
+            let avg_degree = optional_f64(spec, "avg_degree", 2.5);
+            if width * height == 0 {
+                return Err(ApiError::bad_request("grid needs width * height > 0"));
+            }
+            gve_generate::grid::road_grid(width, height, avg_degree, seed)
+        }
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "unknown generator class '{other}' (sbm|er|ring|grid)"
+            )))
+        }
+    };
+    Ok((graph, class.to_string()))
+}
+
+fn register_graph(state: &ServerState, request: &Request) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let name = body
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("missing 'name'"))?
+        .to_string();
+    validate_name(&name).map_err(ApiError::bad_request)?;
+
+    if let Some(path) = body.get("path").and_then(Json::as_str) {
+        state.registry.register_from_path(&name, path)?;
+    } else if let Some(spec) = body.get("generate") {
+        let (graph, class) = generate_graph(spec)?;
+        state
+            .registry
+            .register(&name, graph, GraphSource::Generated(class))?;
+    } else if let Some(edges) = body.get("edges") {
+        let edges = parse_edge_list(edges)?;
+        let max_endpoint = edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let vertices =
+            optional_u64(&body, "vertices", max_endpoint as u64).max(max_endpoint as u64);
+        let graph = GraphBuilder::from_edges(vertices as usize, &edges);
+        state.registry.register(&name, graph, GraphSource::Inline)?;
+    } else {
+        return Err(ApiError::bad_request(
+            "provide one of 'path', 'generate', or 'edges'",
+        ));
+    }
+    Ok(ok(201, graph_json(state, &name)?))
+}
+
+// ---------------------------------------------------------------- detect
+
+fn detect(state: &ServerState, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let detect_request = DetectRequest::from_json(&body).map_err(ApiError::bad_request)?;
+    let record = state.jobs.submit(name, detect_request).map_err(|e| {
+        match state.registry.snapshot(name) {
+            Err(registry_error) => registry_error.into(),
+            Ok(_) => ApiError::bad_request(e),
+        }
+    })?;
+    let status = if record.cached { 200 } else { 202 };
+    Ok(ok(status, record.to_json(&state.cache)))
+}
+
+fn job_status(state: &ServerState, id: &str) -> Result<Response, ApiError> {
+    let id: u64 = id
+        .parse()
+        .map_err(|_| ApiError::bad_request("job ids are integers"))?;
+    let record = state
+        .jobs
+        .job(id)
+        .ok_or_else(|| ApiError::new(404, format!("job {id} not found")))?;
+    Ok(ok(200, record.to_json(&state.cache)))
+}
+
+fn job_cancel(state: &ServerState, id: &str) -> Result<Response, ApiError> {
+    let id: u64 = id
+        .parse()
+        .map_err(|_| ApiError::bad_request("job ids are integers"))?;
+    let new_state = state
+        .jobs
+        .cancel(id)
+        .ok_or_else(|| ApiError::new(404, format!("job {id} not found")))?;
+    Ok(ok(
+        200,
+        Json::obj([
+            ("id", Json::from(id)),
+            ("state", Json::from(new_state.label())),
+            ("cancelled", Json::from(new_state == JobState::Cancelled)),
+        ]),
+    ))
+}
+
+// ----------------------------------------------------------------- reads
+
+fn latest_partition(
+    state: &ServerState,
+    name: &str,
+) -> Result<(u64, Arc<CachedPartition>), ApiError> {
+    let entry = state.registry.snapshot(name)?;
+    let (key, partition) = state.cache.latest(name).ok_or_else(|| {
+        ApiError::new(
+            404,
+            format!("no partition computed for '{name}' yet — POST a detect job"),
+        )
+    })?;
+    if key.epoch != entry.epoch {
+        return Err(ApiError::new(
+            404,
+            format!(
+                "latest partition for '{name}' is for epoch {} but the graph is at {} — rerun detect",
+                key.epoch, entry.epoch
+            ),
+        ));
+    }
+    Ok((key.epoch, partition))
+}
+
+fn membership(state: &ServerState, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let (epoch, partition) = latest_partition(state, name)?;
+    let mut fields = vec![
+        ("graph".to_string(), Json::from(name)),
+        ("epoch".to_string(), Json::from(epoch)),
+        (
+            "num_communities".to_string(),
+            Json::from(partition.num_communities),
+        ),
+        ("modularity".to_string(), Json::from(partition.modularity)),
+        ("origin".to_string(), Json::from(partition.origin.label())),
+    ];
+    match request.query_param("vertex") {
+        Some(raw) => {
+            let vertex: usize = raw
+                .parse()
+                .map_err(|_| ApiError::bad_request("'vertex' must be an integer"))?;
+            let community = *partition.membership.get(vertex).ok_or_else(|| {
+                ApiError::new(
+                    404,
+                    format!(
+                        "vertex {vertex} out of range (graph has {})",
+                        partition.membership.len()
+                    ),
+                )
+            })?;
+            fields.push(("vertex".to_string(), Json::from(vertex)));
+            fields.push(("community".to_string(), Json::from(community)));
+        }
+        None => {
+            if partition.membership.len() > MAX_INLINE_VERTICES {
+                return Err(ApiError::bad_request(format!(
+                    "membership has {} entries; query per-vertex with ?vertex=",
+                    partition.membership.len()
+                )));
+            }
+            fields.push((
+                "membership".to_string(),
+                Json::Arr(
+                    partition
+                        .membership
+                        .iter()
+                        .map(|&c| Json::from(c))
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Ok(ok(200, Json::Obj(fields)))
+}
+
+fn communities(state: &ServerState, name: &str, community: &str) -> Result<Response, ApiError> {
+    let (epoch, partition) = latest_partition(state, name)?;
+    let community: VertexId = community
+        .parse()
+        .map_err(|_| ApiError::bad_request("community ids are integers"))?;
+    let members: Vec<usize> = partition
+        .membership
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == community)
+        .map(|(v, _)| v)
+        .collect();
+    if members.is_empty() {
+        return Err(ApiError::new(
+            404,
+            format!("community {community} is empty or unknown"),
+        ));
+    }
+    let truncated = members.len() > MAX_INLINE_VERTICES;
+    let listed: Vec<Json> = members
+        .iter()
+        .take(MAX_INLINE_VERTICES)
+        .map(|&v| Json::from(v))
+        .collect();
+    Ok(ok(
+        200,
+        Json::obj([
+            ("graph", Json::from(name)),
+            ("epoch", Json::from(epoch)),
+            ("community", Json::from(community)),
+            ("size", Json::from(members.len())),
+            ("vertices", Json::Arr(listed)),
+            ("truncated", Json::from(truncated)),
+        ]),
+    ))
+}
+
+// --------------------------------------------------------------- updates
+
+fn parse_strategy(body: &Json) -> Result<DynamicStrategy, ApiError> {
+    match body.get("strategy").and_then(Json::as_str) {
+        None => Ok(DynamicStrategy::default()),
+        Some("full-static") => Ok(DynamicStrategy::FullStatic),
+        Some("naive") => Ok(DynamicStrategy::NaiveDynamic),
+        Some("delta-screening") => Ok(DynamicStrategy::DeltaScreening),
+        Some("dynamic-frontier") => Ok(DynamicStrategy::DynamicFrontier),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "unknown strategy '{other}' (full-static|naive|delta-screening|dynamic-frontier)"
+        ))),
+    }
+}
+
+fn parse_batch(body: &Json) -> Result<BatchUpdate, ApiError> {
+    let mut batch = BatchUpdate::new();
+    if let Some(insertions) = body.get("insertions") {
+        for (u, v, w) in parse_edge_list(insertions)? {
+            batch.insert(u, v, w);
+        }
+    }
+    if let Some(deletions) = body.get("deletions") {
+        let items = deletions
+            .as_array()
+            .ok_or_else(|| ApiError::bad_request("'deletions' must be an array of [u, v]"))?;
+        for item in items {
+            let parts = item
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ApiError::bad_request("each deletion must be [u, v]"))?;
+            batch.delete(parse_vertex_id(&parts[0])?, parse_vertex_id(&parts[1])?);
+        }
+    }
+    if batch.is_empty() {
+        return Err(ApiError::bad_request(
+            "batch has no insertions or deletions",
+        ));
+    }
+    Ok(batch)
+}
+
+/// Applies an edge batch: bumps the graph epoch and, when a current
+/// partition is cached, refreshes it incrementally through
+/// `gve-dynamic` instead of forcing clients to re-detect from scratch.
+fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let strategy = parse_strategy(&body)?;
+    let batch = parse_batch(&body)?;
+
+    let cell = state.registry.entry(name)?;
+    // Hold the entry lock across the whole apply: updates to one graph
+    // are serialized, other graphs stay available.
+    let mut entry = cell.lock().expect("entry lock poisoned");
+    let old_epoch = entry.epoch;
+    let new_epoch = old_epoch + 1;
+    let seeded = state
+        .cache
+        .latest(name)
+        .filter(|(key, _)| key.epoch == old_epoch)
+        .map(|(_, partition)| partition);
+
+    let started = Instant::now();
+    let mut refreshed = None;
+    let new_graph = match &seeded {
+        Some(partition) => {
+            let config = partition
+                .request
+                .to_config()
+                .map_err(ApiError::bad_request)?;
+            let mut dynamic = DynamicLeiden::from_state(
+                entry.graph.as_ref().clone(),
+                partition.membership.as_ref().clone(),
+                config,
+                strategy,
+            )
+            .map_err(ApiError::bad_request)?;
+            let result = dynamic.apply(&batch);
+            refreshed = Some((result, partition.request.clone()));
+            dynamic.graph().clone()
+        }
+        None => apply_batch(&entry.graph, &batch),
+    };
+    let seconds = started.elapsed().as_secs_f64();
+
+    entry.graph = Arc::new(new_graph);
+    entry.epoch = new_epoch;
+    entry.batches_applied += 1;
+    let graph = Arc::clone(&entry.graph);
+    drop(entry);
+
+    state
+        .updates
+        .batches_applied
+        .fetch_add(1, Ordering::Relaxed);
+    state
+        .updates
+        .edges_inserted
+        .fetch_add(batch.insertions.len() as u64, Ordering::Relaxed);
+    state
+        .updates
+        .edges_deleted
+        .fetch_add(batch.deletions.len() as u64, Ordering::Relaxed);
+
+    let mut fields = vec![
+        ("graph".to_string(), Json::from(name)),
+        ("epoch".to_string(), Json::from(new_epoch)),
+        ("vertices".to_string(), Json::from(graph.num_vertices())),
+        ("arcs".to_string(), Json::from(graph.num_arcs())),
+        ("insertions".to_string(), Json::from(batch.insertions.len())),
+        ("deletions".to_string(), Json::from(batch.deletions.len())),
+        ("strategy".to_string(), Json::from(strategy_label(strategy))),
+        ("seconds".to_string(), Json::from(seconds)),
+    ];
+    if let Some((result, detect_request)) = refreshed {
+        let modularity = gve_quality::modularity(&graph, &result.membership);
+        state.cache.insert(
+            crate::cache::PartitionKey {
+                graph: name.to_string(),
+                epoch: new_epoch,
+                fingerprint: detect_request.fingerprint(),
+            },
+            CachedPartition {
+                membership: Arc::new(result.membership),
+                num_communities: result.num_communities,
+                modularity,
+                seconds,
+                origin: PartitionOrigin::IncrementalRefresh,
+                request: detect_request,
+            },
+        );
+        state
+            .updates
+            .incremental_refreshes
+            .fetch_add(1, Ordering::Relaxed);
+        fields.push(("refreshed".to_string(), Json::from(true)));
+        fields.push((
+            "num_communities".to_string(),
+            Json::from(result.num_communities),
+        ));
+        fields.push(("modularity".to_string(), Json::from(modularity)));
+    } else {
+        fields.push(("refreshed".to_string(), Json::from(false)));
+    }
+    state.cache.evict_stale(name, new_epoch);
+    Ok(ok(200, Json::Obj(fields)))
+}
+
+fn strategy_label(strategy: DynamicStrategy) -> &'static str {
+    match strategy {
+        DynamicStrategy::FullStatic => "full-static",
+        DynamicStrategy::NaiveDynamic => "naive",
+        DynamicStrategy::DeltaScreening => "delta-screening",
+        DynamicStrategy::DynamicFrontier => "dynamic-frontier",
+    }
+}
+
+// ----------------------------------------------------------------- stats
+
+fn stats(state: &ServerState) -> Response {
+    let graphs: Vec<Json> = state
+        .registry
+        .names()
+        .iter()
+        .filter_map(|name| graph_json(state, name).ok())
+        .collect();
+    let body = Json::obj([
+        (
+            "uptime_seconds",
+            Json::from(state.started.elapsed().as_secs_f64()),
+        ),
+        ("graphs", Json::Arr(graphs)),
+        (
+            "jobs",
+            Json::obj([
+                (
+                    "submitted",
+                    Json::from(state.jobs.stats.submitted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "completed",
+                    Json::from(state.jobs.stats.completed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "failed",
+                    Json::from(state.jobs.stats.failed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "full_detections",
+                    Json::from(state.jobs.stats.full_detections.load(Ordering::Relaxed)),
+                ),
+                ("records", Json::from(state.jobs.len())),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                (
+                    "hits",
+                    Json::from(state.cache.stats.hits.load(Ordering::Relaxed)),
+                ),
+                (
+                    "misses",
+                    Json::from(state.cache.stats.misses.load(Ordering::Relaxed)),
+                ),
+                (
+                    "insertions",
+                    Json::from(state.cache.stats.insertions.load(Ordering::Relaxed)),
+                ),
+                (
+                    "evictions",
+                    Json::from(state.cache.stats.evictions.load(Ordering::Relaxed)),
+                ),
+                ("resident", Json::from(state.cache.len())),
+            ]),
+        ),
+        (
+            "updates",
+            Json::obj([
+                (
+                    "batches_applied",
+                    Json::from(state.updates.batches_applied.load(Ordering::Relaxed)),
+                ),
+                (
+                    "incremental_refreshes",
+                    Json::from(state.updates.incremental_refreshes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "edges_inserted",
+                    Json::from(state.updates.edges_inserted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "edges_deleted",
+                    Json::from(state.updates.edges_deleted.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ]);
+    ok(200, body)
+}

@@ -1,0 +1,428 @@
+//! Hand-rolled HTTP/1.1 server and client over `std::net`.
+//!
+//! Deliberately minimal — no TLS, no chunked transfer, no keep-alive —
+//! because the service's job mix is a few small JSON requests per
+//! second, not bulk transfer. One thread per connection, bounded by the
+//! accept loop; `Connection: close` on every response keeps lifecycle
+//! management trivial and curl-friendly.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on accepted request bodies (64 MiB) — a registry POST
+/// carrying an explicit edge list is the largest legitimate payload.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/graphs/web-1`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Lower-cased header names and their values.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path split into non-empty segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Body interpreted as UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad_request("body is not UTF-8"))
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Content type; the service always answers JSON.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Error while reading or parsing a request.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// Status code the error maps to.
+    pub status: u16,
+    /// Description sent back to the client.
+    pub message: String,
+}
+
+impl HttpError {
+    /// 400 with a message.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http {}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok());
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::bad_request(format!("cannot read request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header_line = String::new();
+        reader
+            .read_line(&mut header_line)
+            .map_err(|e| HttpError::bad_request(format!("cannot read header: {e}")))?;
+        let trimmed = header_line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+            }
+            headers.push((name, value));
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: "body too large".into(),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| HttpError::bad_request(format!("truncated body: {e}")))?;
+    }
+
+    Ok(Request {
+        method,
+        path: percent_decode(path_raw),
+        query: parse_query(query_raw),
+        headers,
+        body,
+    })
+}
+
+/// A running HTTP server; dropping the handle stops the accept loop.
+pub struct HttpServer {
+    port: u16,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (port 0 picks an ephemeral port) and serves every
+    /// connection on its own thread with `handler`.
+    pub fn start<F>(addr: impl ToSocketAddrs, handler: F) -> std::io::Result<HttpServer>
+    where
+        F: Fn(Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handler = Arc::new(handler);
+
+        let accept_thread = std::thread::Builder::new()
+            .name("gve-serve-accept".into())
+            .spawn(move || {
+                while !shutdown_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut stream, _peer)) => {
+                            let handler = Arc::clone(&handler);
+                            let _ = std::thread::Builder::new()
+                                .name("gve-serve-conn".into())
+                                .spawn(move || {
+                                    let _ = stream.set_nodelay(true);
+                                    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                                    let response = match read_request(&mut stream) {
+                                        Ok(request) => handler(request),
+                                        Err(e) => Response::json(
+                                            e.status,
+                                            format!("{{\"error\":{:?}}}", e.message),
+                                        ),
+                                    };
+                                    let _ = response.write_to(&mut stream);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+
+        Ok(HttpServer {
+            port,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Signals the accept loop to stop and waits for it.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Minimal blocking HTTP client: sends one request, reads the full
+/// response. Shared by `gve client` and the integration tests.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), std::io::Error> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let body_bytes = body.map(str::as_bytes).unwrap_or(&[]);
+    write!(
+        stream,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body_bytes.len()
+    )?;
+    stream.write_all(body_bytes)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_roundtrips_a_request() {
+        let mut server = HttpServer::start("127.0.0.1:0", |req| {
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo path");
+            assert_eq!(req.query_param("x"), Some("1 2"));
+            Response::json(200, format!("{{\"len\":{}}}", req.body.len()))
+        })
+        .unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let (status, body) =
+            client_request(&addr, "POST", "/echo%20path?x=1+2", Some("hello")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"len\":5}");
+        server.stop();
+    }
+
+    #[test]
+    fn segments_split_paths() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/graphs/web-1/communities/3".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(req.segments(), vec!["graphs", "web-1", "communities", "3"]);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_crashing() {
+        let mut server = HttpServer::start("127.0.0.1:0", |_| Response::json(200, "{}")).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        // The server survives and keeps answering.
+        let (status, _) = client_request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.stop();
+    }
+}

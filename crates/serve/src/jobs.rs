@@ -1,0 +1,531 @@
+//! Asynchronous detection jobs.
+//!
+//! Detect requests do not block the HTTP connection: the handler
+//! submits a job, the client gets an id back immediately and polls
+//! `GET /jobs/{id}` until the state reaches `done` (or `failed`). A
+//! small pool of worker threads drains the queue; each worker runs
+//! static GVE-Leiden on the graph's current snapshot and publishes the
+//! partition into the [`PartitionCache`](crate::cache::PartitionCache),
+//! so an identical request against the same graph epoch is a cache hit
+//! and never reaches the queue.
+
+use crate::cache::{CachedPartition, PartitionCache, PartitionKey, PartitionOrigin};
+use crate::json::Json;
+use crate::registry::GraphRegistry;
+use gve_leiden::{Leiden, LeidenConfig, Objective};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A parsed, validated detect request — the unit the cache fingerprints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectRequest {
+    /// `"modularity"` or `"cpm"`.
+    pub objective: String,
+    /// Resolution parameter γ.
+    pub resolution: f64,
+    /// RNG seed for randomized refinement.
+    pub seed: u64,
+    /// Cap on passes (default: library default).
+    pub max_passes: usize,
+}
+
+impl Default for DetectRequest {
+    fn default() -> Self {
+        let defaults = LeidenConfig::default();
+        Self {
+            objective: "modularity".to_string(),
+            resolution: 1.0,
+            seed: defaults.seed,
+            max_passes: defaults.max_passes,
+        }
+    }
+}
+
+impl DetectRequest {
+    /// Parses the JSON body of `POST /graphs/{name}/detect`. Absent
+    /// fields keep their defaults; unknown objectives are rejected.
+    pub fn from_json(body: &Json) -> Result<Self, String> {
+        let mut request = DetectRequest::default();
+        if let Some(objective) = body.get("objective").and_then(Json::as_str) {
+            match objective {
+                "modularity" | "cpm" => request.objective = objective.to_string(),
+                other => return Err(format!("unknown objective '{other}' (modularity|cpm)")),
+            }
+        }
+        if let Some(resolution) = body.get("resolution").and_then(Json::as_f64) {
+            request.resolution = resolution;
+        }
+        if let Some(seed) = body.get("seed").and_then(Json::as_u64) {
+            request.seed = seed;
+        }
+        if let Some(max_passes) = body.get("max_passes").and_then(Json::as_u64) {
+            request.max_passes = max_passes as usize;
+        }
+        request.to_config()?; // surface invalid configs at submit time
+        Ok(request)
+    }
+
+    /// The equivalent `LeidenConfig`.
+    pub fn to_config(&self) -> Result<LeidenConfig, String> {
+        let objective = match self.objective.as_str() {
+            "modularity" => Objective::Modularity {
+                resolution: self.resolution,
+            },
+            "cpm" => Objective::Cpm {
+                resolution: self.resolution,
+            },
+            other => return Err(format!("unknown objective '{other}'")),
+        };
+        let mut config = LeidenConfig::default().objective(objective).seed(self.seed);
+        config.max_passes = self.max_passes;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Stable fingerprint for cache keying (FNV-1a over the canonical
+    /// textual form, so semantically equal requests collide on purpose).
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = format!(
+            "objective={};resolution={};seed={};max_passes={}",
+            self.objective, self.resolution, self.seed, self.max_passes
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// JSON echo of the request (reported in job records).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("objective", Json::from(self.objective.as_str())),
+            ("resolution", Json::from(self.resolution)),
+            ("seed", Json::from(self.seed)),
+            ("max_passes", Json::from(self.max_passes)),
+        ])
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is computing.
+    Running,
+    /// Finished; the partition is in the cache.
+    Done,
+    /// The computation errored.
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One detect job, as reported by `GET /jobs/{id}`.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Target graph.
+    pub graph: String,
+    /// The request that created the job.
+    pub request: DetectRequest,
+    /// Current state.
+    pub state: JobState,
+    /// Whether the answer came straight from the cache.
+    pub cached: bool,
+    /// Cache key of the resulting partition (set once known).
+    pub key: Option<PartitionKey>,
+    /// Error message for failed jobs.
+    pub error: Option<String>,
+    /// Compute seconds for completed jobs.
+    pub seconds: Option<f64>,
+}
+
+impl JobRecord {
+    /// JSON form for the API (includes partition summary when done).
+    pub fn to_json(&self, cache: &PartitionCache) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::from(self.id)),
+            ("graph".to_string(), Json::from(self.graph.as_str())),
+            ("state".to_string(), Json::from(self.state.label())),
+            ("cached".to_string(), Json::from(self.cached)),
+            ("request".to_string(), self.request.to_json()),
+        ];
+        if let Some(error) = &self.error {
+            fields.push(("error".to_string(), Json::from(error.as_str())));
+        }
+        if let Some(seconds) = self.seconds {
+            fields.push(("seconds".to_string(), Json::from(seconds)));
+        }
+        if let (JobState::Done, Some(key)) = (self.state, &self.key) {
+            if let Some(partition) = cache.peek(key) {
+                fields.push(("epoch".to_string(), Json::from(key.epoch)));
+                fields.push((
+                    "num_communities".to_string(),
+                    Json::from(partition.num_communities),
+                ));
+                fields.push(("modularity".to_string(), Json::from(partition.modularity)));
+                fields.push(("origin".to_string(), Json::from(partition.origin.label())));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Counters exported through `/stats`.
+#[derive(Debug, Default)]
+pub struct JobStats {
+    /// Jobs accepted (including instant cache hits).
+    pub submitted: AtomicU64,
+    /// Jobs that finished successfully (cache hits count).
+    pub completed: AtomicU64,
+    /// Jobs that failed.
+    pub failed: AtomicU64,
+    /// Full static detections actually executed by workers.
+    pub full_detections: AtomicU64,
+}
+
+/// The background worker pool plus the job table.
+pub struct JobEngine {
+    registry: Arc<GraphRegistry>,
+    cache: Arc<PartitionCache>,
+    records: Arc<Mutex<HashMap<u64, JobRecord>>>,
+    sender: crossbeam::channel::Sender<u64>,
+    next_id: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Counter block (public for `/stats` reporting).
+    pub stats: Arc<JobStats>,
+}
+
+impl JobEngine {
+    /// Starts `worker_count` worker threads (minimum 1).
+    pub fn start(
+        registry: Arc<GraphRegistry>,
+        cache: Arc<PartitionCache>,
+        worker_count: usize,
+    ) -> Self {
+        let (sender, receiver) = crossbeam::channel::unbounded::<u64>();
+        let records = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(JobStats::default());
+        let mut workers = Vec::new();
+        for worker in 0..worker_count.max(1) {
+            let receiver = receiver.clone();
+            let registry = Arc::clone(&registry);
+            let cache = Arc::clone(&cache);
+            let records = Arc::clone(&records);
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gve-serve-worker-{worker}"))
+                    .spawn(move || {
+                        worker_loop(&receiver, &registry, &cache, &records, &shutdown, &stats)
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        Self {
+            registry,
+            cache,
+            records,
+            sender,
+            next_id: AtomicU64::new(1),
+            shutdown,
+            workers: Mutex::new(workers),
+            stats,
+        }
+    }
+
+    /// Submits a detect request against `graph`. Returns the job record:
+    /// already `Done` (with `cached = true`) on a cache hit, otherwise
+    /// `Queued` for the worker pool.
+    pub fn submit(&self, graph: &str, request: DetectRequest) -> Result<JobRecord, String> {
+        let entry = self.registry.snapshot(graph).map_err(|e| e.to_string())?;
+        let key = PartitionKey {
+            graph: graph.to_string(),
+            epoch: entry.epoch,
+            fingerprint: request.fingerprint(),
+        };
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let hit = self.cache.get(&key).is_some();
+        let record = JobRecord {
+            id,
+            graph: graph.to_string(),
+            request,
+            state: if hit {
+                JobState::Done
+            } else {
+                JobState::Queued
+            },
+            cached: hit,
+            key: Some(key),
+            error: None,
+            seconds: if hit { Some(0.0) } else { None },
+        };
+        self.records
+            .lock()
+            .expect("job table poisoned")
+            .insert(id, record.clone());
+        if hit {
+            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sender
+                .send(id)
+                .map_err(|_| "job queue closed".to_string())?;
+        }
+        Ok(record)
+    }
+
+    /// Looks up a job record.
+    pub fn job(&self, id: u64) -> Option<JobRecord> {
+        self.records
+            .lock()
+            .expect("job table poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Cancels a job if it is still queued. Returns the new state, or
+    /// `None` for unknown ids.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let mut records = self.records.lock().expect("job table poisoned");
+        let record = records.get_mut(&id)?;
+        if record.state == JobState::Queued {
+            record.state = JobState::Cancelled;
+        }
+        Some(record.state)
+    }
+
+    /// Number of job records retained.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("job table poisoned").len()
+    }
+
+    /// True when no job has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until `id` leaves the queued/running states or `timeout`
+    /// elapses. Test/CLI convenience — the HTTP API itself only polls.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobRecord> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let record = self.job(id)?;
+            match record.state {
+                JobState::Queued | JobState::Running => {
+                    if Instant::now() >= deadline {
+                        return Some(record);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => return Some(record),
+            }
+        }
+    }
+
+    /// Stops the worker pool (idempotent).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self
+            .workers
+            .lock()
+            .expect("worker table poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    receiver: &crossbeam::channel::Receiver<u64>,
+    registry: &GraphRegistry,
+    cache: &PartitionCache,
+    records: &Mutex<HashMap<u64, JobRecord>>,
+    shutdown: &AtomicBool,
+    stats: &JobStats,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = match receiver.recv_timeout(Duration::from_millis(20)) {
+            Ok(id) => id,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        };
+        let (graph_name, request) = {
+            let mut table = records.lock().expect("job table poisoned");
+            let Some(record) = table.get_mut(&id) else {
+                continue;
+            };
+            if record.state != JobState::Queued {
+                continue; // cancelled while waiting
+            }
+            record.state = JobState::Running;
+            (record.graph.clone(), record.request.clone())
+        };
+        let outcome = run_detection(registry, cache, &graph_name, &request, stats);
+        let mut table = records.lock().expect("job table poisoned");
+        let Some(record) = table.get_mut(&id) else {
+            continue;
+        };
+        match outcome {
+            Ok((key, seconds)) => {
+                record.state = JobState::Done;
+                record.key = Some(key);
+                record.seconds = Some(seconds);
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(message) => {
+                record.state = JobState::Failed;
+                record.error = Some(message);
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Runs one full static detection and publishes it into the cache.
+/// Re-snapshots the graph so the partition is keyed to the epoch it was
+/// actually computed against (the graph may have advanced since submit).
+fn run_detection(
+    registry: &GraphRegistry,
+    cache: &PartitionCache,
+    graph_name: &str,
+    request: &DetectRequest,
+    stats: &JobStats,
+) -> Result<(PartitionKey, f64), String> {
+    let entry = registry.snapshot(graph_name).map_err(|e| e.to_string())?;
+    let key = PartitionKey {
+        graph: graph_name.to_string(),
+        epoch: entry.epoch,
+        fingerprint: request.fingerprint(),
+    };
+    // Another worker may have raced us to the same key.
+    if cache.peek(&key).is_some() {
+        return Ok((key, 0.0));
+    }
+    let config = request.to_config()?;
+    let graph = Arc::clone(&entry.graph);
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| Leiden::new(config).run(&graph)))
+        .map_err(|_| "detection panicked".to_string())?;
+    let seconds = started.elapsed().as_secs_f64();
+    stats.full_detections.fetch_add(1, Ordering::Relaxed);
+    let modularity = gve_quality::modularity(&graph, &result.membership);
+    cache.insert(
+        key.clone(),
+        CachedPartition {
+            membership: Arc::new(result.membership),
+            num_communities: result.num_communities,
+            modularity,
+            seconds,
+            origin: PartitionOrigin::Detection,
+            request: request.clone(),
+        },
+    );
+    Ok((key, seconds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::GraphSource;
+    use gve_generate::PlantedPartition;
+
+    fn engine_with_graph(name: &str) -> (JobEngine, Arc<PartitionCache>) {
+        let registry = Arc::new(GraphRegistry::new());
+        let cache = Arc::new(PartitionCache::new());
+        let planted = PlantedPartition::new(300, 6, 10.0, 0.5).seed(11).generate();
+        registry
+            .register(name, planted.graph, GraphSource::Generated("sbm".into()))
+            .unwrap();
+        (
+            JobEngine::start(Arc::clone(&registry), Arc::clone(&cache), 2),
+            cache,
+        )
+    }
+
+    #[test]
+    fn detect_request_parsing_and_fingerprint() {
+        let body = crate::json::parse(r#"{"objective":"cpm","resolution":0.05,"seed":7}"#).unwrap();
+        let request = DetectRequest::from_json(&body).unwrap();
+        assert_eq!(request.objective, "cpm");
+        assert_eq!(request.seed, 7);
+        assert_eq!(request.fingerprint(), request.clone().fingerprint());
+        assert_ne!(
+            request.fingerprint(),
+            DetectRequest::default().fingerprint()
+        );
+        let bad = crate::json::parse(r#"{"objective":"louvain"}"#).unwrap();
+        assert!(DetectRequest::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn job_runs_to_done_and_second_submit_hits_cache() {
+        let (engine, cache) = engine_with_graph("sbm");
+        let first = engine.submit("sbm", DetectRequest::default()).unwrap();
+        assert!(!first.cached);
+        let record = engine.wait(first.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(record.state, JobState::Done, "error: {:?}", record.error);
+        let partition = cache.peek(record.key.as_ref().unwrap()).unwrap();
+        assert!(partition.num_communities > 1);
+        assert!(partition.modularity > 0.2);
+
+        let second = engine.submit("sbm", DetectRequest::default()).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.state, JobState::Done);
+        assert_eq!(engine.stats.full_detections.load(Ordering::Relaxed), 1);
+
+        // Different config → different fingerprint → real work again.
+        let other = DetectRequest {
+            seed: 99,
+            ..DetectRequest::default()
+        };
+        let third = engine.submit("sbm", other).unwrap();
+        assert!(!third.cached);
+        let third = engine.wait(third.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(third.state, JobState::Done);
+        engine.stop();
+    }
+
+    #[test]
+    fn unknown_graph_fails_at_submit_and_cancel_works_on_queued() {
+        let (engine, _cache) = engine_with_graph("sbm");
+        assert!(engine.submit("nope", DetectRequest::default()).is_err());
+        assert!(engine.cancel(424242).is_none());
+        engine.stop();
+        assert!(engine.is_empty());
+    }
+}

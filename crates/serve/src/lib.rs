@@ -1,0 +1,171 @@
+//! `gve-serve`: a resident community-detection service.
+//!
+//! The batch CLI answers one question per process: load a graph, run
+//! GVE-Leiden, print. This crate keeps the expensive state *resident*
+//! instead — graphs stay loaded, partitions stay cached, and edge
+//! updates are folded in incrementally through `gve-dynamic` — behind a
+//! deliberately dependency-free HTTP/1.1 + JSON surface built on
+//! `std::net`:
+//!
+//! * [`registry`] — named graphs held as `Arc<CsrGraph>` snapshots with
+//!   a monotone **epoch** bumped on every update batch;
+//! * [`jobs`] — asynchronous detection: submit, poll, cancel, with a
+//!   worker pool doing the computing;
+//! * [`cache`] — partitions memoized by `(graph, epoch, config
+//!   fingerprint)`; identical requests are instant cache hits;
+//! * [`handlers`] + [`http`] + [`json`] — the wire layer.
+//!
+//! ```no_run
+//! let server = gve_serve::Server::start(&gve_serve::ServeConfig::default()).unwrap();
+//! println!("listening on 127.0.0.1:{}", server.port());
+//! server.join();
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod registry;
+
+pub use http::client_request;
+
+use cache::PartitionCache;
+use jobs::JobEngine;
+use registry::GraphRegistry;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Detection worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7461".to_string(),
+            workers: 2,
+        }
+    }
+}
+
+/// Counters for the dynamic-update path, exported through `/stats`.
+#[derive(Debug, Default)]
+pub struct UpdateStats {
+    /// Edge batches applied.
+    pub batches_applied: AtomicU64,
+    /// Batches that also refreshed a cached partition incrementally.
+    pub incremental_refreshes: AtomicU64,
+    /// Total edge insertions ingested.
+    pub edges_inserted: AtomicU64,
+    /// Total edge deletions ingested.
+    pub edges_deleted: AtomicU64,
+}
+
+/// Shared state behind every connection thread.
+pub struct ServerState {
+    /// Named graphs.
+    pub registry: Arc<GraphRegistry>,
+    /// Memoized partitions.
+    pub cache: Arc<PartitionCache>,
+    /// Detection job engine.
+    pub jobs: JobEngine,
+    /// Update-path counters.
+    pub updates: UpdateStats,
+    /// Server start time (for `/stats` uptime).
+    pub started: Instant,
+}
+
+impl ServerState {
+    /// Builds the state and starts `workers` detection workers.
+    pub fn new(workers: usize) -> Arc<Self> {
+        let registry = Arc::new(GraphRegistry::new());
+        let cache = Arc::new(PartitionCache::new());
+        let jobs = JobEngine::start(Arc::clone(&registry), Arc::clone(&cache), workers);
+        Arc::new(Self {
+            registry,
+            cache,
+            jobs,
+            updates: UpdateStats::default(),
+            started: Instant::now(),
+        })
+    }
+}
+
+/// A running service: HTTP front end plus worker pool.
+pub struct Server {
+    http: http::HttpServer,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds and starts serving.
+    pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
+        let state = ServerState::new(config.workers);
+        let handler_state = Arc::clone(&state);
+        let http = http::HttpServer::start(config.addr.as_str(), move |request| {
+            handlers::handle(&handler_state, &request)
+        })?;
+        Ok(Server { http, state })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.http.port()
+    }
+
+    /// The shared state (tests inspect counters directly).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Blocks the calling thread forever (the accept loop and workers
+    /// run on their own threads). Used by `gve serve`.
+    pub fn join(&self) {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    /// Stops the HTTP front end and the worker pool.
+    pub fn stop(&mut self) {
+        self.http.stop();
+        self.state.jobs.stop();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_boots_on_ephemeral_port_and_answers_health() {
+        let mut server = Server::start(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+        })
+        .unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let (status, body) = client_request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+        let (status, _) = client_request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+    }
+}

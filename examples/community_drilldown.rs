@@ -22,8 +22,10 @@ fn main() {
     );
 
     // Detect with the hierarchy recorded.
-    let mut config = LeidenConfig::default();
-    config.record_dendrogram = true;
+    let config = LeidenConfig {
+        record_dendrogram: true,
+        ..LeidenConfig::default()
+    };
     let result = Leiden::new(config).run(graph);
     println!(
         "\ndetected {} communities in {} passes (NMI vs planted: {:.3})",
@@ -54,10 +56,9 @@ fn main() {
         sub.graph.num_vertices(),
         sub.graph.num_arcs()
     );
-    let fine = Leiden::new(
-        LeidenConfig::default().objective(Objective::Modularity { resolution: 4.0 }),
-    )
-    .run(&sub.graph);
+    let fine =
+        Leiden::new(LeidenConfig::default().objective(Objective::Modularity { resolution: 4.0 }))
+            .run(&sub.graph);
     println!(
         "  at resolution 4.0 it splits into {} sub-communities (Q = {:.4})",
         fine.num_communities,

@@ -18,7 +18,9 @@ use gve::quality;
 use std::time::Instant;
 
 fn main() {
-    let planted = PlantedPartition::new(8000, 20, 14.0, 1.0).seed(1).generate();
+    let planted = PlantedPartition::new(8000, 20, 14.0, 1.0)
+        .seed(1)
+        .generate();
     println!(
         "initial graph: |V| = {}, |E| = {}",
         planted.graph.num_vertices(),

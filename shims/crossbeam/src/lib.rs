@@ -1,0 +1,136 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! [`queue::SegQueue`] (a concurrent MPMC queue, here a mutexed
+//! `VecDeque`) and [`channel`] (re-exported `std::sync::mpsc` shapes).
+//! Correctness over throughput: every operation takes a lock.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue (mutexed stand-in for the lock-free
+    /// segmented queue).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element at the back.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .expect("SegQueue poisoned")
+                .push_back(value);
+        }
+
+        /// Pops the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        /// True when the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// MPSC channels with a crossbeam-flavoured API.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel. Cloneable (workers may
+    /// share it), unlike `std::sync::mpsc::Receiver`.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("receiver poisoned").recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().expect("receiver poisoned").try_recv()
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .expect("receiver poisoned")
+                .recv_timeout(timeout)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::queue::SegQueue;
+
+    #[test]
+    fn segqueue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn channel_roundtrip_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let rx2 = rx.clone();
+        let handle = std::thread::spawn(move || rx2.recv().unwrap());
+        tx.send(42u32).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,555 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace
+//! uses, so the repo builds and tests in network-less containers where
+//! the real crates.io `rayon` is unavailable.
+//!
+//! Semantics, not performance parity:
+//!
+//! * [`broadcast`] runs the closure once per logical worker on **real
+//!   OS threads** (`std::thread::scope`), with a thread-local worker
+//!   index behind [`current_thread_index`]. This is the primitive
+//!   `gve_prim::parfor::dynamic_workers` builds its OpenMP-style
+//!   dynamic loops on, so the Leiden hot paths stay genuinely parallel
+//!   and every atomics/contention code path is still exercised.
+//! * The `prelude` iterator combinators (`par_iter`, `into_par_iter`,
+//!   `par_chunks`, ...) are sequential adapters over `std` iterators:
+//!   identical results, no data parallelism.
+//! * [`ThreadPoolBuilder`]/[`ThreadPool::install`] scope a logical
+//!   thread count that [`current_num_threads`] and [`broadcast`]
+//!   observe, so thread-count sweeps (`fig9_scaling`,
+//!   color-synchronous determinism tests) behave meaningfully.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Worker index inside a `broadcast`, `None` outside one.
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Logical pool size installed by `ThreadPool::install`.
+    static POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Number of logical worker threads of the current (scoped) pool.
+pub fn current_num_threads() -> usize {
+    POOL_SIZE.with(|p| p.get()).unwrap_or_else(hardware_threads)
+}
+
+/// Index of the current worker inside a [`broadcast`], if any.
+pub fn current_thread_index() -> Option<usize> {
+    THREAD_INDEX.with(|t| t.get())
+}
+
+/// Context handed to every [`broadcast`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastContext {
+    index: usize,
+    num_threads: usize,
+}
+
+impl BroadcastContext {
+    /// This worker's index in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers participating in the broadcast.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs `f` once on every logical worker thread and collects the
+/// results in worker order. Workers are real OS threads.
+pub fn broadcast<F, R>(f: F) -> Vec<R>
+where
+    F: Fn(BroadcastContext) -> R + Sync,
+    R: Send,
+{
+    let n = current_num_threads();
+    if n <= 1 {
+        let previous = THREAD_INDEX.with(|t| t.replace(Some(0)));
+        let result = f(BroadcastContext {
+            index: 0,
+            num_threads: 1,
+        });
+        THREAD_INDEX.with(|t| t.set(previous));
+        return vec![result];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|index| {
+                scope.spawn(move || {
+                    THREAD_INDEX.with(|t| t.set(Some(index)));
+                    POOL_SIZE.with(|p| p.set(Some(n)));
+                    f(BroadcastContext {
+                        index,
+                        num_threads: n,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("broadcast worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `a` and `b`, returning both results (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Error type produced by [`ThreadPoolBuilder::build`]. Never actually
+/// constructed by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (hardware) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the logical thread count; `0` means the hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a logical pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Installs the pool size as the process-wide default for the
+    /// calling thread (best-effort shim of `build_global`).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        POOL_SIZE.with(|p| p.set(Some(n)));
+        Ok(())
+    }
+}
+
+/// A logical thread pool: it scopes the thread count that
+/// [`current_num_threads`] and [`broadcast`] observe.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = POOL_SIZE.with(|p| p.replace(Some(self.num_threads)));
+        let result = f();
+        POOL_SIZE.with(|p| p.set(previous));
+        result
+    }
+
+    /// The pool's logical thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod iter {
+    /// Wrapper over a `std` iterator exposing rayon-named combinators.
+    pub struct ParIter<I> {
+        inner: I,
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        /// Wraps a sequential iterator.
+        pub fn new(inner: I) -> Self {
+            Self { inner }
+        }
+
+        /// Maps every item.
+        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter::new(self.inner.map(f))
+        }
+
+        /// Keeps items matching the predicate.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter::new(self.inner.filter(f))
+        }
+
+        /// Filter + map in one pass.
+        pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter::new(self.inner.filter_map(f))
+        }
+
+        /// Maps every item to an iterator and flattens.
+        pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+            ParIter::new(self.inner.flat_map(f))
+        }
+
+        /// Rayon's serial-inner-iterator variant of `flat_map`; the
+        /// sequential shim treats them identically.
+        pub fn flat_map_iter<O: IntoIterator, F: FnMut(I::Item) -> O>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+            ParIter::new(self.inner.flat_map(f))
+        }
+
+        /// Pairs items with their index.
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter::new(self.inner.enumerate())
+        }
+
+        /// Zips with another parallel iterator.
+        pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
+            ParIter::new(self.inner.zip(other.into_par_iter().inner))
+        }
+
+        /// No-op splitting hint, for API compatibility.
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        /// No-op splitting hint, for API compatibility.
+        pub fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+
+        /// Runs `f` on every item.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.inner.for_each(f)
+        }
+
+        /// Rayon-style fold: per-worker accumulator seeded by
+        /// `identity`. Sequentially there is one worker, hence one
+        /// folded value.
+        pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<A>>
+        where
+            ID: Fn() -> A,
+            F: FnMut(A, I::Item) -> A,
+        {
+            ParIter::new(std::iter::once(self.inner.fold(identity(), fold_op)))
+        }
+
+        /// Rayon-style reduce with an identity factory.
+        pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            F: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.inner.fold(identity(), reduce_op)
+        }
+
+        /// Sums the items.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.inner.sum()
+        }
+
+        /// Counts the items.
+        pub fn count(self) -> usize {
+            self.inner.count()
+        }
+
+        /// Maximum item.
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.inner.max()
+        }
+
+        /// Minimum item.
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.inner.min()
+        }
+
+        /// Collects into any `FromIterator` container.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.inner.collect()
+        }
+
+        /// True if any item satisfies the predicate.
+        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut inner = self.inner;
+            let f = f;
+            inner.any(f)
+        }
+
+        /// True if all items satisfy the predicate.
+        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut inner = self.inner;
+            let f = f;
+            inner.all(f)
+        }
+
+        /// First item matching the predicate (sequential stand-in for
+        /// rayon's "any match" search).
+        pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+            let mut inner = self.inner;
+            let mut f = f;
+            inner.find(move |x| f(x))
+        }
+    }
+
+    /// Conversion into a (sequential) parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts into the iterator wrapper.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+        type Item = I::Item;
+        type Iter = I;
+        fn into_par_iter(self) -> ParIter<I> {
+            self
+        }
+    }
+
+    macro_rules! impl_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = std::ops::Range<$t>;
+                fn into_par_iter(self) -> ParIter<Self::Iter> {
+                    ParIter::new(self)
+                }
+            }
+        )*};
+    }
+    impl_range!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter())
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter())
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a mut [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter_mut())
+        }
+    }
+
+    /// `par_iter` / `par_iter_mut` on slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type (a reference).
+        type Item;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Borrowing parallel iterator.
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoParallelIterator,
+    {
+        type Item = <&'data C as IntoParallelIterator>::Item;
+        type Iter = <&'data C as IntoParallelIterator>::Iter;
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            self.into_par_iter()
+        }
+    }
+
+    /// Mutable borrowing counterpart of [`IntoParallelRefIterator`].
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type (a mutable reference).
+        type Item;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Mutably borrowing parallel iterator.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter_mut())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter_mut())
+        }
+    }
+
+    /// Chunking views over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter::new(self.chunks(size))
+        }
+    }
+
+    /// Chunking and sorting over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+        /// Sequential stand-in for `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Sequential stand-in for `par_sort_unstable_by_key`.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+        /// Sequential stand-in for `par_sort_unstable_by`.
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter::new(self.chunks_mut(size))
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.sort_unstable_by_key(key);
+        }
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+            self.sort_unstable_by(compare);
+        }
+    }
+}
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_once_per_worker_with_distinct_indices() {
+        let hits = AtomicUsize::new(0);
+        let indices = super::broadcast(|ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(super::current_thread_index(), Some(ctx.index()));
+            ctx.index()
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), super::current_num_threads());
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..super::current_num_threads()).collect::<Vec<_>>()
+        );
+        assert_eq!(super::current_thread_index(), None);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        let results = pool.install(|| super::broadcast(|ctx| ctx.num_threads()));
+        assert_eq!(results, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn sequential_combinators_match_std() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let sum: u32 = (0u32..10).into_par_iter().sum();
+        assert_eq!(sum, 45);
+        let folded = (0u32..10)
+            .into_par_iter()
+            .fold(|| 0u32, |a, b| a + b)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(folded, 45);
+        let mut data = vec![3, 1, 2];
+        data.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+}

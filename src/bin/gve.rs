@@ -18,10 +18,12 @@ fn usage() -> ! {
          gve generate --class <web|social|road|kmer|er|lfr> --vertices <n> \
          [--degree <f>] [--seed <n>] --out <path>\n  \
          gve detect <graph> [--algorithm <leiden|louvain|seq-leiden|seq-louvain|nk-leiden>] \
-         [--objective <modularity|cpm>] [--resolution <f>] [--out <path>]\n  \
+         [--objective <modularity|cpm>] [--resolution <f>] [--threads <n>] [--out <path>]\n  \
          gve quality <graph> <membership> [--detail <n>]\n  \
          gve stats <graph>\n  \
-         gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)"
+         gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
+         gve serve [--addr <host:port>] [--workers <n>] [--load <name>=<path>]...\n  \
+         gve client <method> <path> [--addr <host:port>] [--body <json>|--body-file <path>]"
     );
     exit(2);
 }
@@ -34,6 +36,8 @@ fn main() {
         Some("quality") => cmd_quality(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => usage(),
     }
 }
@@ -62,31 +66,44 @@ fn cmd_generate(args: &[String]) {
     let out = flag_value(args, "--out").unwrap_or_else(|| usage());
 
     let graph = match class {
-        "web" => gve::generate::PlantedPartition::new(
-            vertices,
-            (vertices / 256).max(4),
-            degree * 0.85,
-            degree * 0.15,
-        )
-        .seed(seed)
-        .generate()
-        .graph,
-        "social" => gve::generate::PlantedPartition::new(
-            vertices,
-            (vertices / 512).max(16),
-            degree * 0.7,
-            degree * 0.3,
-        )
-        .seed(seed)
-        .generate()
-        .graph,
+        "web" => {
+            gve::generate::PlantedPartition::new(
+                vertices,
+                (vertices / 256).max(4),
+                degree * 0.85,
+                degree * 0.15,
+            )
+            .seed(seed)
+            .generate()
+            .graph
+        }
+        "social" => {
+            gve::generate::PlantedPartition::new(
+                vertices,
+                (vertices / 512).max(16),
+                degree * 0.7,
+                degree * 0.3,
+            )
+            .seed(seed)
+            .generate()
+            .graph
+        }
         "road" => {
             let width = (vertices as f64).sqrt().ceil() as usize;
             gve::generate::grid::road_grid(width, vertices.div_ceil(width), degree, seed)
         }
         "kmer" => gve::generate::kmer::kmer_chains(vertices, 16, 0.05, seed),
-        "er" => gve::generate::er::erdos_renyi(vertices, (vertices as f64 * degree / 2.0) as usize, seed),
-        "lfr" => gve::generate::Lfr::new(vertices, degree, 0.3).seed(seed).generate().graph,
+        "er" => gve::generate::er::erdos_renyi(
+            vertices,
+            (vertices as f64 * degree / 2.0) as usize,
+            seed,
+        ),
+        "lfr" => {
+            gve::generate::Lfr::new(vertices, degree, 0.3)
+                .seed(seed)
+                .generate()
+                .graph
+        }
         other => {
             eprintln!("unknown class {other}");
             usage()
@@ -169,18 +186,45 @@ fn cmd_detect(args: &[String]) {
         }
     };
     let leiden_config = gve::leiden::LeidenConfig::default().objective(objective);
+    if let Err(e) = leiden_config.validate() {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+
+    let run = || -> Vec<VertexId> {
+        match algorithm {
+            "leiden" => {
+                gve::leiden::Leiden::new(leiden_config)
+                    .run(&graph)
+                    .membership
+            }
+            "louvain" => gve::louvain::louvain(&graph).membership,
+            "seq-leiden" => gve::baselines::seq::sequential_leiden(&graph).membership,
+            "seq-louvain" => gve::louvain::seq::sequential_louvain(&graph, 1e-6, 10).membership,
+            "nk-leiden" => gve::baselines::nk::nk_leiden(&graph).membership,
+            other => {
+                eprintln!("unknown algorithm {other}");
+                usage()
+            }
+        }
+    };
 
     let start = std::time::Instant::now();
-    let membership: Vec<VertexId> = match algorithm {
-        "leiden" => gve::leiden::Leiden::new(leiden_config).run(&graph).membership,
-        "louvain" => gve::louvain::louvain(&graph).membership,
-        "seq-leiden" => gve::baselines::seq::sequential_leiden(&graph).membership,
-        "seq-louvain" => gve::louvain::seq::sequential_louvain(&graph, 1e-6, 10).membership,
-        "nk-leiden" => gve::baselines::nk::nk_leiden(&graph).membership,
-        other => {
-            eprintln!("unknown algorithm {other}");
-            usage()
+    let membership: Vec<VertexId> = match flag_value(args, "--threads") {
+        Some(raw) => {
+            let threads: usize = raw.parse().expect("bad --threads");
+            if threads == 0 {
+                eprintln!("--threads must be >= 1");
+                exit(2);
+            }
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build thread pool");
+            eprintln!("running on {threads} threads");
+            pool.install(run)
         }
+        None => run(),
     };
     let elapsed = start.elapsed();
 
@@ -211,6 +255,86 @@ fn cmd_detect(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    let addr = flag_value(args, "--addr")
+        .unwrap_or("127.0.0.1:7461")
+        .to_string();
+    let workers: usize = flag_value(args, "--workers")
+        .unwrap_or("2")
+        .parse()
+        .expect("bad --workers");
+    let config = gve::serve::ServeConfig { addr, workers };
+    let server = gve::serve::Server::start(&config).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {}: {e}", config.addr);
+        exit(1);
+    });
+
+    // Preload graphs passed as repeated --load name=path flags.
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg != "--load" {
+            continue;
+        }
+        let spec = iter.next().unwrap_or_else(|| usage());
+        let (name, path) = spec.split_once('=').unwrap_or_else(|| {
+            eprintln!("--load expects name=path, got {spec}");
+            exit(2);
+        });
+        match server.state().registry.register_from_path(name, path) {
+            Ok(entry) => eprintln!(
+                "loaded '{name}' from {path}: |V| = {}, |E| = {}",
+                entry.graph.num_vertices(),
+                entry.graph.num_arcs()
+            ),
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    eprintln!(
+        "gve-serve listening on port {} with {} detection workers \
+         (try: curl http://127.0.0.1:{}/healthz)",
+        server.port(),
+        workers,
+        server.port()
+    );
+    server.join();
+}
+
+fn cmd_client(args: &[String]) {
+    let (method, path) = match (args.first(), args.get(1)) {
+        (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.as_str()),
+        _ => usage(),
+    };
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7461");
+    let body_owned;
+    let body = match (flag_value(args, "--body"), flag_value(args, "--body-file")) {
+        (Some(inline), _) => Some(inline),
+        (None, Some(file)) => {
+            body_owned = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {file}: {e}");
+                exit(1);
+            });
+            Some(body_owned.as_str())
+        }
+        (None, None) => None,
+    };
+    match gve::serve::client_request(addr, &method, path, body) {
+        Ok((status, response)) => {
+            println!("{response}");
+            if status >= 400 {
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: request to {addr} failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_quality(args: &[String]) {
     let (graph_path, membership_path) = match (args.first(), args.get(1)) {
         (Some(g), Some(m)) => (g, m),
@@ -232,13 +356,22 @@ fn cmd_quality(args: &[String]) {
         let v: usize = parts
             .next()
             .and_then(|t| t.parse().ok())
-            .unwrap_or_else(|| panic!("bad vertex at line {}", lineno + 1));
+            .unwrap_or_else(|| {
+                eprintln!("error: bad vertex at line {}", lineno + 1);
+                exit(1);
+            });
         let c: VertexId = parts
             .next()
             .and_then(|t| t.parse().ok())
-            .unwrap_or_else(|| panic!("bad community at line {}", lineno + 1));
+            .unwrap_or_else(|| {
+                eprintln!("error: bad community at line {}", lineno + 1);
+                exit(1);
+            });
         if v >= membership.len() {
-            eprintln!("error: membership names vertex {v} but the graph has only {} vertices", membership.len());
+            eprintln!(
+                "error: membership names vertex {v} but the graph has only {} vertices",
+                membership.len()
+            );
             exit(1);
         }
         membership[v] = c;
@@ -257,7 +390,10 @@ fn cmd_quality(args: &[String]) {
 
     let q = quality::modularity(&graph, &membership);
     let report = quality::disconnected_communities(&graph, &membership);
-    println!("communities:       {}", quality::community_count(&membership));
+    println!(
+        "communities:       {}",
+        quality::community_count(&membership)
+    );
     println!("modularity:        {q:.4}");
     println!("cpm (gamma=1/2m):  {:.4}", {
         let two_m = graph.total_arc_weight();

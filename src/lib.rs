@@ -20,3 +20,4 @@ pub use gve_leiden as leiden;
 pub use gve_louvain as louvain;
 pub use gve_prim as prim;
 pub use gve_quality as quality;
+pub use gve_serve as serve;

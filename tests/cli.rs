@@ -22,12 +22,25 @@ fn generate_detect_quality_pipeline() {
 
     let out = gve()
         .args([
-            "generate", "--class", "web", "--vertices", "2000", "--degree", "10", "--seed", "3",
-            "--out", graph.to_str().unwrap(),
+            "generate",
+            "--class",
+            "web",
+            "--vertices",
+            "2000",
+            "--degree",
+            "10",
+            "--seed",
+            "3",
+            "--out",
+            graph.to_str().unwrap(),
         ])
         .output()
         .expect("generate failed to spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = gve()
         .args([
@@ -40,7 +53,11 @@ fn generate_detect_quality_pipeline() {
         ])
         .output()
         .expect("detect failed to spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let log = String::from_utf8_lossy(&out.stderr);
     assert!(log.contains("communities"), "{log}");
 
@@ -70,7 +87,12 @@ fn convert_roundtrips_between_formats() {
 
     assert!(gve()
         .args([
-            "generate", "--class", "kmer", "--vertices", "1000", "--out",
+            "generate",
+            "--class",
+            "kmer",
+            "--vertices",
+            "1000",
+            "--out",
             mtx.to_str().unwrap(),
         ])
         .status()
@@ -89,7 +111,10 @@ fn convert_roundtrips_between_formats() {
 
     // stats on every format agree on the arc count.
     let arc_line = |path: &std::path::Path| -> String {
-        let out = gve().args(["stats", path.to_str().unwrap()]).output().unwrap();
+        let out = gve()
+            .args(["stats", path.to_str().unwrap()])
+            .output()
+            .unwrap();
         assert!(out.status.success());
         String::from_utf8_lossy(&out.stdout)
             .lines()
@@ -107,13 +132,24 @@ fn detect_supports_every_algorithm() {
     let graph = dir.join("algos.mtx");
     assert!(gve()
         .args([
-            "generate", "--class", "social", "--vertices", "1500", "--out",
+            "generate",
+            "--class",
+            "social",
+            "--vertices",
+            "1500",
+            "--out",
             graph.to_str().unwrap(),
         ])
         .status()
         .unwrap()
         .success());
-    for algo in ["leiden", "louvain", "seq-leiden", "seq-louvain", "nk-leiden"] {
+    for algo in [
+        "leiden",
+        "louvain",
+        "seq-leiden",
+        "seq-louvain",
+        "nk-leiden",
+    ] {
         let out = gve()
             .args(["detect", graph.to_str().unwrap(), "--algorithm", algo])
             .output()
@@ -130,7 +166,12 @@ fn cpm_objective_flag_changes_results() {
     let graph = dir.join("cpm.mtx");
     assert!(gve()
         .args([
-            "generate", "--class", "web", "--vertices", "1500", "--out",
+            "generate",
+            "--class",
+            "web",
+            "--vertices",
+            "1500",
+            "--out",
             graph.to_str().unwrap(),
         ])
         .status()

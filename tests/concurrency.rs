@@ -34,7 +34,9 @@ fn leiden_under_heavy_thread_oversubscription() {
 
 #[test]
 fn quality_is_stable_across_thread_counts() {
-    let planted = PlantedPartition::new(3000, 12, 14.0, 1.0).seed(4).generate();
+    let planted = PlantedPartition::new(3000, 12, 14.0, 1.0)
+        .seed(4)
+        .generate();
     let graph = &planted.graph;
     let mut scores = Vec::new();
     for threads in [1, 2, 4] {
@@ -43,10 +45,7 @@ fn quality_is_stable_across_thread_counts() {
         let nmi = quality::normalized_mutual_information(&result.membership, &planted.labels);
         assert!(nmi > 0.9, "{threads} threads: NMI {nmi}");
     }
-    let spread = scores
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - scores.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(
         spread < 0.05,

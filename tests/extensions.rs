@@ -9,14 +9,15 @@ use gve::quality;
 
 #[test]
 fn cpm_and_modularity_agree_on_planted_structure() {
-    let planted = PlantedPartition::new(1500, 10, 14.0, 1.0).seed(21).generate();
+    let planted = PlantedPartition::new(1500, 10, 14.0, 1.0)
+        .seed(21)
+        .generate();
     let graph = &planted.graph;
     let q_members = gve::leiden::leiden(graph).membership;
-    let cpm_members = Leiden::new(
-        LeidenConfig::default().objective(Objective::Cpm { resolution: 0.05 }),
-    )
-    .run(graph)
-    .membership;
+    let cpm_members =
+        Leiden::new(LeidenConfig::default().objective(Objective::Cpm { resolution: 0.05 }))
+            .run(graph)
+            .membership;
     let agreement = quality::normalized_mutual_information(&q_members, &cpm_members);
     assert!(agreement > 0.9, "NMI between objectives: {agreement}");
     // Both recover the plant.
@@ -35,8 +36,10 @@ fn deterministic_mode_is_reproducible_through_facade() {
 #[test]
 fn hierarchy_subgraph_report_workflow() {
     let lfr = Lfr::new(3000, 12.0, 0.2).seed(4).generate();
-    let mut config = LeidenConfig::default();
-    config.record_dendrogram = true;
+    let config = LeidenConfig {
+        record_dendrogram: true,
+        ..LeidenConfig::default()
+    };
     let result = Leiden::new(config).run(&lfr.graph);
 
     // Hierarchy levels coarsen monotonically.
@@ -110,6 +113,9 @@ fn dot_export_of_detected_communities() {
     let mut buf = Vec::new();
     gve::graph::io::dot::write_dot(&g, Some(&result.membership), &mut buf).unwrap();
     let dot = String::from_utf8(buf).unwrap();
-    assert!(dot.contains("style=dashed"), "bridge must be dashed:\n{dot}");
+    assert!(
+        dot.contains("style=dashed"),
+        "bridge must be dashed:\n{dot}"
+    );
     assert_eq!(dot.matches("--").count(), 7);
 }

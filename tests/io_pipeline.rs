@@ -31,7 +31,13 @@ fn edge_list_roundtrip_preserves_structure() {
     // the full vertex range.
     let graph = GraphBuilder::from_edges(
         5,
-        &[(0, 1, 1.5), (1, 2, 2.0), (2, 3, 1.0), (3, 4, 0.5), (0, 4, 1.0)],
+        &[
+            (0, 1, 1.5),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 0.5),
+            (0, 4, 1.0),
+        ],
     );
     let path = temp_path("ring.txt");
     io::write_edge_list(&graph, std::fs::File::create(&path).unwrap()).unwrap();
@@ -41,10 +47,8 @@ fn edge_list_roundtrip_preserves_structure() {
 
 #[test]
 fn weighted_graphs_survive_both_formats() {
-    let graph = GraphBuilder::from_edges(
-        4,
-        &[(0, 1, 0.25), (1, 2, 3.75), (2, 3, 100.5), (0, 0, 7.0)],
-    );
+    let graph =
+        GraphBuilder::from_edges(4, &[(0, 1, 0.25), (1, 2, 3.75), (2, 3, 100.5), (0, 0, 7.0)]);
     for name in ["w.mtx", "w.txt"] {
         let path = temp_path(name);
         if name.ends_with(".mtx") {

@@ -23,7 +23,10 @@ fn all_implementations_on_all_classes() {
                 "seq-louvain",
                 gve::louvain::seq::sequential_louvain(&graph, 1e-6, 10).membership,
             ),
-            ("nk-leiden", gve::baselines::nk::nk_leiden(&graph).membership),
+            (
+                "nk-leiden",
+                gve::baselines::nk::nk_leiden(&graph).membership,
+            ),
         ];
         let q_reference = quality::modularity(&graph, &runs[2].1); // seq-leiden
         for (name, membership) in &runs {
@@ -102,7 +105,9 @@ fn config_matrix_is_consistent() {
 /// implementation (NMI vs ground truth).
 #[test]
 fn ground_truth_recovery_by_all() {
-    let planted = PlantedPartition::new(2000, 10, 16.0, 1.0).seed(2).generate();
+    let planted = PlantedPartition::new(2000, 10, 16.0, 1.0)
+        .seed(2)
+        .generate();
     let graph = &planted.graph;
     let check = |name: &str, membership: &[u32]| {
         let nmi = quality::normalized_mutual_information(membership, &planted.labels);
@@ -114,7 +119,10 @@ fn ground_truth_recovery_by_all() {
         "seq-leiden",
         &gve::baselines::seq::sequential_leiden(graph).membership,
     );
-    check("nk-leiden", &gve::baselines::nk::nk_leiden(graph).membership);
+    check(
+        "nk-leiden",
+        &gve::baselines::nk::nk_leiden(graph).membership,
+    );
 }
 
 /// Modularity of the Leiden result must never be (meaningfully) below
@@ -127,8 +135,7 @@ fn passes_shrink_and_quality_grows() {
     let result = gve::leiden::leiden(&graph);
     let singletons: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     assert!(
-        quality::modularity(&graph, &result.membership)
-            > quality::modularity(&graph, &singletons)
+        quality::modularity(&graph, &result.membership) > quality::modularity(&graph, &singletons)
     );
     for window in result.pass_stats.windows(2) {
         assert!(
