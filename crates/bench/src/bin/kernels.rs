@@ -1,0 +1,195 @@
+//! Kernel v1 vs v2 comparison runner — the reproducible counterpart of
+//! `benches/kernels.rs`. Runs full GVE-Leiden under each kernel variant
+//! on an R-MAT web graph (skewed degrees) and a planted-partition SBM
+//! (near-uniform degrees), takes the **minimum** wall time over `--reps`
+//! repetitions (the stable statistic on a shared box), and emits a
+//! machine-readable JSON report.
+//!
+//! ```text
+//! cargo run --release -p gve-bench --bin kernels -- --reps 5
+//! cargo run --release -p gve-bench --bin kernels -- --quick --reps 2 --json BENCH_kernels.json
+//! ```
+//!
+//! Without `--json` the report is written to `BENCH_kernels.json` in the
+//! working directory. Variants:
+//!
+//! * `v1` — two-pass table-only scan (the reference kernel);
+//! * `v2` — fused degree-aware scan (the default);
+//! * `v2_interleaved` — v2 plus the interleaved `(target, weight)` CSR
+//!   edge layout;
+//! * `v2_degree` — v2 plus degree-descending vertex relabeling;
+//! * `v2_bfs` — v2 plus BFS vertex relabeling.
+
+use gve_bench::{report, report::Table, BenchArgs};
+use gve_graph::CsrGraph;
+use gve_leiden::{EdgeLayout, KernelVersion, Leiden, LeidenConfig, VertexOrdering};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn variants() -> Vec<(&'static str, LeidenConfig)> {
+    let base = LeidenConfig::default();
+    vec![
+        ("v1", base.clone().kernel(KernelVersion::V1)),
+        ("v2", base.clone().kernel(KernelVersion::V2)),
+        (
+            "v2_interleaved",
+            base.clone()
+                .kernel(KernelVersion::V2)
+                .layout(EdgeLayout::Interleaved),
+        ),
+        (
+            "v2_degree",
+            base.clone()
+                .kernel(KernelVersion::V2)
+                .ordering(VertexOrdering::DegreeDesc),
+        ),
+        (
+            "v2_bfs",
+            base.clone()
+                .kernel(KernelVersion::V2)
+                .ordering(VertexOrdering::Bfs),
+        ),
+    ]
+}
+
+fn graphs(args: &BenchArgs) -> Vec<(String, CsrGraph)> {
+    // --quick halves the R-MAT scale and the SBM size on top of --scale.
+    let rmat_scale = if args.quick { 12 } else { 14 } + (args.scale.log2().round() as i32).max(-8);
+    let sbm_n = (((if args.quick { 20_000 } else { 100_000 }) as f64) * args.scale) as usize;
+    vec![
+        (
+            format!("rmat_web_{rmat_scale}"),
+            gve_generate::rmat::Rmat::web(rmat_scale.max(8) as u32, 8.0)
+                .seed(args.seed)
+                .generate(),
+        ),
+        (
+            format!("sbm_{sbm_n}"),
+            gve_generate::PlantedPartition::new(sbm_n.max(1000), sbm_n.max(1000) / 250, 8.0, 2.0)
+                .seed(args.seed)
+                .generate()
+                .graph,
+        ),
+    ]
+}
+
+struct Row {
+    graph: String,
+    vertices: usize,
+    arcs: usize,
+    variant: &'static str,
+    seconds: f64,
+    modularity: f64,
+    passes: usize,
+    phases: [f64; 4], // local_move, refinement, aggregation, other
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.install_threads();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(
+        "Kernel v1 vs v2 (min wall time over reps)",
+        &["Graph", "Variant", "Time", "vs v1", "Modularity", "Passes"],
+    );
+
+    for (graph_name, graph) in graphs(&args) {
+        // Round-robin the repetitions across variants (after one warmup
+        // run each) so slow drift on a shared box biases every variant
+        // equally instead of whichever ran last.
+        let runners: Vec<(&'static str, Leiden)> = variants()
+            .into_iter()
+            .map(|(name, config)| (name, Leiden::new(config)))
+            .collect();
+        let mut best = vec![f64::INFINITY; runners.len()];
+        let mut results = Vec::new();
+        for (_, runner) in &runners {
+            results.push(runner.run(&graph)); // warmup, keep the result
+        }
+        for _ in 0..args.reps {
+            for (i, (_, runner)) in runners.iter().enumerate() {
+                let start = Instant::now();
+                let result = runner.run(&graph);
+                let seconds = start.elapsed().as_secs_f64();
+                if seconds < best[i] {
+                    best[i] = seconds;
+                    results[i] = result; // keep the min-time rep's stats
+                }
+            }
+        }
+        let mut v1_seconds = f64::NAN;
+        for (i, (variant, _)) in runners.iter().enumerate() {
+            let variant = *variant;
+            let best = best[i];
+            let result = &results[i];
+            if variant == "v1" {
+                v1_seconds = best;
+            }
+            let modularity = gve_quality::modularity(&graph, &result.membership);
+            table.push(vec![
+                graph_name.clone(),
+                variant.to_string(),
+                report::fmt_secs(best),
+                report::fmt_speedup(v1_seconds / best),
+                format!("{modularity:.4}"),
+                result.passes.to_string(),
+            ]);
+            rows.push(Row {
+                graph: graph_name.clone(),
+                vertices: graph.num_vertices(),
+                arcs: graph.num_arcs(),
+                variant,
+                seconds: best,
+                modularity,
+                passes: result.passes,
+                phases: [
+                    result.timings.local_move.as_secs_f64(),
+                    result.timings.refinement.as_secs_f64(),
+                    result.timings.aggregation.as_secs_f64(),
+                    result.timings.other.as_secs_f64(),
+                ],
+            });
+        }
+    }
+    table.print();
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("failed to write CSV");
+    }
+
+    // Hand-rolled JSON (the dependency set has no serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"suite\": \"kernels\",");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(json, "  \"quick\": {},", args.quick);
+    let _ = writeln!(json, "  \"statistic\": \"min\",");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"graph\": \"{}\", \"vertices\": {}, \"arcs\": {}, \"variant\": \"{}\", \
+             \"seconds\": {:.6}, \"modularity\": {:.6}, \"passes\": {}, \
+             \"local_move\": {:.6}, \"refinement\": {:.6}, \"aggregation\": {:.6}, \
+             \"other\": {:.6}}}{comma}",
+            row.graph,
+            row.vertices,
+            row.arcs,
+            row.variant,
+            row.seconds,
+            row.modularity,
+            row.passes,
+            row.phases[0],
+            row.phases[1],
+            row.phases[2],
+            row.phases[3],
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = args.json.as_deref().unwrap_or("BENCH_kernels.json");
+    std::fs::write(path, json).expect("failed to write JSON report");
+    eprintln!("wrote {path}");
+}

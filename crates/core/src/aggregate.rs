@@ -17,12 +17,19 @@ use crate::localmove::scan_communities;
 use gve_graph::{CsrGraph, GroupedCsr, HoleyCsrBuilder, VertexId};
 use gve_prim::parfor::dynamic_workers;
 use gve_prim::scan::parallel_offsets_from_counts;
-use gve_prim::{CommunityMap, PerThread};
+use gve_prim::{CommunityMap, PerThread, SmallScanMap};
 use rayon::prelude::*;
-use std::sync::atomic::AtomicU32;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Builds the super-vertex graph for a dense membership in
 /// `0..num_communities`.
+///
+/// `small_threshold` enables the kernel-v2 two-tier scan: communities
+/// whose total degree (already computed as the holey-CSR capacity) fits
+/// the bound are tallied in a stack-resident [`SmallScanMap`] instead of
+/// the per-thread table — total degree bounds the distinct neighbour
+/// communities, so the map cannot overflow. `None` keeps every community
+/// on the v1 table path.
 pub fn aggregate(
     graph: &CsrGraph,
     membership: &[AtomicU32],
@@ -30,6 +37,7 @@ pub fn aggregate(
     num_communities: usize,
     chunk_size: usize,
     tables: &PerThread<CommunityMap>,
+    small_threshold: Option<usize>,
 ) -> CsrGraph {
     // Community-vertices CSR (Algorithm 4, lines 3–6).
     let groups = GroupedCsr::group_by(membership_plain, num_communities);
@@ -54,11 +62,29 @@ pub fn aggregate(
 
     // Per-community scans (lines 11–16), dynamically scheduled since
     // community sizes are wildly skewed.
+    let small_cap = small_threshold.map(|t| t as u64);
     dynamic_workers(num_communities, chunk_size.max(1), |claims| {
         tables.with(|ht| {
+            let mut small = SmallScanMap::new();
             for range in claims {
                 for c in range {
+                    let cap = capacities[c];
                     let c = c as VertexId;
+                    if small_cap.is_some_and(|t| cap <= t) {
+                        // Low-degree tier: the community's total degree
+                        // bounds the arcs scanned, hence the distinct
+                        // target communities.
+                        small.clear();
+                        for &i in groups.members(c) {
+                            for (j, w) in graph.scan_edges(i) {
+                                small.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
+                            }
+                        }
+                        for (d, w) in small.iter() {
+                            builder.add_arc(c, d, w as f32);
+                        }
+                        continue;
+                    }
                     ht.clear();
                     for &i in groups.members(c) {
                         // include_self = true: self-loops carry intra
@@ -142,7 +168,39 @@ mod tests {
             let n = graph.num_vertices().max(k);
             move || CommunityMap::new(n)
         });
-        aggregate(graph, &atomic, membership, k, 64, &tables)
+        aggregate(graph, &atomic, membership, k, 64, &tables, None)
+    }
+
+    #[test]
+    fn two_tier_matches_table_only_aggregation() {
+        let graph = gve_generate::sbm::PlantedPartition::new(500, 8, 10.0, 1.5)
+            .seed(21)
+            .generate()
+            .graph;
+        // Fine partition → plenty of low-total-degree communities that
+        // take the stack tier.
+        let membership: Vec<u32> = (0..500u32).map(|v| v % 100).collect();
+        let atomic = atomic_membership(&membership);
+        let tables = PerThread::new(|| CommunityMap::new(500));
+        let v1 = aggregate(&graph, &atomic, &membership, 100, 16, &tables, None);
+        let v2 = aggregate(
+            &graph,
+            &atomic,
+            &membership,
+            100,
+            16,
+            &tables,
+            Some(gve_prim::SMALL_SCAN_CAP),
+        );
+        assert_eq!(v1.num_vertices(), v2.num_vertices());
+        assert_eq!(v1.num_arcs(), v2.num_arcs());
+        for c in 0..100u32 {
+            let mut a: Vec<_> = v1.edges(c).map(|(d, w)| (d, w.to_bits())).collect();
+            let mut b: Vec<_> = v2.edges(c).map(|(d, w)| (d, w.to_bits())).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "community {c}");
+        }
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Kernel v2: the fused, degree-aware neighbourhood-scan kernels.
+//!
+//! The v1 scan (`scanCommunities` + `choose_best`) makes two passes per
+//! vertex: one over the edges to accumulate `K_{i→c}` in the per-thread
+//! collision-free table, and one over the touched keys to load each
+//! candidate's `Σ'` and evaluate the gain. Kernel v2 fuses the two:
+//!
+//! * **degree-aware two-tier dispatch** — vertices with degree ≤
+//!   [`LeidenConfig::small_degree_threshold`] tally into a
+//!   [`SmallScanMap`] that lives on the worker's stack (a handful of
+//!   cache lines instead of scattered probes into the O(N) table); hubs
+//!   keep the v1 path, whose dense table is the right tool for many
+//!   distinct candidates;
+//! * **fused scan-and-choose** — the stack tier computes the running
+//!   argmax of the candidate *score* (see [`GainCoeffs::score`]) while
+//!   accumulating, caching each candidate's `Σ'` in the map's aux slot
+//!   on first touch. One edge pass, one sigma load per candidate, no
+//!   second iteration over touched keys.
+//!
+//! The streaming argmax is exact because scores are non-decreasing in
+//! the accumulated weight (`lin > 0`, weights ≥ 0) and ties always
+//! resolve towards the smaller community id: whichever candidate ends
+//! with the (max score, min id) pair also wins the running comparison at
+//! its last update. Both tiers use the *same* score/gain arithmetic in
+//! the same order, so with frozen shared state v1 and v2 pick identical
+//! `(community, gain)` — the property `tests/kernels.rs` checks
+//! move-for-move.
+
+use crate::config::{KernelVersion, LeidenConfig};
+use crate::localmove::choose_best;
+use crate::objective::GainCoeffs;
+use gve_graph::{CsrGraph, VertexId};
+use gve_prim::atomics::AtomicF64;
+use gve_prim::{CommunityMap, SmallScanMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Fused scan-and-choose over the stack-resident map: accumulates
+/// `K_{i→c}` for every neighbouring community of `i` (bounded to `i`'s
+/// community bound when `bounds` is given, self-loops skipped) while
+/// tracking the best move target, and returns `(community, gain)` when a
+/// strictly positive gain exists.
+///
+/// Callers must guarantee `graph.degree(i) ≤` [`gve_prim::SMALL_SCAN_CAP`]
+/// (debug-asserted by the map itself).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn fused_best_move(
+    small: &mut SmallScanMap,
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    bounds: Option<&[VertexId]>,
+    i: VertexId,
+    current: VertexId,
+    p_i: f64,
+    sigma: &[AtomicF64],
+    coeffs: GainCoeffs,
+) -> Option<(VertexId, f64)> {
+    small.clear();
+    let mut best_key = VertexId::MAX;
+    let mut best_slot = usize::MAX;
+    let mut best_score = f64::NEG_INFINITY;
+    // The per-edge body, shared by the bounded and unbounded loops
+    // (specialized so the unbounded path pays no per-edge Option check).
+    let mut tally = |small: &mut SmallScanMap, j: VertexId, w: f32| {
+        let c = membership[j as usize].load(Ordering::Relaxed);
+        let (slot, first) = small.add(c, w as f64);
+        if c == current {
+            return;
+        }
+        let sigma_c = if first {
+            let s = sigma[c as usize].load();
+            small.set_aux(slot, s);
+            s
+        } else {
+            small.aux_at(slot)
+        };
+        let score = coeffs.score(small.weight_at(slot), sigma_c, p_i);
+        // Re-hitting the reigning best slot can only raise its score.
+        if slot == best_slot {
+            best_score = score;
+        } else if score > best_score || (score == best_score && c < best_key) {
+            best_score = score;
+            best_key = c;
+            best_slot = slot;
+        }
+    };
+    match bounds {
+        None => {
+            for (j, w) in graph.scan_edges(i) {
+                if j != i {
+                    tally(small, j, w);
+                }
+            }
+        }
+        Some(bounds) => {
+            let bound = bounds[i as usize];
+            for (j, w) in graph.scan_edges(i) {
+                if j != i && bounds[j as usize] == bound {
+                    tally(small, j, w);
+                }
+            }
+        }
+    }
+    if best_slot == usize::MAX {
+        return None;
+    }
+    let k_to_current = small.weight(current);
+    let sigma_current = sigma[current as usize].load();
+    let gain = coeffs.gain(
+        small.weight_at(best_slot),
+        k_to_current,
+        p_i,
+        small.aux_at(best_slot),
+        sigma_current,
+    );
+    (gain > 0.0).then_some((best_key, gain))
+}
+
+/// The two-pass reference kernel (v1): scan into the per-thread table,
+/// then pick the best community with [`choose_best`]. Also the hub path
+/// of kernel v2.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn two_pass_best_move(
+    ht: &mut CommunityMap,
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    bounds: Option<&[VertexId]>,
+    i: VertexId,
+    current: VertexId,
+    p_i: f64,
+    sigma: &[AtomicF64],
+    coeffs: GainCoeffs,
+) -> Option<(VertexId, f64)> {
+    ht.clear();
+    let bound = bounds.map(|b| b[i as usize]);
+    for (j, w) in graph.scan_edges(i) {
+        if j == i {
+            continue;
+        }
+        if let Some(bound) = bound {
+            if bounds.unwrap()[j as usize] != bound {
+                continue;
+            }
+        }
+        ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
+    }
+    choose_best(ht, current, p_i, sigma, coeffs)
+}
+
+/// Degree-aware dispatch: the fused stack tier for low-degree vertices
+/// under kernel v2, the two-pass table path otherwise. This is the
+/// single entry point the local-moving and greedy-refinement loops use.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn best_move(
+    ht: &mut CommunityMap,
+    small: &mut SmallScanMap,
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    bounds: Option<&[VertexId]>,
+    i: VertexId,
+    current: VertexId,
+    p_i: f64,
+    sigma: &[AtomicF64],
+    coeffs: GainCoeffs,
+    config: &LeidenConfig,
+) -> Option<(VertexId, f64)> {
+    if config.kernel == KernelVersion::V2 && graph.degree(i) <= config.small_degree_threshold {
+        fused_best_move(
+            small, graph, membership, bounds, i, current, p_i, sigma, coeffs,
+        )
+    } else {
+        two_pass_best_move(
+            ht, graph, membership, bounds, i, current, p_i, sigma, coeffs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use gve_graph::GraphBuilder;
+    use gve_prim::atomics::atomic_f64_from_slice;
+
+    fn setup(
+        graph: &CsrGraph,
+        membership: &[u32],
+    ) -> (Vec<AtomicU32>, Vec<f64>, Vec<AtomicF64>, GainCoeffs) {
+        let n = graph.num_vertices();
+        let atomic: Vec<AtomicU32> = membership.iter().map(|&c| AtomicU32::new(c)).collect();
+        let penalty: Vec<f64> = (0..n as u32).map(|u| graph.weighted_degree(u)).collect();
+        let mut sigma = vec![0.0f64; n];
+        for (v, &c) in membership.iter().enumerate() {
+            sigma[c as usize] += penalty[v];
+        }
+        let m = graph.total_arc_weight() / 2.0;
+        let coeffs = Objective::default().coeffs(m.max(f64::MIN_POSITIVE));
+        (atomic, penalty, atomic_f64_from_slice(&sigma), coeffs)
+    }
+
+    /// Both kernels must agree bit-for-bit on a frozen state.
+    #[test]
+    fn fused_matches_two_pass_on_frozen_state() {
+        let graph = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let labels = [0u32, 0, 0, 3, 3, 3];
+        let (membership, penalty, sigma, coeffs) = setup(&graph, &labels);
+        let mut ht = CommunityMap::new(6);
+        let mut small = SmallScanMap::new();
+        for i in 0..6u32 {
+            let current = labels[i as usize];
+            let v1 = two_pass_best_move(
+                &mut ht,
+                &graph,
+                &membership,
+                None,
+                i,
+                current,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            let v2 = fused_best_move(
+                &mut small,
+                &graph,
+                &membership,
+                None,
+                i,
+                current,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            assert_eq!(v1, v2, "vertex {i}");
+        }
+    }
+
+    /// With bounds, both kernels see the same restricted candidate set.
+    #[test]
+    fn bounded_variants_agree() {
+        let graph = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 5.0),
+            ],
+        );
+        let bounds = [0u32, 0, 0, 1, 1, 1];
+        let singleton: Vec<u32> = (0..6).collect();
+        let (membership, penalty, sigma, coeffs) = setup(&graph, &singleton);
+        let mut ht = CommunityMap::new(6);
+        let mut small = SmallScanMap::new();
+        for i in 0..6u32 {
+            let v1 = two_pass_best_move(
+                &mut ht,
+                &graph,
+                &membership,
+                Some(&bounds),
+                i,
+                i,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            let v2 = fused_best_move(
+                &mut small,
+                &graph,
+                &membership,
+                Some(&bounds),
+                i,
+                i,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            assert_eq!(v1, v2, "vertex {i}");
+            if let Some((target, _)) = v2 {
+                assert_eq!(
+                    bounds[target as usize], bounds[i as usize],
+                    "vertex {i} escaped its bound"
+                );
+            }
+        }
+    }
+
+    /// The dispatch threshold routes hubs to the table path.
+    #[test]
+    fn dispatch_respects_threshold() {
+        // Star: hub 0 with 5 leaves.
+        let edges: Vec<(u32, u32, f32)> = (1..6).map(|v| (0, v, 1.0)).collect();
+        let graph = GraphBuilder::from_edges(6, &edges);
+        let singleton: Vec<u32> = (0..6).collect();
+        let (membership, penalty, sigma, coeffs) = setup(&graph, &singleton);
+        let mut ht = CommunityMap::new(6);
+        let mut small = SmallScanMap::new();
+        let config = LeidenConfig::default().small_degree_threshold(2);
+        // Hub (degree 5 > 2) and leaves (degree 1 ≤ 2) both produce the
+        // same answer through the dispatcher as through either kernel.
+        for i in 0..6u32 {
+            let got = best_move(
+                &mut ht,
+                &mut small,
+                &graph,
+                &membership,
+                None,
+                i,
+                i,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+                &config,
+            );
+            let reference = two_pass_best_move(
+                &mut ht,
+                &graph,
+                &membership,
+                None,
+                i,
+                i,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            assert_eq!(got, reference, "vertex {i}");
+        }
+    }
+
+    /// Isolated vertices and vertices whose only neighbour shares their
+    /// community yield no move in both kernels.
+    #[test]
+    fn no_candidates_is_none() {
+        let graph = GraphBuilder::from_edges(3, &[(0, 1, 1.0)]);
+        let labels = [0u32, 0, 2];
+        let (membership, penalty, sigma, coeffs) = setup(&graph, &labels);
+        let mut ht = CommunityMap::new(3);
+        let mut small = SmallScanMap::new();
+        for i in 0..3u32 {
+            let v1 = two_pass_best_move(
+                &mut ht,
+                &graph,
+                &membership,
+                None,
+                i,
+                labels[i as usize],
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            let v2 = fused_best_move(
+                &mut small,
+                &graph,
+                &membership,
+                None,
+                i,
+                labels[i as usize],
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            assert_eq!(v1, None, "vertex {i}");
+            assert_eq!(v2, None, "vertex {i}");
+        }
+    }
+}

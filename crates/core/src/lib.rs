@@ -52,6 +52,7 @@
 pub mod aggregate;
 pub mod config;
 pub mod dendrogram;
+pub mod kernel;
 pub mod localmove;
 mod math;
 pub mod objective;
@@ -60,13 +61,14 @@ mod sync;
 pub mod timing;
 
 pub use config::{
-    AggregationStrategy, Labeling, LeidenConfig, RefinementStrategy, Scheduling, Variant,
+    AggregationStrategy, EdgeLayout, KernelVersion, Labeling, LeidenConfig, RefinementStrategy,
+    Scheduling, Variant, VertexOrdering, DEFAULT_SMALL_DEGREE_THRESHOLD,
 };
 pub use math::delta_modularity;
 pub use objective::{GainCoeffs, Objective};
 pub use timing::{PassStats, PhaseTimings};
 
-use gve_graph::{props::vertex_weights, CsrGraph, VertexId};
+use gve_graph::{props::vertex_weights, reorder::Relabeling, CsrGraph, VertexId};
 use gve_prim::atomics::{atomic_f64_from_slice, AtomicF64};
 use gve_prim::{AtomicBitset, CommunityMap, PerThread};
 use rayon::prelude::*;
@@ -214,7 +216,39 @@ impl Leiden {
         self.run_inner(graph, Some(dense), Some(frontier.to_vec()))
     }
 
+    /// Applies the configured cache-aware relabeling (if any) around
+    /// [`Leiden::run_core`]: the algorithm runs on the permuted graph,
+    /// and memberships (plus the dendrogram's level 0, whose indices are
+    /// vertex ids of the input graph) are mapped back so callers always
+    /// see their original vertex ids.
     fn run_inner(
+        &self,
+        graph: &CsrGraph,
+        first_init: Option<Vec<VertexId>>,
+        first_frontier: Option<Vec<VertexId>>,
+    ) -> LeidenResult {
+        let Some(relabel) = Relabeling::for_ordering(graph, self.config.ordering) else {
+            return self.run_core(graph, first_init, first_frontier);
+        };
+        let t_reorder = Instant::now();
+        let permuted = relabel.apply(graph);
+        let init = first_init.map(|labels| relabel.push_to_new(&labels));
+        let frontier = first_frontier.map(|f| {
+            f.iter()
+                .map(|&v| relabel.perm[v as usize])
+                .collect::<Vec<_>>()
+        });
+        let reorder_time = t_reorder.elapsed();
+        let mut result = self.run_core(&permuted, init, frontier);
+        result.timings.other += reorder_time;
+        result.membership = relabel.pull_to_original(&result.membership);
+        if let Some(level0) = result.dendrogram.first_mut() {
+            *level0 = relabel.pull_to_original(level0);
+        }
+        result
+    }
+
+    fn run_core(
         &self,
         graph: &CsrGraph,
         first_init: Option<Vec<VertexId>>,
@@ -265,6 +299,15 @@ impl Leiden {
             let g: &CsrGraph = current.as_ref().unwrap_or(graph);
             let n_cur = g.num_vertices();
             let t_pass = Instant::now();
+
+            // Interleaved layout: build the (target, weight) copy once
+            // per pass graph; every scan_edges call then walks a single
+            // cache stream.
+            if config.layout == EdgeLayout::Interleaved {
+                let t_layout = Instant::now();
+                g.build_interleaved();
+                timings.other += t_layout.elapsed();
+            }
 
             // Initialization: K', C', Σ' (Algorithm 1, line 4). With
             // move-based labeling, later passes start from the mapped
@@ -473,6 +516,8 @@ impl Leiden {
                         k,
                         (config.chunk_size / 4).max(1),
                         &tables,
+                        (config.kernel == KernelVersion::V2)
+                            .then_some(config.small_degree_threshold),
                     )
                 }
                 config::AggregationStrategy::SortReduce => {

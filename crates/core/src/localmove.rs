@@ -17,7 +17,7 @@ use crate::objective::GainCoeffs;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::atomics::AtomicF64;
 use gve_prim::parfor::dynamic_workers;
-use gve_prim::{AtomicBitset, CommunityMap, PerThread};
+use gve_prim::{AtomicBitset, CommunityMap, PerThread, SmallScanMap};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Scans the communities adjacent to `i` into the per-thread hashtable
@@ -32,7 +32,7 @@ pub fn scan_communities(
     i: VertexId,
     include_self: bool,
 ) {
-    for (j, w) in graph.edges(i) {
+    for (j, w) in graph.scan_edges(i) {
         if !include_self && j == i {
             continue;
         }
@@ -48,6 +48,12 @@ pub fn scan_communities(
 /// `p_i` is the vertex's penalty weight — its weighted degree `K_i` for
 /// modularity, its size for CPM — and `sigma` tracks the per-community
 /// penalty totals (`Σ'` of the paper).
+/// The argmax runs over candidate *scores* (see [`GainCoeffs::score`]):
+/// scores differ from gains by a candidate-independent constant, so the
+/// winner is the same, and the fused kernel
+/// ([`crate::kernel::fused_best_move`]) uses the identical score
+/// arithmetic — which is what makes the two kernels agree bit-for-bit on
+/// frozen state.
 #[inline]
 pub fn choose_best(
     ht: &CommunityMap,
@@ -56,26 +62,24 @@ pub fn choose_best(
     sigma: &[AtomicF64],
     coeffs: GainCoeffs,
 ) -> Option<(VertexId, f64)> {
-    let k_to_current = ht.weight(current);
-    let sigma_current = sigma[current as usize].load();
-    let mut best: Option<(VertexId, f64)> = None;
+    // (candidate, score, K_{i→d}, Σ'_d)
+    let mut best: Option<(VertexId, f64, f64, f64)> = None;
     for (d, k_to_d) in ht.iter() {
         if d == current {
             continue;
         }
-        let gain = coeffs.gain(
-            k_to_d,
-            k_to_current,
-            p_i,
-            sigma[d as usize].load(),
-            sigma_current,
-        );
+        let sigma_d = sigma[d as usize].load();
+        let score = coeffs.score(k_to_d, sigma_d, p_i);
         best = match best {
-            Some((bd, bg)) if gain < bg || (gain == bg && d >= bd) => Some((bd, bg)),
-            _ => Some((d, gain)),
+            Some((bd, bs, ..)) if score < bs || (score == bs && d >= bd) => best,
+            _ => Some((d, score, k_to_d, sigma_d)),
         };
     }
-    best.filter(|&(_, g)| g > 0.0)
+    let (d, _, k_to_d, sigma_d) = best?;
+    let k_to_current = ht.weight(current);
+    let sigma_current = sigma[current as usize].load();
+    let gain = coeffs.gain(k_to_d, k_to_current, p_i, sigma_d, sigma_current);
+    (gain > 0.0).then_some((d, gain))
 }
 
 /// Runs the local-moving phase; returns the total objective gain of
@@ -101,6 +105,9 @@ pub fn local_move(
     while gains.len() < config.max_iterations {
         let delta_q: f64 = dynamic_workers(n, config.chunk_size, |claims| {
             tables.with(|ht| {
+                // Stack tier of the kernel-v2 two-tier scan; unused (and
+                // costless) when kernel v1 is configured.
+                let mut small = SmallScanMap::new();
                 let mut local_dq = 0.0;
                 for range in claims {
                     for i in range {
@@ -111,10 +118,11 @@ pub fn local_move(
                         }
                         let i = i as VertexId;
                         let current = membership[i as usize].load(Ordering::Relaxed);
-                        ht.clear();
-                        scan_communities(ht, graph, membership, i, false);
                         let p_i = penalty[i as usize];
-                        if let Some((target, gain)) = choose_best(ht, current, p_i, sigma, coeffs) {
+                        if let Some((target, gain)) = crate::kernel::best_move(
+                            ht, &mut small, graph, membership, None, i, current, p_i, sigma,
+                            coeffs, config,
+                        ) {
                             // Asynchronous commit: weight transfer is
                             // atomic per community, membership is a
                             // plain store.

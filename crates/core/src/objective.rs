@@ -92,6 +92,21 @@ impl GainCoeffs {
     pub fn gain(&self, k_i_to_c: f64, k_i_to_d: f64, p_i: f64, p_c: f64, p_d: f64) -> f64 {
         self.lin * (k_i_to_c - k_i_to_d) - self.quad * p_i * (p_i + p_c - p_d)
     }
+
+    /// Per-candidate *score* `lin·K_{i→c} − quad·p_i·P_c`.
+    ///
+    /// The gain decomposes as
+    /// `gain(c) = score(c) − score(d) − quad·p_i²`, and the subtracted
+    /// terms are the same for every candidate `c`, so an argmax over
+    /// scores is an argmax over gains. This is what lets the fused
+    /// kernel pick the best target while still accumulating `K_{i→c}`:
+    /// with `lin > 0` and nonnegative edge weights a candidate's score
+    /// only grows as its edges accumulate, so a running maximum over
+    /// partial scores ends at the batch argmax.
+    #[inline(always)]
+    pub fn score(&self, k_i_to_c: f64, p_c: f64, p_i: f64) -> f64 {
+        self.lin * k_i_to_c - self.quad * p_i * p_c
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +141,16 @@ mod tests {
         // ΔH = (kc − kd) − γ s (s + Nc − Nd); normalized by m.
         let raw = (3.0 - 1.0) - 0.5 * 2.0 * (2.0 + 4.0 - 3.0);
         assert!((coeffs.gain(3.0, 1.0, 2.0, 4.0, 3.0) - raw / m).abs() < 1e-15);
+    }
+
+    #[test]
+    fn score_decomposition_matches_gain() {
+        let coeffs = Objective::Modularity { resolution: 1.3 }.coeffs(7.0);
+        let (k_c, k_d, p_i, p_c, p_d) = (2.0, 1.0, 3.0, 5.0, 8.0);
+        let via_scores =
+            coeffs.score(k_c, p_c, p_i) - coeffs.score(k_d, p_d, p_i) - coeffs.quad * p_i * p_i;
+        let direct = coeffs.gain(k_c, k_d, p_i, p_c, p_d);
+        assert!((via_scores - direct).abs() < 1e-15);
     }
 
     #[test]

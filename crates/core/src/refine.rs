@@ -19,7 +19,7 @@ use crate::objective::GainCoeffs;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::atomics::AtomicF64;
 use gve_prim::parfor::dynamic_workers;
-use gve_prim::{CommunityMap, PerThread, Xorshift32};
+use gve_prim::{CommunityMap, PerThread, SmallScanMap, Xorshift32};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Scans the communities adjacent to `i` *within the same community
@@ -33,7 +33,7 @@ fn scan_bounded(
     i: VertexId,
 ) {
     let bound = bounds[i as usize];
-    for (j, w) in graph.edges(i) {
+    for (j, w) in graph.scan_edges(i) {
         if j == i || bounds[j as usize] != bound {
             continue;
         }
@@ -59,6 +59,7 @@ pub(crate) fn refine(
 
     dynamic_workers(n, config.chunk_size, |claims| {
         tables.with(|ht| {
+            let mut small = SmallScanMap::new();
             let mut candidates: Vec<(VertexId, f64)> = Vec::new();
             let mut any = false;
             for range in claims {
@@ -72,25 +73,41 @@ pub(crate) fn refine(
                         continue;
                     }
                     let i = i as VertexId;
-                    ht.clear();
-                    scan_bounded(ht, graph, bounds, membership, i);
                     let target = match config.refinement {
-                        RefinementStrategy::Greedy => {
-                            crate::localmove::choose_best(ht, current, p_i, sigma, coeffs)
-                                .map(|(t, _)| t)
-                        }
-                        RefinementStrategy::Random => choose_proportional(
+                        // Greedy goes through the degree-aware dispatch
+                        // (fused for low-degree vertices under kernel
+                        // v2); random stays on the two-pass path, whose
+                        // proportional draw needs the full candidate set.
+                        RefinementStrategy::Greedy => crate::kernel::best_move(
                             ht,
+                            &mut small,
+                            graph,
+                            membership,
+                            Some(bounds),
+                            i,
                             current,
                             p_i,
                             sigma,
                             coeffs,
-                            &mut candidates,
-                            &mut Xorshift32::new(crate::stream_seed(
-                                pass_seed ^ config.seed,
-                                i as u64,
-                            )),
-                        ),
+                            config,
+                        )
+                        .map(|(t, _)| t),
+                        RefinementStrategy::Random => {
+                            ht.clear();
+                            scan_bounded(ht, graph, bounds, membership, i);
+                            choose_proportional(
+                                ht,
+                                current,
+                                p_i,
+                                sigma,
+                                coeffs,
+                                &mut candidates,
+                                &mut Xorshift32::new(crate::stream_seed(
+                                    pass_seed ^ config.seed,
+                                    i as u64,
+                                )),
+                            )
+                        }
                     };
                     let Some(target) = target else { continue };
                     if target == current {

@@ -5,6 +5,7 @@
 //! paper's `|E|` counts arcs "after adding reverse edges", Table 2).
 
 use crate::{EdgeWeight, VertexId};
+use std::sync::OnceLock;
 
 /// Compressed-sparse-row weighted graph.
 ///
@@ -13,11 +14,28 @@ use crate::{EdgeWeight, VertexId};
 ///   `offsets.len() == num_vertices + 1`;
 /// * `targets.len() == weights.len() == offsets[num_vertices]`;
 /// * every target is `< num_vertices`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides the split `targets`/`weights` arrays, the graph can carry an
+/// optional *interleaved* `(target, weight)` copy of the arcs (built
+/// on demand by [`CsrGraph::build_interleaved`]), so a neighbour scan
+/// touches one cache stream instead of two — the kernel-v2 edge layout.
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     offsets: Vec<u64>,
     targets: Vec<VertexId>,
     weights: Vec<EdgeWeight>,
+    /// Lazily built interleaved arc array, parallel to `targets`.
+    interleaved: OnceLock<Vec<(VertexId, EdgeWeight)>>,
+}
+
+/// Graph identity is the CSR content; whether the optional interleaved
+/// layout has been materialized is a cache detail.
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.weights == other.weights
+    }
 }
 
 impl CsrGraph {
@@ -40,6 +58,7 @@ impl CsrGraph {
             offsets,
             targets,
             weights,
+            interleaved: OnceLock::new(),
         };
         graph.validate().map(|()| graph)
     }
@@ -50,6 +69,7 @@ impl CsrGraph {
             offsets: vec![0; n + 1],
             targets: Vec::new(),
             weights: Vec::new(),
+            interleaved: OnceLock::new(),
         }
     }
 
@@ -178,6 +198,43 @@ impl CsrGraph {
             .flat_map(move |u| self.edges(u).map(move |(v, w)| (u, v, w)))
     }
 
+    /// Materializes (once) the interleaved `(target, weight)` arc array
+    /// and returns it. Idempotent; later calls return the cached copy.
+    ///
+    /// Doubles the graph's edge memory while active, so callers opt in
+    /// per pass (see `EdgeLayout::Interleaved` in `gve-core`).
+    pub fn build_interleaved(&self) -> &[(VertexId, EdgeWeight)] {
+        self.interleaved.get_or_init(|| {
+            self.targets
+                .iter()
+                .copied()
+                .zip(self.weights.iter().copied())
+                .collect()
+        })
+    }
+
+    /// The interleaved arc array, if [`CsrGraph::build_interleaved`] has
+    /// run.
+    #[inline]
+    pub fn interleaved(&self) -> Option<&[(VertexId, EdgeWeight)]> {
+        self.interleaved.get().map(Vec::as_slice)
+    }
+
+    /// Layout-aware neighbour scan for hot kernels: iterates the
+    /// interleaved array when it has been built (one cache stream), the
+    /// split `targets`/`weights` arrays otherwise. Yields exactly the
+    /// same `(neighbor, weight)` sequence as [`CsrGraph::edges`].
+    #[inline]
+    pub fn scan_edges(&self, u: VertexId) -> EdgeScan<'_> {
+        let u = u as usize;
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        match self.interleaved.get() {
+            Some(pairs) => EdgeScan::Interleaved(pairs[lo..hi].iter()),
+            None => EdgeScan::Split(self.targets[lo..hi].iter().zip(self.weights[lo..hi].iter())),
+        }
+    }
+
     /// Checks structural symmetry: every arc `(u, v, w)` has a matching
     /// reverse arc `(v, u, w)`. O(arcs · log) — intended for tests.
     pub fn is_symmetric(&self) -> bool {
@@ -190,6 +247,37 @@ impl CsrGraph {
         fwd == rev
     }
 }
+
+/// Iterator returned by [`CsrGraph::scan_edges`]: one row of arcs in
+/// whichever physical layout the graph currently carries.
+pub enum EdgeScan<'g> {
+    /// Walking the split `targets`/`weights` arrays (two cache streams).
+    Split(std::iter::Zip<std::slice::Iter<'g, VertexId>, std::slice::Iter<'g, EdgeWeight>>),
+    /// Walking the interleaved `(target, weight)` array (one stream).
+    Interleaved(std::slice::Iter<'g, (VertexId, EdgeWeight)>),
+}
+
+impl Iterator for EdgeScan<'_> {
+    type Item = (VertexId, EdgeWeight);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            EdgeScan::Split(it) => it.next().map(|(&t, &w)| (t, w)),
+            EdgeScan::Interleaved(it) => it.next().copied(),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            EdgeScan::Split(it) => it.size_hint(),
+            EdgeScan::Interleaved(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for EdgeScan<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -271,7 +359,39 @@ mod tests {
             offsets: vec![1, 2],
             targets: vec![0],
             weights: vec![1.0],
+            interleaved: OnceLock::new(),
         };
         assert!(g.validate().unwrap_err().contains("offsets[0]"));
+    }
+
+    #[test]
+    fn scan_edges_matches_edges_in_both_layouts() {
+        let g = sample();
+        for u in 0..g.num_vertices() as VertexId {
+            let split: Vec<_> = g.scan_edges(u).collect();
+            assert_eq!(split, g.edges(u).collect::<Vec<_>>(), "split, u={u}");
+            assert_eq!(g.scan_edges(u).len(), g.degree(u));
+        }
+        let built = g.build_interleaved();
+        assert_eq!(built.len(), g.num_arcs());
+        assert!(g.interleaved().is_some());
+        for u in 0..g.num_vertices() as VertexId {
+            let inter: Vec<_> = g.scan_edges(u).collect();
+            assert_eq!(inter, g.edges(u).collect::<Vec<_>>(), "interleaved, u={u}");
+        }
+        // Idempotent.
+        assert_eq!(g.build_interleaved().len(), g.num_arcs());
+    }
+
+    #[test]
+    fn equality_ignores_interleaved_cache() {
+        let a = sample();
+        let b = sample();
+        a.build_interleaved();
+        assert_eq!(a, b);
+        assert!(b.interleaved().is_none());
+        // Cloning carries the built layout along.
+        let c = a.clone();
+        assert!(c.interleaved().is_some());
     }
 }

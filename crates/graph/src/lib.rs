@@ -28,13 +28,15 @@ pub mod csr;
 pub mod holey;
 pub mod io;
 pub mod props;
+pub mod reorder;
 pub mod subgraph;
 pub mod traversal;
 
 pub use adjacency::AdjacencyList;
 pub use builder::GraphBuilder;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, EdgeScan};
 pub use holey::{GroupedCsr, HoleyCsrBuilder};
+pub use reorder::{Relabeling, VertexOrdering};
 
 /// Vertex identifier. The paper uses 32-bit ids (§5.1.2).
 pub type VertexId = u32;

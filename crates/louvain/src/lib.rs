@@ -168,6 +168,8 @@ impl Louvain {
                 k,
                 (config.chunk_size / 4).max(1),
                 &tables,
+                (config.kernel == gve_leiden::KernelVersion::V2)
+                    .then_some(config.small_degree_threshold),
             );
             timings.aggregation += t3.elapsed();
 

@@ -72,6 +72,10 @@ impl CommunityMap {
         let slot = key as usize;
         debug_assert!(slot < self.values.len(), "key {key} exceeds capacity");
         if !self.touched[slot] {
+            debug_assert!(
+                self.values[slot] == 0.0,
+                "untouched slot {key} must be zero on entry"
+            );
             self.touched[slot] = true;
             self.values[slot] = weight;
             self.keys.push(key);
@@ -116,11 +120,20 @@ impl CommunityMap {
     }
 
     /// Clears the map in O(touched) time.
+    ///
+    /// Only the `touched` flags are reset: zeroing `values` here would
+    /// duplicate the store [`CommunityMap::add`] performs on a slot's
+    /// first touch, so the value write is kept in exactly one place. In
+    /// debug builds the values *are* zeroed so `add` can assert that
+    /// untouched slots hold zero on entry.
     #[inline]
     pub fn clear(&mut self) {
         for &k in &self.keys {
             self.touched[k as usize] = false;
-            self.values[k as usize] = 0.0;
+            #[cfg(debug_assertions)]
+            {
+                self.values[k as usize] = 0.0;
+            }
         }
         self.keys.clear();
     }

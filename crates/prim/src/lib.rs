@@ -11,6 +11,8 @@
 //!   giving O(1) insert/lookup and O(touched) clear;
 //! * [`atomics`] — an atomic `f64` add/CAS built on `AtomicU64` bit games,
 //!   used for the asynchronously updated community weights `Σ'`;
+//! * [`smallmap`] — a fixed-capacity, stack-resident linear map: the
+//!   low-degree tier of the kernel-v2 two-tier neighbourhood scan;
 //! * [`bitset`] — an atomic bitset used for flag-based vertex pruning;
 //! * [`rng`] — the xorshift32 generator the paper uses for randomized
 //!   refinement;
@@ -29,6 +31,7 @@ pub mod parfor;
 pub mod rng;
 pub mod scan;
 pub mod shared_slice;
+pub mod smallmap;
 pub mod workspace;
 
 pub use atomics::AtomicF64;
@@ -37,4 +40,5 @@ pub use hashtable::CommunityMap;
 pub use rng::Xorshift32;
 pub use scan::{exclusive_scan_in_place, parallel_exclusive_scan};
 pub use shared_slice::SharedSlice;
+pub use smallmap::{SmallScanMap, SMALL_SCAN_CAP};
 pub use workspace::PerThread;

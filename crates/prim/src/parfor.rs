@@ -27,11 +27,28 @@ impl Iterator for ChunkClaims<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<Range<usize>> {
-        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
-        if start >= self.len {
-            return None;
+        // Saturating claim: an unconditional `fetch_add` would let the
+        // shared cursor run arbitrarily far past `len` while workers
+        // spin down a long tail (every exhausted worker still bumps it
+        // by `chunk` once per poll). The compare-exchange claims
+        // `start..end` only while `start` is in range, so the cursor
+        // never exceeds `len`.
+        let mut start = self.cursor.load(Ordering::Relaxed);
+        loop {
+            if start >= self.len {
+                return None;
+            }
+            let end = (start + self.chunk).min(self.len);
+            match self.cursor.compare_exchange_weak(
+                start,
+                end,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(start..end),
+                Err(observed) => start = observed,
+            }
         }
-        Some(start..(start + self.chunk).min(self.len))
     }
 }
 
@@ -150,5 +167,51 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         par_for_dynamic(10, 0, |_| {});
+    }
+
+    /// Regression: many workers hammering a tiny range must not push the
+    /// shared cursor past `len` (the old `fetch_add` claim advanced it
+    /// by `chunk` on every exhausted poll).
+    #[test]
+    fn cursor_never_runs_past_len() {
+        let len = 3usize;
+        let cursor = AtomicUsize::new(0);
+        let counts: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    let claims = ChunkClaims {
+                        cursor: &cursor,
+                        len,
+                        chunk: 1,
+                    };
+                    for range in claims {
+                        for i in range {
+                            counts[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cursor.load(Ordering::Relaxed),
+            len,
+            "cursor must saturate exactly at len"
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    /// The same bound holds through the public entry point with a chunk
+    /// that overshoots the range end.
+    #[test]
+    fn tiny_range_many_claims_covered_exactly_once() {
+        for _ in 0..50 {
+            let n = 5;
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            par_for_dynamic(n, 3, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
     }
 }

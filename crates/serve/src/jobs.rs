@@ -12,7 +12,7 @@
 use crate::cache::{CachedPartition, PartitionCache, PartitionKey, PartitionOrigin};
 use crate::json::Json;
 use crate::registry::GraphRegistry;
-use gve_leiden::{Leiden, LeidenConfig, Objective};
+use gve_leiden::{EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, VertexOrdering};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +31,15 @@ pub struct DetectRequest {
     pub seed: u64,
     /// Cap on passes (default: library default).
     pub max_passes: usize,
+    /// Dynamic-scheduling chunk size.
+    pub chunk_size: usize,
+    /// Scan kernel: two-pass `v1` or fused degree-aware `v2`. Part of
+    /// the cache fingerprint so v1 and v2 partitions never alias.
+    pub kernel: KernelVersion,
+    /// Cache-aware vertex relabeling applied before detection.
+    pub ordering: VertexOrdering,
+    /// CSR edge layout (`split` arrays or `interleaved` pairs).
+    pub layout: EdgeLayout,
 }
 
 impl Default for DetectRequest {
@@ -41,6 +50,10 @@ impl Default for DetectRequest {
             resolution: 1.0,
             seed: defaults.seed,
             max_passes: defaults.max_passes,
+            chunk_size: defaults.chunk_size,
+            kernel: defaults.kernel,
+            ordering: defaults.ordering,
+            layout: defaults.layout,
         }
     }
 }
@@ -65,6 +78,18 @@ impl DetectRequest {
         if let Some(max_passes) = body.get("max_passes").and_then(Json::as_u64) {
             request.max_passes = max_passes as usize;
         }
+        if let Some(chunk_size) = body.get("chunk_size").and_then(Json::as_u64) {
+            request.chunk_size = chunk_size as usize;
+        }
+        if let Some(kernel) = body.get("kernel").and_then(Json::as_str) {
+            request.kernel = KernelVersion::parse(kernel)?;
+        }
+        if let Some(ordering) = body.get("ordering").and_then(Json::as_str) {
+            request.ordering = VertexOrdering::parse(ordering)?;
+        }
+        if let Some(layout) = body.get("layout").and_then(Json::as_str) {
+            request.layout = EdgeLayout::parse(layout)?;
+        }
         request.to_config()?; // surface invalid configs at submit time
         Ok(request)
     }
@@ -80,7 +105,13 @@ impl DetectRequest {
             },
             other => return Err(format!("unknown objective '{other}'")),
         };
-        let mut config = LeidenConfig::default().objective(objective).seed(self.seed);
+        let mut config = LeidenConfig::default()
+            .objective(objective)
+            .seed(self.seed)
+            .chunk_size(self.chunk_size)
+            .kernel(self.kernel)
+            .ordering(self.ordering)
+            .layout(self.layout);
         config.max_passes = self.max_passes;
         config.validate()?;
         Ok(config)
@@ -90,8 +121,15 @@ impl DetectRequest {
     /// textual form, so semantically equal requests collide on purpose).
     pub fn fingerprint(&self) -> u64 {
         let canonical = format!(
-            "objective={};resolution={};seed={};max_passes={}",
-            self.objective, self.resolution, self.seed, self.max_passes
+            "objective={};resolution={};seed={};max_passes={};chunk_size={};kernel={};ordering={};layout={}",
+            self.objective,
+            self.resolution,
+            self.seed,
+            self.max_passes,
+            self.chunk_size,
+            self.kernel.label(),
+            self.ordering.label(),
+            self.layout.label(),
         );
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in canonical.bytes() {
@@ -108,6 +146,10 @@ impl DetectRequest {
             ("resolution", Json::from(self.resolution)),
             ("seed", Json::from(self.seed)),
             ("max_passes", Json::from(self.max_passes)),
+            ("chunk_size", Json::from(self.chunk_size)),
+            ("kernel", Json::from(self.kernel.label())),
+            ("ordering", Json::from(self.ordering.label())),
+            ("layout", Json::from(self.layout.label())),
         ])
     }
 }
@@ -490,6 +532,54 @@ mod tests {
         );
         let bad = crate::json::parse(r#"{"objective":"louvain"}"#).unwrap();
         assert!(DetectRequest::from_json(&bad).is_err());
+    }
+
+    /// Kernel/ordering/layout/chunk-size are part of the fingerprint, so
+    /// the partition cache never serves a v1 result for a v2 request (or
+    /// vice versa), and bad tokens are rejected at parse time.
+    #[test]
+    fn kernel_knobs_fingerprint_and_validate() {
+        let body = crate::json::parse(
+            r#"{"kernel":"v1","ordering":"degree","layout":"interleaved","chunk_size":512}"#,
+        )
+        .unwrap();
+        let request = DetectRequest::from_json(&body).unwrap();
+        assert_eq!(request.kernel, KernelVersion::V1);
+        assert_eq!(request.ordering, VertexOrdering::DegreeDesc);
+        assert_eq!(request.layout, EdgeLayout::Interleaved);
+        assert_eq!(request.chunk_size, 512);
+
+        let defaults = DetectRequest::default();
+        for other in [
+            DetectRequest {
+                kernel: KernelVersion::V1,
+                ..defaults.clone()
+            },
+            DetectRequest {
+                ordering: VertexOrdering::Bfs,
+                ..defaults.clone()
+            },
+            DetectRequest {
+                layout: EdgeLayout::Interleaved,
+                ..defaults.clone()
+            },
+            DetectRequest {
+                chunk_size: defaults.chunk_size + 1,
+                ..defaults.clone()
+            },
+        ] {
+            assert_ne!(other.fingerprint(), defaults.fingerprint());
+        }
+
+        for bad in [
+            r#"{"kernel":"v3"}"#,
+            r#"{"ordering":"random"}"#,
+            r#"{"layout":"columnar"}"#,
+            r#"{"chunk_size":0}"#,
+        ] {
+            let body = crate::json::parse(bad).unwrap();
+            assert!(DetectRequest::from_json(&body).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@ fn usage() -> ! {
          gve generate --class <web|social|road|kmer|er|lfr> --vertices <n> \
          [--degree <f>] [--seed <n>] --out <path>\n  \
          gve detect <graph> [--algorithm <leiden|louvain|seq-leiden|seq-louvain|nk-leiden>] \
-         [--objective <modularity|cpm>] [--resolution <f>] [--threads <n>] [--out <path>]\n  \
+         [--objective <modularity|cpm>] [--resolution <f>] [--threads <n>] \
+         [--chunk-size <n>] [--kernel <v1|v2>] [--ordering <original|degree|bfs>] \
+         [--layout <split|interleaved>] [--out <path>]\n  \
          gve quality <graph> <membership> [--detail <n>]\n  \
          gve stats <graph>\n  \
          gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
@@ -185,7 +187,41 @@ fn cmd_detect(args: &[String]) {
             usage()
         }
     };
-    let leiden_config = gve::leiden::LeidenConfig::default().objective(objective);
+    let mut leiden_config = gve::leiden::LeidenConfig::default().objective(objective);
+    if let Some(raw) = flag_value(args, "--chunk-size") {
+        let chunk_size: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad --chunk-size '{raw}' (expected a positive integer)");
+            exit(2);
+        });
+        leiden_config = leiden_config.chunk_size(chunk_size);
+    }
+    if let Some(token) = flag_value(args, "--kernel") {
+        match gve::leiden::KernelVersion::parse(token) {
+            Ok(kernel) => leiden_config = leiden_config.kernel(kernel),
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(token) = flag_value(args, "--ordering") {
+        match gve::leiden::VertexOrdering::parse(token) {
+            Ok(ordering) => leiden_config = leiden_config.ordering(ordering),
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(token) = flag_value(args, "--layout") {
+        match gve::leiden::EdgeLayout::parse(token) {
+            Ok(layout) => leiden_config = leiden_config.layout(layout),
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        }
+    }
     if let Err(e) = leiden_config.validate() {
         eprintln!("error: {e}");
         exit(1);
