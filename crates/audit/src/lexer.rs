@@ -1,0 +1,407 @@
+//! A minimal Rust lexer — just enough syntax awareness for auditing.
+//!
+//! The workspace builds in network-less containers, so `syn` is not
+//! available; the lint rules do not need a full AST anyway. What they
+//! *do* need, and what a plain `grep` cannot give them, is to tell
+//! code from comments and string literals: `"unsafe"` inside a string,
+//! `Relaxed` inside a doc comment, or `unwrap` in `// unwrap is fine
+//! here` must never count as code. This lexer produces a flat token
+//! stream with line numbers, classifying comments (which the rules
+//! read for `SAFETY:` / ordering justifications) separately from code
+//! tokens (which the rules pattern-match).
+//!
+//! Handled: line/block comments (nested), doc comments, string
+//! literals with escapes, raw strings `r#"…"#` (any `#` depth), byte
+//! and C strings, char literals vs. lifetimes, identifiers (including
+//! raw `r#ident`), numbers, and punctuation. Not handled (not needed):
+//! float literal edge cases, shebangs, `macro_rules!` matcher depth.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `unwrap`, ...).
+    Ident,
+    /// Single punctuation byte (`.`, `(`, `{`, `:`, ...).
+    Punct,
+    /// Literal: string/char/number. Text is not preserved verbatim for
+    /// strings (rules never need it), only a placeholder.
+    Literal,
+    /// `//` or `/* */` comment, including doc comments. Text holds the
+    /// full comment body (without the final newline).
+    Comment,
+}
+
+/// One token with its starting line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (comments keep their body; strings are collapsed).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for a code identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token equal to `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated
+/// constructs consume to end of input (the audit still sees everything
+/// before the defect, and rustc will reject the file anyway).
+pub fn lex(source: &str) -> Vec<Tok> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Byte-level scanning with manual line counting keeps the lexer
+    // simple; token text is sliced back out of `source` (always on
+    // char boundaries because every branch advances past full chars).
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: source[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i + 1, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"…\"".to_string(),
+                    line,
+                });
+            }
+            // Raw / byte / C strings: r"…", r#"…"#, b"…", br#"…"#, c"…".
+            b'r' | b'b' | b'c' if starts_string_prefix(bytes, i) => {
+                let (next, start_line) = skip_prefixed_string(bytes, i, &mut line);
+                i = next;
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"…\"".to_string(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(bytes, i) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: source[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2; // escape + escaped byte
+                    } else if i < bytes.len() {
+                        // Skip one full (possibly multi-byte) char.
+                        i += utf8_len(bytes[i]);
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1; // tolerate '\u{1F600}' style payloads
+                    }
+                    i += 1;
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: "'…'".to_string(),
+                        line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                // Raw identifier r#ident.
+                if c == b'r'
+                    && bytes.get(i + 1) == Some(&b'#')
+                    && bytes.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    i += 2;
+                }
+                i += 1;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (is_ident_byte(bytes[i]) || bytes[i] == b'.') {
+                    // Stop a number's `.` from eating a method call:
+                    // `1.max(2)` — only consume the dot when a digit
+                    // follows it.
+                    if bytes[i] == b'.' && !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let len = utf8_len(b);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: source[i..i + len].to_string(),
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// At `bytes[i] ∈ {r, b, c}` — does a string prefix start here
+/// (`r"`, `r#`, `b"`, `br"`, `br#`, `c"`, ...)? Identifier characters
+/// before a quote (like `weird"`) can't occur in valid Rust, so looking
+/// one or two bytes ahead is enough.
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    matches!(
+        (bytes[i], bytes.get(i + 1), bytes.get(i + 2)),
+        (b'r' | b'c', Some(b'"'), _)
+            | (b'r', Some(b'#'), Some(b'"' | b'#'))
+            | (b'b', Some(b'"'), _)
+            | (b'b', Some(b'r'), Some(b'"' | b'#'))
+            | (b'b', Some(b'\''), _)
+    )
+}
+
+/// Consumes a plain (escaped) string body starting *after* the opening
+/// quote; returns the index after the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes `r#*"…"#*`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"` starting at
+/// the prefix; returns (index-after, starting line).
+fn skip_prefixed_string(bytes: &[u8], mut i: usize, line: &mut u32) -> (usize, u32) {
+    let start_line = *line;
+    let mut raw = false;
+    // Consume the prefix letters.
+    while i < bytes.len() && matches!(bytes[i], b'r' | b'b' | b'c') {
+        if bytes[i] == b'r' {
+            raw = true;
+        }
+        i += 1;
+        if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'#' || bytes[i] == b'\'') {
+            break;
+        }
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        // Byte char literal b'x' / b'\n'.
+        i += 1;
+        if bytes.get(i) == Some(&b'\\') {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1, start_line);
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        i += 1;
+    }
+    if raw {
+        // Scan for `"` followed by `hashes` `#`s; no escapes in raw strings.
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).all(|&b| b == b'#') {
+                return (i + 1 + hashes, start_line);
+            } else {
+                i += 1;
+            }
+        }
+        (i, start_line)
+    } else {
+        (skip_string(bytes, i, line), start_line)
+    }
+}
+
+/// At a `'`: lifetime if followed by an identifier NOT closed by a
+/// quote right after (`'a,` vs `'a'`), or `'static`, `'_`.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(next) {
+        return false;
+    }
+    // Find the end of the identifier run; a closing quote means char.
+    let mut j = i + 2;
+    while j < bytes.len() && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_words_in_strings_and_comments_are_not_idents() {
+        let src = r###"
+            let x = "unsafe unwrap"; // unsafe in a comment
+            /* Ordering::Relaxed in a block comment */
+            let y = r#"panic!()"#;
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"Relaxed".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn comments_carry_their_text_and_line() {
+        let toks = lex("let a = 1;\n// SAFETY: fine\nunsafe { }\n");
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+        assert_eq!(c.line, 2);
+        assert!(c.text.contains("SAFETY:"));
+        let u = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.is_ident("'a")));
+        assert_eq!(
+            toks.iter().filter(|t| t.text == "'…'").count(),
+            1,
+            "exactly one char literal"
+        );
+    }
+
+    #[test]
+    fn escaped_chars_and_raw_strings_round_trip() {
+        let toks = lex(r###"let c = '\n'; let s = r##"a "# b"##; let t = b"x\"y";"###);
+        // Everything after must still lex: 3 `let`s seen.
+        assert_eq!(toks.iter().filter(|t| t.is_ident("let")).count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ unsafe");
+        assert!(toks[0].kind == TokKind::Comment);
+        assert!(toks[1].is_ident("unsafe"));
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let toks = lex("let s = \"line1\nline2\";\nunsafe");
+        let u = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 3);
+    }
+
+    #[test]
+    fn float_literals_do_not_eat_method_calls() {
+        let ids = idents("let x = 1.0f64.max(2.5); let y = 1.max(2);");
+        assert_eq!(ids.iter().filter(|s| *s == "max").count(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! gve-audit: the workspace lint engine.
+//!
+//! GVE-Leiden's asynchronous local-moving phase races threads on shared
+//! atomics *by design*, and `crates/prim` hands out `&self` writes
+//! through [`SharedSlice`]-style unsafe aliasing. The compiler cannot
+//! check the conventions that keep that sound — so this crate makes
+//! them executable. `cargo run -p gve-audit` walks every Rust source in
+//! the workspace, tokenizes it (a minimal hand-rolled lexer — the
+//! offline workspace has no `syn`; token-level views of comments vs.
+//! code are exactly what the rules need), and enforces the four rules
+//! documented in [`rules`], driven by the policy table in [`policy`].
+//!
+//! Exit status is the contract: `0` means the workspace is clean, `1`
+//! means findings were printed, `2` means the tool itself failed
+//! (unreadable policy, I/O error). CI gates merges on it.
+//!
+//! [`SharedSlice`]: ../gve_prim/shared_slice/struct.SharedSlice.html
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+pub use policy::Policy;
+pub use rules::{audit_source, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that are scanned for `.rs`
+/// files. `shims/` is reachable here but excluded by the default
+/// policy's `skip` entries, keeping the decision in the reviewable
+/// policy file rather than hard-coded.
+const SCAN_ROOTS: [&str; 2] = ["crates", "shims"];
+
+/// Audits every non-skipped `.rs` file under `root`. Returns findings
+/// sorted by path then line; I/O problems are reported as `Err`.
+pub fn audit_workspace(root: &Path, policy: &Policy) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let top = root.join(dir);
+        if top.is_dir() {
+            collect_rs_files(&top, &mut files)?;
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let rel = relative_slash_path(root, &file);
+        if policy.is_skipped(&rel) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        out.extend(audit_source(&rel, &source, policy));
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("bad dir entry under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with forward slashes (policy matching is done
+/// on these regardless of host OS).
+fn relative_slash_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: walks up from `start` looking for a
+/// directory containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_are_slash_separated() {
+        let root = Path::new("/w");
+        let file = Path::new("/w/crates/core/src/lib.rs");
+        assert_eq!(relative_slash_path(root, file), "crates/core/src/lib.rs");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("root");
+        assert!(root.join("crates/audit").is_dir());
+    }
+}

@@ -1,0 +1,131 @@
+//! `gve-audit` CLI: lint the workspace, exit non-zero on findings.
+//!
+//! ```text
+//! cargo run -p gve-audit            # audit the enclosing workspace
+//! gve-audit --root /path/to/repo    # audit an explicit checkout
+//! gve-audit --policy custom.policy  # override the policy file
+//! gve-audit --json                  # machine-readable findings
+//! ```
+
+use gve_audit::{audit_workspace, find_workspace_root, Policy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    policy: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        policy: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a path".to_string())?,
+                ));
+            }
+            "--policy" => {
+                args.policy = Some(PathBuf::from(
+                    it.next().ok_or("--policy needs a path".to_string())?,
+                ));
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "gve-audit: workspace concurrency/soundness lints\n\n\
+                     USAGE: gve-audit [--root DIR] [--policy FILE] [--json]\n\n\
+                     Exit status: 0 clean, 1 findings, 2 tool error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let start = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&start)
+                .or_else(|| {
+                    // Fall back to the source checkout this binary was
+                    // built from (covers `cargo run` from odd cwds).
+                    find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+                })
+                .ok_or("cannot locate workspace root (use --root)".to_string())?
+        }
+    };
+    let policy = match &args.policy {
+        Some(p) => Policy::load(p)?,
+        None => {
+            let default_file = root.join("audit.policy");
+            if default_file.is_file() {
+                Policy::load(&default_file)?
+            } else {
+                Policy::default_workspace()
+            }
+        }
+    };
+    let findings = audit_workspace(&root, &policy)?;
+    if args.json {
+        println!("[");
+        for (i, v) in findings.iter().enumerate() {
+            let comma = if i + 1 == findings.len() { "" } else { "," };
+            println!(
+                "  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}{comma}",
+                v.rule,
+                json_escape(&v.path),
+                v.line,
+                json_escape(&v.message)
+            );
+        }
+        println!("]");
+    } else {
+        for v in &findings {
+            println!("{v}");
+        }
+        if findings.is_empty() {
+            eprintln!("gve-audit: workspace clean ({})", root.display());
+        } else {
+            eprintln!("gve-audit: {} finding(s)", findings.len());
+        }
+    }
+    Ok(findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("gve-audit: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The audit policy: which files are hot paths, where `Relaxed` is
+//! allowed wholesale, and which atomics are cross-thread *publishes*
+//! that must use Release/Acquire or stronger.
+//!
+//! The policy ships in `audit.policy` at the workspace root so it is
+//! reviewable next to the code it governs; [`Policy::default_workspace`]
+//! embeds the same table as a fallback for running the engine against a
+//! bare checkout. Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! hotpath    <path-substring>
+//! relaxed-ok <path-substring> -- <reason>
+//! publish    <path-substring> <field>.<method> <Ordering>[,<Ordering>] -- <reason>
+//! skip       <path-substring>
+//! ```
+//!
+//! * `hotpath` — rule `hotpath-panic` bans `unwrap`/`expect`/`panic!`/
+//!   `assert!`/`todo!`/`unimplemented!`/`get_unchecked` in these files
+//!   (tests exempt; `debug_assert!` allowed).
+//! * `relaxed-ok` — rule `atomic-ordering` accepts *undocumented*
+//!   `Ordering::Relaxed` in these files. Prefer inline justification
+//!   comments; this escape hatch exists for generated or vendored code.
+//! * `publish` — accesses of fields whose name contains `<field>` via
+//!   `<method>` must use one of the listed orderings. This is the
+//!   machine-checked half of the ordering policy table: values other
+//!   threads *synchronize on* (not mere counters) may not be demoted to
+//!   `Relaxed` without editing the policy in the same diff.
+//! * `skip` — files the engine never scans (stand-in shims, fixtures).
+
+use std::fmt;
+use std::path::Path;
+
+/// A `publish` table entry.
+#[derive(Debug, Clone)]
+pub struct PublishRule {
+    /// Path substring selecting the files this entry covers.
+    pub path: String,
+    /// Field-name substring (`shutdown` matches `shutdown_flag`).
+    pub field: String,
+    /// Method the rule constrains (`store`, `load`, `fetch_add`, ...).
+    pub method: String,
+    /// Orderings the access may use.
+    pub allowed: Vec<String>,
+    /// Why this site is ordering-sensitive.
+    pub reason: String,
+}
+
+/// An allowlist entry with its justification.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Path substring.
+    pub path: String,
+    /// Why `Relaxed` is blanket-acceptable there.
+    pub reason: String,
+}
+
+/// The full audit policy.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Files under the `hotpath-panic` rule.
+    pub hot_paths: Vec<String>,
+    /// Files where undocumented `Relaxed` is allowed.
+    pub relaxed_ok: Vec<AllowEntry>,
+    /// Ordering-sensitive publish sites.
+    pub publish: Vec<PublishRule>,
+    /// Path substrings excluded from scanning entirely.
+    pub skip: Vec<String>,
+}
+
+/// A policy-file parse error with its line number.
+#[derive(Debug)]
+pub struct PolicyError {
+    /// 1-based line in the policy file.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.message)
+    }
+}
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+impl Policy {
+    /// Parses the `audit.policy` text format.
+    pub fn parse(text: &str) -> Result<Self, PolicyError> {
+        let mut policy = Policy::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| PolicyError {
+                line: idx + 1,
+                message,
+            };
+            let (body, reason) = match line.split_once("--") {
+                Some((b, r)) => (b.trim(), r.trim().to_string()),
+                None => (line, String::new()),
+            };
+            let mut fields = body.split_whitespace();
+            let keyword = fields.next().unwrap_or_default();
+            match keyword {
+                "hotpath" => {
+                    let path = fields
+                        .next()
+                        .ok_or_else(|| err("hotpath needs a path".into()))?;
+                    policy.hot_paths.push(path.to_string());
+                }
+                "relaxed-ok" => {
+                    let path = fields
+                        .next()
+                        .ok_or_else(|| err("relaxed-ok needs a path".into()))?;
+                    if reason.is_empty() {
+                        return Err(err(format!(
+                            "relaxed-ok {path} needs a `-- reason` justification"
+                        )));
+                    }
+                    policy.relaxed_ok.push(AllowEntry {
+                        path: path.to_string(),
+                        reason,
+                    });
+                }
+                "publish" => {
+                    let path = fields
+                        .next()
+                        .ok_or_else(|| err("publish needs a path".into()))?;
+                    let access = fields
+                        .next()
+                        .ok_or_else(|| err("publish needs <field>.<method>".into()))?;
+                    let (field, method) = access
+                        .split_once('.')
+                        .ok_or_else(|| err(format!("bad access spec '{access}'")))?;
+                    let orderings = fields
+                        .next()
+                        .ok_or_else(|| err("publish needs allowed orderings".into()))?;
+                    let allowed: Vec<String> =
+                        orderings.split(',').map(|s| s.trim().to_string()).collect();
+                    for o in &allowed {
+                        if !ORDERINGS.contains(&o.as_str()) {
+                            return Err(err(format!("unknown ordering '{o}'")));
+                        }
+                    }
+                    if reason.is_empty() {
+                        return Err(err(format!("publish {access} needs a `-- reason`")));
+                    }
+                    policy.publish.push(PublishRule {
+                        path: path.to_string(),
+                        field: field.to_string(),
+                        method: method.to_string(),
+                        allowed,
+                        reason,
+                    });
+                }
+                "skip" => {
+                    let path = fields
+                        .next()
+                        .ok_or_else(|| err("skip needs a path".into()))?;
+                    policy.skip.push(path.to_string());
+                }
+                other => return Err(err(format!("unknown policy keyword '{other}'"))),
+            }
+            if let Some(extra) = fields.next() {
+                return Err(err(format!("trailing field '{extra}'")));
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Loads a policy file from disk.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The repository's canonical policy — mirrors `audit.policy` at the
+    /// workspace root.
+    pub fn default_workspace() -> Self {
+        Self::parse(DEFAULT_POLICY).expect("embedded policy must parse")
+    }
+
+    /// True when `path` (a `/`-separated relative path) is a hot path.
+    pub fn is_hot_path(&self, path: &str) -> bool {
+        self.hot_paths.iter().any(|p| path.contains(p.as_str()))
+    }
+
+    /// Allowlist entry covering `path`, if any.
+    pub fn relaxed_ok_for(&self, path: &str) -> Option<&AllowEntry> {
+        self.relaxed_ok
+            .iter()
+            .find(|e| path.contains(e.path.as_str()))
+    }
+
+    /// Publish rules applying to `path`.
+    pub fn publish_rules_for<'a>(
+        &'a self,
+        path: &'a str,
+    ) -> impl Iterator<Item = &'a PublishRule> + 'a {
+        self.publish
+            .iter()
+            .filter(move |r| path.contains(r.path.as_str()))
+    }
+
+    /// True when the engine must not scan `path` at all.
+    pub fn is_skipped(&self, path: &str) -> bool {
+        self.skip.iter().any(|p| path.contains(p.as_str()))
+    }
+}
+
+/// Embedded copy of the workspace policy (kept in sync with
+/// `audit.policy`; the root file wins when present).
+pub const DEFAULT_POLICY: &str = r#"
+# ---- gve-audit workspace policy -------------------------------------
+# Hot paths: no unwrap/expect/panic!/assert!/todo!/unimplemented!/
+# get_unchecked outside tests (debug_assert! is allowed). These are the
+# phase kernels the service runs per request plus the request loop.
+hotpath crates/core/src/localmove.rs
+hotpath crates/core/src/refine.rs
+hotpath crates/core/src/aggregate.rs
+hotpath crates/core/src/kernel.rs
+hotpath crates/serve/src/http.rs
+
+# Ordering policy table: values other threads synchronize on. The
+# shutdown flag gates joining worker/accept threads: the store must be
+# Release (publish everything before the signal) and loads Acquire.
+publish crates/serve/src/jobs.rs shutdown.store Release,SeqCst -- workers observe queue + records writes made before shutdown
+publish crates/serve/src/jobs.rs shutdown.load Acquire,SeqCst -- pairs with the Release store above
+publish crates/serve/src/http.rs shutdown.store Release,SeqCst -- accept loop must see listener state preceding the signal
+publish crates/serve/src/http.rs shutdown.load Acquire,SeqCst -- pairs with the Release store above
+
+# Blanket Relaxed allowlists. Everything else needs an inline
+# justification comment mentioning "relaxed" within 8 lines.
+relaxed-ok shims/ -- offline stand-ins for third-party crates; not our code to annotate
+
+# Never scanned: shims are API stand-ins, fixtures are deliberately bad.
+skip shims/
+skip crates/audit/tests/fixtures/
+skip target/
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_parses_and_covers_hot_paths() {
+        let p = Policy::default_workspace();
+        assert!(p.is_hot_path("crates/core/src/localmove.rs"));
+        assert!(p.is_hot_path("crates/serve/src/http.rs"));
+        assert!(!p.is_hot_path("crates/core/src/config.rs"));
+        assert!(p.is_skipped("shims/rayon/src/lib.rs"));
+        assert!(p.is_skipped("crates/audit/tests/fixtures/bad.rs"));
+        assert!(p
+            .publish_rules_for("crates/serve/src/jobs.rs")
+            .any(|r| r.field == "shutdown" && r.method == "store"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(Policy::parse("hotpath").is_err());
+        assert!(
+            Policy::parse("relaxed-ok foo.rs").is_err(),
+            "missing reason"
+        );
+        assert!(Policy::parse("publish a.rs shutdown.store Bogus -- r").is_err());
+        assert!(Policy::parse("publish a.rs shutdownstore Release -- r").is_err());
+        assert!(Policy::parse("frobnicate x").is_err());
+        assert!(Policy::parse("hotpath a.rs extra").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_reasons_and_ordering_lists() {
+        let p = Policy::parse(
+            "publish x.rs flag.store Release,SeqCst -- because\nrelaxed-ok y.rs -- counters only\n",
+        )
+        .unwrap();
+        assert_eq!(p.publish[0].allowed, vec!["Release", "SeqCst"]);
+        assert_eq!(p.relaxed_ok[0].reason, "counters only");
+    }
+}

@@ -1,0 +1,43 @@
+//! Clean fixture: the same shapes as `violations.rs` with every
+//! justification the rules demand. Must audit clean even under
+//! hot-path names.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn documented_unsafe(p: *mut u8) {
+    // SAFETY: `p` is valid and exclusively owned per this fixture's
+    // imaginary caller contract.
+    unsafe {
+        *p = 1;
+    }
+}
+
+/// Writes through `p`.
+///
+/// # Safety
+/// `p` must be valid for writes.
+pub unsafe fn documented_unsafe_fn(p: *mut u8) {
+    *p = 2;
+}
+
+pub fn justified_relaxed(c: &AtomicU64) {
+    // Relaxed: pure statistics counter; nothing synchronizes on it.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn proper_publish(shutdown: &AtomicBool) {
+    shutdown.store(true, Ordering::Release);
+}
+
+pub fn hot_path_fallible(v: &[u32]) -> Option<u32> {
+    let first = v.first()?;
+    debug_assert!(*first != u32::MAX);
+    Some(*first)
+}
+
+pub fn io_outside_rayon(v: &[u32]) {
+    let _ = std::fs::read("fine-here");
+    v.par_iter().for_each(|x| {
+        let _ = x;
+    });
+}

@@ -1,0 +1,41 @@
+//! Seeded violation fixture: every rule must fire on this file.
+//! Never compiled, never scanned as part of the workspace (the policy
+//! skips `crates/audit/tests/fixtures/`); the engine tests feed it
+//! through `audit_source` under hot-path names, and the CLI test mounts
+//! it in a throwaway workspace.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn undocumented_unsafe(p: *mut u8) {
+    unsafe {
+        *p = 1;
+    }
+}
+
+pub unsafe fn undocumented_unsafe_fn(p: *mut u8) {
+    *p = 2;
+}
+
+pub fn unjustified_relaxed(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn demoted_publish(shutdown: &AtomicBool) {
+    shutdown.store(true, Ordering::Relaxed);
+}
+
+pub fn hot_path_panics(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    assert!(*first > 0);
+    if *first == 7 {
+        panic!("sevens are right out");
+    }
+    *first
+}
+
+pub fn spawn_inside_rayon(v: &[u32]) {
+    v.par_iter().for_each(|_| {
+        std::thread::spawn(|| {});
+        let _ = std::fs::read("nope");
+    });
+}

@@ -73,6 +73,9 @@ pub fn label_propagation_with(graph: &CsrGraph, config: &LpaConfig) -> BaselineR
                         }
                         let v = v as VertexId;
                         ht.clear();
+                        // Relaxed label loads: asynchronous RAK tolerates
+                        // stale neighbor labels — worst case the move
+                        // happens a sweep later.
                         for (j, w) in graph.edges(v) {
                             if j != v {
                                 ht.add(labels[j as usize].load(Ordering::Relaxed), w as f64);
@@ -83,7 +86,8 @@ pub fn label_propagation_with(graph: &CsrGraph, config: &LpaConfig) -> BaselineR
                         };
                         // RAK tie-breaking: keep the current label if it
                         // is among the maxima; otherwise pick uniformly
-                        // at random among them.
+                        // at random among them. (Relaxed: only this
+                        // worker writes `v` within a sweep.)
                         let current = labels[v as usize].load(Ordering::Relaxed);
                         if ht.weight(current) >= best_weight {
                             continue;
@@ -100,6 +104,9 @@ pub fn label_propagation_with(graph: &CsrGraph, config: &LpaConfig) -> BaselineR
                         );
                         let best = ties[rng.next_bounded(ties.len() as u32) as usize];
                         if best != current {
+                            // Relaxed: label readers accept staleness;
+                            // `changed` is a pure counter read after the
+                            // join.
                             labels[v as usize].store(best, Ordering::Relaxed);
                             changed.fetch_add(1, Ordering::Relaxed);
                             for &j in graph.neighbors(v) {
@@ -110,11 +117,14 @@ pub fn label_propagation_with(graph: &CsrGraph, config: &LpaConfig) -> BaselineR
                 }
             })
         });
+        // Relaxed: both reads happen after the dynamic_workers join, so
+        // every sweep store is already visible.
         if (changed.load(Ordering::Relaxed) as f64) < config.tolerance * n as f64 {
             break;
         }
     }
 
+    // Relaxed: post-join read-back, as above.
     let raw: Vec<VertexId> = labels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
     let (membership, num_communities) = gve_leiden::dendrogram::renumber(&raw);
     BaselineResult {

@@ -109,6 +109,7 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
         let sigma: Vec<AtomicF64> = {
             let mut s = vec![0.0f64; n_cur];
             for v in 0..n_cur {
+                // Relaxed: single-threaded setup loop, nothing to order.
                 s[membership[v].load(Ordering::Relaxed) as usize] += weights[v];
             }
             atomic_f64_from_slice(&s)
@@ -126,12 +127,16 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
             let moves: usize = frontier
                 .par_iter()
                 .map(|&i| {
+                    // Relaxed throughout this worker: queue flags and
+                    // membership tolerate staleness (asynchronous local
+                    // moving); the lock below orders the actual commit.
                     in_queue[i as usize].store(false, Ordering::Relaxed);
                     let moved = tables.with(|ht| {
                         let current_c = membership[i as usize].load(Ordering::Relaxed);
                         ht.clear();
                         for (j, w) in g.edges(i) {
                             if j != i {
+                                // Relaxed: stale labels tolerated.
                                 ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
                             }
                         }
@@ -140,7 +145,9 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
                             gve_leiden::localmove::choose_best(ht, current_c, k_i, &sigma, coeffs)
                                 .map(|(t, _)| t)?;
                         // Lock-guarded weight transfer (the NetworKit
-                        // contrast with GVE's lock-free commit).
+                        // contrast with GVE's lock-free commit). The
+                        // mutex pair orders the commit; Relaxed on the
+                        // membership cells themselves suffices.
                         locks.with_pair(current_c, target, || {
                             if membership[i as usize].load(Ordering::Relaxed) == current_c {
                                 sigma[current_c as usize].fetch_sub(k_i);
@@ -154,6 +161,8 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
                     });
                     if moved.is_some() {
                         for &j in g.neighbors(i) {
+                            // Relaxed: the swap is the dedup itself; a
+                            // lost race only re-queues a vertex.
                             if !in_queue[j as usize].swap(true, Ordering::Relaxed) {
                                 next.push(j);
                             }
@@ -172,6 +181,8 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
         }
 
         // ---- Randomized refinement with locks ----
+        // Relaxed: these run between rayon joins — no concurrent
+        // readers of the cells being rewritten.
         let bounds: Vec<VertexId> = membership
             .par_iter()
             .map(|c| c.load(Ordering::Relaxed))
@@ -179,6 +190,7 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
         membership
             .par_iter()
             .enumerate()
+            // Relaxed: between-joins reset, as above.
             .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
         sigma
             .par_iter()
@@ -189,6 +201,8 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
             .into_par_iter()
             .map(|i| {
                 tables.with(|ht| {
+                    // Relaxed membership loads: stale values are
+                    // tolerated; the lock re-checks before committing.
                     let c = membership[i as usize].load(Ordering::Relaxed);
                     let k_i = weights[i as usize];
                     if sigma[c as usize].load() != k_i {
@@ -197,6 +211,7 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
                     ht.clear();
                     for (j, w) in g.edges(i) {
                         if j != i && bounds[j as usize] == bounds[i as usize] {
+                            // Relaxed: stale labels tolerated.
                             ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
                         }
                     }
@@ -240,6 +255,7 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
                         if sigma[c as usize].load() == k_i && sigma[target as usize].load() > 0.0 {
                             sigma[c as usize].store(0.0);
                             sigma[target as usize].fetch_add(k_i);
+                            // Relaxed: commit is ordered by the lock pair.
                             membership[i as usize].store(target, Ordering::Relaxed);
                             true
                         } else {
@@ -251,6 +267,7 @@ pub fn nk_leiden_with(graph: &CsrGraph, config: &NkLeidenConfig) -> BaselineResu
             .reduce(|| false, |a, b| a || b);
 
         // ---- Dendrogram + convergence ----
+        // Relaxed: post-join read-back of the refinement results.
         let refined: Vec<VertexId> = membership
             .par_iter()
             .map(|c| c.load(Ordering::Relaxed))

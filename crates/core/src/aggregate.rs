@@ -77,6 +77,9 @@ pub fn aggregate(
                         small.clear();
                         for &i in groups.members(c) {
                             for (j, w) in graph.scan_edges(i) {
+                                // Relaxed: membership is frozen here —
+                                // the join ending refine/local-move
+                                // already published every store.
                                 small.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
                             }
                         }

@@ -1,0 +1,178 @@
+//! Feature-gated runtime invariant checker (`--features analysis`).
+//!
+//! The asynchronous scheduling path races on shared membership and Σ′
+//! atomics *by design* — the paper's heuristic tolerates stale reads —
+//! which means an honest-to-goodness synchronization bug (a lost
+//! update, an out-of-bounds community id escaping a phase, a broken
+//! prefix sum in aggregation) does not necessarily crash: it silently
+//! degrades quality. This module gives the correctness harness teeth:
+//! with the `analysis` feature enabled, [`crate::Leiden::run`] verifies
+//! after every phase of every pass that
+//!
+//! * **membership bounds** — every community id is a valid vertex id of
+//!   the current pass graph;
+//! * **Σ′ totals** — the racy incremental `fetch_sub`/`fetch_add`
+//!   bookkeeping agrees with a from-scratch scatter of the penalty
+//!   weights over the membership (up to floating-point reassociation);
+//! * **CSR consistency** — the aggregated super-vertex graph has a
+//!   well-formed prefix-sum offset structure and conserves total arc
+//!   weight.
+//!
+//! Violations panic with the phase and pass identified. The feature is
+//! strictly additive: without `--features analysis` none of this is
+//! compiled and the hot loops are untouched. It is exercised in CI by
+//! `cargo test -p gve-leiden --features analysis` and is the intended
+//! build for the nightly ThreadSanitizer job, where the re-derived
+//! totals force cross-thread reads TSan can observe.
+
+use gve_graph::{CsrGraph, VertexId};
+
+/// Relative tolerance for Σ′ comparison. The incremental totals and the
+/// scatter recompute the same sums in different association orders;
+/// with `f64` accumulation over `f32` edge weights the drift stays many
+/// orders of magnitude below this.
+const SIGMA_RTOL: f64 = 1e-6;
+
+/// Checks that every community id is in-range for an `n`-vertex graph.
+pub fn check_membership(membership: &[VertexId], n: usize) -> Result<(), String> {
+    if membership.len() != n {
+        return Err(format!(
+            "membership length {} != vertex count {n}",
+            membership.len()
+        ));
+    }
+    for (v, &c) in membership.iter().enumerate() {
+        if (c as usize) >= n {
+            return Err(format!(
+                "vertex {v} has out-of-range community {c} (n = {n})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the incremental Σ′ totals against a from-scratch scatter of
+/// `penalty` (weighted degrees for modularity, vertex sizes for CPM)
+/// over `membership`.
+pub fn check_sigma(membership: &[VertexId], penalty: &[f64], sigma: &[f64]) -> Result<(), String> {
+    let n = membership.len();
+    if penalty.len() != n || sigma.len() != n {
+        return Err(format!(
+            "length mismatch: membership {n}, penalty {}, sigma {}",
+            penalty.len(),
+            sigma.len()
+        ));
+    }
+    let mut expected = vec![0.0f64; n];
+    for (v, &c) in membership.iter().enumerate() {
+        expected[c as usize] += penalty[v];
+    }
+    let scale: f64 = penalty.iter().sum::<f64>().max(1.0);
+    for c in 0..n {
+        let diff = (expected[c] - sigma[c]).abs();
+        if diff > SIGMA_RTOL * scale {
+            return Err(format!(
+                "sigma[{c}] = {} but members sum to {} (|Δ| = {diff:e})",
+                sigma[c], expected[c]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks an aggregated super-vertex graph: well-formed CSR prefix
+/// sums, the expected vertex count `k`, and conservation of total arc
+/// weight from the parent graph.
+pub fn check_aggregate(parent: &CsrGraph, supergraph: &CsrGraph, k: usize) -> Result<(), String> {
+    supergraph.validate()?;
+    if supergraph.num_vertices() != k {
+        return Err(format!(
+            "supergraph has {} vertices, expected {k} communities",
+            supergraph.num_vertices()
+        ));
+    }
+    let w_parent = parent.total_arc_weight();
+    let w_super = supergraph.total_arc_weight();
+    let diff = (w_parent - w_super).abs();
+    if diff > SIGMA_RTOL * w_parent.max(1.0) {
+        return Err(format!(
+            "aggregation lost weight: parent {w_parent}, supergraph {w_super} (|Δ| = {diff:e})"
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the post-phase checks and panics with phase context on failure.
+/// Called by [`crate::Leiden::run`] after local-moving and refinement
+/// on both scheduling paths.
+pub fn assert_phase_state(
+    phase: &str,
+    pass: usize,
+    n: usize,
+    membership: &[VertexId],
+    penalty: &[f64],
+    sigma: &[f64],
+) {
+    if let Err(e) = check_membership(membership, n) {
+        panic!("analysis: pass {pass}, after {phase}: {e}");
+    }
+    if let Err(e) = check_sigma(membership, penalty, sigma) {
+        panic!("analysis: pass {pass}, after {phase}: {e}");
+    }
+}
+
+/// Runs the post-aggregation checks and panics with pass context.
+pub fn assert_aggregate_state(pass: usize, parent: &CsrGraph, supergraph: &CsrGraph, k: usize) {
+    if let Err(e) = check_aggregate(parent, supergraph, k) {
+        panic!("analysis: pass {pass}, after aggregation: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+
+    #[test]
+    fn membership_bounds_catch_escapee() {
+        assert!(check_membership(&[0, 1, 2], 3).is_ok());
+        let err = check_membership(&[0, 3, 2], 3).unwrap_err();
+        assert!(err.contains("out-of-range"), "{err}");
+        assert!(check_membership(&[0, 1], 3).is_err());
+    }
+
+    #[test]
+    fn sigma_scatter_catches_lost_update() {
+        let membership = [0u32, 0, 2];
+        let penalty = [1.0, 2.0, 4.0];
+        assert!(check_sigma(&membership, &penalty, &[3.0, 0.0, 4.0]).is_ok());
+        // A lost fetch_add on community 0 shows up immediately.
+        let err = check_sigma(&membership, &penalty, &[1.0, 0.0, 4.0]).unwrap_err();
+        assert!(err.contains("sigma[0]"), "{err}");
+    }
+
+    #[test]
+    fn sigma_tolerates_fp_reassociation() {
+        let membership = [0u32, 0, 0];
+        let penalty = [0.1, 0.2, 0.3];
+        let drifted = 0.3 + 0.2 + 0.1; // different association order
+        assert!(check_sigma(&membership, &penalty, &[drifted, 0.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn aggregate_checks_vertex_count_and_weight() {
+        let parent = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (2, 3, 2.0)]);
+        let good = GraphBuilder::from_edges(2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        assert!(check_aggregate(&parent, &good, 2).is_ok());
+        assert!(check_aggregate(&parent, &good, 3).is_err());
+        let lossy = GraphBuilder::from_edges(2, &[(0, 0, 2.0)]);
+        let err = check_aggregate(&parent, &lossy, 2).unwrap_err();
+        assert!(err.contains("lost weight"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "after local-moving")]
+    fn assert_phase_state_names_the_phase() {
+        assert_phase_state("local-moving", 0, 2, &[0, 5], &[1.0, 1.0], &[2.0, 0.0]);
+    }
+}

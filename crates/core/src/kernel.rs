@@ -62,6 +62,9 @@ pub fn fused_best_move(
     // The per-edge body, shared by the bounded and unbounded loops
     // (specialized so the unbounded path pays no per-edge Option check).
     let mut tally = |small: &mut SmallScanMap, j: VertexId, w: f32| {
+        // Relaxed: the asynchronous local-moving design (paper §4.1)
+        // tolerates reading a neighbor's stale community; convergence is
+        // driven by the outer iteration, not per-load freshness.
         let c = membership[j as usize].load(Ordering::Relaxed);
         let (slot, first) = small.add(c, w as f64);
         if c == current {
@@ -133,17 +136,28 @@ pub fn two_pass_best_move(
     coeffs: GainCoeffs,
 ) -> Option<(VertexId, f64)> {
     ht.clear();
-    let bound = bounds.map(|b| b[i as usize]);
-    for (j, w) in graph.scan_edges(i) {
-        if j == i {
-            continue;
-        }
-        if let Some(bound) = bound {
-            if bounds.unwrap()[j as usize] != bound {
-                continue;
+    // Relaxed membership loads: stale neighbor communities are fine
+    // under the asynchronous local-moving design (see `fused_best_move`).
+    match bounds {
+        Some(b) => {
+            let bound = b[i as usize];
+            for (j, w) in graph.scan_edges(i) {
+                if j == i || b[j as usize] != bound {
+                    continue;
+                }
+                // Relaxed: as above.
+                ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
             }
         }
-        ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
+        None => {
+            for (j, w) in graph.scan_edges(i) {
+                if j == i {
+                    continue;
+                }
+                // Relaxed: as above.
+                ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
+            }
+        }
     }
     choose_best(ht, current, p_i, sigma, coeffs)
 }

@@ -50,6 +50,8 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+#[cfg(feature = "analysis")]
+pub mod analysis;
 pub mod config;
 pub mod dendrogram;
 pub mod kernel;
@@ -373,7 +375,31 @@ impl Leiden {
                         );
                         timings.local_move += t1.elapsed();
 
+                        // Invariant check (requires `--features analysis`):
+                        // the racy incremental bookkeeping must agree with
+                        // a from-scratch recompute once the phase joined.
+                        #[cfg(feature = "analysis")]
+                        {
+                            // Relaxed: post-join read-back.
+                            let snapshot: Vec<VertexId> = membership
+                                .iter()
+                                .map(|c| c.load(Ordering::Relaxed))
+                                .collect();
+                            let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
+                            analysis::assert_phase_state(
+                                "local-moving",
+                                pass,
+                                n_cur,
+                                &snapshot,
+                                &penalty,
+                                &totals,
+                            );
+                        }
+
                         // Reset to singletons within bounds (line 6).
+                        // Relaxed loads/stores throughout: the rayon
+                        // joins between phases are the synchronization
+                        // points; no store here races with a reader.
                         let t2 = Instant::now();
                         let bounds: Vec<VertexId> = membership
                             .par_iter()
@@ -382,6 +408,7 @@ impl Leiden {
                         membership
                             .par_iter()
                             .enumerate()
+                            // Relaxed: between-joins reset, as above.
                             .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
                         sigma
                             .par_iter()
@@ -403,10 +430,25 @@ impl Leiden {
                         );
                         timings.refinement += t3.elapsed();
 
+                        // Relaxed: refine's join already published all
+                        // membership stores.
                         let refined: Vec<VertexId> = membership
                             .par_iter()
                             .map(|c| c.load(Ordering::Relaxed))
                             .collect();
+
+                        #[cfg(feature = "analysis")]
+                        {
+                            let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
+                            analysis::assert_phase_state(
+                                "refinement",
+                                pass,
+                                n_cur,
+                                &refined,
+                                &penalty,
+                                &totals,
+                            );
+                        }
                         (gains, moved, bounds, refined)
                     }
                     Scheduling::ColorSynchronous => {
@@ -436,6 +478,16 @@ impl Leiden {
                         );
                         timings.local_move += t1.elapsed();
 
+                        #[cfg(feature = "analysis")]
+                        analysis::assert_phase_state(
+                            "local-moving",
+                            pass,
+                            n_cur,
+                            &membership,
+                            &penalty,
+                            &sigma,
+                        );
+
                         let t2 = Instant::now();
                         let bounds = membership.clone();
                         for (v, c) in membership.iter_mut().enumerate() {
@@ -458,6 +510,16 @@ impl Leiden {
                             pass as u64,
                         );
                         timings.refinement += t3.elapsed();
+
+                        #[cfg(feature = "analysis")]
+                        analysis::assert_phase_state(
+                            "refinement",
+                            pass,
+                            n_cur,
+                            &membership,
+                            &penalty,
+                            &sigma,
+                        );
                         (gains, moved, bounds, membership)
                     }
                 };
@@ -525,6 +587,9 @@ impl Leiden {
                 }
             };
             timings.aggregation += t5.elapsed();
+
+            #[cfg(feature = "analysis")]
+            analysis::assert_aggregate_state(pass, g, &supergraph, k);
 
             // Super-vertex labeling for the next pass (line 14).
             let t6 = Instant::now();

@@ -36,6 +36,8 @@ pub fn scan_communities(
         if !include_self && j == i {
             continue;
         }
+        // Relaxed: asynchronous design — a stale neighbor community only
+        // delays a move to a later iteration, it cannot corrupt state.
         ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
     }
 }
@@ -117,6 +119,9 @@ pub fn local_move(
                             continue;
                         }
                         let i = i as VertexId;
+                        // Relaxed: only this worker moves `i` (the bitset
+                        // claim makes it exclusive this iteration), and
+                        // racing readers tolerate staleness by design.
                         let current = membership[i as usize].load(Ordering::Relaxed);
                         let p_i = penalty[i as usize];
                         if let Some((target, gain)) = crate::kernel::best_move(
@@ -125,7 +130,10 @@ pub fn local_move(
                         ) {
                             // Asynchronous commit: weight transfer is
                             // atomic per community, membership is a
-                            // plain store.
+                            // Relaxed store — concurrent scanners accept
+                            // stale ids, and the end-of-phase rayon join
+                            // provides the happens-before for readers
+                            // that need the final values.
                             sigma[current as usize].fetch_sub(p_i);
                             sigma[target as usize].fetch_add(p_i);
                             membership[i as usize].store(target, Ordering::Relaxed);

@@ -37,6 +37,9 @@ fn scan_bounded(
         if j == i || bounds[j as usize] != bound {
             continue;
         }
+        // Relaxed: stale neighbor communities are tolerated by the
+        // asynchronous design; the CAS claim below is what isolates
+        // the actual merge.
         ht.add(membership[j as usize].load(Ordering::Relaxed), w as f64);
     }
 }
@@ -64,6 +67,8 @@ pub(crate) fn refine(
             let mut any = false;
             for range in claims {
                 for i in range {
+                    // Relaxed: `i` moves only via this worker; the Σ'
+                    // CAS below carries the cross-thread claim.
                     let current = membership[i].load(Ordering::Relaxed);
                     let p_i = penalty[i];
                     // Only isolated vertices may merge (constrained
@@ -127,6 +132,8 @@ pub(crate) fn refine(
                             sigma[target as usize].fetch_sub(p_i);
                             sigma[current as usize].fetch_add(p_i);
                         } else {
+                            // Relaxed: scanners tolerate staleness; the
+                            // end-of-phase join publishes final values.
                             membership[i as usize].store(target, Ordering::Relaxed);
                             any = true;
                         }

@@ -1,0 +1,86 @@
+//! Property tests for the `analysis` invariant checker: a full Leiden
+//! run over random graphs must pass every post-phase check (the checks
+//! fire *inside* `run` when the feature is on — reaching this file's
+//! assertions at all means no phase tripped them), and the checker's
+//! primitives must accept the final state.
+//!
+//! Build with `cargo test -p gve-leiden --features analysis`.
+#![cfg(feature = "analysis")]
+
+use gve_graph::GraphBuilder;
+use gve_leiden::{analysis, Leiden, LeidenConfig, Objective, Scheduling};
+use proptest::prelude::*;
+
+/// Random small weighted multigraphs (self-loops and duplicates kept:
+/// the invariants must hold on messy inputs too).
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32, f32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 1u32..6), 1..max_m).prop_map(move |edges| {
+            (
+                n,
+                edges
+                    .into_iter()
+                    .map(|(u, v, w)| (u, v, w as f32))
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Asynchronous scheduling: every phase of every pass satisfies the
+    /// membership/Σ′/CSR invariants on random graphs, and the result is
+    /// a valid dense partition.
+    #[test]
+    fn async_full_run_passes_all_phase_checks(
+        (n, edges) in arb_graph(64, 300),
+    ) {
+        let graph = GraphBuilder::from_edges(n as usize, &edges);
+        let result = Leiden::default().run(&graph);
+        gve_quality::validate_membership(&result.membership, graph.num_vertices())
+            .expect("final membership must be a valid dense partition");
+        analysis::check_membership(&result.membership, graph.num_vertices())
+            .expect("final membership in bounds");
+    }
+
+    /// The color-synchronous path runs the same checks on its plain
+    /// (non-atomic) state.
+    #[test]
+    fn color_sync_full_run_passes_all_phase_checks(
+        (n, edges) in arb_graph(48, 200),
+    ) {
+        let graph = GraphBuilder::from_edges(n as usize, &edges);
+        let config = LeidenConfig::default().scheduling(Scheduling::ColorSynchronous);
+        let result = Leiden::new(config).run(&graph);
+        gve_quality::validate_membership(&result.membership, graph.num_vertices())
+            .expect("final membership must be a valid dense partition");
+    }
+
+    /// CPM carries vertex *sizes* as the penalty across aggregations —
+    /// the Σ′ scatter check must hold for that bookkeeping too.
+    #[test]
+    fn cpm_full_run_passes_all_phase_checks(
+        (n, edges) in arb_graph(48, 200),
+    ) {
+        let graph = GraphBuilder::from_edges(n as usize, &edges);
+        let config = LeidenConfig::default().objective(Objective::Cpm { resolution: 0.05 });
+        let result = Leiden::new(config).run(&graph);
+        gve_quality::validate_membership(&result.membership, graph.num_vertices())
+            .expect("final membership must be a valid dense partition");
+    }
+}
+
+/// A larger structured graph drives multiple passes (aggregation
+/// included), so the post-aggregation CSR/weight checks execute.
+#[test]
+fn planted_partition_run_exercises_aggregation_checks() {
+    let planted = gve_generate::sbm::PlantedPartition::new(1500, 10, 14.0, 1.0)
+        .seed(23)
+        .generate();
+    let result = Leiden::default().run(&planted.graph);
+    assert!(result.passes >= 2, "need aggregation to run its checks");
+    let nmi = gve_quality::normalized_mutual_information(&result.membership, &planted.labels);
+    assert!(nmi > 0.9, "NMI {nmi}");
+}

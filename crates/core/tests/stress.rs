@@ -1,0 +1,67 @@
+//! Quick concurrent stress tests — the workload the nightly
+//! ThreadSanitizer CI job runs under `-Zsanitizer=thread`.
+//!
+//! TSan instruments every memory access, so these are sized to finish
+//! in seconds while still driving the interesting cross-thread traffic:
+//! the asynchronous local-moving/refinement races, the dynamic-scheduler
+//! cursor, and concurrent independent runs sharing one rayon pool.
+//! Under TSan, the Relaxed-by-design races on membership/Σ′ are *data
+//! races on atomics* — which TSan models precisely and accepts; what it
+//! flags is any non-atomic access racing with them, exactly the bug
+//! class the audit's ordering table cannot see.
+
+use gve_leiden::{Leiden, LeidenConfig, Scheduling};
+
+fn stress_graph(scale: u32, seed: u64) -> gve_graph::CsrGraph {
+    gve_generate::rmat::Rmat::social(scale, 6.0)
+        .seed(seed)
+        .generate()
+}
+
+/// The asynchronous path end-to-end: membership/Σ′ atomics hammered by
+/// all workers, holey-CSR slot claims in aggregation.
+#[test]
+fn async_leiden_under_contention() {
+    let g = stress_graph(10, 7);
+    let result = Leiden::default().run(&g);
+    gve_quality::validate_membership(&result.membership, g.num_vertices()).unwrap();
+}
+
+/// Several independent runs race on the same global rayon pool — the
+/// shape the gve-serve job engine produces.
+#[test]
+fn concurrent_runs_share_the_pool() {
+    std::thread::scope(|scope| {
+        for seed in 0..4u64 {
+            scope.spawn(move || {
+                let g = stress_graph(9, seed);
+                let result = Leiden::default().run(&g);
+                gve_quality::validate_membership(&result.membership, g.num_vertices()).unwrap();
+            });
+        }
+    });
+}
+
+/// The color-synchronous path: determinism depends on the coloring and
+/// per-color barriers being race-free.
+#[test]
+fn color_sync_is_stable_under_stress() {
+    let g = stress_graph(9, 11);
+    let config = LeidenConfig::default().scheduling(Scheduling::ColorSynchronous);
+    let a = Leiden::new(config.clone()).run(&g).membership;
+    let b = Leiden::new(config).run(&g).membership;
+    assert_eq!(a, b, "color-synchronous runs must be bitwise repeatable");
+}
+
+/// The dynamic-scheduler cursor under maximal contention: tiny chunks,
+/// every worker polling.
+#[test]
+fn dynamic_cursor_under_contention() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let n = 10_000;
+    let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    gve_prim::parfor::par_for_dynamic(n, 1, |i| {
+        counts[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+}

@@ -131,13 +131,17 @@ impl GraphBuilder {
             }
         }
 
-        // Parallel counting sort by source.
+        // Parallel counting sort by source. Relaxed everywhere in this
+        // block: the counters are pure tallies/slot cursors — the rayon
+        // joins between the count, read-back and scatter steps order
+        // them, and no other data is published through them.
         let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
         arcs.par_iter().for_each(|&(u, _, _)| {
             counts[u as usize].fetch_add(1, Ordering::Relaxed);
         });
         let counts_u64: Vec<u64> = counts
             .iter()
+            // Relaxed: post-join read-back, then reset — see above.
             .map(|c| c.load(Ordering::Relaxed) as u64)
             .collect();
         let offsets = parallel_offsets_from_counts(&counts_u64);
@@ -153,6 +157,8 @@ impl GraphBuilder {
             let offsets = &offsets;
             let counts = &counts;
             arcs.par_iter().for_each(|&(u, v, w)| {
+                // Relaxed slot claim: uniqueness of (base + slot) is all
+                // that matters, and fetch_add provides it on its own.
                 let slot = counts[u as usize].fetch_add(1, Ordering::Relaxed) as u64;
                 let index = (offsets[u as usize] + slot) as usize;
                 // SAFETY: (vertex base + claimed slot) indices are unique.

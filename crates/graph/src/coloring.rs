@@ -75,12 +75,17 @@ pub fn jones_plassmann(graph: &CsrGraph, seed: u64) -> Coloring {
     let n = graph.num_vertices();
     let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
     let remaining = AtomicBool::new(n > 0);
+    // Relaxed atomics throughout: every read happens on the far side of
+    // a rayon join from the writes it observes (round snapshots), so the
+    // joins carry the ordering; within a round, same-round-colored
+    // vertices are never adjacent, so color cells do not race.
     while remaining.swap(false, Ordering::Relaxed) {
         // Freeze the round's uncolored set. Decisions are made against
         // this snapshot only, which makes the outcome independent of
         // scheduling: two vertices colored in the same round are never
         // adjacent (strict priority order on the frozen set), so the
-        // palette each reads from earlier rounds is stable.
+        // palette each reads from earlier rounds is stable. (Relaxed
+        // loads: the prior round's join published the colors.)
         let uncolored: Vec<bool> = colors
             .par_iter()
             .map(|c| c.load(Ordering::Relaxed) == UNCOLORED)
@@ -100,6 +105,7 @@ pub fn jones_plassmann(graph: &CsrGraph, seed: u64) -> Coloring {
                 }
             }
             if !is_max {
+                // Relaxed: flag re-read after the round's join.
                 remaining.store(true, Ordering::Relaxed);
                 return;
             }
@@ -109,16 +115,20 @@ pub fn jones_plassmann(graph: &CsrGraph, seed: u64) -> Coloring {
             let mut used = vec![false; degree + 1];
             for &v in graph.neighbors(u) {
                 if v != u && !uncolored[v as usize] {
+                    // Relaxed: snapshot-colored neighbors were written
+                    // before the previous join.
                     let c = colors[v as usize].load(Ordering::Relaxed);
                     if (c as usize) < used.len() {
                         used[c as usize] = true;
                     }
                 }
             }
+            // Relaxed: no same-round reader of `u` (see loop header).
             let my_color = used.iter().position(|&b| !b).unwrap_or(degree) as u32;
             colors[u as usize].store(my_color, Ordering::Relaxed);
         });
     }
+    // Relaxed: post-join read-back.
     let raw: Vec<VertexId> = colors.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let num_colors = raw.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
     Coloring {

@@ -52,6 +52,8 @@ impl HoleyCsrBuilder {
     /// Arcs added to vertex `u` so far.
     #[inline]
     pub fn degree(&self, u: VertexId) -> usize {
+        // Relaxed: a monotone tally; exact snapshots only matter after
+        // the building phase's rayon join.
         self.fill[u as usize].load(Ordering::Relaxed) as usize
     }
 
@@ -64,6 +66,9 @@ impl HoleyCsrBuilder {
     #[inline]
     pub fn add_arc(&self, u: VertexId, v: VertexId, w: EdgeWeight) {
         let u = u as usize;
+        // Relaxed slot claim: fetch_add alone guarantees the claimed
+        // index is unique; the payload stores below go to that unique
+        // slot, and readers only run after the building join.
         let slot = self.fill[u].fetch_add(1, Ordering::Relaxed) as u64;
         let lo = self.offsets[u];
         let hi = self.offsets[u + 1];
@@ -73,6 +78,8 @@ impl HoleyCsrBuilder {
             hi - lo
         );
         let index = (lo + slot) as usize;
+        // Relaxed payload stores into the uniquely claimed slot; readers
+        // only run after the building phase's join.
         self.targets[index].store(v, Ordering::Relaxed);
         self.weights[index].store(w.to_bits(), Ordering::Relaxed);
     }
@@ -80,6 +87,8 @@ impl HoleyCsrBuilder {
     /// Squeezes the holes out, producing a dense [`CsrGraph`].
     pub fn into_csr(self) -> CsrGraph {
         let n = self.fill.len();
+        // Relaxed loads below: `self` is owned here, so every add_arc
+        // store is already ordered before this call.
         let counts: Vec<u64> = self
             .fill
             .iter()
@@ -102,7 +111,8 @@ impl HoleyCsrBuilder {
                 for k in 0..len {
                     // SAFETY: destination ranges [dst, dst+len) are
                     // disjoint across vertices by construction of the
-                    // prefix sum.
+                    // prefix sum. (Relaxed source loads: the arcs were
+                    // published by the pre-into_csr ownership transfer.)
                     unsafe {
                         t_out.write(dst + k, src_t[src + k].load(Ordering::Relaxed));
                         w_out.write(
@@ -131,13 +141,16 @@ pub struct GroupedCsr {
 impl GroupedCsr {
     /// Groups elements `0..keys.len()` by `keys[i] ∈ 0..num_groups`.
     pub fn group_by(keys: &[VertexId], num_groups: usize) -> Self {
-        // Count members per group.
+        // Count members per group. Relaxed throughout the counting and
+        // scatter steps: counters are tallies/slot cursors ordered by
+        // the rayon joins between the steps.
         let counts: Vec<AtomicU32> = (0..num_groups).map(|_| AtomicU32::new(0)).collect();
         keys.par_iter().for_each(|&k| {
             counts[k as usize].fetch_add(1, Ordering::Relaxed);
         });
         let counts_u64: Vec<u64> = counts
             .iter()
+            // Relaxed: post-join read-back, then reset — see above.
             .map(|c| c.load(Ordering::Relaxed) as u64)
             .collect();
         let offsets = parallel_offsets_from_counts(&counts_u64);
@@ -153,6 +166,7 @@ impl GroupedCsr {
             let counts = &counts;
             (0..keys.len()).into_par_iter().for_each(|i| {
                 let g = keys[i] as usize;
+                // Relaxed slot claim: uniqueness comes from fetch_add.
                 let slot = counts[g].fetch_add(1, Ordering::Relaxed) as u64;
                 // SAFETY: (group base + claimed slot) pairs are unique.
                 unsafe { out.write((offsets[g] + slot) as usize, i as VertexId) };

@@ -41,20 +41,24 @@ pub fn connected_components(graph: &CsrGraph) -> (Vec<VertexId>, usize) {
     let n = graph.num_vertices();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let changed = AtomicBool::new(true);
+    // Relaxed atomics throughout: labels only ever decrease (fetch_min
+    // keeps races monotone), stale reads merely cost extra rounds, and
+    // the per-round rayon joins order the `changed` flag hand-off.
     while changed.swap(false, Ordering::Relaxed) {
         (0..n as VertexId).into_par_iter().for_each(|u| {
             let mut best = labels[u as usize].load(Ordering::Relaxed);
             for &v in graph.neighbors(u) {
                 best = best.min(labels[v as usize].load(Ordering::Relaxed));
             }
-            // Propagate the smaller label; fetch_min keeps this monotone
-            // under races.
+            // Propagate the smaller label; Relaxed fetch_min keeps this
+            // monotone under races.
             if labels[u as usize].fetch_min(best, Ordering::Relaxed) > best {
                 changed.store(true, Ordering::Relaxed);
             }
         });
         // Pointer-jumping: compress label chains so long paths converge
         // in O(log n) rounds instead of O(diameter).
+        // (Relaxed label walks: monotone, as above.)
         (0..n).into_par_iter().for_each(|u| {
             let mut l = labels[u].load(Ordering::Relaxed);
             loop {
@@ -64,9 +68,11 @@ pub fn connected_components(graph: &CsrGraph) -> (Vec<VertexId>, usize) {
                 }
                 l = parent;
             }
+            // Relaxed: monotone fetch_min, as above.
             labels[u].fetch_min(l, Ordering::Relaxed);
         });
     }
+    // Relaxed: post-join read-back.
     let raw: Vec<VertexId> = labels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
     // Densify.
     let mut remap = vec![VertexId::MAX; n.max(1)];

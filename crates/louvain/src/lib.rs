@@ -127,6 +127,7 @@ impl Louvain {
             move_iterations += li;
 
             let t2 = Instant::now();
+            // Relaxed: post-join read-back of local_move's stores.
             let moved_membership: Vec<VertexId> = membership
                 .par_iter()
                 .map(|c| c.load(Ordering::Relaxed))

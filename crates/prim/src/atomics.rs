@@ -44,6 +44,8 @@ impl AtomicF64 {
     /// OpenMP atomic add uses on x86-64.
     #[inline]
     pub fn fetch_add(&self, delta: f64) -> f64 {
+        // Relaxed: only the add's atomicity matters — Σ' totals are
+        // value-published, with phase joins ordering any readers.
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + delta).to_bits();

@@ -57,6 +57,7 @@ impl AtomicBitset {
     #[inline]
     pub fn get(&self, index: usize) -> bool {
         let (word, mask) = self.split(index);
+        // Relaxed: flag reads tolerate staleness (pruning hints).
         self.words[word].load(Ordering::Relaxed) & mask != 0
     }
 
@@ -64,6 +65,8 @@ impl AtomicBitset {
     #[inline]
     pub fn set(&self, index: usize) -> bool {
         let (word, mask) = self.split(index);
+        // Relaxed: the RMW atomicity alone carries the claim semantics;
+        // no payload is published through the bit.
         self.words[word].fetch_or(mask, Ordering::Relaxed) & mask != 0
     }
 
@@ -71,6 +74,7 @@ impl AtomicBitset {
     #[inline]
     pub fn clear(&self, index: usize) -> bool {
         let (word, mask) = self.split(index);
+        // Relaxed: as in `set` — RMW atomicity is the claim.
         self.words[word].fetch_and(!mask, Ordering::Relaxed) & mask != 0
     }
 
@@ -86,6 +90,9 @@ impl AtomicBitset {
     }
 
     /// Sets every bit.
+    ///
+    /// Relaxed stores: bulk (re)initialization between parallel phases;
+    /// the phase-boundary join publishes the words.
     pub fn set_all(&self) {
         if self.len == 0 {
             return;
@@ -96,6 +103,7 @@ impl AtomicBitset {
         }
         let tail = self.len % BITS;
         if tail != 0 {
+            // Relaxed: bulk reset between phases, as above.
             self.words[full_words].store((1u64 << tail) - 1, Ordering::Relaxed);
         }
     }
@@ -103,6 +111,7 @@ impl AtomicBitset {
     /// Clears every bit.
     pub fn clear_all(&self) {
         for word in &self.words {
+            // Relaxed: bulk reset between phases, as in `set_all`.
             word.store(0, Ordering::Relaxed);
         }
     }
@@ -111,12 +120,14 @@ impl AtomicBitset {
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
+            // Relaxed: advisory snapshot by documented contract.
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
 
     /// True when no bit is set (not atomic with respect to updates).
     pub fn none_set(&self) -> bool {
+        // Relaxed: advisory snapshot by documented contract.
         self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
     }
 }

@@ -32,13 +32,16 @@ impl Iterator for ChunkClaims<'_> {
         // spin down a long tail (every exhausted worker still bumps it
         // by `chunk` once per poll). The compare-exchange claims
         // `start..end` only while `start` is in range, so the cursor
-        // never exceeds `len`.
+        // never exceeds `len`. Relaxed everywhere: the cursor carries no
+        // payload — ranges index pre-published data, and the broadcast
+        // fork/join provides the cross-thread ordering.
         let mut start = self.cursor.load(Ordering::Relaxed);
         loop {
             if start >= self.len {
                 return None;
             }
             let end = (start + self.chunk).min(self.len);
+            // Relaxed CX: see the ordering note above.
             match self.cursor.compare_exchange_weak(
                 start,
                 end,

@@ -23,7 +23,16 @@ pub struct SharedSlice<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: SharedSlice is a borrow of `&mut [T]` storage; moving it to
+// another thread moves only the pointer, so `T: Send` suffices (as for
+// `&mut [T]` itself).
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: sharing `&SharedSlice` across threads exposes nothing by
+// itself — every read/write is an `unsafe` method whose caller contract
+// (disjoint indices, no read/write races) carries the synchronization
+// obligation. `T: Send` (not `Sync`) is the right bound because
+// distinct threads access *disjoint* elements, exactly as if each had
+// been sent its own `&mut T`.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {

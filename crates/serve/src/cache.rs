@@ -98,6 +98,8 @@ impl PartitionCache {
             .expect("cache lock poisoned")
             .get(key)
             .cloned();
+        // Relaxed: hit/miss tallies are monotonic counters read only
+        // for reporting; nothing synchronizes on them.
         match &found {
             Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
             None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
@@ -126,6 +128,7 @@ impl PartitionCache {
             .lock()
             .expect("latest lock poisoned")
             .insert(key.graph.clone(), key);
+        // Relaxed: reporting-only counter, as in `get`.
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
         partition
     }
@@ -150,6 +153,7 @@ impl PartitionCache {
         entries.retain(|key, _| key.graph != graph || key.epoch >= current_epoch);
         let evicted = before - entries.len();
         drop(entries);
+        // Relaxed: reporting-only counter, as in `get`.
         self.stats
             .evictions
             .fetch_add(evicted as u64, Ordering::Relaxed);

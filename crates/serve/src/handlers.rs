@@ -533,17 +533,19 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
     let graph = Arc::clone(&entry.graph);
     drop(entry);
 
+    // Relaxed: update tallies are reporting-only counters; the graph
+    // swap above is published by the registry lock, not by these.
     state
         .updates
         .batches_applied
         .fetch_add(1, Ordering::Relaxed);
     state
         .updates
-        .edges_inserted
+        .edges_inserted // Relaxed: reporting-only, as above.
         .fetch_add(batch.insertions.len() as u64, Ordering::Relaxed);
     state
         .updates
-        .edges_deleted
+        .edges_deleted // Relaxed: reporting-only, as above.
         .fetch_add(batch.deletions.len() as u64, Ordering::Relaxed);
 
     let mut fields = vec![
@@ -573,6 +575,7 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
                 request: detect_request,
             },
         );
+        // Relaxed: reporting-only counter.
         state
             .updates
             .incremental_refreshes
@@ -602,6 +605,9 @@ fn strategy_label(strategy: DynamicStrategy) -> &'static str {
 // ----------------------------------------------------------------- stats
 
 fn stats(state: &ServerState) -> Response {
+    // Every load below is Relaxed: these are monotone statistics
+    // counters surfaced for observability — approximate cross-counter
+    // snapshots are acceptable and nothing is synchronized on them.
     let graphs: Vec<Json> = state
         .registry
         .names()
@@ -617,6 +623,7 @@ fn stats(state: &ServerState) -> Response {
         (
             "jobs",
             Json::obj([
+                // Relaxed: reporting-only counters.
                 (
                     "submitted",
                     Json::from(state.jobs.stats.submitted.load(Ordering::Relaxed)),
@@ -625,6 +632,7 @@ fn stats(state: &ServerState) -> Response {
                     "completed",
                     Json::from(state.jobs.stats.completed.load(Ordering::Relaxed)),
                 ),
+                // Relaxed: reporting-only counters.
                 (
                     "failed",
                     Json::from(state.jobs.stats.failed.load(Ordering::Relaxed)),
@@ -639,6 +647,7 @@ fn stats(state: &ServerState) -> Response {
         (
             "cache",
             Json::obj([
+                // Relaxed: reporting-only counters.
                 (
                     "hits",
                     Json::from(state.cache.stats.hits.load(Ordering::Relaxed)),
@@ -647,6 +656,7 @@ fn stats(state: &ServerState) -> Response {
                     "misses",
                     Json::from(state.cache.stats.misses.load(Ordering::Relaxed)),
                 ),
+                // Relaxed: reporting-only counters.
                 (
                     "insertions",
                     Json::from(state.cache.stats.insertions.load(Ordering::Relaxed)),
@@ -661,6 +671,7 @@ fn stats(state: &ServerState) -> Response {
         (
             "updates",
             Json::obj([
+                // Relaxed: reporting-only counters.
                 (
                     "batches_applied",
                     Json::from(state.updates.batches_applied.load(Ordering::Relaxed)),
@@ -669,6 +680,7 @@ fn stats(state: &ServerState) -> Response {
                     "incremental_refreshes",
                     Json::from(state.updates.incremental_refreshes.load(Ordering::Relaxed)),
                 ),
+                // Relaxed: reporting-only counters.
                 (
                     "edges_inserted",
                     Json::from(state.updates.edges_inserted.load(Ordering::Relaxed)),

@@ -268,7 +268,10 @@ impl HttpServer {
         let accept_thread = std::thread::Builder::new()
             .name("gve-serve-accept".into())
             .spawn(move || {
-                while !shutdown_flag.load(Ordering::Relaxed) {
+                // Acquire pairs with the Release store in `stop` (audit
+                // publish rule): the loop must observe state written
+                // before the signal.
+                while !shutdown_flag.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((mut stream, _peer)) => {
                             let handler = Arc::clone(&handler);
@@ -309,7 +312,9 @@ impl HttpServer {
 
     /// Signals the accept loop to stop and waits for it.
     pub fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // Release: publish everything preceding the signal to the
+        // accept loop's Acquire load.
+        self.shutdown.store(true, Ordering::Release);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }

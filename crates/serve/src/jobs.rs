@@ -310,6 +310,9 @@ impl JobEngine {
             epoch: entry.epoch,
             fingerprint: request.fingerprint(),
         };
+        // Relaxed: `submitted` is a reporting-only counter; `next_id`
+        // needs only uniqueness, which fetch_add provides on its own —
+        // the record itself is published via the mutex below.
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let hit = self.cache.get(&key).is_some();
@@ -332,6 +335,7 @@ impl JobEngine {
             .expect("job table poisoned")
             .insert(id, record.clone());
         if hit {
+            // Relaxed: reporting-only counter.
             self.stats.completed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.sender
@@ -391,7 +395,10 @@ impl JobEngine {
 
     /// Stops the worker pool (idempotent).
     pub fn stop(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // Release suffices (audit publish rule): workers' Acquire loads
+        // observe everything written before the signal; no total order
+        // across unrelated atomics is needed, so SeqCst was overkill.
+        self.shutdown.store(true, Ordering::Release);
         for handle in self
             .workers
             .lock()
@@ -418,7 +425,8 @@ fn worker_loop(
     stats: &JobStats,
 ) {
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        // Acquire pairs with the Release store in `stop`.
+        if shutdown.load(Ordering::Acquire) {
             return;
         }
         let id = match receiver.recv_timeout(Duration::from_millis(20)) {
@@ -443,6 +451,8 @@ fn worker_loop(
             continue;
         };
         match outcome {
+            // Relaxed counters: reporting-only; the job-state transition
+            // itself is published by the records mutex.
             Ok((key, seconds)) => {
                 record.state = JobState::Done;
                 record.key = Some(key);
@@ -452,6 +462,7 @@ fn worker_loop(
             Err(message) => {
                 record.state = JobState::Failed;
                 record.error = Some(message);
+                // Relaxed: reporting-only counter, as above.
                 stats.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -484,6 +495,7 @@ fn run_detection(
     let result = catch_unwind(AssertUnwindSafe(|| Leiden::new(config).run(&graph)))
         .map_err(|_| "detection panicked".to_string())?;
     let seconds = started.elapsed().as_secs_f64();
+    // Relaxed: reporting-only counter.
     stats.full_detections.fetch_add(1, Ordering::Relaxed);
     let modularity = gve_quality::modularity(&graph, &result.membership);
     cache.insert(

