@@ -58,6 +58,7 @@ pub mod kernel;
 pub mod localmove;
 mod math;
 pub mod objective;
+pub mod obs;
 mod refine;
 mod sync;
 pub mod timing;
@@ -66,8 +67,10 @@ pub use config::{
     AggregationStrategy, EdgeLayout, KernelVersion, Labeling, LeidenConfig, RefinementStrategy,
     Scheduling, Variant, VertexOrdering, DEFAULT_SMALL_DEGREE_THRESHOLD,
 };
+pub use localmove::MoveOutcome;
 pub use math::delta_modularity;
 pub use objective::{GainCoeffs, Objective};
+pub use obs::{CoreMetrics, RunObserver};
 pub use timing::{PassStats, PhaseTimings};
 
 use gve_graph::{props::vertex_weights, reorder::Relabeling, CsrGraph, VertexId};
@@ -75,7 +78,31 @@ use gve_prim::atomics::{atomic_f64_from_slice, AtomicF64};
 use gve_prim::{AtomicBitset, CommunityMap, PerThread};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Why the pass loop of a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Global convergence (Algorithm 1, line 8): local-moving settled in
+    /// a single quiet iteration and refinement moved nothing.
+    Converged,
+    /// The aggregation tolerance fired (line 10): communities shrank too
+    /// little for another pass to pay off, so aggregation was skipped.
+    AggregationTolerance,
+    /// The configured pass cap was reached.
+    PassCap,
+}
+
+impl StopReason {
+    /// Stable lowercase label (used in traces and metrics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::AggregationTolerance => "aggregation_tolerance",
+            StopReason::PassCap => "pass_cap",
+        }
+    }
+}
 
 /// Outcome of a GVE-Leiden run.
 #[derive(Debug, Clone)]
@@ -92,6 +119,8 @@ pub struct LeidenResult {
     pub timings: PhaseTimings,
     /// Per-pass statistics (Figure 7(b)).
     pub pass_stats: Vec<PassStats>,
+    /// Why the pass loop ended.
+    pub stop: StopReason,
     /// Dendrogram levels, recorded only when
     /// [`LeidenConfig::record_dendrogram`] is set: level `l` maps each
     /// vertex of the pass-`l` graph to its refined community (a vertex
@@ -275,6 +304,7 @@ impl Leiden {
                 move_iterations: 0,
                 timings,
                 pass_stats,
+                stop: StopReason::Converged,
                 dendrogram: Vec::new(),
             };
         }
@@ -296,6 +326,7 @@ impl Leiden {
         let mut move_iterations = 0usize;
         let mut passes = 0usize;
         let mut dendrogram: Vec<Vec<VertexId>> = Vec::new();
+        let mut stop = StopReason::PassCap;
 
         for pass in 0..config.max_passes {
             let g: &CsrGraph = current.as_ref().unwrap_or(graph);
@@ -348,182 +379,191 @@ impl Leiden {
             };
             timings.other += t0.elapsed();
 
+            // Per-pass phase times fall out of the accumulated timings:
+            // snapshot before, subtract after.
+            let lm_before = timings.local_move;
+            let rf_before = timings.refinement;
+
             // Local-moving (Algorithm 2) and refinement (Algorithm 3),
             // under the configured scheduling.
-            let (gains, moved, bounds, refined): (Vec<f64>, bool, Vec<VertexId>, Vec<VertexId>) =
-                match config.scheduling {
-                    Scheduling::Asynchronous => {
-                        let t0 = Instant::now();
-                        let membership: Vec<AtomicU32> = match &init_labels {
-                            Some(labels) => labels.iter().map(|&c| AtomicU32::new(c)).collect(),
-                            None => (0..n_cur as u32).map(AtomicU32::new).collect(),
-                        };
-                        let sigma: Vec<AtomicF64> = atomic_f64_from_slice(&init_sigma(&penalty));
-                        timings.other += t0.elapsed();
+            let (outcome, refine_moves, bounds, refined): (
+                MoveOutcome,
+                u64,
+                Vec<VertexId>,
+                Vec<VertexId>,
+            ) = match config.scheduling {
+                Scheduling::Asynchronous => {
+                    let t0 = Instant::now();
+                    let membership: Vec<AtomicU32> = match &init_labels {
+                        Some(labels) => labels.iter().map(|&c| AtomicU32::new(c)).collect(),
+                        None => (0..n_cur as u32).map(AtomicU32::new).collect(),
+                    };
+                    let sigma: Vec<AtomicF64> = atomic_f64_from_slice(&init_sigma(&penalty));
+                    timings.other += t0.elapsed();
 
-                        let t1 = Instant::now();
-                        let gains = localmove::local_move(
-                            g,
-                            &membership,
-                            &penalty,
-                            &sigma,
-                            coeffs,
-                            tolerance,
-                            config,
-                            &tables,
-                            &unprocessed,
-                        );
-                        timings.local_move += t1.elapsed();
+                    let t1 = Instant::now();
+                    let outcome = localmove::local_move(
+                        g,
+                        &membership,
+                        &penalty,
+                        &sigma,
+                        coeffs,
+                        tolerance,
+                        config,
+                        &tables,
+                        &unprocessed,
+                    );
+                    timings.local_move += t1.elapsed();
 
-                        // Invariant check (requires `--features analysis`):
-                        // the racy incremental bookkeeping must agree with
-                        // a from-scratch recompute once the phase joined.
-                        #[cfg(feature = "analysis")]
-                        {
-                            // Relaxed: post-join read-back.
-                            let snapshot: Vec<VertexId> = membership
-                                .iter()
-                                .map(|c| c.load(Ordering::Relaxed))
-                                .collect();
-                            let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
-                            analysis::assert_phase_state(
-                                "local-moving",
-                                pass,
-                                n_cur,
-                                &snapshot,
-                                &penalty,
-                                &totals,
-                            );
-                        }
-
-                        // Reset to singletons within bounds (line 6).
-                        // Relaxed loads/stores throughout: the rayon
-                        // joins between phases are the synchronization
-                        // points; no store here races with a reader.
-                        let t2 = Instant::now();
-                        let bounds: Vec<VertexId> = membership
-                            .par_iter()
+                    // Invariant check (requires `--features analysis`):
+                    // the racy incremental bookkeeping must agree with
+                    // a from-scratch recompute once the phase joined.
+                    #[cfg(feature = "analysis")]
+                    {
+                        // Relaxed: post-join read-back.
+                        let snapshot: Vec<VertexId> = membership
+                            .iter()
                             .map(|c| c.load(Ordering::Relaxed))
                             .collect();
-                        membership
-                            .par_iter()
-                            .enumerate()
-                            // Relaxed: between-joins reset, as above.
-                            .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
-                        sigma
-                            .par_iter()
-                            .zip(penalty.par_iter())
-                            .for_each(|(s, &p)| s.store(p));
-                        timings.other += t2.elapsed();
-
-                        let t3 = Instant::now();
-                        let moved = refine::refine(
-                            g,
-                            &bounds,
-                            &membership,
-                            &penalty,
-                            &sigma,
-                            coeffs,
-                            config,
-                            &tables,
-                            pass as u64,
-                        );
-                        timings.refinement += t3.elapsed();
-
-                        // Relaxed: refine's join already published all
-                        // membership stores.
-                        let refined: Vec<VertexId> = membership
-                            .par_iter()
-                            .map(|c| c.load(Ordering::Relaxed))
-                            .collect();
-
-                        #[cfg(feature = "analysis")]
-                        {
-                            let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
-                            analysis::assert_phase_state(
-                                "refinement",
-                                pass,
-                                n_cur,
-                                &refined,
-                                &penalty,
-                                &totals,
-                            );
-                        }
-                        (gains, moved, bounds, refined)
-                    }
-                    Scheduling::ColorSynchronous => {
-                        // Deterministic path: plain state, decisions per
-                        // color class against frozen Σ'.
-                        let t0 = Instant::now();
-                        let coloring = gve_graph::coloring::jones_plassmann(g, config.seed);
-                        let mut membership: Vec<VertexId> = match &init_labels {
-                            Some(labels) => labels.clone(),
-                            None => (0..n_cur as VertexId).collect(),
-                        };
-                        let mut sigma = init_sigma(&penalty);
-                        timings.other += t0.elapsed();
-
-                        let t1 = Instant::now();
-                        let gains = sync::local_move_sync(
-                            g,
-                            &mut membership,
-                            &penalty,
-                            &mut sigma,
-                            coeffs,
-                            tolerance,
-                            config,
-                            &tables,
-                            &coloring,
-                            &unprocessed,
-                        );
-                        timings.local_move += t1.elapsed();
-
-                        #[cfg(feature = "analysis")]
+                        let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
                         analysis::assert_phase_state(
                             "local-moving",
                             pass,
                             n_cur,
-                            &membership,
+                            &snapshot,
                             &penalty,
-                            &sigma,
+                            &totals,
                         );
+                    }
 
-                        let t2 = Instant::now();
-                        let bounds = membership.clone();
-                        for (v, c) in membership.iter_mut().enumerate() {
-                            *c = v as VertexId;
-                        }
-                        sigma.copy_from_slice(&penalty);
-                        timings.other += t2.elapsed();
+                    // Reset to singletons within bounds (line 6).
+                    // Relaxed loads/stores throughout: the rayon
+                    // joins between phases are the synchronization
+                    // points; no store here races with a reader.
+                    let t2 = Instant::now();
+                    let bounds: Vec<VertexId> = membership
+                        .par_iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect();
+                    membership
+                        .par_iter()
+                        .enumerate()
+                        // Relaxed: between-joins reset, as above.
+                        .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
+                    sigma
+                        .par_iter()
+                        .zip(penalty.par_iter())
+                        .for_each(|(s, &p)| s.store(p));
+                    timings.other += t2.elapsed();
 
-                        let t3 = Instant::now();
-                        let moved = sync::refine_sync(
-                            g,
-                            &bounds,
-                            &mut membership,
-                            &penalty,
-                            &mut sigma,
-                            coeffs,
-                            config,
-                            &tables,
-                            &coloring,
-                            pass as u64,
-                        );
-                        timings.refinement += t3.elapsed();
+                    let t3 = Instant::now();
+                    let refine_moves = refine::refine(
+                        g,
+                        &bounds,
+                        &membership,
+                        &penalty,
+                        &sigma,
+                        coeffs,
+                        config,
+                        &tables,
+                        pass as u64,
+                    );
+                    timings.refinement += t3.elapsed();
 
-                        #[cfg(feature = "analysis")]
+                    // Relaxed: refine's join already published all
+                    // membership stores.
+                    let refined: Vec<VertexId> = membership
+                        .par_iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect();
+
+                    #[cfg(feature = "analysis")]
+                    {
+                        let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
                         analysis::assert_phase_state(
                             "refinement",
                             pass,
                             n_cur,
-                            &membership,
+                            &refined,
                             &penalty,
-                            &sigma,
+                            &totals,
                         );
-                        (gains, moved, bounds, membership)
                     }
-                };
-            let li = gains.len();
+                    (outcome, refine_moves, bounds, refined)
+                }
+                Scheduling::ColorSynchronous => {
+                    // Deterministic path: plain state, decisions per
+                    // color class against frozen Σ'.
+                    let t0 = Instant::now();
+                    let coloring = gve_graph::coloring::jones_plassmann(g, config.seed);
+                    let mut membership: Vec<VertexId> = match &init_labels {
+                        Some(labels) => labels.clone(),
+                        None => (0..n_cur as VertexId).collect(),
+                    };
+                    let mut sigma = init_sigma(&penalty);
+                    timings.other += t0.elapsed();
+
+                    let t1 = Instant::now();
+                    let outcome = sync::local_move_sync(
+                        g,
+                        &mut membership,
+                        &penalty,
+                        &mut sigma,
+                        coeffs,
+                        tolerance,
+                        config,
+                        &tables,
+                        &coloring,
+                        &unprocessed,
+                    );
+                    timings.local_move += t1.elapsed();
+
+                    #[cfg(feature = "analysis")]
+                    analysis::assert_phase_state(
+                        "local-moving",
+                        pass,
+                        n_cur,
+                        &membership,
+                        &penalty,
+                        &sigma,
+                    );
+
+                    let t2 = Instant::now();
+                    let bounds = membership.clone();
+                    for (v, c) in membership.iter_mut().enumerate() {
+                        *c = v as VertexId;
+                    }
+                    sigma.copy_from_slice(&penalty);
+                    timings.other += t2.elapsed();
+
+                    let t3 = Instant::now();
+                    let refine_moves = sync::refine_sync(
+                        g,
+                        &bounds,
+                        &mut membership,
+                        &penalty,
+                        &mut sigma,
+                        coeffs,
+                        config,
+                        &tables,
+                        &coloring,
+                        pass as u64,
+                    );
+                    timings.refinement += t3.elapsed();
+
+                    #[cfg(feature = "analysis")]
+                    analysis::assert_phase_state(
+                        "refinement",
+                        pass,
+                        n_cur,
+                        &membership,
+                        &penalty,
+                        &sigma,
+                    );
+                    (outcome, refine_moves, bounds, membership)
+                }
+            };
+            let li = outcome.gains.len();
             move_iterations += li;
 
             // Renumber refined communities and update the dendrogram
@@ -542,15 +582,22 @@ impl Leiden {
                 vertices: n_cur,
                 arcs: g.num_arcs(),
                 move_iterations: li,
-                iteration_gains: gains,
-                refine_moved: moved,
+                iteration_gains: outcome.gains,
+                refine_moves,
                 communities: k,
+                pruning_processed: outcome.pruning_processed,
+                pruning_skipped: outcome.pruning_skipped,
+                tolerance,
+                local_move_time: timings.local_move - lm_before,
+                refinement_time: timings.refinement - rf_before,
+                aggregation_time: Duration::ZERO,
                 duration: t_pass.elapsed(),
             });
 
             // Global convergence (line 8): local-moving converged in one
             // iteration and refinement moved nothing.
-            if li + usize::from(moved) <= 1 {
+            if li + usize::from(refine_moves > 0) <= 1 {
+                stop = StopReason::Converged;
                 break;
             }
             // Aggregation tolerance (line 10): communities shrank too
@@ -558,6 +605,7 @@ impl Leiden {
             if config.use_aggregation_tolerance
                 && (k as f64) > config.aggregation_tolerance * (n_cur as f64)
             {
+                stop = StopReason::AggregationTolerance;
                 break;
             }
             if pass + 1 == config.max_passes {
@@ -586,7 +634,15 @@ impl Leiden {
                     aggregate::aggregate_sort_reduce(g, &dense, k)
                 }
             };
-            timings.aggregation += t5.elapsed();
+            let aggregation_time = t5.elapsed();
+            timings.aggregation += aggregation_time;
+            // The pass's stats were pushed before aggregation (the break
+            // conditions sit between); fold the aggregation that this
+            // pass triggered back into its record.
+            if let Some(ps) = pass_stats.last_mut() {
+                ps.aggregation_time = aggregation_time;
+                ps.duration = t_pass.elapsed();
+            }
 
             #[cfg(feature = "analysis")]
             analysis::assert_aggregate_state(pass, g, &supergraph, k);
@@ -636,6 +692,7 @@ impl Leiden {
             move_iterations,
             timings,
             pass_stats,
+            stop,
             dendrogram,
         }
     }

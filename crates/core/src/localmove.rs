@@ -84,8 +84,22 @@ pub fn choose_best(
     (gain > 0.0).then_some((d, gain))
 }
 
-/// Runs the local-moving phase; returns the total objective gain of
-/// each iteration performed (`l_i` = the vector's length).
+/// Outcome of the local-moving phase: the per-iteration gain trace plus
+/// the pruning-flag tallies behind the paper's "vertex pruning" rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MoveOutcome {
+    /// Total objective gain of each iteration performed (`l_i` = the
+    /// vector's length) — the raw convergence curve.
+    pub gains: Vec<f64>,
+    /// Vertices claimed and processed across all iterations.
+    pub pruning_processed: u64,
+    /// Vertices skipped because their unprocessed flag was already
+    /// clear — work the pruning optimization avoided.
+    pub pruning_skipped: u64,
+}
+
+/// Runs the local-moving phase; see [`MoveOutcome`] for what comes back
+/// (`outcome.gains.len()` is the paper's `l_i`).
 ///
 /// `penalty` holds each vertex's penalty weight (see [`choose_best`]);
 /// the caller prepares the `unprocessed` bitset — all bits set for a
@@ -101,23 +115,27 @@ pub fn local_move(
     config: &LeidenConfig,
     tables: &PerThread<CommunityMap>,
     unprocessed: &AtomicBitset,
-) -> Vec<f64> {
+) -> MoveOutcome {
     let n = graph.num_vertices();
-    let mut gains = Vec::new();
-    while gains.len() < config.max_iterations {
-        let delta_q: f64 = dynamic_workers(n, config.chunk_size, |claims| {
+    let mut outcome = MoveOutcome::default();
+    while outcome.gains.len() < config.max_iterations {
+        let (delta_q, processed, skipped) = dynamic_workers(n, config.chunk_size, |claims| {
             tables.with(|ht| {
                 // Stack tier of the kernel-v2 two-tier scan; unused (and
                 // costless) when kernel v1 is configured.
                 let mut small = SmallScanMap::new();
                 let mut local_dq = 0.0;
+                let mut local_processed = 0u64;
+                let mut local_skipped = 0u64;
                 for range in claims {
                     for i in range {
                         // Vertex pruning: claim i, skipping already
                         // processed vertices.
                         if config.pruning && !unprocessed.take(i) {
+                            local_skipped += 1;
                             continue;
                         }
+                        local_processed += 1;
                         let i = i as VertexId;
                         // Relaxed: only this worker moves `i` (the bitset
                         // claim makes it exclusive this iteration), and
@@ -146,17 +164,21 @@ pub fn local_move(
                         }
                     }
                 }
-                local_dq
+                (local_dq, local_processed, local_skipped)
             })
         })
         .into_iter()
-        .sum();
-        gains.push(delta_q);
+        .fold((0.0, 0u64, 0u64), |acc, w| {
+            (acc.0 + w.0, acc.1 + w.1, acc.2 + w.2)
+        });
+        outcome.gains.push(delta_q);
+        outcome.pruning_processed += processed;
+        outcome.pruning_skipped += skipped;
         if delta_q <= tolerance {
             break;
         }
     }
-    gains
+    outcome
 }
 
 #[cfg(test)]
@@ -205,7 +227,7 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(move || CommunityMap::new(6));
         let unprocessed = AtomicBitset::new_all_set(6);
-        let gains = local_move(
+        let outcome = local_move(
             &graph,
             &membership,
             &weights,
@@ -216,10 +238,13 @@ mod tests {
             &tables,
             &unprocessed,
         );
-        assert!(!gains.is_empty());
+        assert!(!outcome.gains.is_empty());
         // Iteration gains are the summed move deltas: first iteration
         // must be strictly positive here.
-        assert!(gains[0] > 0.0);
+        assert!(outcome.gains[0] > 0.0);
+        // Every vertex was examined at least once, and pruning tallies
+        // cover every claim attempt.
+        assert!(outcome.pruning_processed >= 6);
         let mem = snapshot(&membership);
         // Each triangle must be in one community; bridge endpoints may
         // differ but triangles never merge across the single bridge.
@@ -316,7 +341,7 @@ mod tests {
         });
         let unprocessed = AtomicBitset::new_all_set(graph.num_vertices());
         // Zero tolerance would keep iterating; the cap must stop it.
-        let gains = local_move(
+        let outcome = local_move(
             &graph,
             &membership,
             &weights,
@@ -327,7 +352,7 @@ mod tests {
             &tables,
             &unprocessed,
         );
-        assert_eq!(gains.len(), 1);
+        assert_eq!(outcome.gains.len(), 1);
     }
 
     #[test]
@@ -337,7 +362,7 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(4));
         let unprocessed = AtomicBitset::new_all_set(4);
-        let gains = local_move(
+        let outcome = local_move(
             &graph,
             &membership,
             &weights,
@@ -348,7 +373,9 @@ mod tests {
             &tables,
             &unprocessed,
         );
-        assert_eq!(gains, vec![0.0]);
+        assert_eq!(outcome.gains, vec![0.0]);
+        assert_eq!(outcome.pruning_processed, 4);
+        assert_eq!(outcome.pruning_skipped, 0);
         assert_eq!(snapshot(&membership), vec![0, 1, 2, 3]);
     }
 
@@ -363,7 +390,7 @@ mod tests {
         };
         let tables = PerThread::new(|| CommunityMap::new(4));
         let unprocessed = AtomicBitset::new_all_set(4);
-        let gains = local_move(
+        let outcome = local_move(
             &graph,
             &membership,
             &weights,
@@ -374,6 +401,10 @@ mod tests {
             &tables,
             &unprocessed,
         );
-        assert!(!gains.is_empty());
+        assert!(!outcome.gains.is_empty());
+        // Pruning disabled: every vertex counts as processed each
+        // iteration, nothing is ever skipped.
+        assert_eq!(outcome.pruning_skipped, 0);
+        assert_eq!(outcome.pruning_processed, 4 * outcome.gains.len() as u64);
     }
 }

@@ -44,8 +44,8 @@ fn scan_bounded(
     }
 }
 
-/// Runs the refinement phase; returns `true` when at least one vertex
-/// changed community (the paper's `l_j > 0`).
+/// Runs the refinement phase; returns the number of vertices that
+/// changed community (the paper's `l_j`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refine(
     graph: &CsrGraph,
@@ -57,14 +57,14 @@ pub(crate) fn refine(
     config: &LeidenConfig,
     tables: &PerThread<CommunityMap>,
     pass_seed: u64,
-) -> bool {
+) -> u64 {
     let n = graph.num_vertices();
 
     dynamic_workers(n, config.chunk_size, |claims| {
         tables.with(|ht| {
             let mut small = SmallScanMap::new();
             let mut candidates: Vec<(VertexId, f64)> = Vec::new();
-            let mut any = false;
+            let mut moves = 0u64;
             for range in claims {
                 for i in range {
                     // Relaxed: `i` moves only via this worker; the Σ'
@@ -135,16 +135,16 @@ pub(crate) fn refine(
                             // Relaxed: scanners tolerate staleness; the
                             // end-of-phase join publishes final values.
                             membership[i as usize].store(target, Ordering::Relaxed);
-                            any = true;
+                            moves += 1;
                         }
                     }
                 }
             }
-            any
+            moves
         })
     })
     .into_iter()
-    .any(|a| a)
+    .sum()
 }
 
 /// Random-proportional community choice over positive-gain candidates.
@@ -243,7 +243,7 @@ mod tests {
             &tables,
             0,
         );
-        assert!(moved);
+        assert!(moved > 0);
         let mem = snapshot(&membership);
         // Refinement merges isolated vertices into sub-communities; the
         // partition must be strictly coarser than singletons and every
@@ -403,7 +403,7 @@ mod tests {
             &tables,
             0,
         );
-        assert!(!moved);
+        assert_eq!(moved, 0);
         assert_eq!(snapshot(&membership), vec![0, 1, 2]);
     }
 }

@@ -14,11 +14,13 @@
 //! Selected with [`crate::config::Scheduling::ColorSynchronous`].
 
 use crate::config::{LeidenConfig, RefinementStrategy};
+use crate::localmove::MoveOutcome;
 use crate::objective::GainCoeffs;
 use gve_graph::coloring::Coloring;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::{AtomicBitset, CommunityMap, PerThread, Xorshift32};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A decided move: target community and its expected gain.
 type Decision = Option<(VertexId, f64)>;
@@ -100,7 +102,8 @@ fn decide(
 }
 
 /// Color-synchronous local-moving phase over plain state. Returns the
-/// per-iteration objective gains.
+/// per-iteration objective gains plus pruning tallies (see
+/// [`MoveOutcome`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn local_move_sync(
     graph: &CsrGraph,
@@ -113,10 +116,14 @@ pub(crate) fn local_move_sync(
     tables: &PerThread<CommunityMap>,
     coloring: &Coloring,
     unprocessed: &AtomicBitset,
-) -> Vec<f64> {
+) -> MoveOutcome {
     let classes = coloring.classes();
-    let mut gains = Vec::new();
-    while gains.len() < config.max_iterations {
+    let mut outcome = MoveOutcome::default();
+    // Pruning tallies, bumped from inside the per-class parallel decide.
+    // Relaxed: reporting-only counters read after the rayon join.
+    let processed = AtomicU64::new(0);
+    let skipped = AtomicU64::new(0);
+    while outcome.gains.len() < config.max_iterations {
         let mut delta_q = 0.0;
         for class in &classes {
             // Decide in parallel against frozen state; class members are
@@ -126,8 +133,12 @@ pub(crate) fn local_move_sync(
                 .par_iter()
                 .map(|&i| {
                     if config.pruning && !unprocessed.take(i as usize) {
+                        // Relaxed: reporting-only tally, as above.
+                        skipped.fetch_add(1, Ordering::Relaxed);
                         return None;
                     }
+                    // Relaxed: reporting-only tally, as above.
+                    processed.fetch_add(1, Ordering::Relaxed);
                     tables.with(|ht| {
                         decide(
                             graph,
@@ -161,17 +172,20 @@ pub(crate) fn local_move_sync(
                 }
             }
         }
-        gains.push(delta_q);
+        outcome.gains.push(delta_q);
         if delta_q <= tolerance {
             break;
         }
     }
-    gains
+    // Relaxed: post-join read-back of the tallies.
+    outcome.pruning_processed = processed.load(Ordering::Relaxed);
+    outcome.pruning_skipped = skipped.load(Ordering::Relaxed);
+    outcome
 }
 
 /// Color-synchronous refinement: single sweep over the color classes,
-/// merging isolated vertices within their bounds. Returns whether any
-/// vertex moved.
+/// merging isolated vertices within their bounds. Returns the number of
+/// vertices that moved.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_sync(
     graph: &CsrGraph,
@@ -184,8 +198,8 @@ pub(crate) fn refine_sync(
     tables: &PerThread<CommunityMap>,
     coloring: &Coloring,
     pass_seed: u64,
-) -> bool {
-    let mut moved = false;
+) -> u64 {
+    let mut moved = 0u64;
     for class in &coloring.classes() {
         let decisions: Vec<Decision> = class
             .par_iter()
@@ -223,7 +237,7 @@ pub(crate) fn refine_sync(
                 sigma[current as usize] = 0.0;
                 sigma[target as usize] += p_i;
                 membership[i as usize] = target;
-                moved = true;
+                moved += 1;
             }
         }
     }
@@ -263,7 +277,7 @@ mod tests {
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(6));
         let unprocessed = AtomicBitset::new_all_set(6);
-        let gains = local_move_sync(
+        let outcome = local_move_sync(
             &graph,
             &mut membership,
             &weights,
@@ -275,7 +289,8 @@ mod tests {
             &coloring,
             &unprocessed,
         );
-        assert!(!gains.is_empty() && gains[0] > 0.0);
+        assert!(!outcome.gains.is_empty() && outcome.gains[0] > 0.0);
+        assert!(outcome.pruning_processed >= 6);
         assert_eq!(membership[0], membership[1]);
         assert_eq!(membership[1], membership[2]);
         assert_eq!(membership[3], membership[4]);
@@ -311,7 +326,7 @@ mod tests {
             &coloring,
             0,
         );
-        assert!(moved);
+        assert!(moved > 0);
         for v in 0..6usize {
             assert_eq!(
                 bounds[membership[v] as usize], bounds[v],

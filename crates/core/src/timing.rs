@@ -65,12 +65,55 @@ pub struct PassStats {
     /// Total objective gain of each local-moving iteration — the raw
     /// convergence curve (its length equals `move_iterations`).
     pub iteration_gains: Vec<f64>,
-    /// Whether the refinement phase moved any vertex (`l_j`).
-    pub refine_moved: bool,
+    /// Vertices the refinement phase moved (`l_j`; a Louvain pass,
+    /// which has no refinement, reports 0).
+    pub refine_moves: u64,
     /// Communities after refinement.
     pub communities: usize,
-    /// Wall time of the whole pass.
+    /// Vertices claimed (processed) by the pruning bitset across all
+    /// local-moving iterations of this pass.
+    pub pruning_processed: u64,
+    /// Vertices skipped because their pruning flag was already clear —
+    /// work the flag-based pruning optimization avoided.
+    pub pruning_skipped: u64,
+    /// Per-iteration gain tolerance this pass ran with (the threshold
+    /// scaling schedule: `initial_tolerance / tolerance_drop^pass`).
+    pub tolerance: f64,
+    /// Wall time of the local-moving phase of this pass.
+    pub local_move_time: Duration,
+    /// Wall time of the refinement phase of this pass.
+    pub refinement_time: Duration,
+    /// Wall time of the aggregation phase run *after* this pass (zero
+    /// for the final pass, which is never aggregated).
+    pub aggregation_time: Duration,
+    /// Wall time of the whole pass, aggregation included.
     pub duration: Duration,
+}
+
+impl PassStats {
+    /// Whether refinement moved at least one vertex.
+    pub fn refine_moved(&self) -> bool {
+        self.refine_moves > 0
+    }
+
+    /// Aggregation shrink ratio: communities after refinement over
+    /// vertices before (`|Γ| / |V'|`, lower = stronger shrink). 1.0 for
+    /// an empty pass graph.
+    pub fn shrink_ratio(&self) -> f64 {
+        if self.vertices == 0 {
+            1.0
+        } else {
+            self.communities as f64 / self.vertices as f64
+        }
+    }
+
+    /// Fraction of pruning-flag claims that skipped an already-processed
+    /// vertex — the hit rate of the paper's flag-based pruning. `None`
+    /// when nothing was examined (pruning disabled or an empty graph).
+    pub fn pruning_hit_rate(&self) -> Option<f64> {
+        let examined = self.pruning_processed + self.pruning_skipped;
+        (examined > 0).then(|| self.pruning_skipped as f64 / examined as f64)
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +140,37 @@ mod tests {
     fn zero_total_gives_zero_fractions() {
         let t = PhaseTimings::default();
         assert_eq!(t.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    fn stats(vertices: usize, communities: usize, processed: u64, skipped: u64) -> PassStats {
+        PassStats {
+            pass: 0,
+            vertices,
+            arcs: 0,
+            move_iterations: 0,
+            iteration_gains: Vec::new(),
+            refine_moves: 0,
+            communities,
+            pruning_processed: processed,
+            pruning_skipped: skipped,
+            tolerance: 1e-2,
+            local_move_time: Duration::ZERO,
+            refinement_time: Duration::ZERO,
+            aggregation_time: Duration::ZERO,
+            duration: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn shrink_ratio_and_hit_rate() {
+        let s = stats(100, 25, 300, 100);
+        assert!((s.shrink_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.pruning_hit_rate().unwrap() - 0.25).abs() < 1e-12);
+        assert!(!s.refine_moved());
+
+        let empty = stats(0, 0, 0, 0);
+        assert_eq!(empty.shrink_ratio(), 1.0);
+        assert_eq!(empty.pruning_hit_rate(), None);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use gve_prim::atomics::{atomic_f64_from_slice, AtomicF64};
 use gve_prim::{AtomicBitset, CommunityMap, PerThread};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for GVE-Louvain. Reuses the Leiden parameter set; the
 /// refinement-specific fields are ignored.
@@ -111,7 +111,7 @@ impl Louvain {
             timings.other += t0.elapsed();
 
             let t1 = Instant::now();
-            let gains = localmove::local_move(
+            let outcome = localmove::local_move(
                 g,
                 &membership,
                 &weights,
@@ -122,8 +122,9 @@ impl Louvain {
                 &tables,
                 &unprocessed,
             );
-            timings.local_move += t1.elapsed();
-            let li = gains.len();
+            let local_move_time = t1.elapsed();
+            timings.local_move += local_move_time;
+            let li = outcome.gains.len();
             move_iterations += li;
 
             let t2 = Instant::now();
@@ -142,9 +143,15 @@ impl Louvain {
                 vertices: n_cur,
                 arcs: g.num_arcs(),
                 move_iterations: li,
-                iteration_gains: gains,
-                refine_moved: false,
+                iteration_gains: outcome.gains,
+                refine_moves: 0, // Louvain has no refinement phase
                 communities: k,
+                pruning_processed: outcome.pruning_processed,
+                pruning_skipped: outcome.pruning_skipped,
+                tolerance,
+                local_move_time,
+                refinement_time: Duration::ZERO,
+                aggregation_time: Duration::ZERO,
                 duration: t_pass.elapsed(),
             });
 
@@ -172,7 +179,12 @@ impl Louvain {
                 (config.kernel == gve_leiden::KernelVersion::V2)
                     .then_some(config.small_degree_threshold),
             );
-            timings.aggregation += t3.elapsed();
+            let aggregation_time = t3.elapsed();
+            timings.aggregation += aggregation_time;
+            if let Some(ps) = pass_stats.last_mut() {
+                ps.aggregation_time = aggregation_time;
+                ps.duration = t_pass.elapsed();
+            }
 
             current = Some(supergraph);
             if config.threshold_scaling {

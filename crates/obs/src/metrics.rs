@@ -1,0 +1,683 @@
+//! Metric handles and the Prometheus text-format registry.
+//!
+//! Handles ([`Counter`], [`FloatCounter`], [`Gauge`], [`Histogram`])
+//! are cheap `Arc`-backed atomics: create them anywhere, clone them
+//! freely, update them from any thread. A [`MetricsRegistry`] is just a
+//! collection of handle clones plus the metadata (name, help, labels)
+//! needed to render them in Prometheus text exposition format — so the
+//! hot path that increments a counter never touches a lock, and
+//! subsystems can keep owning their counters (the registry *attaches*
+//! to them rather than replacing them).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default latency buckets (seconds): 500µs … 10s, roughly ×2.5 steps —
+/// wide enough for both sub-millisecond cache hits and multi-second
+/// full detections.
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// A monotonically increasing integer counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // Relaxed: monotone reporting-only counter; nothing synchronizes
+        // on it and cross-counter snapshot skew is acceptable.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        // Relaxed: reporting-only read, as above.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing floating-point counter (e.g. seconds of
+/// work done).
+#[derive(Debug, Clone)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl Default for FloatCounter {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl FloatCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` (negative, zero, and NaN values are ignored to keep the
+    /// counter monotone).
+    pub fn add(&self, v: f64) {
+        if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return;
+        }
+        // Relaxed CAS loop: reporting-only accumulator over f64 bits;
+        // the loop only needs atomicity of the single word, not
+        // ordering against other memory.
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Adds a duration, in seconds.
+    pub fn add_duration(&self, d: Duration) {
+        self.add(d.as_secs_f64());
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        // Relaxed: reporting-only read.
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A floating-point gauge: a value that can go up and down (queue
+/// depth, last-observed ratio, resident entries).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        // Relaxed: reporting-only gauge; last-writer-wins is fine.
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        // Relaxed CAS loop: single-word accumulator, reporting-only.
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        // Relaxed: reporting-only read.
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+Inf` bucket follows.
+    bounds: Box<[f64]>,
+    /// Per-bucket (non-cumulative) observation counts; `len() ==
+    /// bounds.len() + 1`, the last being the `+Inf` overflow bucket.
+    counts: Box<[AtomicU64]>,
+    /// Sum of all observed values, as f64 bits.
+    sum: AtomicU64,
+    /// Total number of observations.
+    total: AtomicU64,
+}
+
+/// A fixed-bucket histogram (Prometheus semantics: cumulative buckets,
+/// `_sum`, `_count`).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Point-in-time view of a histogram, with *cumulative* bucket counts
+/// (monotone by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Cumulative counts per finite bound, then the `+Inf` total last;
+    /// `len() == bounds.len() + 1`.
+    pub cumulative: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::with_buckets(DEFAULT_LATENCY_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the default latency buckets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a histogram with the given finite bucket upper bounds
+    /// (must be non-empty and strictly increasing); a `+Inf` bucket is
+    /// added implicitly.
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds: bounds.into(),
+            counts,
+            sum: AtomicU64::new(0f64.to_bits()),
+            total: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|&b| b < v);
+        // Relaxed throughout: reporting-only tallies; renderers accept
+        // cross-field snapshot skew (bucket/sum/count may momentarily
+        // disagree by in-flight observations).
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.total.fetch_add(1, Ordering::Relaxed);
+        if v > 0.0 {
+            let mut current = inner.sum.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + v).to_bits();
+                // Relaxed CAS: only single-word atomicity of the sum
+                // bits is needed; no ordering against other memory.
+                match inner.sum.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+        }
+    }
+
+    /// Records a duration, in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        // Relaxed: reporting-only read.
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative snapshot (Prometheus bucket semantics).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let mut cumulative = Vec::with_capacity(inner.counts.len());
+        let mut running = 0u64;
+        for c in inner.counts.iter() {
+            // Relaxed: reporting-only read; the running sum makes the
+            // cumulative vector monotone regardless of skew.
+            running += c.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds: inner.bounds.to_vec(),
+            cumulative,
+            // Relaxed: reporting-only reads; sum/count may skew from
+            // the buckets by in-flight observations.
+            sum: f64::from_bits(inner.sum.load(Ordering::Relaxed)),
+            count: inner.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The handle kinds a registry entry can hold.
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    FloatCounter(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) | Handle::FloatCounter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A global-free collection of metric handles, rendered on demand in
+/// Prometheus text exposition format. Clones share the same underlying
+/// collection, so one registry handle can be threaded through
+/// independent subsystems.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus expects (shortest round-trip
+/// decimal; infinities spelled `+Inf`/`-Inf`).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn attach(&self, name: &str, help: &str, labels: &[(&str, &str)], handle: Handle) {
+        assert!(valid_name(name), "invalid metric name '{name}'");
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        // Re-attaching the same (name, labels) replaces the old handle:
+        // deterministic, and lets a subsystem re-register after restart.
+        entries.retain(|e| !(e.name == name && e.labels == labels));
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            handle,
+        });
+    }
+
+    /// Registers an existing counter under `name`.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) {
+        self.attach(name, help, labels, Handle::Counter(counter.clone()));
+    }
+
+    /// Registers an existing float counter under `name`.
+    pub fn register_float_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &FloatCounter,
+    ) {
+        self.attach(name, help, labels, Handle::FloatCounter(counter.clone()));
+    }
+
+    /// Registers an existing gauge under `name`.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.attach(name, help, labels, Handle::Gauge(gauge.clone()));
+    }
+
+    /// Registers an existing histogram under `name`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: &Histogram,
+    ) {
+        self.attach(name, help, labels, Handle::Histogram(histogram.clone()));
+    }
+
+    /// Returns the histogram registered under `(name, labels)`,
+    /// creating and registering one (with `buckets`) on first use —
+    /// the idiom for per-label-value families like request latency per
+    /// endpoint.
+    pub fn histogram_or_register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> Histogram {
+        {
+            let entries = self.entries.lock().expect("metrics registry poisoned");
+            if let Some(existing) = entries.iter().find_map(|e| match &e.handle {
+                Handle::Histogram(h)
+                    if e.name == name
+                        && e.labels.len() == labels.len()
+                        && e.labels
+                            .iter()
+                            .zip(labels.iter())
+                            .all(|((k0, v0), (k1, v1))| k0 == k1 && v0 == v1) =>
+                {
+                    Some(h.clone())
+                }
+                _ => None,
+            }) {
+                return existing;
+            }
+        }
+        let histogram = Histogram::with_buckets(buckets);
+        self.attach(name, help, labels, Handle::Histogram(histogram.clone()));
+        histogram
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format (version 0.0.4). Metrics sharing a name are grouped under
+    /// one `# HELP`/`# TYPE` header, in first-registration order.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut names: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !names.contains(&e.name.as_str()) {
+                names.push(&e.name);
+            }
+        }
+        let mut out = String::new();
+        for name in names {
+            let group: Vec<&Entry> = entries.iter().filter(|e| e.name == name).collect();
+            let first = group[0];
+            out.push_str(&format!("# HELP {name} {}\n", first.help));
+            out.push_str(&format!("# TYPE {name} {}\n", first.handle.type_name()));
+            for entry in group {
+                render_entry(&mut out, entry);
+            }
+        }
+        out
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_entry(out: &mut String, entry: &Entry) {
+    let name = &entry.name;
+    match &entry.handle {
+        Handle::Counter(c) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(&entry.labels, None),
+                c.get()
+            ));
+        }
+        Handle::FloatCounter(c) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(&entry.labels, None),
+                fmt_f64(c.get())
+            ));
+        }
+        Handle::Gauge(g) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(&entry.labels, None),
+                fmt_f64(g.get())
+            ));
+        }
+        Handle::Histogram(h) => {
+            let snap = h.snapshot();
+            for (i, &bound) in snap.bounds.iter().enumerate() {
+                out.push_str(&format!(
+                    "{name}_bucket{} {}\n",
+                    label_block(&entry.labels, Some(("le", &fmt_f64(bound)))),
+                    snap.cumulative[i]
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                label_block(&entry.labels, Some(("le", "+Inf"))),
+                snap.cumulative[snap.bounds.len()]
+            ));
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                label_block(&entry.labels, None),
+                fmt_f64(snap.sum)
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                label_block(&entry.labels, None),
+                snap.count
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 6, "clones share state");
+
+        let g = Gauge::new();
+        g.set(3.5);
+        g.add(1.0);
+        g.dec();
+        assert!((g.get() - 3.5).abs() < 1e-12);
+
+        let f = FloatCounter::new();
+        f.add(0.25);
+        f.add(-1.0); // ignored: counters are monotone
+        f.add_duration(Duration::from_millis(750));
+        assert!((f.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let h = Histogram::with_buckets(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative, vec![1, 3, 4, 5]);
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 56.05).abs() < 1e-9);
+        assert!(
+            snap.cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative counts must be monotone"
+        );
+        // A value exactly on a bound lands in that bucket (le semantics).
+        let edge = Histogram::with_buckets(&[1.0, 2.0]);
+        edge.observe(1.0);
+        assert_eq!(edge.snapshot().cumulative, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = Histogram::with_buckets(&[0.5]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(if i % 2 == 0 { 0.1 } else { 0.9 });
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.cumulative, vec![2000, 4000]);
+    }
+
+    #[test]
+    fn render_groups_names_and_escapes_labels() {
+        let reg = MetricsRegistry::new();
+        let a = Counter::new();
+        a.add(7);
+        let b = Counter::new();
+        b.add(9);
+        reg.register_counter(
+            "gve_requests_total",
+            "Requests.",
+            &[("endpoint", "/x\"y")],
+            &a,
+        );
+        reg.register_counter("gve_requests_total", "Requests.", &[("endpoint", "/z")], &b);
+        let g = Gauge::new();
+        g.set(2.5);
+        reg.register_gauge("gve_queue_depth", "Depth.", &[], &g);
+        let text = reg.render();
+        assert_eq!(
+            text.matches("# TYPE gve_requests_total counter").count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(
+            text.contains("gve_requests_total{endpoint=\"/x\\\"y\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("gve_requests_total{endpoint=\"/z\"} 9"));
+        assert!(text.contains("# TYPE gve_queue_depth gauge"));
+        assert!(text.contains("gve_queue_depth 2.5"));
+    }
+
+    #[test]
+    fn render_histogram_prometheus_shape() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_or_register(
+            "gve_latency_seconds",
+            "Latency.",
+            &[("endpoint", "detect")],
+            &[0.01, 0.1],
+        );
+        h.observe(0.05);
+        // Second lookup returns the same underlying histogram.
+        let again = reg.histogram_or_register(
+            "gve_latency_seconds",
+            "Latency.",
+            &[("endpoint", "detect")],
+            &[0.01, 0.1],
+        );
+        again.observe(0.002);
+        let text = reg.render();
+        assert!(text.contains("# TYPE gve_latency_seconds histogram"));
+        assert!(text.contains("gve_latency_seconds_bucket{endpoint=\"detect\",le=\"0.01\"} 1"));
+        assert!(text.contains("gve_latency_seconds_bucket{endpoint=\"detect\",le=\"0.1\"} 2"));
+        assert!(text.contains("gve_latency_seconds_bucket{endpoint=\"detect\",le=\"+Inf\"} 2"));
+        assert!(text.contains("gve_latency_seconds_count{endpoint=\"detect\"} 2"));
+    }
+
+    #[test]
+    fn reattach_replaces_and_names_validate() {
+        let reg = MetricsRegistry::new();
+        let old = Counter::new();
+        old.add(1);
+        let new = Counter::new();
+        new.add(2);
+        reg.register_counter("gve_x_total", "X.", &[], &old);
+        reg.register_counter("gve_x_total", "X.", &[], &new);
+        let text = reg.render();
+        assert!(text.contains("gve_x_total 2"));
+        assert!(!text.contains("gve_x_total 1"));
+        assert!(valid_name("gve_phase_seconds_total"));
+        assert!(!valid_name("9starts_with_digit"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(""));
+    }
+}

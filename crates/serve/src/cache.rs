@@ -7,11 +7,17 @@
 //! the cache never grows with graph history. A per-graph **latest**
 //! pointer backs the membership/community read endpoints, which want
 //! "the current partition" without restating a config.
+//!
+//! The entry table and the latest pointers live under **one** mutex:
+//! with two, an `insert` that had stored its entry but not yet updated
+//! `latest` could interleave with `evict_stale`, leaving `latest`
+//! pointing at an evicted key forever (the read endpoints would then
+//! 404 on a graph that has a perfectly good partition).
 
 use crate::jobs::DetectRequest;
 use gve_graph::VertexId;
+use gve_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: which graph state and which detection config.
@@ -62,24 +68,61 @@ pub struct CachedPartition {
     pub request: DetectRequest,
 }
 
-/// Monotonic counters exported through `/stats`.
-#[derive(Debug, Default)]
+/// Monotonic counters exported through `/stats` and `/metrics`.
+#[derive(Debug, Clone, Default)]
 pub struct CacheStats {
     /// Detect requests answered from cache.
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Detect requests that had to compute.
-    pub misses: AtomicU64,
+    pub misses: Counter,
     /// Partitions inserted (jobs + refreshes).
-    pub insertions: AtomicU64,
+    pub insertions: Counter,
     /// Entries evicted because their epoch went stale.
-    pub evictions: AtomicU64,
+    pub evictions: Counter,
+}
+
+impl CacheStats {
+    /// Registers the counters with `registry` under `gve_cache_*` names.
+    pub fn attach_to(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "gve_cache_hits_total",
+            "Detect requests answered from the partition cache.",
+            &[],
+            &self.hits,
+        );
+        registry.register_counter(
+            "gve_cache_misses_total",
+            "Detect requests that had to compute.",
+            &[],
+            &self.misses,
+        );
+        registry.register_counter(
+            "gve_cache_insertions_total",
+            "Partitions inserted into the cache (jobs + refreshes).",
+            &[],
+            &self.insertions,
+        );
+        registry.register_counter(
+            "gve_cache_evictions_total",
+            "Cache entries evicted because their epoch went stale.",
+            &[],
+            &self.evictions,
+        );
+    }
+}
+
+/// Entry table + latest pointers, guarded together so every public
+/// operation is atomic with respect to both maps.
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<PartitionKey, Arc<CachedPartition>>,
+    latest: HashMap<String, PartitionKey>,
 }
 
 /// The shared partition cache.
 #[derive(Debug, Default)]
 pub struct PartitionCache {
-    entries: Mutex<HashMap<PartitionKey, Arc<CachedPartition>>>,
-    latest: Mutex<HashMap<String, PartitionKey>>,
+    inner: Mutex<CacheInner>,
     /// Counter block (public for `/stats` reporting).
     pub stats: CacheStats,
 }
@@ -93,16 +136,15 @@ impl PartitionCache {
     /// Cache lookup, counting a hit or miss.
     pub fn get(&self, key: &PartitionKey) -> Option<Arc<CachedPartition>> {
         let found = self
-            .entries
+            .inner
             .lock()
             .expect("cache lock poisoned")
+            .entries
             .get(key)
             .cloned();
-        // Relaxed: hit/miss tallies are monotonic counters read only
-        // for reporting; nothing synchronizes on them.
         match &found {
-            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.stats.hits.inc(),
+            None => self.stats.misses.inc(),
         };
         found
     }
@@ -110,82 +152,88 @@ impl PartitionCache {
     /// Lookup without counting (used by read endpoints and the job
     /// engine's double-check, which are not "detect requests").
     pub fn peek(&self, key: &PartitionKey) -> Option<Arc<CachedPartition>> {
-        self.entries
+        self.inner
             .lock()
             .expect("cache lock poisoned")
+            .entries
             .get(key)
             .cloned()
     }
 
-    /// Inserts a partition and makes it the graph's latest.
+    /// Inserts a partition and makes it the graph's latest. The entry
+    /// and the latest pointer are published under one lock, so readers
+    /// never observe a `latest` that does not resolve.
     pub fn insert(&self, key: PartitionKey, partition: CachedPartition) -> Arc<CachedPartition> {
         let partition = Arc::new(partition);
-        self.entries
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key.clone(), Arc::clone(&partition));
-        self.latest
-            .lock()
-            .expect("latest lock poisoned")
-            .insert(key.graph.clone(), key);
-        // Relaxed: reporting-only counter, as in `get`.
-        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            inner.entries.insert(key.clone(), Arc::clone(&partition));
+            inner.latest.insert(key.graph.clone(), key);
+        }
+        self.stats.insertions.inc();
         partition
     }
 
     /// The most recent partition for `graph`, with its key.
     pub fn latest(&self, graph: &str) -> Option<(PartitionKey, Arc<CachedPartition>)> {
-        let key = self
-            .latest
-            .lock()
-            .expect("latest lock poisoned")
-            .get(graph)
-            .cloned()?;
-        let partition = self.peek(&key)?;
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let key = inner.latest.get(graph)?.clone();
+        let partition = inner.entries.get(&key).cloned()?;
         Some((key, partition))
     }
 
     /// Evicts every entry of `graph` whose epoch predates
     /// `current_epoch`. Called after an update batch bumps the epoch.
     pub fn evict_stale(&self, graph: &str, current_epoch: u64) -> usize {
-        let mut entries = self.entries.lock().expect("cache lock poisoned");
-        let before = entries.len();
-        entries.retain(|key, _| key.graph != graph || key.epoch >= current_epoch);
-        let evicted = before - entries.len();
-        drop(entries);
-        // Relaxed: reporting-only counter, as in `get`.
-        self.stats
-            .evictions
-            .fetch_add(evicted as u64, Ordering::Relaxed);
-        let mut latest = self.latest.lock().expect("latest lock poisoned");
-        if let Some(key) = latest.get(graph) {
-            if key.epoch < current_epoch {
-                latest.remove(graph);
+        let evicted = {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            let before = inner.entries.len();
+            inner
+                .entries
+                .retain(|key, _| key.graph != graph || key.epoch >= current_epoch);
+            let evicted = before - inner.entries.len();
+            if let Some(key) = inner.latest.get(graph) {
+                if key.epoch < current_epoch {
+                    inner.latest.remove(graph);
+                }
             }
-        }
+            evicted
+        };
+        self.stats.evictions.add(evicted as u64);
         evicted
     }
 
     /// Drops every entry of `graph` (graph deregistered).
     pub fn forget_graph(&self, graph: &str) {
-        self.entries
-            .lock()
-            .expect("cache lock poisoned")
-            .retain(|key, _| key.graph != graph);
-        self.latest
-            .lock()
-            .expect("latest lock poisoned")
-            .remove(graph);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.entries.retain(|key, _| key.graph != graph);
+        inner.latest.remove(graph);
     }
 
     /// Number of resident partitions.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock poisoned").len()
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Invariant check: the latest pointer for `graph`, when present,
+    /// resolves to a live entry. Always true with the single-lock
+    /// layout; the old two-mutex layout could violate it permanently.
+    #[cfg(test)]
+    fn latest_resolves(&self, graph: &str) -> bool {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.latest.get(graph) {
+            Some(key) => inner.entries.contains_key(key),
+            None => true,
+        }
     }
 }
 
@@ -226,8 +274,8 @@ mod tests {
             cache.get(&key("g", 0, 8)).is_none(),
             "fingerprint is part of the key"
         );
-        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
-        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.stats.hits.get(), 1);
+        assert_eq!(cache.stats.misses.get(), 3);
     }
 
     #[test]
@@ -268,5 +316,81 @@ mod tests {
         cache.forget_graph("g");
         assert!(cache.latest("g").is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn attach_to_exports_cache_counters() {
+        let cache = PartitionCache::new();
+        let registry = MetricsRegistry::new();
+        cache.stats.attach_to(&registry);
+        cache.insert(key("g", 0, 1), partition(2));
+        let _ = cache.get(&key("g", 0, 1));
+        let text = registry.render();
+        assert!(text.contains("gve_cache_hits_total 1"), "{text}");
+        assert!(text.contains("gve_cache_insertions_total 1"), "{text}");
+    }
+
+    /// Regression test for the two-mutex race: `insert` used to publish
+    /// the entry and the latest pointer under separate locks, so a
+    /// concurrent `evict_stale` could land in the window, evict the
+    /// just-inserted entry, and then have `insert` install a latest
+    /// pointer at the evicted key — permanently, if a competing insert
+    /// for a newer epoch had already finished. With the single-lock
+    /// layout `latest_resolves` holds at every instant.
+    #[test]
+    fn latest_never_points_at_an_evicted_key() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        const ROUNDS: u64 = 2000;
+        let cache = Arc::new(PartitionCache::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+
+        // Inserter: one partition per epoch, epochs strictly rising.
+        {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    cache.insert(key("g", i, i), partition(2));
+                }
+            }));
+        }
+        // Evictor: races the update-batch eviction sweep against the
+        // inserter, repeatedly bumping the stale horizon.
+        {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for e in 0..ROUNDS {
+                    cache.evict_stale("g", e);
+                    cache.latest("g");
+                }
+            }));
+        }
+        // Checker: the latest pointer must resolve at every instant.
+        {
+            let cache = Arc::clone(&cache);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                // Relaxed: test-only stop flag, no data guarded by it.
+                while !done.load(Ordering::Relaxed) {
+                    assert!(
+                        cache.latest_resolves("g"),
+                        "latest points at an evicted key"
+                    );
+                }
+            }));
+        }
+
+        let checker = handles.pop().expect("checker handle");
+        for h in handles {
+            h.join().expect("cache race thread panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+        checker.join().expect("checker panicked");
+
+        // Quiesced end state: the newest insert survived the sweeps and
+        // is reachable through `latest`.
+        assert!(cache.latest_resolves("g"));
+        let (k, _) = cache.latest("g").expect("latest after quiesce");
+        assert_eq!(k.epoch, ROUNDS - 1);
     }
 }

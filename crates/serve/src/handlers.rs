@@ -14,7 +14,7 @@ use crate::registry::{validate_name, GraphSource, RegistryError};
 use crate::ServerState;
 use gve_dynamic::{apply_batch, BatchUpdate, DynamicLeiden, DynamicStrategy};
 use gve_graph::{CsrGraph, GraphBuilder, VertexId};
-use std::sync::atomic::Ordering;
+use gve_obs::DEFAULT_LATENCY_BUCKETS;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -55,11 +55,45 @@ fn ok(status: u16, body: Json) -> Response {
 }
 
 /// Top-level dispatch. Never panics a connection thread: route errors
-/// become JSON error responses.
+/// become JSON error responses. Every request lands one observation in
+/// the per-endpoint latency histogram.
 pub fn handle(state: &ServerState, request: &Request) -> Response {
-    match route(state, request) {
+    let started = Instant::now();
+    let response = match route(state, request) {
         Ok(response) => response,
         Err(e) => ok(e.status, Json::obj([("error", Json::from(e.message))])),
+    };
+    let endpoint = endpoint_label(request.method.as_str(), &request.segments());
+    state
+        .metrics
+        .histogram_or_register(
+            "gve_http_request_seconds",
+            "Request latency by endpoint.",
+            &[("endpoint", endpoint)],
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        .observe_duration(started.elapsed());
+    response
+}
+
+/// Coarse endpoint label for the latency histogram — route patterns,
+/// not raw paths, so label cardinality stays bounded.
+fn endpoint_label(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", []) | ("GET", ["healthz"]) => "healthz",
+        ("GET", ["stats"]) => "stats",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["graphs"]) => "graphs_list",
+        ("POST", ["graphs"]) => "graphs_register",
+        ("GET", ["graphs", _]) => "graph_info",
+        ("DELETE", ["graphs", _]) => "graph_remove",
+        ("POST", ["graphs", _, "detect"]) => "detect",
+        ("GET", ["graphs", _, "membership"]) => "membership",
+        ("GET", ["graphs", _, "communities", _]) => "communities",
+        ("POST", ["graphs", _, "updates"]) => "updates",
+        ("GET", ["jobs", _]) => "job_status",
+        ("POST", ["jobs", _, "cancel"]) => "job_cancel",
+        _ => "unrouted",
     }
 }
 
@@ -75,6 +109,7 @@ fn route(state: &ServerState, request: &Request) -> Result<Response, ApiError> {
             ]),
         )),
         ("GET", ["stats"]) => Ok(stats(state)),
+        ("GET", ["metrics"]) => Ok(metrics(state)),
         ("GET", ["graphs"]) => Ok(list_graphs(state)),
         ("POST", ["graphs"]) => register_graph(state, request),
         ("GET", ["graphs", name]) => graph_info(state, name),
@@ -533,20 +568,15 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
     let graph = Arc::clone(&entry.graph);
     drop(entry);
 
-    // Relaxed: update tallies are reporting-only counters; the graph
-    // swap above is published by the registry lock, not by these.
+    state.updates.batches_applied.inc();
     state
         .updates
-        .batches_applied
-        .fetch_add(1, Ordering::Relaxed);
+        .edges_inserted
+        .add(batch.insertions.len() as u64);
     state
         .updates
-        .edges_inserted // Relaxed: reporting-only, as above.
-        .fetch_add(batch.insertions.len() as u64, Ordering::Relaxed);
-    state
-        .updates
-        .edges_deleted // Relaxed: reporting-only, as above.
-        .fetch_add(batch.deletions.len() as u64, Ordering::Relaxed);
+        .edges_deleted
+        .add(batch.deletions.len() as u64);
 
     let mut fields = vec![
         ("graph".to_string(), Json::from(name)),
@@ -575,11 +605,7 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
                 request: detect_request,
             },
         );
-        // Relaxed: reporting-only counter.
-        state
-            .updates
-            .incremental_refreshes
-            .fetch_add(1, Ordering::Relaxed);
+        state.updates.incremental_refreshes.inc();
         fields.push(("refreshed".to_string(), Json::from(true)));
         fields.push((
             "num_communities".to_string(),
@@ -605,9 +631,6 @@ fn strategy_label(strategy: DynamicStrategy) -> &'static str {
 // ----------------------------------------------------------------- stats
 
 fn stats(state: &ServerState) -> Response {
-    // Every load below is Relaxed: these are monotone statistics
-    // counters surfaced for observability — approximate cross-counter
-    // snapshots are acceptable and nothing is synchronized on them.
     let graphs: Vec<Json> = state
         .registry
         .names()
@@ -623,23 +646,16 @@ fn stats(state: &ServerState) -> Response {
         (
             "jobs",
             Json::obj([
-                // Relaxed: reporting-only counters.
-                (
-                    "submitted",
-                    Json::from(state.jobs.stats.submitted.load(Ordering::Relaxed)),
-                ),
-                (
-                    "completed",
-                    Json::from(state.jobs.stats.completed.load(Ordering::Relaxed)),
-                ),
-                // Relaxed: reporting-only counters.
-                (
-                    "failed",
-                    Json::from(state.jobs.stats.failed.load(Ordering::Relaxed)),
-                ),
+                ("submitted", Json::from(state.jobs.stats.submitted.get())),
+                ("completed", Json::from(state.jobs.stats.completed.get())),
+                ("failed", Json::from(state.jobs.stats.failed.get())),
                 (
                     "full_detections",
-                    Json::from(state.jobs.stats.full_detections.load(Ordering::Relaxed)),
+                    Json::from(state.jobs.stats.full_detections.get()),
+                ),
+                (
+                    "queue_depth",
+                    Json::from(state.jobs.stats.queue_depth.get()),
                 ),
                 ("records", Json::from(state.jobs.len())),
             ]),
@@ -647,50 +663,45 @@ fn stats(state: &ServerState) -> Response {
         (
             "cache",
             Json::obj([
-                // Relaxed: reporting-only counters.
-                (
-                    "hits",
-                    Json::from(state.cache.stats.hits.load(Ordering::Relaxed)),
-                ),
-                (
-                    "misses",
-                    Json::from(state.cache.stats.misses.load(Ordering::Relaxed)),
-                ),
-                // Relaxed: reporting-only counters.
-                (
-                    "insertions",
-                    Json::from(state.cache.stats.insertions.load(Ordering::Relaxed)),
-                ),
-                (
-                    "evictions",
-                    Json::from(state.cache.stats.evictions.load(Ordering::Relaxed)),
-                ),
+                ("hits", Json::from(state.cache.stats.hits.get())),
+                ("misses", Json::from(state.cache.stats.misses.get())),
+                ("insertions", Json::from(state.cache.stats.insertions.get())),
+                ("evictions", Json::from(state.cache.stats.evictions.get())),
                 ("resident", Json::from(state.cache.len())),
             ]),
         ),
         (
             "updates",
             Json::obj([
-                // Relaxed: reporting-only counters.
                 (
                     "batches_applied",
-                    Json::from(state.updates.batches_applied.load(Ordering::Relaxed)),
+                    Json::from(state.updates.batches_applied.get()),
                 ),
                 (
                     "incremental_refreshes",
-                    Json::from(state.updates.incremental_refreshes.load(Ordering::Relaxed)),
+                    Json::from(state.updates.incremental_refreshes.get()),
                 ),
-                // Relaxed: reporting-only counters.
                 (
                     "edges_inserted",
-                    Json::from(state.updates.edges_inserted.load(Ordering::Relaxed)),
+                    Json::from(state.updates.edges_inserted.get()),
                 ),
                 (
                     "edges_deleted",
-                    Json::from(state.updates.edges_deleted.load(Ordering::Relaxed)),
+                    Json::from(state.updates.edges_deleted.get()),
                 ),
             ]),
         ),
     ]);
     ok(200, body)
+}
+
+/// Prometheus text exposition (format 0.0.4) of every metric the
+/// subsystems registered at boot, plus the per-endpoint latency
+/// histograms `handle` creates on first use.
+fn metrics(state: &ServerState) -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: state.metrics.render().into_bytes(),
+    }
 }

@@ -2,19 +2,26 @@
 //!
 //! Deliberately minimal — no TLS, no chunked transfer, no keep-alive —
 //! because the service's job mix is a few small JSON requests per
-//! second, not bulk transfer. One thread per connection, bounded by the
-//! accept loop; `Connection: close` on every response keeps lifecycle
+//! second, not bulk transfer. One thread per connection, **capped** at
+//! [`ServerOptions::max_connections`] in-flight handlers (excess
+//! connections get an immediate 503 instead of an unbounded thread
+//! spawn); `Connection: close` on every response keeps lifecycle
 //! management trivial and curl-friendly.
 
+use crate::json::Json;
+use gve_obs::{Counter, MetricsRegistry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bound on accepted request bodies (64 MiB) — a registry POST
 /// carrying an explicit edge list is the largest legitimate payload.
 pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Default cap on concurrently handled connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -83,6 +90,7 @@ impl Response {
             409 => "Conflict",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -127,6 +135,14 @@ impl std::fmt::Display for HttpError {
 }
 
 impl std::error::Error for HttpError {}
+
+/// Renders an error as a JSON response, routing the message through the
+/// JSON string escaper. (It used to go through `format!("{:?}")`, whose
+/// Rust `Debug` escapes — `\u{1f}` and friends — are not valid JSON.)
+fn error_response(error: &HttpError) -> Response {
+    let body = Json::obj([("error", Json::from(error.message.as_str()))]).render();
+    Response::json(error.status, body)
+}
 
 fn percent_decode(input: &str) -> String {
     let bytes = input.as_bytes();
@@ -244,17 +260,61 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     })
 }
 
+/// Tuning knobs for [`HttpServer::start_with`].
+pub struct ServerOptions {
+    /// Cap on concurrently handled connections; further accepts are
+    /// answered 503 on the accept thread without spawning.
+    pub max_connections: usize,
+    /// Registry to export `gve_http_*` connection counters into.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            metrics: None,
+        }
+    }
+}
+
+/// A guard that releases one connection slot on drop, so a handler
+/// thread that panics still frees its slot.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        // Relaxed: the slot count is a saturation heuristic, not a
+        // synchronization point; no data is published through it.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// A running HTTP server; dropping the handle stops the accept loop.
 pub struct HttpServer {
     port: u16,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    accept_thread: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl HttpServer {
     /// Binds `addr` (port 0 picks an ephemeral port) and serves every
-    /// connection on its own thread with `handler`.
+    /// connection on its own thread with `handler`, using default
+    /// [`ServerOptions`].
     pub fn start<F>(addr: impl ToSocketAddrs, handler: F) -> std::io::Result<HttpServer>
+    where
+        F: Fn(Request) -> Response + Send + Sync + 'static,
+    {
+        Self::start_with(addr, ServerOptions::default(), handler)
+    }
+
+    /// Binds `addr` and serves connections with `handler`, capping
+    /// in-flight handler threads at `options.max_connections`.
+    pub fn start_with<F>(
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+        handler: F,
+    ) -> std::io::Result<HttpServer>
     where
         F: Fn(Request) -> Response + Send + Sync + 'static,
     {
@@ -264,6 +324,24 @@ impl HttpServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = Arc::clone(&shutdown);
         let handler = Arc::new(handler);
+        let max_connections = options.max_connections.max(1);
+        let active = Arc::new(AtomicUsize::new(0));
+        let accepted = Counter::new();
+        let rejected = Counter::new();
+        if let Some(registry) = &options.metrics {
+            registry.register_counter(
+                "gve_http_connections_total",
+                "Connections accepted and dispatched to a handler thread.",
+                &[],
+                &accepted,
+            );
+            registry.register_counter(
+                "gve_http_rejected_connections_total",
+                "Connections answered 503 because the concurrency cap was reached.",
+                &[],
+                &rejected,
+            );
+        }
 
         let accept_thread = std::thread::Builder::new()
             .name("gve-serve-accept".into())
@@ -274,18 +352,37 @@ impl HttpServer {
                 while !shutdown_flag.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((mut stream, _peer)) => {
+                            // Relaxed: saturation heuristic only (see
+                            // SlotGuard); a transient overshoot answers
+                            // one extra 503, nothing worse.
+                            if active.load(Ordering::Relaxed) >= max_connections {
+                                rejected.inc();
+                                let _ = stream.set_nodelay(true);
+                                let _ = error_response(&HttpError {
+                                    status: 503,
+                                    message: "connection limit reached, retry later".into(),
+                                })
+                                .write_to(&mut stream);
+                                continue;
+                            }
+                            // Relaxed: as above — the guard's decrement
+                            // keeps the count eventually accurate.
+                            active.fetch_add(1, Ordering::Relaxed);
+                            let guard = SlotGuard(Arc::clone(&active));
+                            accepted.inc();
                             let handler = Arc::clone(&handler);
+                            // The guard travels into the handler thread;
+                            // if the spawn itself fails the closure (and
+                            // guard) is dropped, releasing the slot.
                             let _ = std::thread::Builder::new()
                                 .name("gve-serve-conn".into())
                                 .spawn(move || {
+                                    let _guard = guard;
                                     let _ = stream.set_nodelay(true);
                                     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
                                     let response = match read_request(&mut stream) {
                                         Ok(request) => handler(request),
-                                        Err(e) => Response::json(
-                                            e.status,
-                                            format!("{{\"error\":{:?}}}", e.message),
-                                        ),
+                                        Err(e) => error_response(&e),
                                     };
                                     let _ = response.write_to(&mut stream);
                                 });
@@ -301,7 +398,7 @@ impl HttpServer {
         Ok(HttpServer {
             port,
             shutdown,
-            accept_thread: Some(accept_thread),
+            accept_thread: std::sync::Mutex::new(Some(accept_thread)),
         })
     }
 
@@ -310,12 +407,18 @@ impl HttpServer {
         self.port
     }
 
-    /// Signals the accept loop to stop and waits for it.
-    pub fn stop(&mut self) {
+    /// Signals the accept loop to stop and waits for it. Idempotent.
+    pub fn stop(&self) {
         // Release: publish everything preceding the signal to the
         // accept loop's Acquire load.
         self.shutdown.store(true, Ordering::Release);
-        if let Some(handle) = self.accept_thread.take() {
+        let handle = match self.accept_thread.lock() {
+            Ok(mut guard) => guard.take(),
+            // A poisoned lock means another stop() panicked mid-take;
+            // the handle it left behind is still ours to join.
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
     }
@@ -389,7 +492,7 @@ mod tests {
 
     #[test]
     fn server_roundtrips_a_request() {
-        let mut server = HttpServer::start("127.0.0.1:0", |req| {
+        let server = HttpServer::start("127.0.0.1:0", |req| {
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/echo path");
             assert_eq!(req.query_param("x"), Some("1 2"));
@@ -418,7 +521,7 @@ mod tests {
 
     #[test]
     fn malformed_requests_are_rejected_not_crashing() {
-        let mut server = HttpServer::start("127.0.0.1:0", |_| Response::json(200, "{}")).unwrap();
+        let server = HttpServer::start("127.0.0.1:0", |_| Response::json(200, "{}")).unwrap();
         let addr = format!("127.0.0.1:{}", server.port());
         let mut stream = TcpStream::connect(&addr).unwrap();
         stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
@@ -428,6 +531,104 @@ mod tests {
         // The server survives and keeps answering.
         let (status, _) = client_request(&addr, "GET", "/healthz", None).unwrap();
         assert_eq!(status, 200);
+        server.stop();
+    }
+
+    /// Regression test: error bodies used to be built with
+    /// `format!("{:?}")`, whose Rust `Debug` escapes (`\u{1f}`) are not
+    /// valid JSON. The body must round-trip through our own parser with
+    /// control and non-ASCII characters intact.
+    #[test]
+    fn error_bodies_are_valid_json_for_control_and_non_ascii() {
+        let message = "ctrl \u{1f} bell \u{7} tab \t quote \" path λ→é";
+        let response = error_response(&HttpError::bad_request(message));
+        let body = String::from_utf8(response.body).unwrap();
+        let parsed = crate::json::parse(&body).expect("error body must be valid JSON");
+        assert_eq!(parsed.get("error").and_then(Json::as_str), Some(message));
+    }
+
+    /// Same bug end-to-end: a request line whose HTTP version token
+    /// carries control and non-ASCII bytes lands verbatim in the error
+    /// message, and the wire body must still parse as JSON.
+    #[test]
+    fn error_bodies_parse_end_to_end() {
+        let server = HttpServer::start("127.0.0.1:0", |_| Response::json(200, "{}")).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all("GET /x BAD\u{1f}λ/9\r\n\r\n".as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        let body = out.split("\r\n\r\n").nth(1).expect("response has a body");
+        let parsed = crate::json::parse(body).expect("wire error body must be valid JSON");
+        let message = parsed.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains("BAD\u{1f}λ/9"), "{message:?}");
+        server.stop();
+    }
+
+    /// Regression test for unbounded per-connection threads: with the
+    /// single slot occupied by a gated handler, the next connection is
+    /// answered 503 on the accept thread, the rejection is counted, and
+    /// the gated request still completes once released.
+    #[test]
+    fn saturated_server_answers_503() {
+        let registry = MetricsRegistry::new();
+        let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let handler_gate = Arc::clone(&gate);
+        let server = HttpServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                max_connections: 1,
+                metrics: Some(registry.clone()),
+            },
+            move |_| {
+                let (lock, signal) = &*handler_gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = signal.wait(open).unwrap();
+                }
+                Response::json(200, "{\"gated\":true}")
+            },
+        )
+        .unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+
+        // Occupy the only slot with a request parked in the handler.
+        let first = {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_request(&addr, "GET", "/slow", None).unwrap())
+        };
+        // Wait until the accept loop has actually dispatched it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !registry.render().contains("gve_http_connections_total 1") {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "first connection never dispatched"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let (status, body) = client_request(&addr, "GET", "/rejected", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        crate::json::parse(&body).expect("503 body must be valid JSON");
+        assert!(
+            registry
+                .render()
+                .contains("gve_http_rejected_connections_total 1"),
+            "{}",
+            registry.render()
+        );
+
+        // Release the gate; the parked request must complete normally.
+        {
+            let (lock, signal) = &*gate;
+            *lock.lock().unwrap() = true;
+            signal.notify_all();
+        }
+        let (status, body) = first.join().expect("first request thread panicked");
+        assert_eq!(status, 200, "{body}");
         server.stop();
     }
 }

@@ -12,7 +12,11 @@
 use crate::cache::{CachedPartition, PartitionCache, PartitionKey, PartitionOrigin};
 use crate::json::Json;
 use crate::registry::GraphRegistry;
-use gve_leiden::{EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, VertexOrdering};
+use gve_leiden::{
+    CoreMetrics, EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, RunObserver,
+    VertexOrdering,
+};
+use gve_obs::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -201,6 +205,8 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Compute seconds for completed jobs.
     pub seconds: Option<f64>,
+    /// Submission instant, for the queue-wait histogram.
+    pub queued_at: Instant,
 }
 
 impl JobRecord {
@@ -234,17 +240,104 @@ impl JobRecord {
     }
 }
 
-/// Counters exported through `/stats`.
-#[derive(Debug, Default)]
+/// Counters and queue metrics exported through `/stats` and `/metrics`.
+#[derive(Debug, Clone)]
 pub struct JobStats {
     /// Jobs accepted (including instant cache hits).
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Jobs that finished successfully (cache hits count).
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Jobs that failed.
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Full static detections actually executed by workers.
-    pub full_detections: AtomicU64,
+    pub full_detections: Counter,
+    /// Jobs currently queued (sent but not yet claimed by a worker).
+    pub queue_depth: Gauge,
+    /// Times a worker returned from its blocking receive. Stays flat
+    /// while the pool is idle — the regression signal for the old
+    /// 20 ms busy-poll loop.
+    pub worker_wakeups: Counter,
+    /// Seconds jobs spent queued before a worker claimed them.
+    pub queue_wait_seconds: Histogram,
+    /// Seconds full detections took to compute.
+    pub run_seconds: Histogram,
+}
+
+impl Default for JobStats {
+    fn default() -> Self {
+        Self {
+            submitted: Counter::new(),
+            completed: Counter::new(),
+            failed: Counter::new(),
+            full_detections: Counter::new(),
+            queue_depth: Gauge::new(),
+            worker_wakeups: Counter::new(),
+            queue_wait_seconds: Histogram::with_buckets(DEFAULT_LATENCY_BUCKETS),
+            run_seconds: Histogram::with_buckets(DEFAULT_LATENCY_BUCKETS),
+        }
+    }
+}
+
+impl JobStats {
+    /// Registers the handles with `registry` under `gve_jobs_*` names.
+    pub fn attach_to(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "gve_jobs_submitted_total",
+            "Detect jobs accepted, including instant cache hits.",
+            &[],
+            &self.submitted,
+        );
+        registry.register_counter(
+            "gve_jobs_completed_total",
+            "Detect jobs that finished successfully.",
+            &[],
+            &self.completed,
+        );
+        registry.register_counter(
+            "gve_jobs_failed_total",
+            "Detect jobs that failed.",
+            &[],
+            &self.failed,
+        );
+        registry.register_counter(
+            "gve_jobs_full_detections_total",
+            "Full static detections executed by workers.",
+            &[],
+            &self.full_detections,
+        );
+        registry.register_gauge(
+            "gve_jobs_queue_depth",
+            "Jobs sent to the worker queue and not yet claimed.",
+            &[],
+            &self.queue_depth,
+        );
+        registry.register_counter(
+            "gve_jobs_worker_wakeups_total",
+            "Worker returns from the blocking queue receive.",
+            &[],
+            &self.worker_wakeups,
+        );
+        registry.register_histogram(
+            "gve_jobs_queue_wait_seconds",
+            "Seconds jobs spent queued before a worker claimed them.",
+            &[],
+            &self.queue_wait_seconds,
+        );
+        registry.register_histogram(
+            "gve_jobs_run_seconds",
+            "Seconds full detections took to compute.",
+            &[],
+            &self.run_seconds,
+        );
+    }
+}
+
+/// Message on the worker queue: a job to run, or a shutdown sentinel
+/// (one per worker) so `stop` can wake blocked receivers without a
+/// poll timeout.
+enum JobMsg {
+    Run(u64),
+    Shutdown,
 }
 
 /// The background worker pool plus the job table.
@@ -252,10 +345,11 @@ pub struct JobEngine {
     registry: Arc<GraphRegistry>,
     cache: Arc<PartitionCache>,
     records: Arc<Mutex<HashMap<u64, JobRecord>>>,
-    sender: crossbeam::channel::Sender<u64>,
+    sender: crossbeam::channel::Sender<JobMsg>,
     next_id: AtomicU64,
     shutdown: Arc<AtomicBool>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    core_metrics: Arc<CoreMetrics>,
     /// Counter block (public for `/stats` reporting).
     pub stats: Arc<JobStats>,
 }
@@ -267,10 +361,11 @@ impl JobEngine {
         cache: Arc<PartitionCache>,
         worker_count: usize,
     ) -> Self {
-        let (sender, receiver) = crossbeam::channel::unbounded::<u64>();
+        let (sender, receiver) = crossbeam::channel::unbounded::<JobMsg>();
         let records = Arc::new(Mutex::new(HashMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(JobStats::default());
+        let core_metrics = Arc::new(CoreMetrics::default());
         let mut workers = Vec::new();
         for worker in 0..worker_count.max(1) {
             let receiver = receiver.clone();
@@ -279,11 +374,20 @@ impl JobEngine {
             let records = Arc::clone(&records);
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let core_metrics = Arc::clone(&core_metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gve-serve-worker-{worker}"))
                     .spawn(move || {
-                        worker_loop(&receiver, &registry, &cache, &records, &shutdown, &stats)
+                        worker_loop(
+                            &receiver,
+                            &registry,
+                            &cache,
+                            &records,
+                            &shutdown,
+                            &stats,
+                            &core_metrics,
+                        )
                     })
                     .expect("spawn worker thread"),
             );
@@ -296,8 +400,16 @@ impl JobEngine {
             next_id: AtomicU64::new(1),
             shutdown,
             workers: Mutex::new(workers),
+            core_metrics,
             stats,
         }
+    }
+
+    /// Registers the job counters, queue metrics, and the algorithm
+    /// core's metrics (fed by every worker detection) with `registry`.
+    pub fn attach_to(&self, registry: &MetricsRegistry) {
+        self.stats.attach_to(registry);
+        self.core_metrics.attach_to(registry);
     }
 
     /// Submits a detect request against `graph`. Returns the job record:
@@ -310,10 +422,10 @@ impl JobEngine {
             epoch: entry.epoch,
             fingerprint: request.fingerprint(),
         };
-        // Relaxed: `submitted` is a reporting-only counter; `next_id`
-        // needs only uniqueness, which fetch_add provides on its own —
-        // the record itself is published via the mutex below.
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.submitted.inc();
+        // Relaxed: `next_id` needs only uniqueness, which fetch_add
+        // provides on its own — the record itself is published via the
+        // mutex below.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let hit = self.cache.get(&key).is_some();
         let record = JobRecord {
@@ -329,18 +441,20 @@ impl JobEngine {
             key: Some(key),
             error: None,
             seconds: if hit { Some(0.0) } else { None },
+            queued_at: Instant::now(),
         };
         self.records
             .lock()
             .expect("job table poisoned")
             .insert(id, record.clone());
         if hit {
-            // Relaxed: reporting-only counter.
-            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            self.stats.completed.inc();
         } else {
-            self.sender
-                .send(id)
-                .map_err(|_| "job queue closed".to_string())?;
+            self.stats.queue_depth.inc();
+            if self.sender.send(JobMsg::Run(id)).is_err() {
+                self.stats.queue_depth.dec();
+                return Err("job queue closed".to_string());
+            }
         }
         Ok(record)
     }
@@ -399,12 +513,14 @@ impl JobEngine {
         // observe everything written before the signal; no total order
         // across unrelated atomics is needed, so SeqCst was overkill.
         self.shutdown.store(true, Ordering::Release);
-        for handle in self
-            .workers
-            .lock()
-            .expect("worker table poisoned")
-            .drain(..)
-        {
+        let mut workers = self.workers.lock().expect("worker table poisoned");
+        // One sentinel per worker unblocks each parked receive in turn;
+        // workers that wake on a stale Run message exit at the shutdown
+        // check instead.
+        for _ in 0..workers.len() {
+            let _ = self.sender.send(JobMsg::Shutdown);
+        }
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -417,24 +533,34 @@ impl Drop for JobEngine {
 }
 
 fn worker_loop(
-    receiver: &crossbeam::channel::Receiver<u64>,
+    receiver: &crossbeam::channel::Receiver<JobMsg>,
     registry: &GraphRegistry,
     cache: &PartitionCache,
     records: &Mutex<HashMap<u64, JobRecord>>,
     shutdown: &AtomicBool,
     stats: &JobStats,
+    core_metrics: &CoreMetrics,
 ) {
     loop {
+        // Blocking receive: an idle worker parks inside the channel —
+        // no timeout, no spurious wakeups, no CPU burn. `stop` wakes it
+        // with a Shutdown sentinel. (The previous 20 ms `recv_timeout`
+        // loop woke every idle worker 50 times a second forever.)
+        let msg = match receiver.recv() {
+            Ok(msg) => msg,
+            Err(_) => return, // queue closed: engine dropped
+        };
+        stats.worker_wakeups.inc();
         // Acquire pairs with the Release store in `stop`.
         if shutdown.load(Ordering::Acquire) {
             return;
         }
-        let id = match receiver.recv_timeout(Duration::from_millis(20)) {
-            Ok(id) => id,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        let id = match msg {
+            JobMsg::Run(id) => id,
+            JobMsg::Shutdown => return,
         };
-        let (graph_name, request) = {
+        stats.queue_depth.dec();
+        let (graph_name, request, queued_at) = {
             let mut table = records.lock().expect("job table poisoned");
             let Some(record) = table.get_mut(&id) else {
                 continue;
@@ -443,27 +569,31 @@ fn worker_loop(
                 continue; // cancelled while waiting
             }
             record.state = JobState::Running;
-            (record.graph.clone(), record.request.clone())
+            (
+                record.graph.clone(),
+                record.request.clone(),
+                record.queued_at,
+            )
         };
-        let outcome = run_detection(registry, cache, &graph_name, &request, stats);
+        stats
+            .queue_wait_seconds
+            .observe_duration(queued_at.elapsed());
+        let outcome = run_detection(registry, cache, &graph_name, &request, stats, core_metrics);
         let mut table = records.lock().expect("job table poisoned");
         let Some(record) = table.get_mut(&id) else {
             continue;
         };
         match outcome {
-            // Relaxed counters: reporting-only; the job-state transition
-            // itself is published by the records mutex.
             Ok((key, seconds)) => {
                 record.state = JobState::Done;
                 record.key = Some(key);
                 record.seconds = Some(seconds);
-                stats.completed.fetch_add(1, Ordering::Relaxed);
+                stats.completed.inc();
             }
             Err(message) => {
                 record.state = JobState::Failed;
                 record.error = Some(message);
-                // Relaxed: reporting-only counter, as above.
-                stats.failed.fetch_add(1, Ordering::Relaxed);
+                stats.failed.inc();
             }
         }
     }
@@ -478,6 +608,7 @@ fn run_detection(
     graph_name: &str,
     request: &DetectRequest,
     stats: &JobStats,
+    core_metrics: &CoreMetrics,
 ) -> Result<(PartitionKey, f64), String> {
     let entry = registry.snapshot(graph_name).map_err(|e| e.to_string())?;
     let key = PartitionKey {
@@ -491,12 +622,15 @@ fn run_detection(
     }
     let config = request.to_config()?;
     let graph = Arc::clone(&entry.graph);
+    let observer = RunObserver::with_metrics(core_metrics);
     let started = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| Leiden::new(config).run(&graph)))
-        .map_err(|_| "detection panicked".to_string())?;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Leiden::new(config).run_observed(&graph, &observer)
+    }))
+    .map_err(|_| "detection panicked".to_string())?;
     let seconds = started.elapsed().as_secs_f64();
-    // Relaxed: reporting-only counter.
-    stats.full_detections.fetch_add(1, Ordering::Relaxed);
+    stats.full_detections.inc();
+    stats.run_seconds.observe(seconds);
     let modularity = gve_quality::modularity(&graph, &result.membership);
     cache.insert(
         key.clone(),
@@ -608,7 +742,9 @@ mod tests {
         let second = engine.submit("sbm", DetectRequest::default()).unwrap();
         assert!(second.cached);
         assert_eq!(second.state, JobState::Done);
-        assert_eq!(engine.stats.full_detections.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats.full_detections.get(), 1);
+        assert_eq!(engine.stats.run_seconds.count(), 1);
+        assert!(engine.stats.queue_wait_seconds.count() >= 1);
 
         // Different config → different fingerprint → real work again.
         let other = DetectRequest {
@@ -629,5 +765,52 @@ mod tests {
         assert!(engine.cancel(424242).is_none());
         engine.stop();
         assert!(engine.is_empty());
+    }
+
+    /// Regression test for the busy-poll worker loop: workers used to
+    /// spin on `recv_timeout(20ms)`, waking ~50×/s each while idle. Now
+    /// they block in `recv`, so the wakeup counter must stay flat over
+    /// an idle window, and the queue must drain to depth zero.
+    #[test]
+    fn idle_workers_have_no_wakeups() {
+        let (engine, _cache) = engine_with_graph("sbm");
+        let job = engine.submit("sbm", DetectRequest::default()).unwrap();
+        let record = engine.wait(job.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(record.state, JobState::Done);
+        assert_eq!(engine.stats.queue_depth.get(), 0.0);
+
+        let wakeups = engine.stats.worker_wakeups.get();
+        assert!(wakeups >= 1, "the job itself must have woken a worker");
+        // An idle window several times the old poll interval: the old
+        // loop would log ~15 wakeups here, a blocking receive logs none.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(
+            engine.stats.worker_wakeups.get(),
+            wakeups,
+            "idle workers woke up"
+        );
+        engine.stop();
+    }
+
+    #[test]
+    fn attach_to_exports_job_and_core_metrics() {
+        let (engine, _cache) = engine_with_graph("sbm");
+        let registry = MetricsRegistry::new();
+        engine.attach_to(&registry);
+        let job = engine.submit("sbm", DetectRequest::default()).unwrap();
+        engine.wait(job.id, Duration::from_secs(30)).unwrap();
+        engine.stop();
+        let text = registry.render();
+        for name in [
+            "gve_jobs_submitted_total 1",
+            "gve_jobs_full_detections_total 1",
+            "gve_jobs_queue_depth 0",
+            "gve_jobs_queue_wait_seconds_count 1",
+            "gve_jobs_run_seconds_count 1",
+            "gve_leiden_runs_total 1",
+            "gve_leiden_phase_seconds_total{phase=\"local_move\"}",
+        ] {
+            assert!(text.contains(name), "missing `{name}` in:\n{text}");
+        }
     }
 }

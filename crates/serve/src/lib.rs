@@ -15,6 +15,10 @@
 //!   fingerprint)`; identical requests are instant cache hits;
 //! * [`handlers`] + [`http`] + [`json`] — the wire layer.
 //!
+//! Every subsystem registers its counters, gauges, and histograms with
+//! one `gve_obs::MetricsRegistry`, served in Prometheus text format at
+//! `GET /metrics` (the JSON `/stats` endpoint reads the same handles).
+//!
 //! ```no_run
 //! let server = gve_serve::Server::start(&gve_serve::ServeConfig::default()).unwrap();
 //! println!("listening on 127.0.0.1:{}", server.port());
@@ -34,10 +38,10 @@ pub mod registry;
 pub use http::client_request;
 
 use cache::PartitionCache;
+use gve_obs::{Counter, MetricsRegistry};
 use jobs::JobEngine;
 use registry::GraphRegistry;
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Server configuration.
@@ -47,6 +51,8 @@ pub struct ServeConfig {
     pub addr: String,
     /// Detection worker threads.
     pub workers: usize,
+    /// Concurrent connection cap (further connections get 503).
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,21 +60,53 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:7461".to_string(),
             workers: 2,
+            max_connections: http::DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
 
-/// Counters for the dynamic-update path, exported through `/stats`.
-#[derive(Debug, Default)]
+/// Counters for the dynamic-update path, exported through `/stats` and
+/// `/metrics`.
+#[derive(Debug, Clone, Default)]
 pub struct UpdateStats {
     /// Edge batches applied.
-    pub batches_applied: AtomicU64,
+    pub batches_applied: Counter,
     /// Batches that also refreshed a cached partition incrementally.
-    pub incremental_refreshes: AtomicU64,
+    pub incremental_refreshes: Counter,
     /// Total edge insertions ingested.
-    pub edges_inserted: AtomicU64,
+    pub edges_inserted: Counter,
     /// Total edge deletions ingested.
-    pub edges_deleted: AtomicU64,
+    pub edges_deleted: Counter,
+}
+
+impl UpdateStats {
+    /// Registers the counters with `registry` under `gve_updates_*`.
+    pub fn attach_to(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "gve_updates_batches_total",
+            "Dynamic edge batches applied.",
+            &[],
+            &self.batches_applied,
+        );
+        registry.register_counter(
+            "gve_updates_incremental_refreshes_total",
+            "Update batches that refreshed a cached partition incrementally.",
+            &[],
+            &self.incremental_refreshes,
+        );
+        registry.register_counter(
+            "gve_updates_edges_inserted_total",
+            "Edge insertions ingested through update batches.",
+            &[],
+            &self.edges_inserted,
+        );
+        registry.register_counter(
+            "gve_updates_edges_deleted_total",
+            "Edge deletions ingested through update batches.",
+            &[],
+            &self.edges_deleted,
+        );
+    }
 }
 
 /// Shared state behind every connection thread.
@@ -81,21 +119,30 @@ pub struct ServerState {
     pub jobs: JobEngine,
     /// Update-path counters.
     pub updates: UpdateStats,
+    /// Every subsystem's metric handles, rendered by `GET /metrics`.
+    pub metrics: MetricsRegistry,
     /// Server start time (for `/stats` uptime).
     pub started: Instant,
 }
 
 impl ServerState {
-    /// Builds the state and starts `workers` detection workers.
+    /// Builds the state, starts `workers` detection workers, and wires
+    /// every subsystem's metrics into one registry.
     pub fn new(workers: usize) -> Arc<Self> {
         let registry = Arc::new(GraphRegistry::new());
         let cache = Arc::new(PartitionCache::new());
         let jobs = JobEngine::start(Arc::clone(&registry), Arc::clone(&cache), workers);
+        let updates = UpdateStats::default();
+        let metrics = MetricsRegistry::new();
+        cache.stats.attach_to(&metrics);
+        jobs.attach_to(&metrics);
+        updates.attach_to(&metrics);
         Arc::new(Self {
             registry,
             cache,
             jobs,
-            updates: UpdateStats::default(),
+            updates,
+            metrics,
             started: Instant::now(),
         })
     }
@@ -105,6 +152,9 @@ impl ServerState {
 pub struct Server {
     http: http::HttpServer,
     state: Arc<ServerState>,
+    /// `join` parks on this pair; `stop` flips the flag and notifies,
+    /// so shutdown is immediate instead of waiting out a sleep.
+    stopping: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl Server {
@@ -112,10 +162,19 @@ impl Server {
     pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
         let state = ServerState::new(config.workers);
         let handler_state = Arc::clone(&state);
-        let http = http::HttpServer::start(config.addr.as_str(), move |request| {
-            handlers::handle(&handler_state, &request)
-        })?;
-        Ok(Server { http, state })
+        let http = http::HttpServer::start_with(
+            config.addr.as_str(),
+            http::ServerOptions {
+                max_connections: config.max_connections,
+                metrics: Some(state.metrics.clone()),
+            },
+            move |request| handlers::handle(&handler_state, &request),
+        )?;
+        Ok(Server {
+            http,
+            state,
+            stopping: Arc::new((Mutex::new(false), Condvar::new())),
+        })
     }
 
     /// The bound port.
@@ -128,16 +187,26 @@ impl Server {
         &self.state
     }
 
-    /// Blocks the calling thread forever (the accept loop and workers
-    /// run on their own threads). Used by `gve serve`.
+    /// Blocks the calling thread until [`Server::stop`] runs (the
+    /// accept loop and workers run on their own threads). Used by
+    /// `gve serve`. Returns promptly on stop — no polling sleep.
     pub fn join(&self) {
-        loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
+        let (flag, signal) = &*self.stopping;
+        let mut stopped = flag.lock().expect("stop flag poisoned");
+        while !*stopped {
+            stopped = signal.wait(stopped).expect("stop flag poisoned");
         }
     }
 
-    /// Stops the HTTP front end and the worker pool.
-    pub fn stop(&mut self) {
+    /// Stops the HTTP front end and the worker pool, releasing any
+    /// thread parked in [`Server::join`]. Idempotent.
+    pub fn stop(&self) {
+        {
+            let (flag, signal) = &*self.stopping;
+            let mut stopped = flag.lock().expect("stop flag poisoned");
+            *stopped = true;
+            signal.notify_all();
+        }
         self.http.stop();
         self.state.jobs.stop();
     }
@@ -155,9 +224,10 @@ mod tests {
 
     #[test]
     fn server_boots_on_ephemeral_port_and_answers_health() {
-        let mut server = Server::start(&ServeConfig {
+        let server = Server::start(&ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 1,
+            ..ServeConfig::default()
         })
         .unwrap();
         let addr = format!("127.0.0.1:{}", server.port());
@@ -167,5 +237,32 @@ mod tests {
         let (status, _) = client_request(&addr, "GET", "/nope", None).unwrap();
         assert_eq!(status, 404);
         server.stop();
+    }
+
+    /// Regression test for the old `join()` that slept in one-hour
+    /// slices: a joined thread must unpark as soon as `stop` runs.
+    #[test]
+    fn join_returns_promptly_after_stop() {
+        let server = Arc::new(
+            Server::start(&ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                ..ServeConfig::default()
+            })
+            .unwrap(),
+        );
+        let joiner = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.join())
+        };
+        // Give the joiner time to park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let started = Instant::now();
+        server.stop();
+        joiner.join().expect("joiner panicked");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "join did not unpark promptly after stop"
+        );
     }
 }

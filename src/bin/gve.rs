@@ -20,12 +20,14 @@ fn usage() -> ! {
          gve detect <graph> [--algorithm <leiden|louvain|seq-leiden|seq-louvain|nk-leiden>] \
          [--objective <modularity|cpm>] [--resolution <f>] [--threads <n>] \
          [--chunk-size <n>] [--kernel <v1|v2>] [--ordering <original|degree|bfs>] \
-         [--layout <split|interleaved>] [--out <path>]\n  \
+         [--layout <split|interleaved>] [--trace <path>] [--out <path>]\n  \
          gve quality <graph> <membership> [--detail <n>]\n  \
          gve stats <graph>\n  \
          gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
-         gve serve [--addr <host:port>] [--workers <n>] [--load <name>=<path>]...\n  \
-         gve client <method> <path> [--addr <host:port>] [--body <json>|--body-file <path>]"
+         gve serve [--addr <host:port>] [--workers <n>] [--max-connections <n>] \
+         [--load <name>=<path>]...\n  \
+         gve client <method> <path> [--addr <host:port>] [--body <json>|--body-file <path>]\n  \
+         gve top [--addr <host:port>]    (one-shot metrics summary of a running gve-serve)"
     );
     exit(2);
 }
@@ -40,6 +42,7 @@ fn main() {
         Some("convert") => cmd_convert(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => usage(),
     }
 }
@@ -227,17 +230,53 @@ fn cmd_detect(args: &[String]) {
         exit(1);
     }
 
-    let run = || -> Vec<VertexId> {
+    // A trace sink: --trace <path> wins, otherwise GVE_TRACE from the
+    // environment. Only the leiden algorithm records pass/phase spans.
+    let tracer = match flag_value(args, "--trace") {
+        Some(trace_path) => match gve::obs::Tracer::to_path(trace_path) {
+            Ok(t) => {
+                eprintln!("tracing run to {trace_path}");
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("error: cannot create trace file {trace_path}: {e}");
+                exit(1);
+            }
+        },
+        None => gve::obs::Tracer::from_env(),
+    };
+    if tracer.is_some() && algorithm != "leiden" {
+        eprintln!(
+            "warning: run tracing only covers --algorithm leiden; \
+             the {algorithm} run will not be traced"
+        );
+    }
+
+    enum DetectOutcome {
+        Leiden(Box<gve::leiden::LeidenResult>),
+        Plain(Vec<VertexId>),
+    }
+
+    let run = || -> DetectOutcome {
         match algorithm {
             "leiden" => {
-                gve::leiden::Leiden::new(leiden_config)
-                    .run(&graph)
-                    .membership
+                let leiden = gve::leiden::Leiden::new(leiden_config);
+                let result = match &tracer {
+                    Some(t) => {
+                        leiden.run_observed(&graph, &gve::leiden::RunObserver::with_tracer(t))
+                    }
+                    None => leiden.run(&graph),
+                };
+                DetectOutcome::Leiden(Box::new(result))
             }
-            "louvain" => gve::louvain::louvain(&graph).membership,
-            "seq-leiden" => gve::baselines::seq::sequential_leiden(&graph).membership,
-            "seq-louvain" => gve::louvain::seq::sequential_louvain(&graph, 1e-6, 10).membership,
-            "nk-leiden" => gve::baselines::nk::nk_leiden(&graph).membership,
+            "louvain" => DetectOutcome::Plain(gve::louvain::louvain(&graph).membership),
+            "seq-leiden" => {
+                DetectOutcome::Plain(gve::baselines::seq::sequential_leiden(&graph).membership)
+            }
+            "seq-louvain" => DetectOutcome::Plain(
+                gve::louvain::seq::sequential_louvain(&graph, 1e-6, 10).membership,
+            ),
+            "nk-leiden" => DetectOutcome::Plain(gve::baselines::nk::nk_leiden(&graph).membership),
             other => {
                 eprintln!("unknown algorithm {other}");
                 usage()
@@ -246,7 +285,7 @@ fn cmd_detect(args: &[String]) {
     };
 
     let start = std::time::Instant::now();
-    let membership: Vec<VertexId> = match flag_value(args, "--threads") {
+    let outcome = match flag_value(args, "--threads") {
         Some(raw) => {
             let threads: usize = raw.parse().expect("bad --threads");
             if threads == 0 {
@@ -263,6 +302,47 @@ fn cmd_detect(args: &[String]) {
         None => run(),
     };
     let elapsed = start.elapsed();
+
+    let membership: Vec<VertexId> = match outcome {
+        DetectOutcome::Leiden(result) => {
+            let t = &result.timings;
+            let (f_move, f_refine, f_agg, f_other) = t.fractions();
+            eprintln!(
+                "phases: local-move {:.3}s ({:.0}%), refinement {:.3}s ({:.0}%), \
+                 aggregation {:.3}s ({:.0}%), other {:.3}s ({:.0}%)",
+                t.local_move.as_secs_f64(),
+                f_move * 100.0,
+                t.refinement.as_secs_f64(),
+                f_refine * 100.0,
+                t.aggregation.as_secs_f64(),
+                f_agg * 100.0,
+                t.other.as_secs_f64(),
+                f_other * 100.0,
+            );
+            let (processed, skipped) = result
+                .pass_stats
+                .iter()
+                .fold((0u64, 0u64), |(p, s), stats| {
+                    (p + stats.pruning_processed, s + stats.pruning_skipped)
+                });
+            let visits = processed + skipped;
+            eprintln!(
+                "passes {}, {} local-move iterations, pruning skipped {:.1}% \
+                 of {} vertex visits, stop: {}",
+                result.passes,
+                result.move_iterations,
+                if visits > 0 {
+                    skipped as f64 / visits as f64 * 100.0
+                } else {
+                    0.0
+                },
+                visits,
+                result.stop.label(),
+            );
+            result.membership
+        }
+        DetectOutcome::Plain(membership) => membership,
+    };
 
     let q = quality::modularity(&graph, &membership);
     eprintln!(
@@ -299,7 +379,18 @@ fn cmd_serve(args: &[String]) {
         .unwrap_or("2")
         .parse()
         .expect("bad --workers");
-    let config = gve::serve::ServeConfig { addr, workers };
+    let mut config = gve::serve::ServeConfig {
+        addr,
+        workers,
+        ..Default::default()
+    };
+    if let Some(raw) = flag_value(args, "--max-connections") {
+        config.max_connections = raw.parse().expect("bad --max-connections");
+        if config.max_connections == 0 {
+            eprintln!("--max-connections must be >= 1");
+            exit(2);
+        }
+    }
     let server = gve::serve::Server::start(&config).unwrap_or_else(|e| {
         eprintln!("error: cannot bind {}: {e}", config.addr);
         exit(1);
@@ -369,6 +460,121 @@ fn cmd_client(args: &[String]) {
             exit(1);
         }
     }
+}
+
+/// Parses Prometheus text-format samples into `(name{labels}, value)`
+/// pairs, skipping comment and blank lines.
+fn parse_metrics(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .filter_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            Some((name.to_string(), value.parse().ok()?))
+        })
+        .collect()
+}
+
+/// `gve top`: one-shot, human-readable summary of a running gve-serve
+/// instance, assembled from its `/metrics` endpoint.
+fn cmd_top(args: &[String]) {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7461");
+    let text = match gve::serve::client_request(addr, "GET", "/metrics", None) {
+        Ok((200, body)) => body,
+        Ok((status, body)) => {
+            eprintln!("error: GET /metrics returned {status}: {body}");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: request to {addr} failed: {e}");
+            exit(1);
+        }
+    };
+    let samples = parse_metrics(&text);
+    // Exact sample lookup (name must include labels when present).
+    let get = |name: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    // Sum over every sample of a family regardless of labels — used for
+    // label-split families such as the per-endpoint request histogram.
+    let sum_family = |prefix: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|(n, _)| n.as_str() == prefix || n.starts_with(&format!("{prefix}{{")))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+
+    println!("gve-serve at {addr}");
+    println!();
+    println!(
+        "detections   {} runs, {} passes, {} local-move iterations, {} refinement moves",
+        get("gve_leiden_runs_total"),
+        get("gve_leiden_passes_total"),
+        get("gve_leiden_move_iterations_total"),
+        get("gve_leiden_refine_moves_total"),
+    );
+    println!(
+        "phase time   local-move {:.3}s, refinement {:.3}s, aggregation {:.3}s, other {:.3}s",
+        get("gve_leiden_phase_seconds_total{phase=\"local_move\"}"),
+        get("gve_leiden_phase_seconds_total{phase=\"refinement\"}"),
+        get("gve_leiden_phase_seconds_total{phase=\"aggregation\"}"),
+        get("gve_leiden_phase_seconds_total{phase=\"other\"}"),
+    );
+    let processed = get("gve_leiden_pruning_processed_total");
+    let skipped = get("gve_leiden_pruning_skipped_total");
+    println!(
+        "pruning      skipped {:.1}% of {} vertex visits; latest shrink ratio {:.3}, \
+         {} tolerance stops",
+        ratio(skipped, processed + skipped) * 100.0,
+        processed + skipped,
+        get("gve_leiden_aggregation_shrink_ratio"),
+        get("gve_leiden_tolerance_skips_total"),
+    );
+    let hits = get("gve_cache_hits_total");
+    let misses = get("gve_cache_misses_total");
+    println!(
+        "cache        {hits} hits / {misses} misses ({:.1}% hit rate), {} evictions",
+        ratio(hits, hits + misses) * 100.0,
+        get("gve_cache_evictions_total"),
+    );
+    println!(
+        "jobs         {} submitted, {} completed, {} failed, depth {}, \
+         avg wait {:.1}ms, avg run {:.1}ms",
+        get("gve_jobs_submitted_total"),
+        get("gve_jobs_completed_total"),
+        get("gve_jobs_failed_total"),
+        get("gve_jobs_queue_depth"),
+        ratio(
+            get("gve_jobs_queue_wait_seconds_sum"),
+            get("gve_jobs_queue_wait_seconds_count")
+        ) * 1e3,
+        ratio(
+            get("gve_jobs_run_seconds_sum"),
+            get("gve_jobs_run_seconds_count")
+        ) * 1e3,
+    );
+    println!(
+        "http         {} connections accepted, {} rejected; {} requests, avg latency {:.1}ms",
+        get("gve_http_connections_total"),
+        get("gve_http_rejected_connections_total"),
+        sum_family("gve_http_request_seconds_count"),
+        ratio(
+            sum_family("gve_http_request_seconds_sum"),
+            sum_family("gve_http_request_seconds_count")
+        ) * 1e3,
+    );
+    println!(
+        "updates      {} batches, {} edges inserted, {} edges deleted, {} incremental refreshes",
+        get("gve_updates_batches_total"),
+        get("gve_updates_edges_inserted_total"),
+        get("gve_updates_edges_deleted_total"),
+        get("gve_updates_incremental_refreshes_total"),
+    );
 }
 
 fn cmd_quality(args: &[String]) {

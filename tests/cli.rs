@@ -194,6 +194,84 @@ fn cpm_objective_flag_changes_results() {
 }
 
 #[test]
+fn detect_trace_emits_parseable_spans_for_every_phase() {
+    use gve::serve::json::{parse, Json};
+
+    let dir = temp_dir();
+    let graph = dir.join("trace.mtx");
+    let trace = dir.join("run.jsonl");
+    assert!(gve()
+        .args([
+            "generate",
+            "--class",
+            "social",
+            "--vertices",
+            "1500",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let out = gve()
+        .args([
+            "detect",
+            graph.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--out",
+            dir.join("trace.mem").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    // The run summary prints the Figure 7 split and the stop reason.
+    assert!(stderr.contains("phases: local-move"), "{stderr}");
+    assert!(stderr.contains("stop:"), "{stderr}");
+
+    // Every line of the trace is standalone JSON.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let events: Vec<Json> = text
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("bad trace line: {e}\n{l}")))
+        .collect();
+    assert!(events.len() >= 6, "suspiciously short trace:\n{text}");
+    let kind = |e: &Json| e.get("event").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(kind(&events[0]), "run_start");
+    assert_eq!(kind(events.last().unwrap()), "run_end");
+    let passes = events
+        .last()
+        .unwrap()
+        .get("passes")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(passes >= 1);
+
+    // Every phase of every pass has a span, and every span carries a
+    // timestamp plus a duration.
+    for pass in 0..passes {
+        for phase in ["local_move", "refinement", "aggregation"] {
+            let span = events.iter().find(|e| {
+                kind(e) == "phase"
+                    && e.get("pass").and_then(Json::as_u64) == Some(pass)
+                    && e.get("phase").and_then(Json::as_str) == Some(phase)
+            });
+            let span = span.unwrap_or_else(|| panic!("missing span pass={pass} {phase}"));
+            assert!(span.get("ts_us").and_then(Json::as_u64).is_some());
+            assert!(span.get("dur_us").and_then(Json::as_u64).is_some());
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| kind(e) == "pass" && e.get("pass").and_then(Json::as_u64) == Some(pass)),
+            "missing pass summary for pass {pass}"
+        );
+    }
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     assert!(!gve().status().unwrap().success());
     assert!(!gve().args(["detect"]).status().unwrap().success());

@@ -16,6 +16,7 @@ impl TestServer {
         let server = Server::start(&ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
+            ..ServeConfig::default()
         })
         .unwrap();
         let addr = format!("127.0.0.1:{}", server.port());
@@ -66,7 +67,7 @@ impl TestServer {
 
 #[test]
 fn full_service_loop_over_http() {
-    let mut ts = TestServer::boot();
+    let ts = TestServer::boot();
 
     // Health first.
     let (status, health) = ts.get("/healthz");
@@ -199,7 +200,7 @@ fn full_service_loop_over_http() {
 
 #[test]
 fn errors_are_json_with_meaningful_statuses() {
-    let mut ts = TestServer::boot();
+    let ts = TestServer::boot();
 
     let (status, body) = ts.get("/graphs/ghost");
     assert_eq!(status, 404);
@@ -230,6 +231,130 @@ fn errors_are_json_with_meaningful_statuses() {
     // Updates on an empty batch are rejected.
     let (status, _) = ts.post("/graphs/tiny/updates", "{}");
     assert_eq!(status, 400);
+
+    // Error bodies survive messages with JSON-hostile characters: the
+    // raw request line below lands in the error message and must come
+    // back as parseable JSON, not Debug-escaped pseudo-JSON.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .write_all("GET /x BAD\u{1f}λ\r\n\r\n".as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let parsed = parse(body).unwrap_or_else(|e| panic!("error body is not JSON: {e}\n{body}"));
+    assert!(
+        parsed.get("error").and_then(Json::as_str).is_some(),
+        "{body}"
+    );
+
+    ts.server.stop();
+}
+
+/// The service must shut down promptly: `stop()` returns quickly and
+/// unparks any thread blocked in `join()` (no sleep-loop stragglers),
+/// and idle workers must not keep the process awake.
+#[test]
+fn stop_is_fast_and_unblocks_join() {
+    let ts = TestServer::boot();
+    let server = std::sync::Arc::new(ts.server);
+
+    let joiner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            server.join();
+            start.elapsed()
+        })
+    };
+    // Give the joiner time to actually block in join().
+    std::thread::sleep(Duration::from_millis(100));
+
+    let start = Instant::now();
+    server.stop();
+    let stop_elapsed = start.elapsed();
+    let join_elapsed = joiner.join().expect("joiner panicked");
+
+    assert!(
+        stop_elapsed < Duration::from_secs(5),
+        "stop() took {stop_elapsed:?}; workers or accept loop not unblocking"
+    );
+    assert!(
+        join_elapsed < Duration::from_secs(5),
+        "join() took {join_elapsed:?} to observe stop(); condvar wakeup missing"
+    );
+}
+
+/// `/metrics` exposes the core algorithm families after one detect, in
+/// Prometheus text format with cumulative (monotone) histogram buckets.
+#[test]
+fn metrics_endpoint_covers_core_and_service_families() {
+    let ts = TestServer::boot();
+    let (status, _) = ts.post(
+        "/graphs",
+        r#"{"name":"m","generate":{"class":"sbm","vertices":600,"communities":6,
+            "intra_degree":12.0,"inter_degree":1.0,"seed":7}}"#,
+    );
+    assert_eq!(status, 201);
+    let (status, submitted) = ts.post("/graphs/m/detect", r#"{"objective":"modularity"}"#);
+    assert_eq!(status, 202, "{}", submitted.render());
+    let job = ts.await_job(submitted.get("id").and_then(Json::as_u64).unwrap());
+    assert_eq!(job.get("state").and_then(Json::as_str), Some("done"));
+
+    let (status, text) = client_request(&ts.addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    for name in [
+        "gve_leiden_runs_total",
+        "gve_leiden_passes_total",
+        "gve_leiden_move_iterations_total",
+        "gve_leiden_pruning_processed_total",
+        "gve_leiden_pruning_skipped_total",
+        "gve_leiden_refine_moves_total",
+        "gve_leiden_aggregation_shrink_ratio",
+        "gve_leiden_phase_seconds_total{phase=\"local_move\"}",
+        "gve_leiden_phase_seconds_total{phase=\"refinement\"}",
+        "gve_leiden_phase_seconds_total{phase=\"aggregation\"}",
+        "gve_cache_hits_total",
+        "gve_cache_misses_total",
+        "gve_jobs_submitted_total",
+        "gve_jobs_completed_total",
+        "gve_jobs_queue_depth",
+        "gve_jobs_queue_wait_seconds_bucket",
+        "gve_jobs_run_seconds_bucket",
+        "gve_http_connections_total",
+        "gve_http_rejected_connections_total",
+        "gve_http_request_seconds_bucket",
+        "gve_updates_batches_total",
+    ] {
+        assert!(text.contains(name), "missing {name} in /metrics:\n{text}");
+    }
+    assert!(
+        text.contains("gve_leiden_runs_total 1"),
+        "exactly one run expected:\n{text}"
+    );
+    assert!(text.contains("# TYPE gve_jobs_run_seconds histogram"));
+
+    // Histogram buckets must be cumulative: counts never decrease as le
+    // grows, and the +Inf bucket equals the family _count.
+    let buckets: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("gve_jobs_run_seconds_bucket"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(!buckets.is_empty());
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "non-monotone buckets: {buckets:?}"
+    );
+    let count: u64 = text
+        .lines()
+        .find(|l| l.starts_with("gve_jobs_run_seconds_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("missing gve_jobs_run_seconds_count");
+    assert_eq!(*buckets.last().unwrap(), count, "+Inf bucket != _count");
+    assert_eq!(count, 1, "one full detection ran");
 
     ts.server.stop();
 }
