@@ -19,6 +19,12 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// Run only the quick four-graph suite instead of all 13.
     pub quick: bool,
+    /// Fail the run if any variant's steady-state (post-warm-up) run
+    /// performs more than this many heap allocations. Only meaningful
+    /// in binaries that install the counting global allocator (the
+    /// `kernels` runner); the CI bench-smoke job uses it as the
+    /// zero-steady-state-allocation regression gate.
+    pub assert_steady_allocs: Option<u64>,
 }
 
 impl Default for BenchArgs {
@@ -31,6 +37,7 @@ impl Default for BenchArgs {
             json: None,
             threads: None,
             quick: false,
+            assert_steady_allocs: None,
         }
     }
 }
@@ -61,9 +68,17 @@ impl BenchArgs {
                     args.threads = Some(value("--threads").parse().expect("bad --threads"))
                 }
                 "--quick" => args.quick = true,
+                "--assert-steady-allocs" => {
+                    args.assert_steady_allocs = Some(
+                        value("--assert-steady-allocs")
+                            .parse()
+                            .expect("bad --assert-steady-allocs"),
+                    )
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --scale <f64> --reps <n> --seed <n> --csv <path> --json <path> --threads <n> --quick"
+                        "options: --scale <f64> --reps <n> --seed <n> --csv <path> --json <path> \
+                         --threads <n> --quick --assert-steady-allocs <n>"
                     );
                     std::process::exit(0);
                 }
@@ -138,6 +153,19 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
         assert_eq!(a.threads, Some(4));
         assert!(a.quick);
+    }
+
+    #[test]
+    fn steady_alloc_gate_flag() {
+        assert_eq!(parse(&[]).assert_steady_allocs, None);
+        let a = parse(&["--assert-steady-allocs", "64"]);
+        assert_eq!(a.assert_steady_allocs, Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --assert-steady-allocs")]
+    fn steady_alloc_gate_rejects_garbage() {
+        parse(&["--assert-steady-allocs", "lots"]);
     }
 
     #[test]

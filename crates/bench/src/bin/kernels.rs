@@ -19,12 +19,26 @@
 //!   edge layout;
 //! * `v2_degree` — v2 plus degree-descending vertex relabeling;
 //! * `v2_bfs` — v2 plus BFS vertex relabeling.
+//!
+//! This binary installs the counting global allocator and runs every
+//! variant inside one pass-resident [`PassWorkspace`], so the report
+//! also carries the preallocation discipline's receipts: allocations
+//! and bytes of the first (cold) run vs the steady state, plus the
+//! live-byte high-water mark. `--assert-steady-allocs <n>` turns the
+//! steady-state column into a hard gate (exit 1 on violation) — run it
+//! with `--threads 1`, where the rayon shim executes parallel regions
+//! inline; at higher thread counts the shim spawns scoped OS threads
+//! per region and those spawns are counted too.
 
 use gve_bench::{report, report::Table, BenchArgs};
 use gve_graph::CsrGraph;
-use gve_leiden::{EdgeLayout, KernelVersion, Leiden, LeidenConfig, VertexOrdering};
+use gve_leiden::{EdgeLayout, KernelVersion, Leiden, LeidenConfig, PassWorkspace, VertexOrdering};
+use gve_prim::alloc_count::{self, CountingAllocator};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn variants() -> Vec<(&'static str, LeidenConfig)> {
     let base = LeidenConfig::default();
@@ -82,6 +96,11 @@ struct Row {
     modularity: f64,
     passes: usize,
     phases: [f64; 4], // local_move, refinement, aggregation, other
+    allocs_fresh: u64,
+    allocs_steady: u64,
+    alloc_bytes_fresh: u64,
+    alloc_bytes_steady: u64,
+    peak_bytes: u64,
 }
 
 fn main() {
@@ -91,30 +110,61 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Table::new(
         "Kernel v1 vs v2 (min wall time over reps)",
-        &["Graph", "Variant", "Time", "vs v1", "Modularity", "Passes"],
+        &[
+            "Graph",
+            "Variant",
+            "Time",
+            "vs v1",
+            "Modularity",
+            "Passes",
+            "Allocs fresh\u{2192}steady",
+        ],
     );
 
     for (graph_name, graph) in graphs(&args) {
         // Round-robin the repetitions across variants (after one warmup
         // run each) so slow drift on a shared box biases every variant
-        // equally instead of whichever ran last.
+        // equally instead of whichever ran last. Every variant owns one
+        // pass-resident arena for the whole graph, so the warmup run is
+        // the *cold* allocation measurement and every timed rep is a
+        // *steady-state* one.
         let runners: Vec<(&'static str, Leiden)> = variants()
             .into_iter()
             .map(|(name, config)| (name, Leiden::new(config)))
             .collect();
+        let mut workspaces: Vec<PassWorkspace> =
+            runners.iter().map(|_| PassWorkspace::new()).collect();
         let mut best = vec![f64::INFINITY; runners.len()];
+        // (allocs, bytes) of the cold run; (allocs, bytes, peak) of the
+        // quietest steady rep.
+        let mut fresh = vec![(0u64, 0u64); runners.len()];
+        let mut steady = vec![(u64::MAX, 0u64, 0u64); runners.len()];
         let mut results = Vec::new();
-        for (_, runner) in &runners {
-            results.push(runner.run(&graph)); // warmup, keep the result
+        for (i, (_, runner)) in runners.iter().enumerate() {
+            let before = alloc_count::snapshot();
+            results.push(runner.run_in(&graph, &mut workspaces[i])); // warmup, keep the result
+            let after = alloc_count::snapshot();
+            fresh[i] = (after.allocs_since(&before), after.bytes_since(&before));
         }
         for _ in 0..args.reps {
             for (i, (_, runner)) in runners.iter().enumerate() {
+                // Scope the live-byte high-water mark to this rep. The
+                // base includes whatever is resident (the graph and all
+                // variants' arenas), which is exactly the footprint a
+                // resident service would carry.
+                alloc_count::reset_watermarks();
+                let before = alloc_count::snapshot();
                 let start = Instant::now();
-                let result = runner.run(&graph);
+                let result = runner.run_in(&graph, &mut workspaces[i]);
                 let seconds = start.elapsed().as_secs_f64();
+                let after = alloc_count::snapshot();
                 if seconds < best[i] {
                     best[i] = seconds;
                     results[i] = result; // keep the min-time rep's stats
+                }
+                let allocs = after.allocs_since(&before);
+                if allocs < steady[i].0 {
+                    steady[i] = (allocs, after.bytes_since(&before), after.peak);
                 }
             }
         }
@@ -134,6 +184,7 @@ fn main() {
                 report::fmt_speedup(v1_seconds / best),
                 format!("{modularity:.4}"),
                 result.passes.to_string(),
+                format!("{}\u{2192}{}", fresh[i].0, steady[i].0),
             ]);
             rows.push(Row {
                 graph: graph_name.clone(),
@@ -149,6 +200,11 @@ fn main() {
                     result.timings.aggregation.as_secs_f64(),
                     result.timings.other.as_secs_f64(),
                 ],
+                allocs_fresh: fresh[i].0,
+                allocs_steady: steady[i].0,
+                alloc_bytes_fresh: fresh[i].1,
+                alloc_bytes_steady: steady[i].1,
+                peak_bytes: steady[i].2,
             });
         }
     }
@@ -173,7 +229,10 @@ fn main() {
             "    {{\"graph\": \"{}\", \"vertices\": {}, \"arcs\": {}, \"variant\": \"{}\", \
              \"seconds\": {:.6}, \"modularity\": {:.6}, \"passes\": {}, \
              \"local_move\": {:.6}, \"refinement\": {:.6}, \"aggregation\": {:.6}, \
-             \"other\": {:.6}}}{comma}",
+             \"other\": {:.6}, \
+             \"allocs_fresh\": {}, \"allocs_steady\": {}, \
+             \"alloc_bytes_fresh\": {}, \"alloc_bytes_steady\": {}, \
+             \"peak_bytes\": {}}}{comma}",
             row.graph,
             row.vertices,
             row.arcs,
@@ -185,6 +244,11 @@ fn main() {
             row.phases[1],
             row.phases[2],
             row.phases[3],
+            row.allocs_fresh,
+            row.allocs_steady,
+            row.alloc_bytes_fresh,
+            row.alloc_bytes_steady,
+            row.peak_bytes,
         );
     }
     json.push_str("  ]\n}\n");
@@ -192,4 +256,26 @@ fn main() {
     let path = args.json.as_deref().unwrap_or("BENCH_kernels.json");
     std::fs::write(path, json).expect("failed to write JSON report");
     eprintln!("wrote {path}");
+
+    // The zero-steady-state-allocation regression gate (CI bench-smoke).
+    if let Some(bound) = args.assert_steady_allocs {
+        let mut violated = false;
+        for row in &rows {
+            if row.allocs_steady > bound {
+                violated = true;
+                eprintln!(
+                    "alloc gate FAILED: {}/{} performed {} steady-state allocations \
+                     (bound {bound}, cold run {})",
+                    row.graph, row.variant, row.allocs_steady, row.allocs_fresh
+                );
+            }
+        }
+        if violated {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "alloc gate passed: every steady-state run stayed within \
+             {bound} allocations"
+        );
+    }
 }

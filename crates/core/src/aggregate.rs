@@ -14,7 +14,7 @@
 //! self-loop carrying the intra-community weight `σ_c`).
 
 use crate::localmove::scan_communities;
-use gve_graph::{CsrGraph, GroupedCsr, HoleyCsrBuilder, VertexId};
+use gve_graph::{AggregateScratch, CsrGraph, VertexId};
 use gve_prim::parfor::dynamic_workers;
 use gve_prim::scan::parallel_offsets_from_counts;
 use gve_prim::{CommunityMap, PerThread, SmallScanMap};
@@ -24,12 +24,9 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// Builds the super-vertex graph for a dense membership in
 /// `0..num_communities`.
 ///
-/// `small_threshold` enables the kernel-v2 two-tier scan: communities
-/// whose total degree (already computed as the holey-CSR capacity) fits
-/// the bound are tallied in a stack-resident [`SmallScanMap`] instead of
-/// the per-thread table — total degree bounds the distinct neighbour
-/// communities, so the map cannot overflow. `None` keeps every community
-/// on the v1 table path.
+/// One-shot convenience wrapper over [`aggregate_into`] with a
+/// throwaway scratch; the pass loop holds a [`AggregateScratch`] in its
+/// workspace and calls [`aggregate_into`] directly.
 pub fn aggregate(
     graph: &CsrGraph,
     membership: &[AtomicU32],
@@ -39,43 +36,67 @@ pub fn aggregate(
     tables: &PerThread<CommunityMap>,
     small_threshold: Option<usize>,
 ) -> CsrGraph {
-    // Community-vertices CSR (Algorithm 4, lines 3–6).
-    let groups = GroupedCsr::group_by(membership_plain, num_communities);
+    let mut scratch = AggregateScratch::new();
+    aggregate_into(
+        graph,
+        membership,
+        membership_plain,
+        num_communities,
+        chunk_size,
+        tables,
+        small_threshold,
+        &mut scratch,
+    )
+}
 
-    // Overestimated super-vertex degrees: total degree per community
-    // (lines 8–9).
-    let capacities: Vec<u64> = (0..num_communities as VertexId)
-        .into_par_iter()
-        .map(|c| {
-            groups
-                .members(c)
-                .iter()
-                .map(|&i| graph.degree(i) as u64)
-                .sum::<u64>()
-            // A community of isolated vertices has total degree 0 but
-            // still needs no slots; max(1) would waste nothing but
-            // keep the invariant simple. Isolated communities emit no
-            // arcs, so 0 capacity is fine.
-        })
-        .collect();
-    let builder = HoleyCsrBuilder::new(&capacities);
+/// Builds the super-vertex graph into (and out of) a reusable
+/// [`AggregateScratch`]: the grouped-CSR counting sweep also folds each
+/// community's total degree (the holey capacity), and the dense result
+/// is squeezed into buffers recycled from a previously retired
+/// supergraph — zero steady-state allocation.
+///
+/// `small_threshold` enables the kernel-v2 two-tier scan: communities
+/// whose total degree (the holey-CSR capacity) fits the bound are
+/// tallied in a stack-resident [`SmallScanMap`] instead of the
+/// per-thread table — total degree bounds the distinct neighbour
+/// communities, so the map cannot overflow. `None` keeps every
+/// community on the v1 table path.
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_into(
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    membership_plain: &[VertexId],
+    num_communities: usize,
+    chunk_size: usize,
+    tables: &PerThread<CommunityMap>,
+    small_threshold: Option<usize>,
+    scratch: &mut AggregateScratch,
+) -> CsrGraph {
+    // Community-vertices CSR fused with the capacity overestimates
+    // (Algorithm 4, lines 3–6 and 8–9 in one sweep). A community of
+    // isolated vertices has total degree 0 and emits no arcs, so 0
+    // capacity is fine.
+    scratch.prepare(membership_plain, num_communities, |i| {
+        graph.degree(i as VertexId) as u64
+    });
 
     // Per-community scans (lines 11–16), dynamically scheduled since
     // community sizes are wildly skewed.
     let small_cap = small_threshold.map(|t| t as u64);
+    let shared = &*scratch;
     dynamic_workers(num_communities, chunk_size.max(1), |claims| {
         tables.with(|ht| {
             let mut small = SmallScanMap::new();
             for range in claims {
                 for c in range {
-                    let cap = capacities[c];
                     let c = c as VertexId;
+                    let cap = shared.capacity(c);
                     if small_cap.is_some_and(|t| cap <= t) {
                         // Low-degree tier: the community's total degree
                         // bounds the arcs scanned, hence the distinct
                         // target communities.
                         small.clear();
-                        for &i in groups.members(c) {
+                        for &i in shared.members(c) {
                             for (j, w) in graph.scan_edges(i) {
                                 // Relaxed: membership is frozen here —
                                 // the join ending refine/local-move
@@ -84,25 +105,25 @@ pub fn aggregate(
                             }
                         }
                         for (d, w) in small.iter() {
-                            builder.add_arc(c, d, w as f32);
+                            shared.add_arc(c, d, w as f32);
                         }
                         continue;
                     }
                     ht.clear();
-                    for &i in groups.members(c) {
+                    for &i in shared.members(c) {
                         // include_self = true: self-loops carry intra
                         // weight into the super-vertex self-loop.
                         scan_communities(ht, graph, membership, i, true);
                     }
                     for (d, w) in ht.iter() {
-                        builder.add_arc(c, d, w as f32);
+                        shared.add_arc(c, d, w as f32);
                     }
                 }
             }
         })
     });
 
-    builder.into_csr()
+    scratch.squeeze()
 }
 
 /// Sort-reduce aggregation: the alternative design the paper's related

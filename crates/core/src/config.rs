@@ -121,6 +121,27 @@ pub enum Scheduling {
     ColorSynchronous,
 }
 
+impl Scheduling {
+    /// Parses a scheduling token (CLI flags, serve API).
+    pub fn parse(token: &str) -> Result<Self, String> {
+        match token {
+            "async" => Ok(Self::Asynchronous),
+            "color-sync" => Ok(Self::ColorSynchronous),
+            other => Err(format!(
+                "unknown scheduling '{other}' (expected async|color-sync)"
+            )),
+        }
+    }
+
+    /// Canonical token.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Asynchronous => "async",
+            Self::ColorSynchronous => "color-sync",
+        }
+    }
+}
+
 /// How the aggregation phase combines arcs between super-vertices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AggregationStrategy {

@@ -8,6 +8,12 @@
 
 use gve_graph::VertexId;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Below this length the parallel renumber falls back to the serial
+/// single-sweep algorithm (four parallel passes don't pay for tiny
+/// inputs).
+const PARALLEL_RENUMBER_THRESHOLD: usize = 1 << 15;
 
 /// Renumbers community ids to dense `0..k` in first-seen order; returns
 /// the dense vector and `k`. Sequential — the remap table is tiny
@@ -30,6 +36,81 @@ pub fn renumber(membership: &[VertexId]) -> (Vec<VertexId>, usize) {
         out.push(*slot);
     }
     (out, next as usize)
+}
+
+/// Allocation-free, parallel variant of [`renumber`]: densifies `src`
+/// into `out` (same length) in **exactly** the serial first-seen order
+/// and returns `k`. Caller-provided scratch makes it workspace-friendly:
+///
+/// * `id_bound` — exclusive upper bound on the values in `src`
+///   (`first.len() >= id_bound` required);
+/// * `first` — first-occurrence scratch, at least `id_bound` slots;
+/// * `rank` — prefix-sum scratch, at least `src.len()` slots.
+///
+/// Four data-parallel passes reproduce the serial semantics: (1) a
+/// `fetch_min` race finds each community's first occurrence, (2) flag
+/// those positions, (3) an exclusive prefix sum turns the flags into
+/// dense first-seen ranks, (4) every element reads its community's rank
+/// through the first occurrence. Step outputs are deterministic — the
+/// `fetch_min` is commutative and everything else is a pure map — so
+/// the result is bit-identical to [`renumber`] at any thread count.
+///
+/// # Panics
+/// Panics (via index checks) when a value of `src` is `>= id_bound` or
+/// the scratch slices are too short.
+pub fn renumber_into(
+    src: &[VertexId],
+    out: &mut [VertexId],
+    id_bound: usize,
+    first: &[AtomicU32],
+    rank: &mut [u64],
+) -> usize {
+    assert_eq!(src.len(), out.len());
+    if src.len() < PARALLEL_RENUMBER_THRESHOLD {
+        // Serial fallback: the classic single sweep, using `first` as
+        // the remap table. Relaxed throughout — single-threaded here.
+        let first = &first[..id_bound];
+        for slot in first {
+            slot.store(VertexId::MAX, Ordering::Relaxed);
+        }
+        let mut next: VertexId = 0;
+        for (o, &c) in out.iter_mut().zip(src) {
+            let slot = &first[c as usize];
+            // Relaxed: single-threaded fallback, no concurrent access.
+            let mut dense = slot.load(Ordering::Relaxed);
+            if dense == VertexId::MAX {
+                dense = next;
+                slot.store(dense, Ordering::Relaxed);
+                next += 1;
+            }
+            *o = dense;
+        }
+        return next as usize;
+    }
+
+    let first = &first[..id_bound];
+    let rank = &mut rank[..src.len()];
+    // (1) First occurrence of every community id. Relaxed: commutative
+    // min-race between joins, published by the join.
+    first
+        .par_iter()
+        .for_each(|slot| slot.store(VertexId::MAX, Ordering::Relaxed));
+    src.par_iter().enumerate().for_each(|(v, &c)| {
+        first[c as usize].fetch_min(v as u32, Ordering::Relaxed);
+    });
+    // (2) Flag first occurrences, (3) prefix-sum into first-seen ranks.
+    // Relaxed: pure read of values published by the preceding join.
+    rank.par_iter_mut().enumerate().for_each(|(v, slot)| {
+        *slot = u64::from(first[src[v] as usize].load(Ordering::Relaxed) == v as u32);
+    });
+    let k = gve_prim::parallel_exclusive_scan(rank) as usize;
+    // (4) Scatter: each element takes its community's dense rank.
+    // Relaxed: pure read of values published by the preceding join.
+    let rank = &*rank;
+    out.par_iter_mut().enumerate().for_each(|(v, o)| {
+        *o = rank[first[src[v] as usize].load(Ordering::Relaxed) as usize] as u32;
+    });
+    k
 }
 
 /// Composes the top-level membership with a child membership, in
@@ -56,6 +137,34 @@ mod tests {
         let (out, k) = renumber(&[]);
         assert!(out.is_empty());
         assert_eq!(k, 0);
+    }
+
+    fn renumber_into_checked(src: &[VertexId], id_bound: usize) -> (Vec<VertexId>, usize) {
+        let first: Vec<AtomicU32> = (0..id_bound).map(|_| AtomicU32::new(0)).collect();
+        let mut rank = vec![0u64; src.len()];
+        let mut out = vec![0; src.len()];
+        let k = renumber_into(src, &mut out, id_bound, &first, &mut rank);
+        (out, k)
+    }
+
+    #[test]
+    fn renumber_into_matches_serial_small() {
+        let src = vec![5, 2, 5, 0];
+        assert_eq!(renumber_into_checked(&src, 6), renumber(&src));
+        assert_eq!(renumber_into_checked(&[], 0), (vec![], 0));
+    }
+
+    #[test]
+    fn renumber_into_matches_serial_above_parallel_threshold() {
+        // Pseudo-random ids exercise the 4-pass parallel path.
+        let n = PARALLEL_RENUMBER_THRESHOLD * 2;
+        let src: Vec<u32> = (0..n as u64)
+            .map(|i| ((i.wrapping_mul(2_654_435_761)) % 4099) as u32)
+            .collect();
+        let expected = renumber(&src);
+        assert_eq!(renumber_into_checked(&src, 4099), expected);
+        // Scratch larger than needed is fine too (workspace reuse).
+        assert_eq!(renumber_into_checked(&src, 10_000), expected);
     }
 
     #[test]

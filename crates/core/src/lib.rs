@@ -62,6 +62,7 @@ pub mod obs;
 mod refine;
 mod sync;
 pub mod timing;
+pub mod workspace;
 
 pub use config::{
     AggregationStrategy, EdgeLayout, KernelVersion, Labeling, LeidenConfig, RefinementStrategy,
@@ -72,12 +73,12 @@ pub use math::delta_modularity;
 pub use objective::{GainCoeffs, Objective};
 pub use obs::{CoreMetrics, RunObserver};
 pub use timing::{PassStats, PhaseTimings};
+pub use workspace::PassWorkspace;
 
-use gve_graph::{props::vertex_weights, reorder::Relabeling, CsrGraph, VertexId};
-use gve_prim::atomics::{atomic_f64_from_slice, AtomicF64};
-use gve_prim::{AtomicBitset, CommunityMap, PerThread};
+use gve_graph::{reorder::Relabeling, CsrGraph, VertexId};
+use gve_prim::{CommunityMap, PerThread};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Why the pass loop of a run ended.
@@ -206,8 +207,22 @@ impl Leiden {
 
     /// Runs the algorithm (Algorithm 1 of the paper) and returns the
     /// top-level community membership of every vertex.
+    ///
+    /// Equivalent to [`Leiden::run_in`] with a throwaway workspace;
+    /// callers running repeatedly should keep a [`PassWorkspace`] and
+    /// use `run_in` to skip steady-state allocation.
     pub fn run(&self, graph: &CsrGraph) -> LeidenResult {
-        self.run_inner(graph, None, None)
+        self.run_in(graph, &mut PassWorkspace::new())
+    }
+
+    /// Runs the algorithm using a caller-provided [`PassWorkspace`] for
+    /// every per-pass buffer. The workspace grows on first use and is
+    /// reused afterwards: repeat runs on graphs no larger than the
+    /// workspace's capacity perform no allocation in the Leiden hot
+    /// path. Results are bit-identical to [`Leiden::run`] — both share
+    /// this code path.
+    pub fn run_in(&self, graph: &CsrGraph, workspace: &mut PassWorkspace) -> LeidenResult {
+        self.run_inner(graph, None, None, workspace)
     }
 
     /// Runs the algorithm seeded with a previous community membership —
@@ -219,9 +234,22 @@ impl Leiden {
     /// # Panics
     /// Panics when `previous.len() != graph.num_vertices()`.
     pub fn run_seeded(&self, graph: &CsrGraph, previous: &[VertexId]) -> LeidenResult {
+        self.run_seeded_in(graph, previous, &mut PassWorkspace::new())
+    }
+
+    /// Workspace-reusing variant of [`Leiden::run_seeded`].
+    ///
+    /// # Panics
+    /// Panics when `previous.len() != graph.num_vertices()`.
+    pub fn run_seeded_in(
+        &self,
+        graph: &CsrGraph,
+        previous: &[VertexId],
+        workspace: &mut PassWorkspace,
+    ) -> LeidenResult {
         assert_eq!(previous.len(), graph.num_vertices());
         let (dense, _) = dendrogram::renumber(previous);
-        self.run_inner(graph, Some(dense), None)
+        self.run_inner(graph, Some(dense), None, workspace)
     }
 
     /// Runs the algorithm seeded with a previous membership *and* an
@@ -239,12 +267,27 @@ impl Leiden {
         previous: &[VertexId],
         frontier: &[VertexId],
     ) -> LeidenResult {
+        self.run_frontier_in(graph, previous, frontier, &mut PassWorkspace::new())
+    }
+
+    /// Workspace-reusing variant of [`Leiden::run_frontier`].
+    ///
+    /// # Panics
+    /// Panics when `previous.len() != graph.num_vertices()` or a
+    /// frontier vertex is out of range.
+    pub fn run_frontier_in(
+        &self,
+        graph: &CsrGraph,
+        previous: &[VertexId],
+        frontier: &[VertexId],
+        workspace: &mut PassWorkspace,
+    ) -> LeidenResult {
         assert_eq!(previous.len(), graph.num_vertices());
         assert!(frontier
             .iter()
             .all(|&v| (v as usize) < graph.num_vertices()));
         let (dense, _) = dendrogram::renumber(previous);
-        self.run_inner(graph, Some(dense), Some(frontier.to_vec()))
+        self.run_inner(graph, Some(dense), Some(frontier.to_vec()), workspace)
     }
 
     /// Applies the configured cache-aware relabeling (if any) around
@@ -257,9 +300,10 @@ impl Leiden {
         graph: &CsrGraph,
         first_init: Option<Vec<VertexId>>,
         first_frontier: Option<Vec<VertexId>>,
+        workspace: &mut PassWorkspace,
     ) -> LeidenResult {
         let Some(relabel) = Relabeling::for_ordering(graph, self.config.ordering) else {
-            return self.run_core(graph, first_init, first_frontier);
+            return self.run_core(graph, first_init, first_frontier, workspace);
         };
         let t_reorder = Instant::now();
         let permuted = relabel.apply(graph);
@@ -270,7 +314,7 @@ impl Leiden {
                 .collect::<Vec<_>>()
         });
         let reorder_time = t_reorder.elapsed();
-        let mut result = self.run_core(&permuted, init, frontier);
+        let mut result = self.run_core(&permuted, init, frontier, workspace);
         result.timings.other += reorder_time;
         result.membership = relabel.pull_to_original(&result.membership);
         if let Some(level0) = result.dendrogram.first_mut() {
@@ -284,6 +328,7 @@ impl Leiden {
         graph: &CsrGraph,
         first_init: Option<Vec<VertexId>>,
         first_frontier: Option<Vec<VertexId>>,
+        workspace: &mut PassWorkspace,
     ) -> LeidenResult {
         let config = &self.config;
         let n = graph.num_vertices();
@@ -309,19 +354,60 @@ impl Leiden {
             };
         }
 
-        // One collision-free hashtable per worker, sized for the largest
-        // (first) graph and reused across phases and passes — the O(T·N)
-        // memory term.
-        let tables: PerThread<CommunityMap> = PerThread::new(move || CommunityMap::new(n));
         let coeffs = config.objective.coeffs(m);
         // CPM penalizes by community *size*; vertex sizes must then be
         // carried across aggregations (a super-vertex's size is the
         // number of original vertices it represents).
         let use_sizes = config.objective.penalty_is_size();
-        let mut sizes: Vec<f64> = if use_sizes { vec![1.0; n] } else { Vec::new() };
+
+        // Size the arena once for the input graph: every per-pass buffer
+        // below is a shrinking prefix view of workspace memory, so the
+        // pass loop itself performs no steady-state allocation.
+        let t_ws = Instant::now();
+        workspace.ensure(n, graph.num_arcs());
+        if use_sizes {
+            workspace.ensure_sizes(n);
+        }
+        let PassWorkspace {
+            membership,
+            sigma,
+            penalty,
+            bounds,
+            refined,
+            dense,
+            labels,
+            init_labels: init_buf,
+            first_seen,
+            rank,
+            sizes,
+            sizes_next,
+            plain_membership,
+            plain_sigma,
+            sync_decisions,
+            unprocessed,
+            aggregate: agg,
+            // The per-worker collision-free hashtables (the O(T·N)
+            // memory term) live in the arena too, reused across phases,
+            // passes, and runs.
+            tables,
+            ..
+        } = &mut *workspace;
+        let tables: &PerThread<CommunityMap> = tables;
+        if use_sizes {
+            sizes[..n].par_iter_mut().for_each(|s| *s = 1.0);
+        }
+        // Initial labels live in the workspace too; `has_init` tracks
+        // whether the prefix holds seeds for the upcoming pass.
+        let mut has_init = match &first_init {
+            Some(seed) => {
+                init_buf[..n].copy_from_slice(seed);
+                true
+            }
+            None => false,
+        };
+        timings.other += t_ws.elapsed();
 
         let mut current: Option<CsrGraph> = None;
-        let mut init_labels: Option<Vec<VertexId>> = first_init;
         let mut tolerance = config.initial_tolerance;
         let mut move_iterations = 0usize;
         let mut passes = 0usize;
@@ -342,41 +428,42 @@ impl Leiden {
                 timings.other += t_layout.elapsed();
             }
 
+            // Stale-suffix poisoning (requires `--features analysis`):
+            // everything past this pass's prefix is sentinel-filled, and
+            // re-checked after the phases — proof that the shrinking
+            // prefix views never read or write stale suffix state.
+            #[cfg(feature = "analysis")]
+            workspace::poison_suffix(&membership[n_cur..], &sigma[n_cur..]);
+
             // Initialization: K', C', Σ' (Algorithm 1, line 4). With
             // move-based labeling, later passes start from the mapped
             // parent communities instead of singletons.
             let t0 = Instant::now();
             // Penalty weights: weighted degrees K' for modularity,
-            // carried vertex sizes for CPM.
-            let penalty: Vec<f64> = if use_sizes {
-                sizes.clone()
+            // carried vertex sizes for CPM — refreshed in place.
+            let pen = &mut penalty[..n_cur];
+            if use_sizes {
+                pen.par_iter_mut()
+                    .zip(sizes[..n_cur].par_iter())
+                    .for_each(|(p, &s)| *p = s);
             } else {
-                vertex_weights(g)
-            };
-            let init_sigma = |penalty: &[f64]| -> Vec<f64> {
-                match &init_labels {
-                    Some(labels) => {
-                        let mut s = vec![0.0f64; n_cur];
-                        for (v, &c) in labels.iter().enumerate() {
-                            s[c as usize] += penalty[v];
-                        }
-                        s
-                    }
-                    None => penalty.to_vec(),
-                }
-            };
+                pen.par_iter_mut()
+                    .enumerate()
+                    .for_each(|(v, p)| *p = g.weighted_degree(v as VertexId));
+            }
+            let pen = &penalty[..n_cur];
             // Pruning flags: everything unprocessed, or only the given
-            // frontier on the first pass of a dynamic run.
-            let unprocessed = match (&first_frontier, pass) {
+            // frontier on the first pass of a dynamic run. One bitset,
+            // prefix-reset per pass (set_first clears the tail).
+            match (&first_frontier, pass) {
                 (Some(frontier), 0) => {
-                    let bits = AtomicBitset::new(n_cur);
+                    unprocessed.clear_all();
                     for &v in frontier {
-                        bits.set(v as usize);
+                        unprocessed.set(v as usize);
                     }
-                    bits
                 }
-                _ => AtomicBitset::new_all_set(n_cur),
-            };
+                _ => unprocessed.set_first(n_cur),
+            }
             timings.other += t0.elapsed();
 
             // Per-pass phase times fall out of the accumulated timings:
@@ -385,33 +472,55 @@ impl Leiden {
             let rf_before = timings.refinement;
 
             // Local-moving (Algorithm 2) and refinement (Algorithm 3),
-            // under the configured scheduling.
-            let (outcome, refine_moves, bounds, refined): (
-                MoveOutcome,
-                u64,
-                Vec<VertexId>,
-                Vec<VertexId>,
-            ) = match config.scheduling {
+            // under the configured scheduling. Bounds and refined
+            // memberships land in workspace prefixes.
+            let (outcome, refine_moves): (MoveOutcome, u64) = match config.scheduling {
                 Scheduling::Asynchronous => {
+                    // Reinitialize the atomic prefix in place (parallel
+                    // fills — no fresh atomic vectors). Relaxed stores:
+                    // bulk reinit between phases, published by the join.
                     let t0 = Instant::now();
-                    let membership: Vec<AtomicU32> = match &init_labels {
-                        Some(labels) => labels.iter().map(|&c| AtomicU32::new(c)).collect(),
-                        None => (0..n_cur as u32).map(AtomicU32::new).collect(),
-                    };
-                    let sigma: Vec<AtomicF64> = atomic_f64_from_slice(&init_sigma(&penalty));
+                    let membership = &membership[..n_cur];
+                    let sigma = &sigma[..n_cur];
+                    if has_init {
+                        let seeds = &init_buf[..n_cur];
+                        membership
+                            .par_iter()
+                            .zip(seeds.par_iter())
+                            // Relaxed: bulk reinit between joins, as above.
+                            .for_each(|(c, &l)| c.store(l, Ordering::Relaxed));
+                        // Σ' scatter: exact f64 `fetch_add`s of each
+                        // community's member penalties. Commutative per
+                        // slot only up to rounding — matching the async
+                        // phases' own summation-order freedom.
+                        sigma.par_iter().for_each(|s| s.store(0.0));
+                        seeds.par_iter().enumerate().for_each(|(v, &c)| {
+                            sigma[c as usize].fetch_add(pen[v]);
+                        });
+                    } else {
+                        membership
+                            .par_iter()
+                            .enumerate()
+                            // Relaxed: bulk reinit between joins, as above.
+                            .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
+                        sigma
+                            .par_iter()
+                            .zip(pen.par_iter())
+                            .for_each(|(s, &p)| s.store(p));
+                    }
                     timings.other += t0.elapsed();
 
                     let t1 = Instant::now();
                     let outcome = localmove::local_move(
                         g,
-                        &membership,
-                        &penalty,
-                        &sigma,
+                        membership,
+                        pen,
+                        sigma,
                         coeffs,
                         tolerance,
                         config,
-                        &tables,
-                        &unprocessed,
+                        tables,
+                        unprocessed,
                     );
                     timings.local_move += t1.elapsed();
 
@@ -431,7 +540,7 @@ impl Leiden {
                             pass,
                             n_cur,
                             &snapshot,
-                            &penalty,
+                            pen,
                             &totals,
                         );
                     }
@@ -441,10 +550,11 @@ impl Leiden {
                     // joins between phases are the synchronization
                     // points; no store here races with a reader.
                     let t2 = Instant::now();
-                    let bounds: Vec<VertexId> = membership
-                        .par_iter()
-                        .map(|c| c.load(Ordering::Relaxed))
-                        .collect();
+                    let bounds = &mut bounds[..n_cur];
+                    bounds
+                        .par_iter_mut()
+                        .zip(membership.par_iter())
+                        .for_each(|(b, c)| *b = c.load(Ordering::Relaxed));
                     membership
                         .par_iter()
                         .enumerate()
@@ -452,69 +562,83 @@ impl Leiden {
                         .for_each(|(v, c)| c.store(v as u32, Ordering::Relaxed));
                     sigma
                         .par_iter()
-                        .zip(penalty.par_iter())
+                        .zip(pen.par_iter())
                         .for_each(|(s, &p)| s.store(p));
                     timings.other += t2.elapsed();
 
                     let t3 = Instant::now();
                     let refine_moves = refine::refine(
                         g,
-                        &bounds,
-                        &membership,
-                        &penalty,
-                        &sigma,
+                        bounds,
+                        membership,
+                        pen,
+                        sigma,
                         coeffs,
                         config,
-                        &tables,
+                        tables,
                         pass as u64,
                     );
                     timings.refinement += t3.elapsed();
 
                     // Relaxed: refine's join already published all
                     // membership stores.
-                    let refined: Vec<VertexId> = membership
-                        .par_iter()
-                        .map(|c| c.load(Ordering::Relaxed))
-                        .collect();
+                    refined[..n_cur]
+                        .par_iter_mut()
+                        .zip(membership.par_iter())
+                        .for_each(|(r, c)| *r = c.load(Ordering::Relaxed));
 
                     #[cfg(feature = "analysis")]
                     {
-                        let totals = gve_prim::atomics::atomic_f64_snapshot(&sigma);
+                        let totals = gve_prim::atomics::atomic_f64_snapshot(sigma);
                         analysis::assert_phase_state(
                             "refinement",
                             pass,
                             n_cur,
-                            &refined,
-                            &penalty,
+                            &refined[..n_cur],
+                            pen,
                             &totals,
                         );
                     }
-                    (outcome, refine_moves, bounds, refined)
+                    (outcome, refine_moves)
                 }
                 Scheduling::ColorSynchronous => {
                     // Deterministic path: plain state, decisions per
-                    // color class against frozen Σ'.
+                    // color class against frozen Σ'. The Σ' scatter
+                    // stays **serial** so its summation order is fixed
+                    // across thread counts.
                     let t0 = Instant::now();
                     let coloring = gve_graph::coloring::jones_plassmann(g, config.seed);
-                    let mut membership: Vec<VertexId> = match &init_labels {
-                        Some(labels) => labels.clone(),
-                        None => (0..n_cur as VertexId).collect(),
-                    };
-                    let mut sigma = init_sigma(&penalty);
+                    let membership = &mut plain_membership[..n_cur];
+                    let sigma = &mut plain_sigma[..n_cur];
+                    if has_init {
+                        let seeds = &init_buf[..n_cur];
+                        membership.copy_from_slice(seeds);
+                        sigma.fill(0.0);
+                        for (v, &c) in seeds.iter().enumerate() {
+                            sigma[c as usize] += pen[v];
+                        }
+                    } else {
+                        membership
+                            .par_iter_mut()
+                            .enumerate()
+                            .for_each(|(v, c)| *c = v as VertexId);
+                        sigma.copy_from_slice(pen);
+                    }
                     timings.other += t0.elapsed();
 
                     let t1 = Instant::now();
                     let outcome = sync::local_move_sync(
                         g,
-                        &mut membership,
-                        &penalty,
-                        &mut sigma,
+                        membership,
+                        pen,
+                        sigma,
                         coeffs,
                         tolerance,
                         config,
-                        &tables,
+                        tables,
                         &coloring,
-                        &unprocessed,
+                        unprocessed,
+                        sync_decisions,
                     );
                     timings.local_move += t1.elapsed();
 
@@ -523,56 +647,65 @@ impl Leiden {
                         "local-moving",
                         pass,
                         n_cur,
-                        &membership,
-                        &penalty,
-                        &sigma,
+                        membership,
+                        pen,
+                        sigma,
                     );
 
                     let t2 = Instant::now();
-                    let bounds = membership.clone();
-                    for (v, c) in membership.iter_mut().enumerate() {
-                        *c = v as VertexId;
-                    }
-                    sigma.copy_from_slice(&penalty);
+                    let bounds = &mut bounds[..n_cur];
+                    bounds.copy_from_slice(membership);
+                    membership
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(v, c)| *c = v as VertexId);
+                    sigma.copy_from_slice(pen);
                     timings.other += t2.elapsed();
 
                     let t3 = Instant::now();
                     let refine_moves = sync::refine_sync(
                         g,
-                        &bounds,
-                        &mut membership,
-                        &penalty,
-                        &mut sigma,
+                        bounds,
+                        membership,
+                        pen,
+                        sigma,
                         coeffs,
                         config,
-                        &tables,
+                        tables,
                         &coloring,
                         pass as u64,
+                        sync_decisions,
                     );
                     timings.refinement += t3.elapsed();
 
                     #[cfg(feature = "analysis")]
-                    analysis::assert_phase_state(
-                        "refinement",
-                        pass,
-                        n_cur,
-                        &membership,
-                        &penalty,
-                        &sigma,
-                    );
-                    (outcome, refine_moves, bounds, membership)
+                    analysis::assert_phase_state("refinement", pass, n_cur, membership, pen, sigma);
+                    refined[..n_cur].copy_from_slice(membership);
+                    (outcome, refine_moves)
                 }
             };
             let li = outcome.gains.len();
             move_iterations += li;
 
+            // The phases may only have touched this pass's prefix: the
+            // poisoned suffix must be byte-for-byte intact.
+            #[cfg(feature = "analysis")]
+            workspace::assert_suffix_poisoned(&membership[n_cur..], &sigma[n_cur..], pass, n_cur);
+
             // Renumber refined communities and update the dendrogram
-            // (lines 11–12 / 16).
+            // (lines 11–12 / 16) — parallel first-seen renumber into the
+            // workspace's `dense` prefix.
             let t4 = Instant::now();
-            let (dense, k) = dendrogram::renumber(&refined);
-            dendrogram::lookup(&mut top, &dense);
+            let k = dendrogram::renumber_into(
+                &refined[..n_cur],
+                &mut dense[..n_cur],
+                n_cur,
+                first_seen,
+                rank,
+            );
+            dendrogram::lookup(&mut top, &dense[..n_cur]);
             if config.record_dendrogram {
-                dendrogram.push(dense.clone());
+                dendrogram.push(dense[..n_cur].to_vec());
             }
             timings.other += t4.elapsed();
 
@@ -617,21 +750,28 @@ impl Leiden {
             let t5 = Instant::now();
             let supergraph = match config.aggregation {
                 config::AggregationStrategy::Hashtable => {
-                    let dense_atomic: Vec<AtomicU32> =
-                        dense.iter().map(|&c| AtomicU32::new(c)).collect();
-                    aggregate::aggregate(
+                    // Stage the dense ids into the atomic membership
+                    // prefix in place (the phases are done with it) —
+                    // this replaces the old per-pass fresh atomic vec.
+                    // Relaxed: bulk restage between joins, as above.
+                    let memb = &membership[..n_cur];
+                    memb.par_iter()
+                        .zip(dense[..n_cur].par_iter())
+                        .for_each(|(c, &d)| c.store(d, Ordering::Relaxed));
+                    aggregate::aggregate_into(
                         g,
-                        &dense_atomic,
-                        &dense,
+                        memb,
+                        &dense[..n_cur],
                         k,
                         (config.chunk_size / 4).max(1),
-                        &tables,
+                        tables,
                         (config.kernel == KernelVersion::V2)
                             .then_some(config.small_degree_threshold),
+                        agg,
                     )
                 }
                 config::AggregationStrategy::SortReduce => {
-                    aggregate::aggregate_sort_reduce(g, &dense, k)
+                    aggregate::aggregate_sort_reduce(g, &dense[..n_cur], k)
                 }
             };
             let aggregation_time = t5.elapsed();
@@ -649,40 +789,73 @@ impl Leiden {
 
             // Super-vertex labeling for the next pass (line 14).
             let t6 = Instant::now();
-            init_labels = match config.labeling {
+            has_init = match config.labeling {
                 Labeling::MoveBased => {
                     // Every member of a refined community shares the same
-                    // bound, so any member defines the mapping.
-                    let mut label_of = vec![VertexId::MAX; k];
-                    for v in 0..n_cur {
-                        label_of[dense[v] as usize] = bounds[v];
-                    }
-                    let (dense_bounds, _) = dendrogram::renumber(&label_of);
-                    Some(dense_bounds)
+                    // bound, so any member defines the mapping — the
+                    // concurrent stores per slot all carry the same
+                    // value. `first_seen` serves as the scatter target;
+                    // the values are copied out to `labels` before
+                    // `renumber_into` reclaims the scratch.
+                    let fs = &first_seen[..k];
+                    dense[..n_cur]
+                        .par_iter()
+                        .zip(bounds[..n_cur].par_iter())
+                        // Relaxed: same-value stores, published by join.
+                        .for_each(|(&d, &b)| fs[d as usize].store(b, Ordering::Relaxed));
+                    let lab = &mut labels[..k];
+                    lab.par_iter_mut()
+                        .zip(fs.par_iter())
+                        .for_each(|(l, f)| *l = f.load(Ordering::Relaxed));
+                    dendrogram::renumber_into(lab, &mut init_buf[..k], n_cur, first_seen, rank);
+                    true
                 }
-                Labeling::RefineBased => None,
+                Labeling::RefineBased => false,
             };
             timings.other += t6.elapsed();
 
-            // Fold vertex sizes into the super-vertices (CPM only).
+            // Fold vertex sizes into the super-vertices (CPM only) via
+            // the free Σ' atomics: the addends are integral vertex
+            // counts, so the `fetch_add`s are exact and the result is
+            // independent of thread interleaving. Double-buffer swap
+            // replaces the old per-pass clone.
             if use_sizes {
-                let mut next_sizes = vec![0.0f64; k];
-                for (v, &c) in dense.iter().enumerate() {
-                    next_sizes[c as usize] += sizes[v];
-                }
-                sizes = next_sizes;
+                let acc = &sigma[..k];
+                acc.par_iter().for_each(|s| s.store(0.0));
+                let sz = &sizes[..n_cur];
+                dense[..n_cur].par_iter().enumerate().for_each(|(v, &c)| {
+                    acc[c as usize].fetch_add(sz[v]);
+                });
+                sizes_next[..k]
+                    .par_iter_mut()
+                    .zip(acc.par_iter())
+                    .for_each(|(o, s)| *o = s.load());
+                std::mem::swap(sizes, sizes_next);
             }
 
-            current = Some(supergraph);
+            // Swap in the super-vertex graph; the displaced one's
+            // buffers feed the aggregation recycle stack, so steady
+            // state holds exactly two resident CSR buffer sets.
+            if let Some(old) = current.replace(supergraph) {
+                agg.recycle(old);
+            }
             // Threshold scaling (line 15).
             if config.threshold_scaling {
                 tolerance /= config.tolerance_drop;
             }
         }
 
-        // Final dense renumbering of the top-level membership.
+        // Recycle the last super-vertex graph for the next run.
+        if let Some(last) = current.take() {
+            agg.recycle(last);
+        }
+
+        // Final dense renumbering of the top-level membership (the
+        // output vector is the one allocation the result must own).
         let t7 = Instant::now();
-        let (final_membership, num_communities) = dendrogram::renumber(&top);
+        let mut final_membership = vec![0; n];
+        let num_communities =
+            dendrogram::renumber_into(&top, &mut final_membership, n, first_seen, rank);
         timings.other += t7.elapsed();
 
         LeidenResult {

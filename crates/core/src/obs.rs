@@ -284,6 +284,21 @@ impl Leiden {
         observer.observe(&result);
         result
     }
+
+    /// Workspace-reusing variant of [`Leiden::run_observed`]: like
+    /// [`Leiden::run_in`], the pass loop borrows every buffer from
+    /// `workspace`, so a resident service pooling workspaces performs no
+    /// steady-state allocation in the Leiden hot path.
+    pub fn run_observed_in(
+        &self,
+        graph: &CsrGraph,
+        workspace: &mut crate::PassWorkspace,
+        observer: &RunObserver,
+    ) -> LeidenResult {
+        let result = self.run_in(graph, workspace);
+        observer.observe(&result);
+        result
+    }
 }
 
 #[cfg(test)]

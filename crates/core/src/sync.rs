@@ -16,14 +16,12 @@
 use crate::config::{LeidenConfig, RefinementStrategy};
 use crate::localmove::MoveOutcome;
 use crate::objective::GainCoeffs;
+use crate::workspace::Decision;
 use gve_graph::coloring::Coloring;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::{AtomicBitset, CommunityMap, PerThread, Xorshift32};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A decided move: target community and its expected gain.
-type Decision = Option<(VertexId, f64)>;
 
 /// Scans `i`'s neighbour communities against plain (frozen) state and
 /// picks the best move.
@@ -116,6 +114,7 @@ pub(crate) fn local_move_sync(
     tables: &PerThread<CommunityMap>,
     coloring: &Coloring,
     unprocessed: &AtomicBitset,
+    decisions: &mut Vec<Decision>,
 ) -> MoveOutcome {
     let classes = coloring.classes();
     let mut outcome = MoveOutcome::default();
@@ -128,35 +127,43 @@ pub(crate) fn local_move_sync(
         for class in &classes {
             // Decide in parallel against frozen state; class members are
             // pairwise non-adjacent, so no decision reads another
-            // member's community.
-            let decisions: Vec<Decision> = class
+            // member's community. Decisions land in a grow-only prefix
+            // of the workspace buffer — no per-class allocation.
+            if decisions.len() < class.len() {
+                decisions.resize(class.len(), None);
+            }
+            let slots = &mut decisions[..class.len()];
+            class
                 .par_iter()
-                .map(|&i| {
-                    if config.pruning && !unprocessed.take(i as usize) {
-                        // Relaxed: reporting-only tally, as above.
-                        skipped.fetch_add(1, Ordering::Relaxed);
-                        return None;
-                    }
-                    // Relaxed: reporting-only tally, as above.
-                    processed.fetch_add(1, Ordering::Relaxed);
-                    tables.with(|ht| {
-                        decide(
-                            graph,
-                            membership,
-                            None,
-                            penalty,
-                            sigma,
-                            coeffs,
-                            ht,
-                            i,
-                            RefinementStrategy::Greedy,
-                            None,
-                        )
-                    })
-                })
-                .collect();
+                .zip(slots.par_iter_mut())
+                .for_each(|(&i, slot)| {
+                    *slot = {
+                        if config.pruning && !unprocessed.take(i as usize) {
+                            // Relaxed: reporting-only tally, as above.
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                            None
+                        } else {
+                            // Relaxed: reporting-only tally, as above.
+                            processed.fetch_add(1, Ordering::Relaxed);
+                            tables.with(|ht| {
+                                decide(
+                                    graph,
+                                    membership,
+                                    None,
+                                    penalty,
+                                    sigma,
+                                    coeffs,
+                                    ht,
+                                    i,
+                                    RefinementStrategy::Greedy,
+                                    None,
+                                )
+                            })
+                        }
+                    };
+                });
             // Apply sequentially in vertex order: deterministic Σ'.
-            for (&i, decision) in class.iter().zip(&decisions) {
+            for (&i, decision) in class.iter().zip(slots.iter()) {
                 if let Some((target, gain)) = *decision {
                     let p_i = penalty[i as usize];
                     let current = membership[i as usize];
@@ -198,33 +205,39 @@ pub(crate) fn refine_sync(
     tables: &PerThread<CommunityMap>,
     coloring: &Coloring,
     pass_seed: u64,
+    decisions: &mut Vec<Decision>,
 ) -> u64 {
     let mut moved = 0u64;
     for class in &coloring.classes() {
-        let decisions: Vec<Decision> = class
+        if decisions.len() < class.len() {
+            decisions.resize(class.len(), None);
+        }
+        let slots = &mut decisions[..class.len()];
+        class
             .par_iter()
-            .map(|&i| {
+            .zip(slots.par_iter_mut())
+            .for_each(|(&i, slot)| {
                 // Constrained merge: only isolated vertices move.
-                if sigma[membership[i as usize] as usize] != penalty[i as usize] {
-                    return None;
-                }
-                tables.with(|ht| {
-                    decide(
-                        graph,
-                        membership,
-                        Some(bounds),
-                        penalty,
-                        sigma,
-                        coeffs,
-                        ht,
-                        i,
-                        config.refinement,
-                        Some(pass_seed ^ config.seed),
-                    )
-                })
-            })
-            .collect();
-        for (&i, decision) in class.iter().zip(&decisions) {
+                *slot = if sigma[membership[i as usize] as usize] != penalty[i as usize] {
+                    None
+                } else {
+                    tables.with(|ht| {
+                        decide(
+                            graph,
+                            membership,
+                            Some(bounds),
+                            penalty,
+                            sigma,
+                            coeffs,
+                            ht,
+                            i,
+                            config.refinement,
+                            Some(pass_seed ^ config.seed),
+                        )
+                    })
+                };
+            });
+        for (&i, decision) in class.iter().zip(slots.iter()) {
             if let Some((target, _)) = *decision {
                 let current = membership[i as usize];
                 let p_i = penalty[i as usize];
@@ -288,6 +301,7 @@ mod tests {
             &tables,
             &coloring,
             &unprocessed,
+            &mut Vec::new(),
         );
         assert!(!outcome.gains.is_empty() && outcome.gains[0] > 0.0);
         assert!(outcome.pruning_processed >= 6);
@@ -325,6 +339,7 @@ mod tests {
             &tables,
             &coloring,
             0,
+            &mut Vec::new(),
         );
         assert!(moved > 0);
         for v in 0..6usize {

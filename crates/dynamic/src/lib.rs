@@ -34,7 +34,7 @@ pub use stream::{collect_windows, ChurnStream, TimedUpdate, UpdateKind};
 pub use update::{apply_batch, BatchUpdate};
 
 use gve_graph::{CsrGraph, VertexId};
-use gve_leiden::{Leiden, LeidenConfig, LeidenResult};
+use gve_leiden::{Leiden, LeidenConfig, LeidenResult, PassWorkspace};
 
 /// How a batch update is propagated into the community structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,6 +131,13 @@ impl DynamicLeiden {
     /// according to the configured strategy. Returns the full result of
     /// the refresh run.
     pub fn apply(&mut self, batch: &BatchUpdate) -> LeidenResult {
+        self.apply_in(batch, &mut PassWorkspace::new())
+    }
+
+    /// [`apply`](Self::apply) through a caller-provided workspace arena,
+    /// so long-lived consumers (the serve worker pool) refresh batches
+    /// with zero steady-state hot-path allocations.
+    pub fn apply_in(&mut self, batch: &BatchUpdate, workspace: &mut PassWorkspace) -> LeidenResult {
         let new_graph = apply_batch(&self.graph, batch);
         // Vertices may have been appended by the batch; extend the old
         // membership with singletons for them.
@@ -141,15 +148,19 @@ impl DynamicLeiden {
         }
 
         let result = match self.strategy {
-            DynamicStrategy::FullStatic => self.runner.run(&new_graph),
-            DynamicStrategy::NaiveDynamic => self.runner.run_seeded(&new_graph, &previous),
+            DynamicStrategy::FullStatic => self.runner.run_in(&new_graph, workspace),
+            DynamicStrategy::NaiveDynamic => {
+                self.runner.run_seeded_in(&new_graph, &previous, workspace)
+            }
             DynamicStrategy::DeltaScreening => {
                 let frontier = delta_screening_frontier(&new_graph, &previous, batch);
-                self.runner.run_frontier(&new_graph, &previous, &frontier)
+                self.runner
+                    .run_frontier_in(&new_graph, &previous, &frontier, workspace)
             }
             DynamicStrategy::DynamicFrontier => {
                 let frontier = dynamic_frontier(&new_graph, &previous, batch);
-                self.runner.run_frontier(&new_graph, &previous, &frontier)
+                self.runner
+                    .run_frontier_in(&new_graph, &previous, &frontier, workspace)
             }
         };
         self.graph = new_graph;
@@ -292,5 +303,35 @@ mod tests {
     #[test]
     fn default_strategy_is_dynamic_frontier() {
         assert_eq!(DynamicStrategy::default(), DynamicStrategy::DynamicFrontier);
+    }
+
+    /// `apply_in` through one reused workspace matches `apply` with a
+    /// fresh workspace bit-for-bit (1-thread pool for determinism).
+    #[test]
+    fn apply_in_reused_workspace_matches_apply() {
+        let (graph, _) = planted_graph(13);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            for strategy in [
+                DynamicStrategy::NaiveDynamic,
+                DynamicStrategy::DeltaScreening,
+                DynamicStrategy::DynamicFrontier,
+            ] {
+                let mut fresh =
+                    DynamicLeiden::new(graph.clone(), LeidenConfig::default(), strategy);
+                let mut reused = fresh.clone();
+                let mut ws = PassWorkspace::new();
+                for step in 0..3 {
+                    let batch = random_batch(fresh.graph(), 50, 30, 900 + step);
+                    let a = fresh.apply(&batch);
+                    let b = reused.apply_in(&batch, &mut ws);
+                    assert_eq!(a.membership, b.membership, "{strategy:?} step {step}");
+                    assert_eq!(a.passes, b.passes, "{strategy:?} step {step}");
+                }
+            }
+        });
     }
 }

@@ -63,6 +63,40 @@ impl CsrGraph {
         graph.validate().map(|()| graph)
     }
 
+    /// Builds a graph from raw CSR arrays **without** the O(N + E)
+    /// validation scan, for builders whose output satisfies the CSR
+    /// invariants by construction (e.g. the holey-CSR squeeze, whose
+    /// targets are dense community ids `< k` and whose offsets come from
+    /// a prefix sum). Skipping the serial validate pass matters on the
+    /// per-pass aggregation path.
+    ///
+    /// Violating the invariants here cannot cause undefined behaviour —
+    /// accessors index through checked slices — but will panic or
+    /// return nonsense later, so this is debug-asserted and reserved
+    /// for trusted construction sites.
+    pub fn from_raw_trusted(
+        offsets: Vec<u64>,
+        targets: Vec<VertexId>,
+        weights: Vec<EdgeWeight>,
+    ) -> Self {
+        let graph = Self {
+            offsets,
+            targets,
+            weights,
+            interleaved: OnceLock::new(),
+        };
+        debug_assert!(graph.validate().is_ok(), "from_raw_trusted invariants");
+        graph
+    }
+
+    /// Decomposes the graph into its raw `(offsets, targets, weights)`
+    /// arrays, discarding any interleaved cache. The workspace arena
+    /// uses this to recycle a retired super-vertex graph's buffers into
+    /// the next aggregation instead of allocating fresh ones.
+    pub fn into_raw(self) -> (Vec<u64>, Vec<VertexId>, Vec<EdgeWeight>) {
+        (self.offsets, self.targets, self.weights)
+    }
+
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         Self {
@@ -381,6 +415,17 @@ mod tests {
         }
         // Idempotent.
         assert_eq!(g.build_interleaved().len(), g.num_arcs());
+    }
+
+    #[test]
+    fn raw_roundtrip_and_trusted_rebuild() {
+        let g = sample();
+        g.build_interleaved();
+        let (offsets, targets, weights) = g.into_raw();
+        let rebuilt = CsrGraph::from_raw_trusted(offsets, targets, weights);
+        assert_eq!(rebuilt, sample());
+        // The interleaved cache does not survive decomposition.
+        assert!(rebuilt.interleaved().is_none());
     }
 
     #[test]

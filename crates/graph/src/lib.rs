@@ -35,7 +35,7 @@ pub mod traversal;
 pub use adjacency::AdjacencyList;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeScan};
-pub use holey::{GroupedCsr, HoleyCsrBuilder};
+pub use holey::{AggregateScratch, GroupedCsr, HoleyCsrBuilder};
 pub use reorder::{Relabeling, VertexOrdering};
 
 /// Vertex identifier. The paper uses 32-bit ids (§5.1.2).

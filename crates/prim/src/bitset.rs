@@ -17,6 +17,13 @@ pub struct AtomicBitset {
     len: usize,
 }
 
+impl Default for AtomicBitset {
+    /// An empty (zero-length) bitset.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl AtomicBitset {
     /// Creates a bitset of `len` bits, all clear.
     pub fn new(len: usize) -> Self {
@@ -108,6 +115,34 @@ impl AtomicBitset {
         }
     }
 
+    /// Sets bits `[0, n)` and clears bits `[n, len)`.
+    ///
+    /// This is the prefix-reset primitive behind workspace reuse: one
+    /// capacity-`len` bitset serves every (shrinking) pass by marking
+    /// exactly the current pass's vertices unprocessed. Relaxed stores,
+    /// as in [`AtomicBitset::set_all`] — bulk reinitialization between
+    /// parallel phases, published by the phase-boundary join.
+    ///
+    /// # Panics
+    /// Panics when `n > len`.
+    pub fn set_first(&self, n: usize) {
+        assert!(n <= self.len, "prefix {n} out of range {}", self.len);
+        let full_words = n / BITS;
+        for word in &self.words[..full_words] {
+            // Relaxed: bulk reset between phases, as in `set_all`.
+            word.store(u64::MAX, Ordering::Relaxed);
+        }
+        let tail = n % BITS;
+        if tail != 0 {
+            // Relaxed: bulk reset between phases, as above.
+            self.words[full_words].store((1u64 << tail) - 1, Ordering::Relaxed);
+        }
+        let first_clear = full_words + usize::from(tail != 0);
+        for word in &self.words[first_clear..] {
+            word.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Clears every bit.
     pub fn clear_all(&self) {
         for word in &self.words {
@@ -188,6 +223,33 @@ mod tests {
     fn new_all_set() {
         let b = AtomicBitset::new_all_set(65);
         assert_eq!(b.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_first_prefix_and_suffix() {
+        let b = AtomicBitset::new(200);
+        b.set_all();
+        b.set_first(70);
+        assert_eq!(b.count_ones(), 70);
+        for i in 0..70 {
+            assert!(b.get(i), "prefix bit {i}");
+        }
+        for i in 70..200 {
+            assert!(!b.get(i), "suffix bit {i}");
+        }
+        // Word-aligned prefix and the degenerate cases.
+        b.set_first(128);
+        assert_eq!(b.count_ones(), 128);
+        b.set_first(0);
+        assert!(b.none_set());
+        b.set_first(200);
+        assert_eq!(b.count_ones(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn set_first_rejects_overlong_prefix() {
+        AtomicBitset::new(10).set_first(11);
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! * [`workspace`] — per-worker scratch buffers sized once per pass (the
 //!   `O(T·N)` memory term in the paper's space complexity);
 //! * [`parfor`] — helpers approximating OpenMP's `schedule(dynamic, chunk)`
-//!   on top of rayon.
+//!   on top of rayon;
+//! * [`alloc_count`] — an allocation-counting global allocator that lets
+//!   the benchmarks prove the preallocation discipline (zero steady-state
+//!   allocation in the Leiden hot path).
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod atomics;
 pub mod bitset;
 pub mod hashtable;
@@ -34,6 +38,7 @@ pub mod shared_slice;
 pub mod smallmap;
 pub mod workspace;
 
+pub use alloc_count::{AllocSnapshot, CountingAllocator};
 pub use atomics::AtomicF64;
 pub use bitset::AtomicBitset;
 pub use hashtable::CommunityMap;

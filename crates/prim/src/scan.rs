@@ -96,6 +96,29 @@ pub fn parallel_offsets_from_counts(counts: &[u64]) -> Vec<u64> {
     offsets
 }
 
+/// Allocation-free variant of [`parallel_offsets_from_counts`]: writes
+/// the `counts.len() + 1` offsets into `offsets`, reusing its capacity.
+/// Returns the total. Grow-only: the vector is resized, never shrunk
+/// below the required length, so a workspace-owned buffer reaches a
+/// steady state after the first pass.
+pub fn parallel_offsets_from_counts_into(counts: &[u64], offsets: &mut Vec<u64>) -> u64 {
+    offsets.clear();
+    offsets.resize(counts.len() + 1, 0);
+    if counts.len() < PARALLEL_THRESHOLD {
+        let mut running = 0u64;
+        for (slot, &c) in offsets.iter_mut().zip(counts) {
+            *slot = running;
+            running += c;
+        }
+        offsets[counts.len()] = running;
+        return running;
+    }
+    offsets[..counts.len()].copy_from_slice(counts);
+    let total = parallel_exclusive_scan(&mut offsets[..counts.len()]);
+    offsets[counts.len()] = total;
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +182,24 @@ mod tests {
             parallel_offsets_from_counts(&counts),
             offsets_from_counts(&counts)
         );
+    }
+
+    #[test]
+    fn offsets_into_reuses_buffer_and_matches() {
+        let mut buf = Vec::new();
+        for counts in [
+            vec![3u64, 1, 4],
+            vec![],
+            (0..200_000u64).map(|i| i % 13).collect(),
+        ] {
+            let total = parallel_offsets_from_counts_into(&counts, &mut buf);
+            assert_eq!(buf, offsets_from_counts(&counts));
+            assert_eq!(total, counts.iter().sum::<u64>());
+        }
+        // Shrinking input reuses the larger capacity without reallocating.
+        let cap = buf.capacity();
+        parallel_offsets_from_counts_into(&[1, 2], &mut buf);
+        assert_eq!(buf, vec![0, 1, 3]);
+        assert_eq!(buf.capacity(), cap);
     }
 }

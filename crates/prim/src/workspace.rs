@@ -74,6 +74,24 @@ impl<T: Send> PerThread<T> {
             .unwrap_or_else(|| (self.make)())
     }
 
+    /// Mutable sweep over every value materialized so far. The
+    /// exclusive borrow guarantees no worker holds a slot concurrently.
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(&mut T)) {
+        for slot in &mut self.slots {
+            if let Some(value) = slot.0.get_mut().expect("slot poisoned").as_mut() {
+                f(value);
+            }
+        }
+        for value in self
+            .overflow
+            .get_mut()
+            .expect("overflow poisoned")
+            .iter_mut()
+        {
+            f(value);
+        }
+    }
+
     /// Consumes the pool and returns every value that was materialized.
     pub fn into_values(self) -> Vec<T> {
         let mut values: Vec<T> = self

@@ -554,7 +554,17 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
                 strategy,
             )
             .map_err(ApiError::bad_request)?;
-            let result = dynamic.apply(&batch);
+            // Incremental refreshes reuse the same pooled arenas as the
+            // detection workers, so update batches stay allocation-free
+            // on the Leiden hot path too.
+            let mut workspace = state.jobs.workspaces.checkout();
+            let alloc_before = gve_prim::alloc_count::snapshot();
+            let result = dynamic.apply_in(&batch, &mut workspace);
+            state
+                .jobs
+                .stats
+                .core_allocs
+                .add(gve_prim::alloc_count::snapshot().allocs_since(&alloc_before));
             refreshed = Some((result, partition.request.clone()));
             dynamic.graph().clone()
         }

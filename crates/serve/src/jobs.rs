@@ -11,12 +11,14 @@
 
 use crate::cache::{CachedPartition, PartitionCache, PartitionKey, PartitionOrigin};
 use crate::json::Json;
+use crate::pool::WorkspacePool;
 use crate::registry::GraphRegistry;
 use gve_leiden::{
     CoreMetrics, EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, RunObserver,
-    VertexOrdering,
+    Scheduling, VertexOrdering,
 };
 use gve_obs::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use gve_prim::alloc_count;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,6 +46,9 @@ pub struct DetectRequest {
     pub ordering: VertexOrdering,
     /// CSR edge layout (`split` arrays or `interleaved` pairs).
     pub layout: EdgeLayout,
+    /// Phase scheduling: fast `async` (default) or reproducible
+    /// `color-sync`.
+    pub scheduling: Scheduling,
 }
 
 impl Default for DetectRequest {
@@ -58,6 +63,7 @@ impl Default for DetectRequest {
             kernel: defaults.kernel,
             ordering: defaults.ordering,
             layout: defaults.layout,
+            scheduling: defaults.scheduling,
         }
     }
 }
@@ -94,6 +100,9 @@ impl DetectRequest {
         if let Some(layout) = body.get("layout").and_then(Json::as_str) {
             request.layout = EdgeLayout::parse(layout)?;
         }
+        if let Some(scheduling) = body.get("scheduling").and_then(Json::as_str) {
+            request.scheduling = Scheduling::parse(scheduling)?;
+        }
         request.to_config()?; // surface invalid configs at submit time
         Ok(request)
     }
@@ -115,7 +124,8 @@ impl DetectRequest {
             .chunk_size(self.chunk_size)
             .kernel(self.kernel)
             .ordering(self.ordering)
-            .layout(self.layout);
+            .layout(self.layout)
+            .scheduling(self.scheduling);
         config.max_passes = self.max_passes;
         config.validate()?;
         Ok(config)
@@ -125,7 +135,7 @@ impl DetectRequest {
     /// textual form, so semantically equal requests collide on purpose).
     pub fn fingerprint(&self) -> u64 {
         let canonical = format!(
-            "objective={};resolution={};seed={};max_passes={};chunk_size={};kernel={};ordering={};layout={}",
+            "objective={};resolution={};seed={};max_passes={};chunk_size={};kernel={};ordering={};layout={};scheduling={}",
             self.objective,
             self.resolution,
             self.seed,
@@ -134,6 +144,7 @@ impl DetectRequest {
             self.kernel.label(),
             self.ordering.label(),
             self.layout.label(),
+            self.scheduling.label(),
         );
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in canonical.bytes() {
@@ -154,6 +165,7 @@ impl DetectRequest {
             ("kernel", Json::from(self.kernel.label())),
             ("ordering", Json::from(self.ordering.label())),
             ("layout", Json::from(self.layout.label())),
+            ("scheduling", Json::from(self.scheduling.label())),
         ])
     }
 }
@@ -261,6 +273,13 @@ pub struct JobStats {
     pub queue_wait_seconds: Histogram,
     /// Seconds full detections took to compute.
     pub run_seconds: Histogram,
+    /// Heap allocations performed inside Leiden hot-path runs (full
+    /// detections and incremental refreshes). Reads zero unless the
+    /// binary installed [`alloc_count::CountingAllocator`] as the
+    /// global allocator; flat-lining after warm-up is the observable
+    /// proof that the workspace pool reached zero steady-state
+    /// allocation.
+    pub core_allocs: Counter,
 }
 
 impl Default for JobStats {
@@ -274,6 +293,7 @@ impl Default for JobStats {
             worker_wakeups: Counter::new(),
             queue_wait_seconds: Histogram::with_buckets(DEFAULT_LATENCY_BUCKETS),
             run_seconds: Histogram::with_buckets(DEFAULT_LATENCY_BUCKETS),
+            core_allocs: Counter::new(),
         }
     }
 }
@@ -329,6 +349,13 @@ impl JobStats {
             &[],
             &self.run_seconds,
         );
+        registry.register_counter(
+            "gve_core_allocs_total",
+            "Heap allocations inside Leiden hot-path runs (zero unless \
+             the binary installs the counting global allocator).",
+            &[],
+            &self.core_allocs,
+        );
     }
 }
 
@@ -352,6 +379,9 @@ pub struct JobEngine {
     core_metrics: Arc<CoreMetrics>,
     /// Counter block (public for `/stats` reporting).
     pub stats: Arc<JobStats>,
+    /// Pass-resident workspace arenas shared by the workers (public so
+    /// tests and `/stats` can inspect reuse).
+    pub workspaces: Arc<WorkspacePool>,
 }
 
 impl JobEngine {
@@ -366,6 +396,7 @@ impl JobEngine {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(JobStats::default());
         let core_metrics = Arc::new(CoreMetrics::default());
+        let workspaces = Arc::new(WorkspacePool::new());
         let mut workers = Vec::new();
         for worker in 0..worker_count.max(1) {
             let receiver = receiver.clone();
@@ -375,6 +406,7 @@ impl JobEngine {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
             let core_metrics = Arc::clone(&core_metrics);
+            let workspaces = Arc::clone(&workspaces);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gve-serve-worker-{worker}"))
@@ -387,6 +419,7 @@ impl JobEngine {
                             &shutdown,
                             &stats,
                             &core_metrics,
+                            &workspaces,
                         )
                     })
                     .expect("spawn worker thread"),
@@ -402,6 +435,7 @@ impl JobEngine {
             workers: Mutex::new(workers),
             core_metrics,
             stats,
+            workspaces,
         }
     }
 
@@ -410,6 +444,7 @@ impl JobEngine {
     pub fn attach_to(&self, registry: &MetricsRegistry) {
         self.stats.attach_to(registry);
         self.core_metrics.attach_to(registry);
+        self.workspaces.attach_to(registry);
     }
 
     /// Submits a detect request against `graph`. Returns the job record:
@@ -532,6 +567,7 @@ impl Drop for JobEngine {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     receiver: &crossbeam::channel::Receiver<JobMsg>,
     registry: &GraphRegistry,
@@ -540,6 +576,7 @@ fn worker_loop(
     shutdown: &AtomicBool,
     stats: &JobStats,
     core_metrics: &CoreMetrics,
+    workspaces: &Arc<WorkspacePool>,
 ) {
     loop {
         // Blocking receive: an idle worker parks inside the channel —
@@ -578,7 +615,15 @@ fn worker_loop(
         stats
             .queue_wait_seconds
             .observe_duration(queued_at.elapsed());
-        let outcome = run_detection(registry, cache, &graph_name, &request, stats, core_metrics);
+        let outcome = run_detection(
+            registry,
+            cache,
+            &graph_name,
+            &request,
+            stats,
+            core_metrics,
+            workspaces,
+        );
         let mut table = records.lock().expect("job table poisoned");
         let Some(record) = table.get_mut(&id) else {
             continue;
@@ -602,6 +647,10 @@ fn worker_loop(
 /// Runs one full static detection and publishes it into the cache.
 /// Re-snapshots the graph so the partition is keyed to the epoch it was
 /// actually computed against (the graph may have advanced since submit).
+/// The detection runs inside a pooled [`PassWorkspace`], so steady-state
+/// requests reuse the arenas grown by earlier jobs instead of
+/// reallocating them.
+#[allow(clippy::too_many_arguments)]
 fn run_detection(
     registry: &GraphRegistry,
     cache: &PartitionCache,
@@ -609,6 +658,7 @@ fn run_detection(
     request: &DetectRequest,
     stats: &JobStats,
     core_metrics: &CoreMetrics,
+    workspaces: &Arc<WorkspacePool>,
 ) -> Result<(PartitionKey, f64), String> {
     let entry = registry.snapshot(graph_name).map_err(|e| e.to_string())?;
     let key = PartitionKey {
@@ -623,11 +673,20 @@ fn run_detection(
     let config = request.to_config()?;
     let graph = Arc::clone(&entry.graph);
     let observer = RunObserver::with_metrics(core_metrics);
+    let mut workspace = workspaces.checkout();
     let started = Instant::now();
+    let alloc_before = alloc_count::snapshot();
+    // A panicking run may leave the arena partially written; that is
+    // fine to return to the pool (hence AssertUnwindSafe) because every
+    // run reinitializes the prefixes it reads before using them.
     let result = catch_unwind(AssertUnwindSafe(|| {
-        Leiden::new(config).run_observed(&graph, &observer)
+        Leiden::new(config).run_observed_in(&graph, &mut workspace, &observer)
     }))
     .map_err(|_| "detection panicked".to_string())?;
+    stats
+        .core_allocs
+        .add(alloc_count::snapshot().allocs_since(&alloc_before));
+    drop(workspace); // park the arena for the next job
     let seconds = started.elapsed().as_secs_f64();
     stats.full_detections.inc();
     stats.run_seconds.observe(seconds);
@@ -686,7 +745,7 @@ mod tests {
     #[test]
     fn kernel_knobs_fingerprint_and_validate() {
         let body = crate::json::parse(
-            r#"{"kernel":"v1","ordering":"degree","layout":"interleaved","chunk_size":512}"#,
+            r#"{"kernel":"v1","ordering":"degree","layout":"interleaved","chunk_size":512,"scheduling":"color-sync"}"#,
         )
         .unwrap();
         let request = DetectRequest::from_json(&body).unwrap();
@@ -694,6 +753,7 @@ mod tests {
         assert_eq!(request.ordering, VertexOrdering::DegreeDesc);
         assert_eq!(request.layout, EdgeLayout::Interleaved);
         assert_eq!(request.chunk_size, 512);
+        assert_eq!(request.scheduling, Scheduling::ColorSynchronous);
 
         let defaults = DetectRequest::default();
         for other in [
@@ -713,6 +773,10 @@ mod tests {
                 chunk_size: defaults.chunk_size + 1,
                 ..defaults.clone()
             },
+            DetectRequest {
+                scheduling: Scheduling::ColorSynchronous,
+                ..defaults.clone()
+            },
         ] {
             assert_ne!(other.fingerprint(), defaults.fingerprint());
         }
@@ -722,6 +786,7 @@ mod tests {
             r#"{"ordering":"random"}"#,
             r#"{"layout":"columnar"}"#,
             r#"{"chunk_size":0}"#,
+            r#"{"scheduling":"chaotic"}"#,
         ] {
             let body = crate::json::parse(bad).unwrap();
             assert!(DetectRequest::from_json(&body).is_err(), "accepted {bad}");
@@ -809,6 +874,9 @@ mod tests {
             "gve_jobs_run_seconds_count 1",
             "gve_leiden_runs_total 1",
             "gve_leiden_phase_seconds_total{phase=\"local_move\"}",
+            // Zero here: the test binary does not install the counting
+            // global allocator, so the counter must exist but stay flat.
+            "gve_core_allocs_total 0",
         ] {
             assert!(text.contains(name), "missing `{name}` in:\n{text}");
         }

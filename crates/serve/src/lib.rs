@@ -33,9 +33,11 @@ pub mod handlers;
 pub mod http;
 pub mod jobs;
 pub mod json;
+pub mod pool;
 pub mod registry;
 
 pub use http::client_request;
+pub use pool::{PooledWorkspace, WorkspacePool};
 
 use cache::PartitionCache;
 use gve_obs::{Counter, MetricsRegistry};

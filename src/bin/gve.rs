@@ -12,6 +12,15 @@ use gve::graph::{io, CsrGraph, VertexId};
 use gve::quality;
 use std::process::exit;
 
+// Count every heap allocation the process makes. This is what turns
+// `gve_core_allocs_total` on the serve path into a real measurement
+// (a resident `gve serve` flat-lines it once the workspace pool is
+// warm) and feeds the per-iteration alloc report of `detect --repeat`.
+// Cost: a few relaxed atomic adds per allocator call — and the whole
+// point of the arena work is that the hot path makes none.
+#[global_allocator]
+static ALLOC: gve::prim::alloc_count::CountingAllocator = gve::prim::alloc_count::CountingAllocator;
+
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
@@ -20,7 +29,7 @@ fn usage() -> ! {
          gve detect <graph> [--algorithm <leiden|louvain|seq-leiden|seq-louvain|nk-leiden>] \
          [--objective <modularity|cpm>] [--resolution <f>] [--threads <n>] \
          [--chunk-size <n>] [--kernel <v1|v2>] [--ordering <original|degree|bfs>] \
-         [--layout <split|interleaved>] [--trace <path>] [--out <path>]\n  \
+         [--layout <split|interleaved>] [--trace <path>] [--repeat <n>] [--out <path>]\n  \
          gve quality <graph> <membership> [--detail <n>]\n  \
          gve stats <graph>\n  \
          gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
@@ -252,6 +261,25 @@ fn cmd_detect(args: &[String]) {
         );
     }
 
+    // --repeat N runs the detection N times through ONE pass-resident
+    // workspace and reports each iteration's wall time and allocator
+    // traffic: iteration 1 pays the arena growth, iterations >= 2 are
+    // the steady state a resident service sees.
+    let repeat: usize = flag_value(args, "--repeat")
+        .unwrap_or("1")
+        .parse()
+        .expect("bad --repeat");
+    if repeat == 0 {
+        eprintln!("--repeat must be >= 1");
+        exit(2);
+    }
+    if repeat > 1 && algorithm != "leiden" {
+        eprintln!(
+            "warning: only --algorithm leiden reuses a workspace across \
+             repeats; running {algorithm} once"
+        );
+    }
+
     enum DetectOutcome {
         Leiden(Box<gve::leiden::LeidenResult>),
         Plain(Vec<VertexId>),
@@ -261,13 +289,32 @@ fn cmd_detect(args: &[String]) {
         match algorithm {
             "leiden" => {
                 let leiden = gve::leiden::Leiden::new(leiden_config);
-                let result = match &tracer {
-                    Some(t) => {
-                        leiden.run_observed(&graph, &gve::leiden::RunObserver::with_tracer(t))
+                let mut workspace = gve::leiden::PassWorkspace::new();
+                let mut result = None;
+                for iteration in 1..=repeat {
+                    let alloc_before = gve::prim::alloc_count::snapshot();
+                    let start = std::time::Instant::now();
+                    let r = match &tracer {
+                        Some(t) => leiden.run_observed_in(
+                            &graph,
+                            &mut workspace,
+                            &gve::leiden::RunObserver::with_tracer(t),
+                        ),
+                        None => leiden.run_in(&graph, &mut workspace),
+                    };
+                    if repeat > 1 {
+                        let alloc_after = gve::prim::alloc_count::snapshot();
+                        eprintln!(
+                            "iteration {iteration}/{repeat}: {:.3}s, {} allocations \
+                             ({} bytes)",
+                            start.elapsed().as_secs_f64(),
+                            alloc_after.allocs_since(&alloc_before),
+                            alloc_after.bytes_since(&alloc_before),
+                        );
                     }
-                    None => leiden.run(&graph),
-                };
-                DetectOutcome::Leiden(Box::new(result))
+                    result = Some(r);
+                }
+                DetectOutcome::Leiden(Box::new(result.expect("repeat >= 1")))
             }
             "louvain" => DetectOutcome::Plain(gve::louvain::louvain(&graph).membership),
             "seq-leiden" => {
@@ -574,6 +621,13 @@ fn cmd_top(args: &[String]) {
         get("gve_updates_edges_inserted_total"),
         get("gve_updates_edges_deleted_total"),
         get("gve_updates_incremental_refreshes_total"),
+    );
+    println!(
+        "workspaces   {} checkouts of {} arenas ({} idle); {} hot-path allocations",
+        get("gve_workspace_checkouts_total"),
+        get("gve_workspace_created_total"),
+        get("gve_workspace_idle"),
+        get("gve_core_allocs_total"),
     );
 }
 
