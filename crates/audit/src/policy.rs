@@ -223,6 +223,8 @@ hotpath crates/core/src/refine.rs
 hotpath crates/core/src/aggregate.rs
 hotpath crates/core/src/kernel.rs
 hotpath crates/serve/src/http.rs
+hotpath crates/net/src/server.rs
+hotpath crates/net/src/poller.rs
 
 # Ordering policy table: values other threads synchronize on. The
 # shutdown flag gates joining worker/accept threads: the store must be
@@ -231,6 +233,8 @@ publish crates/serve/src/jobs.rs shutdown.store Release,SeqCst -- workers observ
 publish crates/serve/src/jobs.rs shutdown.load Acquire,SeqCst -- pairs with the Release store above
 publish crates/serve/src/http.rs shutdown.store Release,SeqCst -- accept loop must see listener state preceding the signal
 publish crates/serve/src/http.rs shutdown.load Acquire,SeqCst -- pairs with the Release store above
+publish crates/net/src/server.rs stopping.store Release,SeqCst -- reactor must see all pre-stop writes before it begins draining
+publish crates/net/src/server.rs stopping.load Acquire,SeqCst -- pairs with the Release store above
 
 # Blanket Relaxed allowlists. Everything else needs an inline
 # justification comment mentioning "relaxed" within 8 lines.

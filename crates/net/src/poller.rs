@@ -1,0 +1,360 @@
+//! Readiness poller: epoll on Linux, portable `poll(2)` everywhere
+//! else (and on Linux when explicitly forced, so both backends stay
+//! tested on the platform CI actually runs).
+//!
+//! The poller maps file descriptors to caller-chosen `u64` tokens and
+//! reports readiness as [`Event`]s. It is strictly level-triggered on
+//! both backends — the reactor re-arms interest explicitly, which keeps
+//! the two backends behaviorally identical.
+
+#![cfg(unix)]
+
+use crate::sys;
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+#[cfg(target_os = "linux")]
+use std::os::fd::{FromRawFd, OwnedFd};
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Parked: stay registered but request no readiness wakeups (used
+    /// while a request is dispatched to a handler worker).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Token the fd was registered under.
+    pub token: u64,
+    /// Readable now (or peer closed with data pending).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+    /// Error/hangup condition; the owner should tear the fd down.
+    pub closed: bool,
+}
+
+/// Backend selector.
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+    Portable(PortableBackend),
+}
+
+/// The readiness poller.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Creates a poller, preferring epoll on Linux. `force_portable`
+    /// selects the `poll(2)` backend even where epoll exists.
+    pub fn new(force_portable: bool) -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_portable {
+                return Ok(Poller {
+                    backend: Backend::Epoll(EpollBackend::new()?),
+                });
+            }
+        }
+        let _ = force_portable;
+        Ok(Poller {
+            backend: Backend::Portable(PortableBackend::default()),
+        })
+    }
+
+    /// Which backend is live (`"epoll"` or `"poll"`), for logs/metrics.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Portable(_) => "poll",
+        }
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.ctl(sys::epoll::EPOLL_CTL_ADD, fd, token, interest),
+            Backend::Portable(b) => {
+                b.entries.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest of an already registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.ctl(sys::epoll::EPOLL_CTL_MOD, fd, token, interest),
+            Backend::Portable(b) => {
+                b.entries.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Deregisters `fd`. Errors are swallowed: removal happens on the
+    /// teardown path where the fd may already be gone.
+    pub fn remove(&mut self, fd: RawFd) {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => {
+                let _ = b.ctl(sys::epoll::EPOLL_CTL_DEL, fd, 0, Interest::NONE);
+            }
+            Backend::Portable(b) => {
+                b.entries.remove(&fd);
+            }
+        }
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) and appends readiness
+    /// reports to `events` (cleared first).
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        events.clear();
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.wait(events, timeout_ms),
+            Backend::Portable(b) => b.wait(events, timeout_ms),
+        }
+    }
+}
+
+// ------------------------------------------------------------- epoll
+
+#[cfg(target_os = "linux")]
+struct EpollBackend {
+    epfd: OwnedFd,
+    buf: Vec<sys::epoll::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    fn new() -> io::Result<EpollBackend> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // checked before the fd is used.
+        let raw = unsafe { sys::epoll::epoll_create1(sys::epoll::EPOLL_CLOEXEC) };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: the kernel just handed us exclusive ownership of this
+        // descriptor; it is wrapped exactly once.
+        let epfd = unsafe { OwnedFd::from_raw_fd(raw) };
+        Ok(EpollBackend {
+            epfd,
+            buf: vec![sys::epoll::EpollEvent::default(); 256],
+        })
+    }
+
+    fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        let mut events = sys::epoll::EPOLLRDHUP;
+        if interest.readable {
+            events |= sys::epoll::EPOLLIN;
+        }
+        if interest.writable {
+            events |= sys::epoll::EPOLLOUT;
+        }
+        let mut event = sys::epoll::EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `event` is a live, initialized EpollEvent for the
+        // duration of the call; DEL ignores the pointer entirely.
+        let rc = unsafe { sys::epoll::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        loop {
+            // SAFETY: the buffer is a live allocation of `buf.len()`
+            // EpollEvent slots; the kernel writes at most that many.
+            let n = unsafe {
+                sys::epoll::epoll_wait(
+                    self.epfd.as_raw_fd(),
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for slot in self.buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = slot.events;
+                let token = slot.data;
+                out.push(Event {
+                    token,
+                    readable: bits & (sys::epoll::EPOLLIN | sys::epoll::EPOLLRDHUP) != 0,
+                    writable: bits & sys::epoll::EPOLLOUT != 0,
+                    closed: bits & (sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP) != 0,
+                });
+            }
+            // Saturated buffer: more readiness may be pending; grow so
+            // a busy server is not starved to 256 events per loop.
+            if n as usize == self.buf.len() {
+                self.buf
+                    .resize(self.buf.len() * 2, sys::epoll::EpollEvent::default());
+            }
+            return Ok(());
+        }
+    }
+}
+
+// -------------------------------------------------------------- poll
+
+#[derive(Default)]
+struct PortableBackend {
+    entries: HashMap<RawFd, (u64, Interest)>,
+    fds: Vec<sys::PollFd>,
+    tokens: Vec<u64>,
+}
+
+impl PortableBackend {
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        self.fds.clear();
+        self.tokens.clear();
+        for (&fd, &(token, interest)) in &self.entries {
+            let mut events = 0i16;
+            if interest.readable {
+                events |= sys::POLLIN;
+            }
+            if interest.writable {
+                events |= sys::POLLOUT;
+            }
+            if events == 0 {
+                continue; // parked
+            }
+            self.fds.push(sys::PollFd {
+                fd,
+                events,
+                revents: 0,
+            });
+            self.tokens.push(token);
+        }
+        if self.fds.is_empty() {
+            // Nothing armed: sleep out the timeout so callers still get
+            // their deadline semantics instead of a busy loop.
+            if timeout_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+            }
+            return Ok(());
+        }
+        loop {
+            // SAFETY: `fds` is a live, initialized slice and nfds
+            // matches its length exactly.
+            let n = unsafe {
+                sys::poll(
+                    self.fds.as_mut_ptr(),
+                    self.fds.len() as std::os::raw::c_ulong,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for (slot, &token) in self.fds.iter().zip(&self.tokens) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: slot.revents & sys::POLLIN != 0,
+                    writable: slot.revents & sys::POLLOUT != 0,
+                    closed: slot.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    fn roundtrip(force_portable: bool) {
+        let mut poller = Poller::new(force_portable).unwrap();
+        let (rx, mut tx) = crate::sys::pipe_pair().unwrap();
+        poller.add(rx.as_raw_fd(), 42, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no readiness before the write");
+
+        tx.write_all(&[1]).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+
+        // Parked interest suppresses the (still-pending) readiness.
+        poller.modify(rx.as_raw_fd(), 42, Interest::NONE).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "parked fd must not report readiness");
+
+        poller.modify(rx.as_raw_fd(), 42, Interest::READ).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1, "re-armed fd reports again");
+
+        poller.remove(rx.as_raw_fd());
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_roundtrip() {
+        let poller = Poller::new(false).unwrap();
+        assert_eq!(poller.backend_name(), "epoll");
+        roundtrip(false);
+    }
+
+    #[test]
+    fn portable_backend_roundtrip() {
+        let poller = Poller::new(true).unwrap();
+        assert_eq!(poller.backend_name(), "poll");
+        roundtrip(true);
+    }
+}

@@ -557,7 +557,7 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
             // Incremental refreshes reuse the same pooled arenas as the
             // detection workers, so update batches stay allocation-free
             // on the Leiden hot path too.
-            let mut workspace = state.jobs.workspaces.checkout();
+            let mut workspace = state.jobs.workspaces_for(name).checkout();
             let alloc_before = gve_prim::alloc_count::snapshot();
             let result = dynamic.apply_in(&batch, &mut workspace);
             state

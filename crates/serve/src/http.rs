@@ -1,140 +1,37 @@
-//! Hand-rolled HTTP/1.1 server and client over `std::net`.
+//! Thread-per-connection HTTP/1.1 baseline server.
 //!
-//! Deliberately minimal — no TLS, no chunked transfer, no keep-alive —
-//! because the service's job mix is a few small JSON requests per
-//! second, not bulk transfer. One thread per connection, **capped** at
-//! [`ServerOptions::max_connections`] in-flight handlers (excess
-//! connections get an immediate 503 instead of an unbounded thread
-//! spawn); `Connection: close` on every response keeps lifecycle
-//! management trivial and curl-friendly.
+//! The wire format (request/response types, parser, client) lives in
+//! [`gve_net::http`] and is shared with the event-loop tier; this
+//! module keeps the deliberately simple **baseline** front end: one
+//! thread per connection, `Connection: close` on every response,
+//! capped at [`ServerOptions::max_connections`] in-flight handlers
+//! (excess connections get an immediate 503).
+//!
+//! Two operational hardenings over the original loop:
+//! * every connection read runs against a deadline
+//!   ([`ServerOptions::header_timeout`]) — a stalled client gets a 408
+//!   and frees its thread instead of pinning it forever, counted in
+//!   `gve_http_timeouts_total`;
+//! * [`HttpServer::stop`] is a **bounded drain**: connections still
+//!   waiting for a request are shut down immediately, handlers already
+//!   running get up to [`ServerOptions::drain_timeout`] to finish their
+//!   response, then their sockets are shut down too.
 
 use crate::json::Json;
 use gve_obs::{Counter, MetricsRegistry};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// Upper bound on accepted request bodies (64 MiB) — a registry POST
-/// carrying an explicit edge list is the largest legitimate payload.
-pub const MAX_BODY_BYTES: usize = 64 << 20;
+pub use gve_net::http::{
+    client_request, read_request, ClientConn, HttpError, HttpLimits, Request, Response,
+    MAX_BODY_BYTES, MAX_HEADER_BYTES,
+};
 
 /// Default cap on concurrently handled connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
-
-/// A parsed HTTP request.
-#[derive(Debug, Clone)]
-pub struct Request {
-    /// Upper-cased method (`GET`, `POST`, ...).
-    pub method: String,
-    /// Decoded path without the query string, e.g. `/graphs/web-1`.
-    pub path: String,
-    /// Decoded query parameters in order of appearance.
-    pub query: Vec<(String, String)>,
-    /// Lower-cased header names and their values.
-    pub headers: Vec<(String, String)>,
-    /// Raw body bytes.
-    pub body: Vec<u8>,
-}
-
-impl Request {
-    /// First query parameter with the given name.
-    pub fn query_param(&self, name: &str) -> Option<&str> {
-        self.query
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    /// Path split into non-empty segments.
-    pub fn segments(&self) -> Vec<&str> {
-        self.path.split('/').filter(|s| !s.is_empty()).collect()
-    }
-
-    /// Body interpreted as UTF-8.
-    pub fn body_utf8(&self) -> Result<&str, HttpError> {
-        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad_request("body is not UTF-8"))
-    }
-}
-
-/// An HTTP response ready to serialize.
-#[derive(Debug, Clone)]
-pub struct Response {
-    /// Status code, e.g. 200.
-    pub status: u16,
-    /// Content type; the service always answers JSON.
-    pub content_type: &'static str,
-    /// Body bytes.
-    pub body: Vec<u8>,
-}
-
-impl Response {
-    /// JSON response with the given status.
-    pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Self {
-            status,
-            content_type: "application/json",
-            body: body.into().into_bytes(),
-        }
-    }
-
-    fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            201 => "Created",
-            202 => "Accepted",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            409 => "Conflict",
-            413 => "Payload Too Large",
-            500 => "Internal Server Error",
-            503 => "Service Unavailable",
-            _ => "Unknown",
-        }
-    }
-
-    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.status,
-            self.reason(),
-            self.content_type,
-            self.body.len()
-        )?;
-        stream.write_all(&self.body)?;
-        stream.flush()
-    }
-}
-
-/// Error while reading or parsing a request.
-#[derive(Debug, Clone)]
-pub struct HttpError {
-    /// Status code the error maps to.
-    pub status: u16,
-    /// Description sent back to the client.
-    pub message: String,
-}
-
-impl HttpError {
-    /// 400 with a message.
-    pub fn bad_request(message: impl Into<String>) -> Self {
-        Self {
-            status: 400,
-            message: message.into(),
-        }
-    }
-}
-
-impl std::fmt::Display for HttpError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "http {}: {}", self.status, self.message)
-    }
-}
-
-impl std::error::Error for HttpError {}
 
 /// Renders an error as a JSON response, routing the message through the
 /// JSON string escaper. (It used to go through `format!("{:?}")`, whose
@@ -144,127 +41,18 @@ fn error_response(error: &HttpError) -> Response {
     Response::json(error.status, body)
 }
 
-fn percent_decode(input: &str) -> String {
-    let bytes = input.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'%' => {
-                let hex = bytes
-                    .get(i + 1..i + 3)
-                    .and_then(|h| std::str::from_utf8(h).ok());
-                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
-                    Some(b) => {
-                        out.push(b);
-                        i += 3;
-                    }
-                    None => {
-                        out.push(b'%');
-                        i += 1;
-                    }
-                }
-            }
-            b'+' => {
-                out.push(b' ');
-                i += 1;
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn parse_query(raw: &str) -> Vec<(String, String)> {
-    raw.split('&')
-        .filter(|part| !part.is_empty())
-        .map(|part| match part.split_once('=') {
-            Some((k, v)) => (percent_decode(k), percent_decode(v)),
-            None => (percent_decode(part), String::new()),
-        })
-        .collect()
-}
-
-/// Reads one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| HttpError::bad_request(format!("cannot read request line: {e}")))?;
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::bad_request("empty request line"))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| HttpError::bad_request("missing request target"))?;
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::bad_request(format!(
-            "unsupported version {version}"
-        )));
-    }
-
-    let (path_raw, query_raw) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-
-    let mut headers = Vec::new();
-    let mut content_length = 0usize;
-    loop {
-        let mut header_line = String::new();
-        reader
-            .read_line(&mut header_line)
-            .map_err(|e| HttpError::bad_request(format!("cannot read header: {e}")))?;
-        let trimmed = header_line.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = trimmed.split_once(':') {
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim().to_string();
-            if name == "content-length" {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
-            }
-            headers.push((name, value));
-        }
-    }
-
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError {
-            status: 413,
-            message: "body too large".into(),
-        });
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| HttpError::bad_request(format!("truncated body: {e}")))?;
-    }
-
-    Ok(Request {
-        method,
-        path: percent_decode(path_raw),
-        query: parse_query(query_raw),
-        headers,
-        body,
-    })
-}
-
 /// Tuning knobs for [`HttpServer::start_with`].
 pub struct ServerOptions {
     /// Cap on concurrently handled connections; further accepts are
     /// answered 503 on the accept thread without spawning.
     pub max_connections: usize,
+    /// Deadline for a client to deliver its complete request; a stall
+    /// is answered 408 and counted in `gve_http_timeouts_total`.
+    pub header_timeout: Duration,
+    /// Max time `stop` waits for in-flight handlers to finish.
+    pub drain_timeout: Duration,
+    /// Request parsing size caps.
+    pub limits: HttpLimits,
     /// Registry to export `gve_http_*` connection counters into.
     pub metrics: Option<MetricsRegistry>,
 }
@@ -273,6 +61,9 @@ impl Default for ServerOptions {
     fn default() -> Self {
         Self {
             max_connections: DEFAULT_MAX_CONNECTIONS,
+            header_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+            limits: HttpLimits::default(),
             metrics: None,
         }
     }
@@ -290,11 +81,107 @@ impl Drop for SlotGuard {
     }
 }
 
+/// One tracked live connection.
+struct ConnSlot {
+    /// A clone of the connection's stream, so `stop` can shut the
+    /// socket down from outside the handler thread.
+    stream: TcpStream,
+    /// False while still reading the request (safe to cut immediately
+    /// on stop), true once a handler is producing the response.
+    in_flight: bool,
+}
+
+/// Registry of live connections, shared between handler threads and
+/// `stop`. The condvar signals every unregistration so a draining
+/// `stop` can wait for the map to empty.
+#[derive(Default)]
+struct ConnTracker {
+    conns: Mutex<HashMap<u64, ConnSlot>>,
+    drained: Condvar,
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: the
+/// tracked map stays consistent across a panicking handler (inserts
+/// and removes are atomic under the lock).
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ConnTracker {
+    fn register(&self, id: u64, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            lock_clean(&self.conns).insert(
+                id,
+                ConnSlot {
+                    stream: clone,
+                    in_flight: false,
+                },
+            );
+        }
+    }
+
+    fn mark_in_flight(&self, id: u64) {
+        if let Some(slot) = lock_clean(&self.conns).get_mut(&id) {
+            slot.in_flight = true;
+        }
+    }
+
+    fn unregister(&self, id: u64) {
+        lock_clean(&self.conns).remove(&id);
+        self.drained.notify_all();
+    }
+
+    /// Cuts connections still waiting on a request, then waits up to
+    /// `drain_timeout` for in-flight handlers to finish; stragglers
+    /// get their sockets shut down as well.
+    fn drain(&self, drain_timeout: Duration) {
+        {
+            let conns = lock_clean(&self.conns);
+            for slot in conns.values().filter(|s| !s.in_flight) {
+                let _ = slot.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let deadline = Instant::now() + drain_timeout;
+        let mut conns = lock_clean(&self.conns);
+        while !conns.is_empty() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            conns = match self.drained.wait_timeout(conns, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        for slot in conns.values() {
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A guard that unregisters the connection on drop, so a panicking
+/// handler still leaves the tracker clean.
+struct TrackGuard {
+    tracker: Arc<ConnTracker>,
+    id: u64,
+}
+
+impl Drop for TrackGuard {
+    fn drop(&mut self) {
+        self.tracker.unregister(self.id);
+    }
+}
+
 /// A running HTTP server; dropping the handle stops the accept loop.
 pub struct HttpServer {
     port: u16,
     shutdown: Arc<AtomicBool>,
-    accept_thread: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
+    tracker: Arc<ConnTracker>,
+    drain_timeout: Duration,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl HttpServer {
@@ -325,9 +212,14 @@ impl HttpServer {
         let shutdown_flag = Arc::clone(&shutdown);
         let handler = Arc::new(handler);
         let max_connections = options.max_connections.max(1);
+        let header_timeout = options.header_timeout;
+        let limits = options.limits;
         let active = Arc::new(AtomicUsize::new(0));
+        let tracker = Arc::new(ConnTracker::default());
+        let tracker_accept = Arc::clone(&tracker);
         let accepted = Counter::new();
         let rejected = Counter::new();
+        let timeouts = Counter::new();
         if let Some(registry) = &options.metrics {
             registry.register_counter(
                 "gve_http_connections_total",
@@ -341,11 +233,18 @@ impl HttpServer {
                 &[],
                 &rejected,
             );
+            registry.register_counter(
+                "gve_http_timeouts_total",
+                "Connections closed for exceeding a read/write deadline.",
+                &[],
+                &timeouts,
+            );
         }
 
         let accept_thread = std::thread::Builder::new()
             .name("gve-serve-accept".into())
             .spawn(move || {
+                let mut next_id = 0u64;
                 // Acquire pairs with the Release store in `stop` (audit
                 // publish rule): the loop must observe state written
                 // before the signal.
@@ -370,7 +269,11 @@ impl HttpServer {
                             active.fetch_add(1, Ordering::Relaxed);
                             let guard = SlotGuard(Arc::clone(&active));
                             accepted.inc();
+                            let id = next_id;
+                            next_id += 1;
                             let handler = Arc::clone(&handler);
+                            let tracker = Arc::clone(&tracker_accept);
+                            let timeouts = timeouts.clone();
                             // The guard travels into the handler thread;
                             // if the spawn itself fails the closure (and
                             // guard) is dropped, releasing the slot.
@@ -378,12 +281,26 @@ impl HttpServer {
                                 .name("gve-serve-conn".into())
                                 .spawn(move || {
                                     let _guard = guard;
-                                    let _ = stream.set_nodelay(true);
-                                    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-                                    let response = match read_request(&mut stream) {
-                                        Ok(request) => handler(request),
-                                        Err(e) => error_response(&e),
+                                    tracker.register(id, &stream);
+                                    let _track = TrackGuard {
+                                        tracker: Arc::clone(&tracker),
+                                        id,
                                     };
+                                    let _ = stream.set_nodelay(true);
+                                    let response =
+                                        match read_request(&mut stream, &limits, header_timeout) {
+                                            Ok(request) => {
+                                                tracker.mark_in_flight(id);
+                                                handler(request)
+                                            }
+                                            Err(e) if e.is_closed() => return,
+                                            Err(e) => {
+                                                if e.status == 408 {
+                                                    timeouts.inc();
+                                                }
+                                                error_response(&e)
+                                            }
+                                        };
                                     let _ = response.write_to(&mut stream);
                                 });
                         }
@@ -398,7 +315,9 @@ impl HttpServer {
         Ok(HttpServer {
             port,
             shutdown,
-            accept_thread: std::sync::Mutex::new(Some(accept_thread)),
+            tracker,
+            drain_timeout: options.drain_timeout,
+            accept_thread: Mutex::new(Some(accept_thread)),
         })
     }
 
@@ -407,7 +326,9 @@ impl HttpServer {
         self.port
     }
 
-    /// Signals the accept loop to stop and waits for it. Idempotent.
+    /// Stops the accept loop, cuts connections still waiting for a
+    /// request, and gives in-flight handlers up to `drain_timeout` to
+    /// finish their response. Idempotent.
     pub fn stop(&self) {
         // Release: publish everything preceding the signal to the
         // accept loop's Acquire load.
@@ -421,6 +342,7 @@ impl HttpServer {
         if let Some(handle) = handle {
             let _ = handle.join();
         }
+        self.tracker.drain(self.drain_timeout);
     }
 }
 
@@ -430,65 +352,10 @@ impl Drop for HttpServer {
     }
 }
 
-/// Minimal blocking HTTP client: sends one request, reads the full
-/// response. Shared by `gve client` and the integration tests.
-pub fn client_request(
-    addr: &str,
-    method: &str,
-    path_and_query: &str,
-    body: Option<&str>,
-) -> Result<(u16, String), std::io::Error> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    let body_bytes = body.map(str::as_bytes).unwrap_or(&[]);
-    write!(
-        stream,
-        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body_bytes.len()
-    )?;
-    stream.write_all(body_bytes)?;
-    stream.flush()?;
-
-    let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
-    let mut content_length = None;
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = trimmed.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
-            }
-        }
-    }
-    let mut body = Vec::new();
-    match content_length {
-        Some(len) => {
-            body.resize(len, 0);
-            reader.read_exact(&mut body)?;
-        }
-        None => {
-            reader.read_to_end(&mut body)?;
-        }
-    }
-    Ok((status, String::from_utf8_lossy(&body).into_owned()))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     #[test]
     fn server_roundtrips_a_request() {
@@ -515,6 +382,7 @@ mod tests {
             query: vec![],
             headers: vec![],
             body: vec![],
+            keep_alive: false,
         };
         assert_eq!(req.segments(), vec!["graphs", "web-1", "communities", "3"]);
     }
@@ -568,6 +436,41 @@ mod tests {
         server.stop();
     }
 
+    /// A client that opens a connection and drips a partial header must
+    /// be answered 408 within the read deadline — not pin its handler
+    /// thread forever — and the timeout must be counted.
+    #[test]
+    fn stalled_client_gets_408_and_is_counted() {
+        let registry = MetricsRegistry::new();
+        let server = HttpServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                header_timeout: Duration::from_millis(250),
+                metrics: Some(registry.clone()),
+                ..ServerOptions::default()
+            },
+            |_| Response::json(200, "{}"),
+        )
+        .unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"GET /stall HTTP/1.1\r\nX-Drip: ")
+            .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408"), "{out:?}");
+        assert!(
+            registry.render().contains("gve_http_timeouts_total 1"),
+            "{}",
+            registry.render()
+        );
+        server.stop();
+    }
+
     /// Regression test for unbounded per-connection threads: with the
     /// single slot occupied by a gated handler, the next connection is
     /// answered 503 on the accept thread, the rejection is counted, and
@@ -582,6 +485,7 @@ mod tests {
             ServerOptions {
                 max_connections: 1,
                 metrics: Some(registry.clone()),
+                ..ServerOptions::default()
             },
             move |_| {
                 let (lock, signal) = &*handler_gate;

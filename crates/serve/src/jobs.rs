@@ -211,6 +211,9 @@ pub struct JobRecord {
     pub state: JobState,
     /// Whether the answer came straight from the cache.
     pub cached: bool,
+    /// Whether this job attached as a waiter to an identical job that
+    /// was already queued/running (in-flight coalescing).
+    pub coalesced: bool,
     /// Cache key of the resulting partition (set once known).
     pub key: Option<PartitionKey>,
     /// Error message for failed jobs.
@@ -229,6 +232,7 @@ impl JobRecord {
             ("graph".to_string(), Json::from(self.graph.as_str())),
             ("state".to_string(), Json::from(self.state.label())),
             ("cached".to_string(), Json::from(self.cached)),
+            ("coalesced".to_string(), Json::from(self.coalesced)),
             ("request".to_string(), self.request.to_json()),
         ];
         if let Some(error) = &self.error {
@@ -263,6 +267,9 @@ pub struct JobStats {
     pub failed: Counter,
     /// Full static detections actually executed by workers.
     pub full_detections: Counter,
+    /// Jobs that attached as waiters to an identical in-flight job
+    /// instead of executing their own detection.
+    pub coalesced: Counter,
     /// Jobs currently queued (sent but not yet claimed by a worker).
     pub queue_depth: Gauge,
     /// Times a worker returned from its blocking receive. Stays flat
@@ -289,6 +296,7 @@ impl Default for JobStats {
             completed: Counter::new(),
             failed: Counter::new(),
             full_detections: Counter::new(),
+            coalesced: Counter::new(),
             queue_depth: Gauge::new(),
             worker_wakeups: Counter::new(),
             queue_wait_seconds: Histogram::with_buckets(DEFAULT_LATENCY_BUCKETS),
@@ -325,6 +333,12 @@ impl JobStats {
             &[],
             &self.full_detections,
         );
+        registry.register_counter(
+            "gve_jobs_coalesced_total",
+            "Detect jobs coalesced onto an identical in-flight job.",
+            &[],
+            &self.coalesced,
+        );
         registry.register_gauge(
             "gve_jobs_queue_depth",
             "Jobs sent to the worker queue and not yet claimed.",
@@ -359,97 +373,204 @@ impl JobStats {
     }
 }
 
-/// Message on the worker queue: a job to run, or a shutdown sentinel
-/// (one per worker) so `stop` can wake blocked receivers without a
-/// poll timeout.
+/// Message on a shard's worker queue: a job to run, or a shutdown
+/// sentinel (one per worker) so `stop` can wake blocked receivers
+/// without a poll timeout.
 enum JobMsg {
     Run(u64),
     Shutdown,
 }
 
-/// The background worker pool plus the job table.
+/// One in-flight detection: the job actually computing (`primary`) plus
+/// every identical job that attached as a waiter while it was
+/// queued/running. Keyed by the **submit-time** [`PartitionKey`] in
+/// [`JobTable::inflight`].
+struct Inflight {
+    primary: u64,
+    waiters: Vec<u64>,
+}
+
+/// Job records plus the in-flight coalescing table, under ONE mutex.
+///
+/// Keeping both maps behind a single lock is what makes the coalescing
+/// protocol race-free: a submitter checks the cache and the in-flight
+/// table in one critical section, and a finishing worker publishes to
+/// the cache *before* it removes the in-flight entry — so there is no
+/// interleaving in which a submitter misses the cache, misses the
+/// in-flight entry, and starts a duplicate run.
+#[derive(Default)]
+struct JobTable {
+    records: HashMap<u64, JobRecord>,
+    inflight: HashMap<PartitionKey, Inflight>,
+}
+
+/// One job-engine shard: its own queue, worker threads, and workspace
+/// pool. Graphs route to shards by [`crate::registry::shard_hash`], so
+/// detections on different graphs never contend on one queue or share
+/// workspace arenas across NUMA-unfriendly thread sets.
+struct JobShard {
+    sender: crossbeam::channel::Sender<JobMsg>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    workspaces: Arc<WorkspacePool>,
+    /// Jobs queued on this shard and not yet claimed (exported as
+    /// `gve_jobs_shard_queue_depth{shard="i"}`).
+    queue_depth: Gauge,
+}
+
+/// The sharded background worker pools plus the job table.
 pub struct JobEngine {
     registry: Arc<GraphRegistry>,
     cache: Arc<PartitionCache>,
-    records: Arc<Mutex<HashMap<u64, JobRecord>>>,
-    sender: crossbeam::channel::Sender<JobMsg>,
+    table: Arc<Mutex<JobTable>>,
+    shards: Vec<Arc<JobShard>>,
     next_id: AtomicU64,
     shutdown: Arc<AtomicBool>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
     core_metrics: Arc<CoreMetrics>,
     /// Counter block (public for `/stats` reporting).
     pub stats: Arc<JobStats>,
-    /// Pass-resident workspace arenas shared by the workers (public so
-    /// tests and `/stats` can inspect reuse).
-    pub workspaces: Arc<WorkspacePool>,
+}
+
+/// Panic-free lock that recovers the data from a poisoned mutex. Job
+/// state is a map of plain records — a panicking peer cannot leave it
+/// logically torn in a way a reader could misinterpret.
+fn lock_table(table: &Mutex<JobTable>) -> std::sync::MutexGuard<'_, JobTable> {
+    match table.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 impl JobEngine {
-    /// Starts `worker_count` worker threads (minimum 1).
+    /// Starts a single-shard engine with `worker_count` worker threads
+    /// (minimum 1). Convenience for tests and embedded use; the serving
+    /// tier calls [`JobEngine::start_sharded`].
     pub fn start(
         registry: Arc<GraphRegistry>,
         cache: Arc<PartitionCache>,
         worker_count: usize,
     ) -> Self {
-        let (sender, receiver) = crossbeam::channel::unbounded::<JobMsg>();
-        let records = Arc::new(Mutex::new(HashMap::new()));
+        Self::start_sharded(registry, cache, 1, worker_count)
+    }
+
+    /// Starts `shard_count` independent worker pools (minimum 1 shard)
+    /// of `workers_per_shard` threads each (minimum 1). Each shard owns
+    /// its own queue and [`WorkspacePool`]; graph names route to shards
+    /// by the same stable hash the [`GraphRegistry`] uses.
+    pub fn start_sharded(
+        registry: Arc<GraphRegistry>,
+        cache: Arc<PartitionCache>,
+        shard_count: usize,
+        workers_per_shard: usize,
+    ) -> Self {
+        let table = Arc::new(Mutex::new(JobTable::default()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(JobStats::default());
         let core_metrics = Arc::new(CoreMetrics::default());
-        let workspaces = Arc::new(WorkspacePool::new());
-        let mut workers = Vec::new();
-        for worker in 0..worker_count.max(1) {
-            let receiver = receiver.clone();
-            let registry = Arc::clone(&registry);
-            let cache = Arc::clone(&cache);
-            let records = Arc::clone(&records);
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            let core_metrics = Arc::clone(&core_metrics);
-            let workspaces = Arc::clone(&workspaces);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("gve-serve-worker-{worker}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &receiver,
-                            &registry,
-                            &cache,
-                            &records,
-                            &shutdown,
-                            &stats,
-                            &core_metrics,
-                            &workspaces,
-                        )
-                    })
-                    .expect("spawn worker thread"),
-            );
+        let mut shards = Vec::new();
+        for shard_index in 0..shard_count.max(1) {
+            let (sender, receiver) = crossbeam::channel::unbounded::<JobMsg>();
+            let shard = Arc::new(JobShard {
+                sender,
+                workers: Mutex::new(Vec::new()),
+                workspaces: Arc::new(WorkspacePool::new()),
+                queue_depth: Gauge::new(),
+            });
+            let mut workers = Vec::new();
+            for worker in 0..workers_per_shard.max(1) {
+                let receiver = receiver.clone();
+                let registry = Arc::clone(&registry);
+                let cache = Arc::clone(&cache);
+                let table = Arc::clone(&table);
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                let core_metrics = Arc::clone(&core_metrics);
+                let shard = Arc::clone(&shard);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("gve-serve-worker-{shard_index}-{worker}"))
+                        .spawn(move || {
+                            worker_loop(
+                                &receiver,
+                                &registry,
+                                &cache,
+                                &table,
+                                &shutdown,
+                                &stats,
+                                &core_metrics,
+                                &shard,
+                            )
+                        })
+                        .expect("spawn worker thread"),
+                );
+            }
+            match shard.workers.lock() {
+                Ok(mut slot) => *slot = workers,
+                Err(poisoned) => *poisoned.into_inner() = workers,
+            }
+            shards.push(shard);
         }
         Self {
             registry,
             cache,
-            records,
-            sender,
+            table,
+            shards,
             next_id: AtomicU64::new(1),
             shutdown,
-            workers: Mutex::new(workers),
             core_metrics,
             stats,
-            workspaces,
         }
     }
 
-    /// Registers the job counters, queue metrics, and the algorithm
-    /// core's metrics (fed by every worker detection) with `registry`.
+    /// Registers the job counters, queue metrics, per-shard gauges, and
+    /// the algorithm core's metrics (fed by every worker detection)
+    /// with `registry`.
     pub fn attach_to(&self, registry: &MetricsRegistry) {
         self.stats.attach_to(registry);
         self.core_metrics.attach_to(registry);
-        self.workspaces.attach_to(registry);
+        for (index, shard) in self.shards.iter().enumerate() {
+            let label = index.to_string();
+            registry.register_gauge(
+                "gve_jobs_shard_queue_depth",
+                "Jobs queued on one engine shard and not yet claimed.",
+                &[("shard", label.as_str())],
+                &shard.queue_depth,
+            );
+            shard
+                .workspaces
+                .attach_with_labels(registry, &[("shard", label.as_str())]);
+        }
+    }
+
+    /// Number of job-engine shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine shard index `graph` routes to.
+    pub fn shard_of(&self, graph: &str) -> usize {
+        (crate::registry::shard_hash(graph) % self.shards.len() as u64) as usize
+    }
+
+    /// The workspace pool of the shard `graph` routes to — everything
+    /// that runs Leiden against `graph` (workers, the incremental
+    /// update path) should checkout from here so arenas stay warm per
+    /// shard.
+    pub fn workspaces_for(&self, graph: &str) -> &Arc<WorkspacePool> {
+        &self.shards[self.shard_of(graph)].workspaces
+    }
+
+    /// Total pooled idle workspaces across all shards (test/stats aid).
+    pub fn idle_workspaces(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.workspaces.idle_len())
+            .sum()
     }
 
     /// Submits a detect request against `graph`. Returns the job record:
-    /// already `Done` (with `cached = true`) on a cache hit, otherwise
-    /// `Queued` for the worker pool.
+    /// already `Done` (with `cached = true`) on a cache hit; `coalesced`
+    /// (attached to an identical queued/running job) when one is in
+    /// flight; otherwise `Queued` for the shard's worker pool.
     pub fn submit(&self, graph: &str, request: DetectRequest) -> Result<JobRecord, String> {
         let entry = self.registry.snapshot(graph).map_err(|e| e.to_string())?;
         let key = PartitionKey {
@@ -460,63 +581,138 @@ impl JobEngine {
         self.stats.submitted.inc();
         // Relaxed: `next_id` needs only uniqueness, which fetch_add
         // provides on its own — the record itself is published via the
-        // mutex below.
+        // table mutex below.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let hit = self.cache.get(&key).is_some();
+        let mut table = lock_table(&self.table);
+        // (a) Completed-work dedup: the cache already has this key.
+        // Checked under the table lock so a concurrent completion
+        // (cache insert → inflight removal, in that order) can never
+        // slip between this check and the in-flight check below.
+        if self.cache.get(&key).is_some() {
+            let record = JobRecord {
+                id,
+                graph: graph.to_string(),
+                request,
+                state: JobState::Done,
+                cached: true,
+                coalesced: false,
+                key: Some(key),
+                error: None,
+                seconds: Some(0.0),
+                queued_at: Instant::now(),
+            };
+            table.records.insert(id, record.clone());
+            self.stats.completed.inc();
+            return Ok(record);
+        }
+        // (b) Running-work dedup: an identical job is queued or running
+        // — attach as a waiter instead of queueing a duplicate run.
+        if let Some(primary) = table.inflight.get(&key).map(|inflight| inflight.primary) {
+            let state = match table.records.get(&primary).map(|record| record.state) {
+                Some(JobState::Running) => JobState::Running,
+                _ => JobState::Queued,
+            };
+            let record = JobRecord {
+                id,
+                graph: graph.to_string(),
+                request,
+                state,
+                cached: false,
+                coalesced: true,
+                key: Some(key.clone()),
+                error: None,
+                seconds: None,
+                queued_at: Instant::now(),
+            };
+            table.records.insert(id, record.clone());
+            if let Some(inflight) = table.inflight.get_mut(&key) {
+                inflight.waiters.push(id);
+            }
+            self.stats.coalesced.inc();
+            return Ok(record);
+        }
+        // (c) Fresh work: become the primary and enqueue on the shard.
         let record = JobRecord {
             id,
             graph: graph.to_string(),
             request,
-            state: if hit {
-                JobState::Done
-            } else {
-                JobState::Queued
-            },
-            cached: hit,
-            key: Some(key),
+            state: JobState::Queued,
+            cached: false,
+            coalesced: false,
+            key: Some(key.clone()),
             error: None,
-            seconds: if hit { Some(0.0) } else { None },
+            seconds: None,
             queued_at: Instant::now(),
         };
-        self.records
-            .lock()
-            .expect("job table poisoned")
-            .insert(id, record.clone());
-        if hit {
-            self.stats.completed.inc();
-        } else {
-            self.stats.queue_depth.inc();
-            if self.sender.send(JobMsg::Run(id)).is_err() {
-                self.stats.queue_depth.dec();
-                return Err("job queue closed".to_string());
+        table.records.insert(id, record.clone());
+        table.inflight.insert(
+            key.clone(),
+            Inflight {
+                primary: id,
+                waiters: Vec::new(),
+            },
+        );
+        let shard = &self.shards[self.shard_of(graph)];
+        self.stats.queue_depth.inc();
+        shard.queue_depth.inc();
+        if shard.sender.send(JobMsg::Run(id)).is_err() {
+            self.stats.queue_depth.dec();
+            shard.queue_depth.dec();
+            table.inflight.remove(&key);
+            if let Some(record) = table.records.get_mut(&id) {
+                record.state = JobState::Failed;
+                record.error = Some("job queue closed".to_string());
             }
+            return Err("job queue closed".to_string());
         }
         Ok(record)
     }
 
     /// Looks up a job record.
     pub fn job(&self, id: u64) -> Option<JobRecord> {
-        self.records
-            .lock()
-            .expect("job table poisoned")
-            .get(&id)
-            .cloned()
+        lock_table(&self.table).records.get(&id).cloned()
     }
 
     /// Cancels a job if it is still queued. Returns the new state, or
-    /// `None` for unknown ids.
+    /// `None` for unknown ids. A queued **waiter** detaches from its
+    /// primary; a queued **primary with waiters** refuses to cancel
+    /// (other jobs depend on its run) and stays queued.
     pub fn cancel(&self, id: u64) -> Option<JobState> {
-        let mut records = self.records.lock().expect("job table poisoned");
-        let record = records.get_mut(&id)?;
-        if record.state == JobState::Queued {
+        let mut table = lock_table(&self.table);
+        let (state, key) = {
+            let record = table.records.get(&id)?;
+            (record.state, record.key.clone())
+        };
+        if state != JobState::Queued {
+            return Some(state);
+        }
+        if let Some(key) = key {
+            if let Some(inflight) = table.inflight.get_mut(&key) {
+                if inflight.primary == id {
+                    if !inflight.waiters.is_empty() {
+                        // Coalesced jobs ride on this run; cancelling it
+                        // would strand them. Keep it queued.
+                        return Some(JobState::Queued);
+                    }
+                    // Sole occupant: drop the in-flight entry so a later
+                    // identical submit starts fresh. The worker that
+                    // eventually dequeues this id sees `Cancelled` and
+                    // skips it.
+                    table.inflight.remove(&key);
+                } else {
+                    inflight.waiters.retain(|&waiter| waiter != id);
+                }
+            }
+        }
+        if let Some(record) = table.records.get_mut(&id) {
             record.state = JobState::Cancelled;
         }
-        Some(record.state)
+        Some(JobState::Cancelled)
     }
 
     /// Number of job records retained.
     pub fn len(&self) -> usize {
-        self.records.lock().expect("job table poisoned").len()
+        lock_table(&self.table).records.len()
     }
 
     /// True when no job has been submitted.
@@ -542,21 +738,26 @@ impl JobEngine {
         }
     }
 
-    /// Stops the worker pool (idempotent).
+    /// Stops all shard worker pools (idempotent).
     pub fn stop(&self) {
         // Release suffices (audit publish rule): workers' Acquire loads
         // observe everything written before the signal; no total order
         // across unrelated atomics is needed, so SeqCst was overkill.
         self.shutdown.store(true, Ordering::Release);
-        let mut workers = self.workers.lock().expect("worker table poisoned");
-        // One sentinel per worker unblocks each parked receive in turn;
-        // workers that wake on a stale Run message exit at the shutdown
-        // check instead.
-        for _ in 0..workers.len() {
-            let _ = self.sender.send(JobMsg::Shutdown);
-        }
-        for handle in workers.drain(..) {
-            let _ = handle.join();
+        for shard in &self.shards {
+            let mut workers = match shard.workers.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // One sentinel per worker unblocks each parked receive in
+            // turn; workers that wake on a stale Run message exit at the
+            // shutdown check instead.
+            for _ in 0..workers.len() {
+                let _ = shard.sender.send(JobMsg::Shutdown);
+            }
+            for handle in workers.drain(..) {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -572,11 +773,11 @@ fn worker_loop(
     receiver: &crossbeam::channel::Receiver<JobMsg>,
     registry: &GraphRegistry,
     cache: &PartitionCache,
-    records: &Mutex<HashMap<u64, JobRecord>>,
+    table: &Mutex<JobTable>,
     shutdown: &AtomicBool,
     stats: &JobStats,
     core_metrics: &CoreMetrics,
-    workspaces: &Arc<WorkspacePool>,
+    shard: &JobShard,
 ) {
     loop {
         // Blocking receive: an idle worker parks inside the channel —
@@ -597,20 +798,39 @@ fn worker_loop(
             JobMsg::Shutdown => return,
         };
         stats.queue_depth.dec();
-        let (graph_name, request, queued_at) = {
-            let mut table = records.lock().expect("job table poisoned");
-            let Some(record) = table.get_mut(&id) else {
+        shard.queue_depth.dec();
+        // Claim the primary: mark it (and every already-attached
+        // waiter) Running. The submit-time key is kept so the in-flight
+        // entry can be resolved on completion even though the run may
+        // land on a newer epoch.
+        let (graph_name, request, queued_at, submit_key) = {
+            let mut guard = lock_table(table);
+            let Some(record) = guard.records.get_mut(&id) else {
                 continue;
             };
             if record.state != JobState::Queued {
-                continue; // cancelled while waiting
+                continue; // cancelled while waiting (in-flight entry already popped)
             }
             record.state = JobState::Running;
-            (
+            let info = (
                 record.graph.clone(),
                 record.request.clone(),
                 record.queued_at,
-            )
+                record.key.clone(),
+            );
+            if let Some(key) = &info.3 {
+                let waiters = guard
+                    .inflight
+                    .get(key)
+                    .map(|inflight| inflight.waiters.clone())
+                    .unwrap_or_default();
+                for waiter in waiters {
+                    if let Some(waiting) = guard.records.get_mut(&waiter) {
+                        waiting.state = JobState::Running;
+                    }
+                }
+            }
+            info
         };
         stats
             .queue_wait_seconds
@@ -622,23 +842,34 @@ fn worker_loop(
             &request,
             stats,
             core_metrics,
-            workspaces,
+            &shard.workspaces,
         );
-        let mut table = records.lock().expect("job table poisoned");
-        let Some(record) = table.get_mut(&id) else {
-            continue;
-        };
-        match outcome {
-            Ok((key, seconds)) => {
-                record.state = JobState::Done;
-                record.key = Some(key);
-                record.seconds = Some(seconds);
-                stats.completed.inc();
-            }
-            Err(message) => {
-                record.state = JobState::Failed;
-                record.error = Some(message);
-                stats.failed.inc();
+        // Completion: the partition is already in the cache (inserted by
+        // `run_detection` BEFORE this lock is taken), so the moment the
+        // in-flight entry disappears, any concurrent submitter hits the
+        // cache instead. Resolve the primary and every waiter together.
+        let mut guard = lock_table(table);
+        let waiters = submit_key
+            .as_ref()
+            .and_then(|key| guard.inflight.remove(key))
+            .map(|inflight| inflight.waiters)
+            .unwrap_or_default();
+        for job_id in std::iter::once(id).chain(waiters) {
+            let Some(record) = guard.records.get_mut(&job_id) else {
+                continue;
+            };
+            match &outcome {
+                Ok((key, seconds)) => {
+                    record.state = JobState::Done;
+                    record.key = Some(key.clone());
+                    record.seconds = Some(*seconds);
+                    stats.completed.inc();
+                }
+                Err(message) => {
+                    record.state = JobState::Failed;
+                    record.error = Some(message.clone());
+                    stats.failed.inc();
+                }
             }
         }
     }
@@ -853,6 +1084,171 @@ mod tests {
             engine.stats.worker_wakeups.get(),
             wakeups,
             "idle workers woke up"
+        );
+        engine.stop();
+    }
+
+    /// Acceptance: N identical concurrent detects execute exactly ONE
+    /// Leiden run. Threads race the submit across the whole
+    /// queued → running → done window; every outcome must be either a
+    /// cache hit (submitted after completion) or a coalesced waiter —
+    /// never a duplicate detection — and all jobs resolve to the same
+    /// partition key.
+    #[test]
+    fn concurrent_identical_submits_run_exactly_once() {
+        let registry = Arc::new(GraphRegistry::new());
+        let cache = Arc::new(PartitionCache::new());
+        let planted = PlantedPartition::new(2000, 8, 10.0, 0.8).seed(7).generate();
+        registry
+            .register("sbm", planted.graph, GraphSource::Generated("sbm".into()))
+            .unwrap();
+        let engine = Arc::new(JobEngine::start_sharded(
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+            2,
+            2,
+        ));
+        const CLIENTS: usize = 16;
+        let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+        let records: Vec<JobRecord> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let submitted = engine.submit("sbm", DetectRequest::default()).unwrap();
+                        engine
+                            .wait(submitted.id, Duration::from_secs(60))
+                            .expect("job record")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        assert_eq!(
+            engine.stats.full_detections.get(),
+            1,
+            "exactly one Leiden run for {CLIENTS} identical submits"
+        );
+        let first_key = records[0].key.clone().unwrap();
+        let mut cached = 0u64;
+        for record in &records {
+            assert_eq!(record.state, JobState::Done, "error: {:?}", record.error);
+            assert_eq!(record.key.as_ref(), Some(&first_key), "keys diverged");
+            if record.cached {
+                cached += 1;
+                assert!(!record.coalesced);
+            }
+        }
+        assert_eq!(
+            engine.stats.coalesced.get() + cached,
+            (CLIENTS - 1) as u64,
+            "every non-primary submit must be a cache hit or a waiter"
+        );
+        assert_eq!(engine.stats.submitted.get(), CLIENTS as u64);
+        assert_eq!(engine.stats.completed.get(), CLIENTS as u64);
+        // One partition in the cache serves everyone.
+        assert!(cache.peek(&first_key).is_some());
+        engine.stop();
+    }
+
+    /// Cancel semantics under coalescing: a queued waiter detaches; a
+    /// queued primary with waiters refuses to cancel; once all waiters
+    /// are gone the primary cancels and pops the in-flight entry so the
+    /// next identical submit starts fresh.
+    #[test]
+    fn cancel_respects_coalesced_waiters() {
+        let registry = Arc::new(GraphRegistry::new());
+        let cache = Arc::new(PartitionCache::new());
+        let blocker = PlantedPartition::new(4000, 8, 10.0, 0.8).seed(3).generate();
+        let small = PlantedPartition::new(300, 6, 10.0, 0.5).seed(11).generate();
+        registry
+            .register(
+                "blocker",
+                blocker.graph,
+                GraphSource::Generated("sbm".into()),
+            )
+            .unwrap();
+        registry
+            .register("small", small.graph, GraphSource::Generated("sbm".into()))
+            .unwrap();
+        // One shard, one worker: everything funnels through one queue.
+        let engine = JobEngine::start_sharded(Arc::clone(&registry), Arc::clone(&cache), 1, 1);
+        // Keep the sole worker busy long enough to exercise queued-state
+        // cancels deterministically: several distinct detections ahead.
+        for seed in 0..3 {
+            let request = DetectRequest {
+                seed: 1000 + seed,
+                ..DetectRequest::default()
+            };
+            engine.submit("blocker", request).unwrap();
+        }
+        let primary = engine.submit("small", DetectRequest::default()).unwrap();
+        assert_eq!(primary.state, JobState::Queued);
+        let waiter = engine.submit("small", DetectRequest::default()).unwrap();
+        assert!(waiter.coalesced, "identical queued submit must coalesce");
+
+        // Waiter cancels cleanly.
+        assert_eq!(engine.cancel(waiter.id), Some(JobState::Cancelled));
+        // New identical submit re-attaches to the still-queued primary.
+        let waiter2 = engine.submit("small", DetectRequest::default()).unwrap();
+        assert!(waiter2.coalesced);
+        // Primary with a live waiter refuses to cancel.
+        assert_eq!(engine.cancel(primary.id), Some(JobState::Queued));
+        // Detach the waiter, then the primary cancels.
+        assert_eq!(engine.cancel(waiter2.id), Some(JobState::Cancelled));
+        assert_eq!(engine.cancel(primary.id), Some(JobState::Cancelled));
+        // In-flight entry is gone: the next identical submit is a fresh
+        // primary, not a waiter on a cancelled job.
+        let fresh = engine.submit("small", DetectRequest::default()).unwrap();
+        assert!(!fresh.coalesced, "cancelled run must not accrete waiters");
+        let fresh = engine.wait(fresh.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(fresh.state, JobState::Done, "error: {:?}", fresh.error);
+        assert_eq!(engine.stats.coalesced.get(), 2);
+        engine.stop();
+        // The cancelled jobs stayed cancelled.
+        assert_eq!(engine.job(waiter.id).unwrap().state, JobState::Cancelled);
+        assert_eq!(engine.job(primary.id).unwrap().state, JobState::Cancelled);
+    }
+
+    /// Sharded engines route each graph to a stable shard with its own
+    /// workspace pool, and export per-shard queue gauges.
+    #[test]
+    fn sharded_engine_routes_and_exports_per_shard_metrics() {
+        let registry = Arc::new(GraphRegistry::new());
+        let cache = Arc::new(PartitionCache::new());
+        let planted = PlantedPartition::new(300, 6, 10.0, 0.5).seed(11).generate();
+        registry
+            .register("sbm", planted.graph, GraphSource::Generated("sbm".into()))
+            .unwrap();
+        let engine = JobEngine::start_sharded(Arc::clone(&registry), Arc::clone(&cache), 4, 1);
+        assert_eq!(engine.num_shards(), 4);
+        assert_eq!(engine.shard_of("sbm"), engine.shard_of("sbm"));
+        let metrics = MetricsRegistry::new();
+        engine.attach_to(&metrics);
+        let job = engine.submit("sbm", DetectRequest::default()).unwrap();
+        let record = engine.wait(job.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(record.state, JobState::Done, "error: {:?}", record.error);
+        // The workspace landed back in the pool of the routed shard.
+        assert_eq!(engine.workspaces_for("sbm").idle_len(), 1);
+        assert_eq!(engine.idle_workspaces(), 1);
+        let text = metrics.render();
+        for shard in 0..4 {
+            assert!(
+                text.contains(&format!(
+                    "gve_jobs_shard_queue_depth{{shard=\"{shard}\"}} 0"
+                )),
+                "missing shard {shard} gauge in:\n{text}"
+            );
+        }
+        let routed = engine.shard_of("sbm");
+        assert!(
+            text.contains(&format!(
+                "gve_workspace_checkouts_total{{shard=\"{routed}\"}} 1"
+            )),
+            "missing per-shard workspace counter in:\n{text}"
         );
         engine.stop();
     }

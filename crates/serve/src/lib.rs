@@ -51,10 +51,19 @@ use std::time::Instant;
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Detection worker threads.
+    /// Detection worker threads **per job-engine shard**.
     pub workers: usize,
     /// Concurrent connection cap (further connections get 503).
     pub max_connections: usize,
+    /// Job-engine shards: independent worker pools + workspace arenas,
+    /// keyed by graph-name hash.
+    pub shards: usize,
+    /// Serve through the `gve-net` epoll event loop instead of a thread
+    /// per connection. Ignored (threaded fallback) on non-unix targets.
+    pub event_loop: bool,
+    /// Force the portable `poll(2)` reactor backend even where epoll
+    /// exists (testing aid; only meaningful with `event_loop`).
+    pub force_portable_poll: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +72,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7461".to_string(),
             workers: 2,
             max_connections: http::DEFAULT_MAX_CONNECTIONS,
+            shards: 4,
+            event_loop: gve_net::EVENT_LOOP_AVAILABLE,
+            force_portable_poll: false,
         }
     }
 }
@@ -128,12 +140,25 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    /// Builds the state, starts `workers` detection workers, and wires
-    /// every subsystem's metrics into one registry.
+    /// Builds single-shard state with `workers` detection workers
+    /// (embedded/test convenience).
     pub fn new(workers: usize) -> Arc<Self> {
-        let registry = Arc::new(GraphRegistry::new());
+        Self::new_sharded(1, workers)
+    }
+
+    /// Builds the state, starts `shards` job-engine shards of `workers`
+    /// detection workers each, and wires every subsystem's metrics into
+    /// one registry. The graph registry uses the same shard count so a
+    /// graph's map shard and its worker pool line up.
+    pub fn new_sharded(shards: usize, workers: usize) -> Arc<Self> {
+        let registry = Arc::new(GraphRegistry::with_shards(shards.max(1)));
         let cache = Arc::new(PartitionCache::new());
-        let jobs = JobEngine::start(Arc::clone(&registry), Arc::clone(&cache), workers);
+        let jobs = JobEngine::start_sharded(
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+            shards.max(1),
+            workers,
+        );
         let updates = UpdateStats::default();
         let metrics = MetricsRegistry::new();
         cache.stats.attach_to(&metrics);
@@ -150,9 +175,18 @@ impl ServerState {
     }
 }
 
+/// Which connection front end a [`Server`] runs.
+enum FrontEnd {
+    /// Classic thread-per-connection acceptor (`http::HttpServer`).
+    Threaded(http::HttpServer),
+    /// `gve-net` readiness reactor (epoll/poll) with a handler pool.
+    #[cfg(unix)]
+    EventLoop(gve_net::EventLoopServer),
+}
+
 /// A running service: HTTP front end plus worker pool.
 pub struct Server {
-    http: http::HttpServer,
+    front: FrontEnd,
     state: Arc<ServerState>,
     /// `join` parks on this pair; `stop` flips the flag and notifies,
     /// so shutdown is immediate instead of waiting out a sleep.
@@ -162,18 +196,62 @@ pub struct Server {
 impl Server {
     /// Binds and starts serving.
     pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
-        let state = ServerState::new(config.workers);
+        let state = ServerState::new_sharded(config.shards, config.workers);
         let handler_state = Arc::clone(&state);
-        let http = http::HttpServer::start_with(
+        let handler = move |request| handlers::handle(&handler_state, &request);
+        // Routes whose handlers are strictly non-blocking and
+        // microsecond-scale run inline on the reactor thread (no
+        // worker-pool round trip). Everything that computes or does IO
+        // — graph registration, update batches with incremental
+        // refresh, large membership/community dumps — goes to workers.
+        #[cfg(unix)]
+        let inline: gve_net::InlinePredicate = Arc::new(|request: &gve_net::http::Request| {
+            match request.method.as_str() {
+                "GET" => {
+                    !request.path.contains("/membership") && !request.path.contains("/communities")
+                }
+                // Detect submits only queue a job (or hit the cache);
+                // cancel flips a record state.
+                "POST" => request.path.contains("/detect") || request.path.contains("/cancel"),
+                _ => false,
+            }
+        });
+        #[cfg(unix)]
+        let front = if config.event_loop {
+            FrontEnd::EventLoop(gve_net::EventLoopServer::start(
+                config.addr.as_str(),
+                gve_net::NetOptions {
+                    max_connections: config.max_connections,
+                    force_portable_poll: config.force_portable_poll,
+                    inline: Some(inline),
+                    metrics: Some(state.metrics.clone()),
+                    ..gve_net::NetOptions::default()
+                },
+                handler,
+            )?)
+        } else {
+            FrontEnd::Threaded(http::HttpServer::start_with(
+                config.addr.as_str(),
+                http::ServerOptions {
+                    max_connections: config.max_connections,
+                    metrics: Some(state.metrics.clone()),
+                    ..http::ServerOptions::default()
+                },
+                handler,
+            )?)
+        };
+        #[cfg(not(unix))]
+        let front = FrontEnd::Threaded(http::HttpServer::start_with(
             config.addr.as_str(),
             http::ServerOptions {
                 max_connections: config.max_connections,
                 metrics: Some(state.metrics.clone()),
+                ..http::ServerOptions::default()
             },
-            move |request| handlers::handle(&handler_state, &request),
-        )?;
+            handler,
+        )?);
         Ok(Server {
-            http,
+            front,
             state,
             stopping: Arc::new((Mutex::new(false), Condvar::new())),
         })
@@ -181,7 +259,20 @@ impl Server {
 
     /// The bound port.
     pub fn port(&self) -> u16 {
-        self.http.port()
+        match &self.front {
+            FrontEnd::Threaded(http) => http.port(),
+            #[cfg(unix)]
+            FrontEnd::EventLoop(server) => server.port(),
+        }
+    }
+
+    /// Which front end is serving: `"threaded"`, `"epoll"`, or `"poll"`.
+    pub fn backend(&self) -> &'static str {
+        match &self.front {
+            FrontEnd::Threaded(_) => "threaded",
+            #[cfg(unix)]
+            FrontEnd::EventLoop(server) => server.backend(),
+        }
     }
 
     /// The shared state (tests inspect counters directly).
@@ -209,7 +300,11 @@ impl Server {
             *stopped = true;
             signal.notify_all();
         }
-        self.http.stop();
+        match &self.front {
+            FrontEnd::Threaded(http) => http.stop(),
+            #[cfg(unix)]
+            FrontEnd::EventLoop(server) => server.stop(),
+        }
         self.state.jobs.stop();
     }
 }

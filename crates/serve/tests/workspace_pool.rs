@@ -136,10 +136,12 @@ fn two_detect_jobs_share_one_workspace_and_match() {
         "core-alloc counter not fed by detections"
     );
 
-    // The pool built exactly one workspace and parked it between jobs.
-    assert_eq!(engine.workspaces.created.get(), 1, "one arena built");
-    assert_eq!(engine.workspaces.checkouts.get(), 2, "both jobs pooled");
-    assert_eq!(engine.workspaces.idle_len(), 1, "arena parked after use");
+    // The pool built exactly one workspace and parked it between jobs
+    // (single-shard engine: both graphs share one pool).
+    let pool = engine.workspaces_for("a");
+    assert_eq!(pool.created.get(), 1, "one arena built");
+    assert_eq!(pool.checkouts.get(), 2, "both jobs pooled");
+    assert_eq!(pool.idle_len(), 1, "arena parked after use");
 
     // The second job skips the arena + aggregation-buffer allocations;
     // its heap traffic (result vectors, cache entry, job bookkeeping)

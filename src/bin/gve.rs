@@ -33,8 +33,8 @@ fn usage() -> ! {
          gve quality <graph> <membership> [--detail <n>]\n  \
          gve stats <graph>\n  \
          gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
-         gve serve [--addr <host:port>] [--workers <n>] [--max-connections <n>] \
-         [--load <name>=<path>]...\n  \
+         gve serve [--addr <host:port>] [--workers <n>] [--shards <n>] \
+         [--max-connections <n>] [--threaded] [--portable-poll] [--load <name>=<path>]...\n  \
          gve client <method> <path> [--addr <host:port>] [--body <json>|--body-file <path>]\n  \
          gve top [--addr <host:port>]    (one-shot metrics summary of a running gve-serve)"
     );
@@ -438,6 +438,19 @@ fn cmd_serve(args: &[String]) {
             exit(2);
         }
     }
+    if let Some(raw) = flag_value(args, "--shards") {
+        config.shards = raw.parse().expect("bad --shards");
+        if config.shards == 0 {
+            eprintln!("--shards must be >= 1");
+            exit(2);
+        }
+    }
+    if args.iter().any(|a| a == "--threaded") {
+        config.event_loop = false;
+    }
+    if args.iter().any(|a| a == "--portable-poll") {
+        config.force_portable_poll = true;
+    }
     let server = gve::serve::Server::start(&config).unwrap_or_else(|e| {
         eprintln!("error: cannot bind {}: {e}", config.addr);
         exit(1);
@@ -468,9 +481,11 @@ fn cmd_serve(args: &[String]) {
     }
 
     eprintln!(
-        "gve-serve listening on port {} with {} detection workers \
-         (try: curl http://127.0.0.1:{}/healthz)",
+        "gve-serve listening on port {} ({} front end, {} shards × {} \
+         detection workers; try: curl http://127.0.0.1:{}/healthz)",
         server.port(),
+        server.backend(),
+        config.shards,
         workers,
         server.port()
     );
