@@ -118,6 +118,7 @@ impl Response {
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -274,7 +275,7 @@ fn parse_head(head: &str) -> Result<(Request, usize), HttpError> {
     };
 
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut keep_alive = http11; // 1.1 defaults to keep-alive
     for line in lines {
         let trimmed = line.trim_end();
@@ -284,10 +285,30 @@ fn parse_head(head: &str) -> Result<(Request, usize), HttpError> {
         if let Some((name, value)) = trimmed.split_once(':') {
             let name = name.trim().to_ascii_lowercase();
             let value = value.trim().to_string();
+            if name == "transfer-encoding" {
+                // This parser only frames bodies by Content-Length.
+                // Silently ignoring Transfer-Encoding would leave the
+                // chunk framing in the buffer to be parsed as the next
+                // pipelined request — a request-desync/smuggling
+                // primitive behind a proxy. Refuse outright.
+                return Err(HttpError {
+                    status: 501,
+                    message: "Transfer-Encoding is not supported".into(),
+                });
+            }
             if name == "content-length" {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+                // Duplicate Content-Length headers with differing
+                // values are the other classic desync vector; last-wins
+                // silently picks a framing the peer may not share.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(HttpError::bad_request(
+                        "conflicting Content-Length headers",
+                    ));
+                }
+                content_length = Some(parsed);
             }
             if name == "connection" {
                 let v = value.to_ascii_lowercase();
@@ -310,7 +331,7 @@ fn parse_head(head: &str) -> Result<(Request, usize), HttpError> {
             body: Vec::new(),
             keep_alive,
         },
-        content_length,
+        content_length.unwrap_or(0),
     ))
 }
 
@@ -632,6 +653,31 @@ mod tests {
             .unwrap()
             .expect("complete");
         assert!(!request.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    /// Desync guards: a chunked request must be refused (501), not
+    /// parsed body-less with its chunk framing left in the buffer as a
+    /// phantom pipelined request; conflicting duplicate Content-Length
+    /// headers must be refused (400) rather than resolved last-wins.
+    #[test]
+    fn transfer_encoding_and_conflicting_lengths_are_rejected() {
+        let limits = HttpLimits::default();
+        let mut parser = RequestBuffer::new();
+        parser.extend(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n0\r\n\r\n",
+        );
+        assert_eq!(parser.try_next(&limits).unwrap_err().status, 501);
+
+        let mut parser = RequestBuffer::new();
+        parser.extend(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\nhello");
+        assert_eq!(parser.try_next(&limits).unwrap_err().status, 400);
+
+        // Repeated but agreeing Content-Length headers stay accepted.
+        let mut parser = RequestBuffer::new();
+        parser.extend(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello");
+        let request = parser.try_next(&limits).unwrap().expect("complete");
+        assert_eq!(request.body, b"hello");
     }
 
     #[test]

@@ -174,9 +174,16 @@ impl EpollBackend {
 
     fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
         use std::os::fd::AsRawFd;
-        let mut events = sys::epoll::EPOLLRDHUP;
+        // RDHUP is requested only alongside read interest: epoll is
+        // level-triggered, so registering it on a parked (NONE) or
+        // write-only connection would make a half-closed peer re-report
+        // on every wait, spinning the reactor for the whole handler
+        // duration. Full hangup/error (EPOLLHUP/EPOLLERR) is always
+        // reported regardless of the requested set, so dead parked
+        // connections are still torn down promptly.
+        let mut events = 0;
         if interest.readable {
-            events |= sys::epoll::EPOLLIN;
+            events |= sys::epoll::EPOLLIN | sys::epoll::EPOLLRDHUP;
         }
         if interest.writable {
             events |= sys::epoll::EPOLLOUT;
@@ -257,9 +264,11 @@ impl PortableBackend {
             if interest.writable {
                 events |= sys::POLLOUT;
             }
-            if events == 0 {
-                continue; // parked
-            }
+            // Parked (Interest::NONE) fds stay in the set with an empty
+            // request: poll(2) reports POLLERR/POLLHUP regardless of the
+            // requested events, so peer hangup on a dispatched
+            // connection surfaces as `closed` here exactly as EPOLLHUP
+            // does on the epoll backend.
             self.fds.push(sys::PollFd {
                 fd,
                 events,
@@ -268,8 +277,8 @@ impl PortableBackend {
             self.tokens.push(token);
         }
         if self.fds.is_empty() {
-            // Nothing armed: sleep out the timeout so callers still get
-            // their deadline semantics instead of a busy loop.
+            // Nothing registered: sleep out the timeout so callers
+            // still get their deadline semantics instead of a busy loop.
             if timeout_ms > 0 {
                 std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
             }
@@ -343,12 +352,35 @@ mod tests {
         assert!(events.is_empty());
     }
 
+    /// Peer hangup on a parked (Interest::NONE) fd must still surface
+    /// as `closed` — error/hangup conditions are reported by both
+    /// kernels regardless of the requested event set, and the reactor
+    /// relies on that to tear down dead dispatched connections.
+    fn parked_hangup_reports_closed(force_portable: bool) {
+        let mut poller = Poller::new(force_portable).unwrap();
+        let (rx, tx) = crate::sys::pipe_pair().unwrap();
+        poller.add(rx.as_raw_fd(), 7, Interest::NONE).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no hangup yet");
+        drop(tx); // peer goes away while the fd is parked
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(
+            events[0].closed,
+            "hangup on a parked fd must report closed: {:?}",
+            events[0]
+        );
+    }
+
     #[cfg(target_os = "linux")]
     #[test]
     fn epoll_backend_roundtrip() {
         let poller = Poller::new(false).unwrap();
         assert_eq!(poller.backend_name(), "epoll");
         roundtrip(false);
+        parked_hangup_reports_closed(false);
     }
 
     #[test]
@@ -356,5 +388,6 @@ mod tests {
         let poller = Poller::new(true).unwrap();
         assert_eq!(poller.backend_name(), "poll");
         roundtrip(true);
+        parked_hangup_reports_closed(true);
     }
 }

@@ -440,7 +440,15 @@ impl Reactor {
             None => -1,
             Some(deadline) => {
                 let remaining = deadline.saturating_duration_since(Instant::now());
-                remaining.as_millis().min(i32::MAX as u128) as i32
+                // Round UP to the next millisecond: truncation would
+                // turn any deadline under 1 ms away into a 0 ms timeout
+                // and spin the loop until it actually expires
+                // (`expire_deadlines` fires on `d <= now`).
+                let mut ms = remaining.as_millis();
+                if remaining.subsec_nanos() % 1_000_000 != 0 {
+                    ms += 1;
+                }
+                ms.min(i32::MAX as u128) as i32
             }
         }
     }

@@ -528,10 +528,17 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
     let batch = parse_batch(&body)?;
 
     let cell = state.registry.entry(name)?;
-    // Hold the entry lock across the whole apply: updates to one graph
-    // are serialized, other graphs stay available.
-    let mut entry = cell.lock().expect("entry lock poisoned");
-    let old_epoch = entry.epoch;
+    // Updates to one graph are serialized through the cell's update
+    // gate, NOT by holding the entry lock across the apply: the entry
+    // lock is taken only to snapshot the graph and to publish the
+    // result, so readers — including the event-loop reactor's inline
+    // handlers, which must never block — wait microseconds at most
+    // even while a seconds-long incremental refresh is in flight.
+    let _gate = cell.begin_update();
+    let (old_graph, old_epoch) = {
+        let entry = cell.lock();
+        (Arc::clone(&entry.graph), entry.epoch)
+    };
     let new_epoch = old_epoch + 1;
     let seeded = state
         .cache
@@ -548,7 +555,7 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
                 .to_config()
                 .map_err(ApiError::bad_request)?;
             let mut dynamic = DynamicLeiden::from_state(
-                entry.graph.as_ref().clone(),
+                old_graph.as_ref().clone(),
                 partition.membership.as_ref().clone(),
                 config,
                 strategy,
@@ -568,15 +575,17 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
             refreshed = Some((result, partition.request.clone()));
             dynamic.graph().clone()
         }
-        None => apply_batch(&entry.graph, &batch),
+        None => apply_batch(&old_graph, &batch),
     };
     let seconds = started.elapsed().as_secs_f64();
 
-    entry.graph = Arc::new(new_graph);
-    entry.epoch = new_epoch;
-    entry.batches_applied += 1;
-    let graph = Arc::clone(&entry.graph);
-    drop(entry);
+    let graph = {
+        let mut entry = cell.lock();
+        entry.graph = Arc::new(new_graph);
+        entry.epoch = new_epoch;
+        entry.batches_applied += 1;
+        Arc::clone(&entry.graph)
+    };
 
     state.updates.batches_applied.inc();
     state

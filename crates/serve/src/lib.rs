@@ -66,6 +66,11 @@ pub struct ServeConfig {
     pub force_portable_poll: bool,
 }
 
+/// Largest request body the event-loop inline fast path will handle on
+/// the reactor thread; bigger bodies route to the worker pool so their
+/// JSON parse cannot stall unrelated connections.
+const MAX_INLINE_BODY_BYTES: usize = 4 << 10;
+
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
@@ -204,8 +209,17 @@ impl Server {
         // worker-pool round trip). Everything that computes or does IO
         // — graph registration, update batches with incremental
         // refresh, large membership/community dumps — goes to workers.
+        // The locks these inline routes do take are all short-hold by
+        // construction: update batches serialize on the registry cell's
+        // update gate and touch the entry mutex only to snapshot and to
+        // publish, so a snapshot on the reactor thread never waits out
+        // a refresh. Oversized bodies are parsed on workers too — JSON
+        // parsing is linear in the body and the body cap is 64 MiB.
         #[cfg(unix)]
         let inline: gve_net::InlinePredicate = Arc::new(|request: &gve_net::http::Request| {
+            if request.body.len() > MAX_INLINE_BODY_BYTES {
+                return false;
+            }
             match request.method.as_str() {
                 "GET" => {
                     !request.path.contains("/membership") && !request.path.contains("/communities")

@@ -223,6 +223,37 @@ fn identical_concurrent_detects_coalesce_over_http() {
     server.stop();
 }
 
+/// Regression test for the reactor-stall review finding: inline
+/// handlers (graph info, detect submit) snapshot the registry entry on
+/// the reactor thread, and an update batch mid-refresh must not block
+/// them. Holding the cell's update gate simulates the longest possible
+/// refresh; a request that blocked behind it would hang this test.
+#[test]
+fn inline_requests_answer_while_an_update_holds_the_gate() {
+    let server = boot(true, false);
+    let addr = format!("127.0.0.1:{}", server.port());
+    register_sbm(&addr, "busy", 400);
+
+    let cell = server.state().registry.entry("busy").unwrap();
+    let gate = cell.begin_update(); // an update batch is "in flight"
+
+    // Inline GET on the same graph answers immediately off the old
+    // snapshot instead of freezing the reactor (and with it every
+    // other connection) until the gate drops.
+    let (status, body) = client_request(&addr, "GET", "/graphs/busy", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    // Inline detect submit also only needs the snapshot.
+    let (status, body) = client_request(&addr, "POST", "/graphs/busy/detect", Some("{}")).unwrap();
+    assert!(status == 200 || status == 202, "{status} {body}");
+    // Unrelated inline routes (served by the same single reactor
+    // thread) must be alive too.
+    let (status, _) = client_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    drop(gate);
+    server.stop();
+}
+
 /// Keep-alive reuse over the reactor: many requests on one connection,
 /// confirmed by the reuse counter.
 #[test]
