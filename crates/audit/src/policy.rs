@@ -222,6 +222,8 @@ hotpath crates/core/src/localmove.rs
 hotpath crates/core/src/refine.rs
 hotpath crates/core/src/aggregate.rs
 hotpath crates/core/src/kernel.rs
+hotpath crates/prim/src/simd.rs
+hotpath crates/prim/src/sched.rs
 hotpath crates/serve/src/http.rs
 hotpath crates/net/src/server.rs
 hotpath crates/net/src/poller.rs

@@ -48,7 +48,7 @@ impl fmt::Display for Violation {
 }
 
 /// Rayon entry points whose call chains count as parallel regions.
-const RAYON_ENTRIES: [&str; 14] = [
+const RAYON_ENTRIES: [&str; 15] = [
     "par_iter",
     "par_iter_mut",
     "into_par_iter",
@@ -61,6 +61,7 @@ const RAYON_ENTRIES: [&str; 14] = [
     "par_bridge",
     "broadcast",
     "dynamic_workers",
+    "scheduled_workers",
     "par_for_dynamic",
     "par_for_dynamic_sum",
 ];

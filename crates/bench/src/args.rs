@@ -25,6 +25,10 @@ pub struct BenchArgs {
     /// `kernels` runner); the CI bench-smoke job uses it as the
     /// zero-steady-state-allocation regression gate.
     pub assert_steady_allocs: Option<u64>,
+    /// Fail the `kernels` run unless, on every suite graph, the best v3
+    /// variant is strictly faster than the v1 reference — the kernel-v3
+    /// performance gate enforced by CI bench-smoke.
+    pub assert_v3_beats_v1: bool,
 }
 
 impl Default for BenchArgs {
@@ -38,6 +42,7 @@ impl Default for BenchArgs {
             threads: None,
             quick: false,
             assert_steady_allocs: None,
+            assert_v3_beats_v1: false,
         }
     }
 }
@@ -68,6 +73,7 @@ impl BenchArgs {
                     args.threads = Some(value("--threads").parse().expect("bad --threads"))
                 }
                 "--quick" => args.quick = true,
+                "--assert-v3-beats-v1" => args.assert_v3_beats_v1 = true,
                 "--assert-steady-allocs" => {
                     args.assert_steady_allocs = Some(
                         value("--assert-steady-allocs")
@@ -78,7 +84,8 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale <f64> --reps <n> --seed <n> --csv <path> --json <path> \
-                         --threads <n> --quick --assert-steady-allocs <n>"
+                         --threads <n> --quick --assert-steady-allocs <n> \
+                         --assert-v3-beats-v1"
                     );
                     std::process::exit(0);
                 }
@@ -160,6 +167,12 @@ mod tests {
         assert_eq!(parse(&[]).assert_steady_allocs, None);
         let a = parse(&["--assert-steady-allocs", "64"]);
         assert_eq!(a.assert_steady_allocs, Some(64));
+    }
+
+    #[test]
+    fn v3_gate_flag() {
+        assert!(!parse(&[]).assert_v3_beats_v1);
+        assert!(parse(&["--assert-v3-beats-v1"]).assert_v3_beats_v1);
     }
 
     #[test]

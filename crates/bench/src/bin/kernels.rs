@@ -1,7 +1,8 @@
-//! Kernel v1 vs v2 comparison runner — the reproducible counterpart of
+//! Kernel v1/v2/v3 comparison runner — the reproducible counterpart of
 //! `benches/kernels.rs`. Runs full GVE-Leiden under each kernel variant
-//! on an R-MAT web graph (skewed degrees) and a planted-partition SBM
-//! (near-uniform degrees), takes the **minimum** wall time over `--reps`
+//! on an R-MAT web graph (skewed degrees), a planted-partition SBM
+//! (near-uniform degrees), and a Barabási–Albert power-law graph
+//! (heavy hub skew), takes the **minimum** wall time over `--reps`
 //! repetitions (the stable statistic on a shared box), and emits a
 //! machine-readable JSON report.
 //!
@@ -18,7 +19,16 @@
 //! * `v2_interleaved` — v2 plus the interleaved `(target, weight)` CSR
 //!   edge layout;
 //! * `v2_degree` — v2 plus degree-descending vertex relabeling;
-//! * `v2_bfs` — v2 plus BFS vertex relabeling.
+//! * `v2_bfs` — v2 plus BFS vertex relabeling;
+//! * `v3` — lane-chunked accumulate + lane-parallel choose over the
+//!   interleaved layout (static chunking);
+//! * `v3_guided` — v3 under guided (arc-balanced, shrinking-chunk)
+//!   scheduling;
+//! * `v3_steal` — v3 under per-worker-deque work stealing.
+//!
+//! `--assert-v3-beats-v1` turns the comparison into a hard gate: on
+//! every suite graph the best v3 variant must be strictly faster than
+//! the v1 reference (exit 1 otherwise).
 //!
 //! This binary installs the counting global allocator and runs every
 //! variant inside one pass-resident [`PassWorkspace`], so the report
@@ -32,7 +42,9 @@
 
 use gve_bench::{report, report::Table, BenchArgs};
 use gve_graph::CsrGraph;
-use gve_leiden::{EdgeLayout, KernelVersion, Leiden, LeidenConfig, PassWorkspace, VertexOrdering};
+use gve_leiden::{
+    ChunkScheduling, EdgeLayout, KernelVersion, Leiden, LeidenConfig, PassWorkspace, VertexOrdering,
+};
 use gve_prim::alloc_count::{self, CountingAllocator};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -63,6 +75,22 @@ fn variants() -> Vec<(&'static str, LeidenConfig)> {
                 .kernel(KernelVersion::V2)
                 .ordering(VertexOrdering::Bfs),
         ),
+        // v3 rows run the default split layout, like v1, so the gate
+        // compares kernels — not kernel+layout bundles (the interleaved
+        // materialization is a separately measured option above).
+        ("v3", base.clone().kernel(KernelVersion::V3)),
+        (
+            "v3_guided",
+            base.clone()
+                .kernel(KernelVersion::V3)
+                .chunking(ChunkScheduling::Guided),
+        ),
+        (
+            "v3_steal",
+            base.clone()
+                .kernel(KernelVersion::V3)
+                .chunking(ChunkScheduling::Stealing),
+        ),
     ]
 }
 
@@ -70,6 +98,7 @@ fn graphs(args: &BenchArgs) -> Vec<(String, CsrGraph)> {
     // --quick halves the R-MAT scale and the SBM size on top of --scale.
     let rmat_scale = if args.quick { 12 } else { 14 } + (args.scale.log2().round() as i32).max(-8);
     let sbm_n = (((if args.quick { 20_000 } else { 100_000 }) as f64) * args.scale) as usize;
+    let pld_n = (((if args.quick { 15_000 } else { 75_000 }) as f64) * args.scale) as usize;
     vec![
         (
             format!("rmat_web_{rmat_scale}"),
@@ -83,6 +112,14 @@ fn graphs(args: &BenchArgs) -> Vec<(String, CsrGraph)> {
                 .seed(args.seed)
                 .generate()
                 .graph,
+        ),
+        // Power-law-degree graph with heavy hub skew: preferential
+        // attachment concentrates a large fraction of the arcs on a few
+        // early vertices, which is exactly what guided/stealing
+        // scheduling (and the v3 hub-gather path) are built for.
+        (
+            format!("pld_cross_web_{pld_n}"),
+            gve_generate::ba::barabasi_albert(pld_n.max(1000), 8, args.seed),
         ),
     ]
 }
@@ -109,7 +146,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Table::new(
-        "Kernel v1 vs v2 (min wall time over reps)",
+        "Kernel v1 vs v2 vs v3 (min wall time over reps)",
         &[
             "Graph",
             "Variant",
@@ -277,5 +314,46 @@ fn main() {
             "alloc gate passed: every steady-state run stayed within \
              {bound} allocations"
         );
+    }
+
+    // The kernel-v3 performance gate (CI bench-smoke): on every graph
+    // the best v3 variant must be strictly faster than v1.
+    if args.assert_v3_beats_v1 {
+        let mut graphs: Vec<&str> = rows.iter().map(|r| r.graph.as_str()).collect();
+        graphs.dedup();
+        let mut violated = false;
+        for graph in graphs {
+            let v1 = rows
+                .iter()
+                .find(|r| r.graph == graph && r.variant == "v1")
+                .expect("v1 row missing")
+                .seconds;
+            let (best_variant, best) = rows
+                .iter()
+                .filter(|r| r.graph == graph && r.variant.starts_with("v3"))
+                .map(|r| (r.variant, r.seconds))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("v3 rows missing");
+            if best < v1 {
+                eprintln!(
+                    "v3 gate: {graph}: {best_variant} {} vs v1 {} ({:.2}x)",
+                    report::fmt_secs(best),
+                    report::fmt_secs(v1),
+                    v1 / best
+                );
+            } else {
+                violated = true;
+                eprintln!(
+                    "v3 gate FAILED: {graph}: best v3 variant {best_variant} {} \
+                     is not faster than v1 {}",
+                    report::fmt_secs(best),
+                    report::fmt_secs(v1)
+                );
+            }
+        }
+        if violated {
+            std::process::exit(1);
+        }
+        eprintln!("v3 gate passed: v3 beats v1 on every suite graph");
     }
 }

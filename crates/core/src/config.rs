@@ -30,15 +30,23 @@ pub enum KernelVersion {
     /// fall back to the v1 path.
     #[default]
     V2,
+    /// Lane-chunked kernel: accumulate-only edge scan over direct CSR
+    /// row slices (interleaved when built, split otherwise) with
+    /// batched membership loads, then one lane-parallel choose pass
+    /// over the candidate set (`gve_prim::simd`). Same two-tier
+    /// stack/table dispatch as v2, bit-identical choices to v1 on
+    /// frozen state.
+    V3,
 }
 
 impl KernelVersion {
-    /// Parses a CLI/config token: `v1` or `v2`.
+    /// Parses a CLI/config token: `v1`, `v2` or `v3`.
     pub fn parse(token: &str) -> Result<Self, String> {
         match token {
             "v1" => Ok(Self::V1),
             "v2" => Ok(Self::V2),
-            other => Err(format!("unknown kernel '{other}' (expected v1|v2)")),
+            "v3" => Ok(Self::V3),
+            other => Err(format!("unknown kernel '{other}' (expected v1|v2|v3)")),
         }
     }
 
@@ -47,6 +55,48 @@ impl KernelVersion {
         match self {
             Self::V1 => "v1",
             Self::V2 => "v2",
+            Self::V3 => "v3",
+        }
+    }
+}
+
+/// How the parallel phase loops carve the vertex range into per-worker
+/// claims (orthogonal to [`Scheduling`], which governs the freshness of
+/// the state those workers observe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkScheduling {
+    /// Fixed-size vertex chunks off one shared cursor (the original
+    /// `dynamic_workers` behaviour).
+    #[default]
+    Static,
+    /// Arc-proportional shrinking chunks (OpenMP `schedule(guided)`
+    /// over arc mass): each claim takes `remaining_arcs / (2·workers)`
+    /// arcs, so skewed degree distributions self-balance.
+    Guided,
+    /// Arc-balanced per-worker segments with steal-on-empty: a
+    /// straggler chunk of hubs can be drained by idle workers.
+    Stealing,
+}
+
+impl ChunkScheduling {
+    /// Parses a CLI/config token: `static`, `guided` or `stealing`.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        match token {
+            "static" => Ok(Self::Static),
+            "guided" => Ok(Self::Guided),
+            "stealing" => Ok(Self::Stealing),
+            other => Err(format!(
+                "unknown chunk scheduling '{other}' (expected static|guided|stealing)"
+            )),
+        }
+    }
+
+    /// Canonical token for fingerprints and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Static => "static",
+            Self::Guided => "guided",
+            Self::Stealing => "stealing",
         }
     }
 }
@@ -208,6 +258,9 @@ pub struct LeidenConfig {
     pub aggregation: AggregationStrategy,
     /// Dynamic-schedule chunk size for the parallel loops.
     pub chunk_size: usize,
+    /// Claim policy for the phase loops (static chunks, guided
+    /// shrinking chunks, or work stealing over arc-balanced segments).
+    pub chunking: ChunkScheduling,
     /// Seed for the randomized refinement streams.
     pub seed: u64,
     /// Neighbourhood-scan kernel for the asynchronous phases.
@@ -245,6 +298,7 @@ impl Default for LeidenConfig {
             scheduling: Scheduling::default(),
             aggregation: AggregationStrategy::default(),
             chunk_size: gve_prim::parfor::DEFAULT_CHUNK,
+            chunking: ChunkScheduling::default(),
             seed: 0,
             kernel: KernelVersion::default(),
             small_degree_threshold: DEFAULT_SMALL_DEGREE_THRESHOLD,
@@ -319,6 +373,12 @@ impl LeidenConfig {
     /// Sets the dynamic-schedule chunk size.
     pub fn chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Sets the claim policy for the phase loops.
+    pub fn chunking(mut self, chunking: ChunkScheduling) -> Self {
+        self.chunking = chunking;
         self
     }
 
@@ -490,13 +550,29 @@ mod tests {
 
     #[test]
     fn kernel_and_layout_tokens_round_trip() {
-        for k in [KernelVersion::V1, KernelVersion::V2] {
+        for k in [KernelVersion::V1, KernelVersion::V2, KernelVersion::V3] {
             assert_eq!(KernelVersion::parse(k.label()), Ok(k));
         }
         for l in [EdgeLayout::Split, EdgeLayout::Interleaved] {
             assert_eq!(EdgeLayout::parse(l.label()), Ok(l));
         }
-        assert!(KernelVersion::parse("v3").is_err());
+        assert!(KernelVersion::parse("v4").is_err());
         assert!(EdgeLayout::parse("columnar").is_err());
+    }
+
+    #[test]
+    fn chunk_scheduling_tokens_round_trip() {
+        for s in [
+            ChunkScheduling::Static,
+            ChunkScheduling::Guided,
+            ChunkScheduling::Stealing,
+        ] {
+            assert_eq!(ChunkScheduling::parse(s.label()), Ok(s));
+        }
+        assert!(ChunkScheduling::parse("dynamic").is_err());
+        assert_eq!(LeidenConfig::default().chunking, ChunkScheduling::Static);
+        let c = LeidenConfig::default().chunking(ChunkScheduling::Guided);
+        assert_eq!(c.chunking, ChunkScheduling::Guided);
+        assert!(c.validate().is_ok());
     }
 }

@@ -25,13 +25,30 @@
 //! the same order, so with frozen shared state v1 and v2 pick identical
 //! `(community, gain)` — the property `tests/kernels.rs` checks
 //! move-for-move.
+//!
+//! Kernel **v3** restructures the scan for the memory system instead of
+//! fusing it: the edge pass is *accumulate-only* (no per-edge score
+//! evaluation) over the CSR row as a direct slice — the interleaved
+//! `(target, weight)` row when the layout is built, the split slices
+//! otherwise. The low-degree tier tallies into a [`HashScanMap`], a
+//! stack-resident open-addressed map with O(1) probes whose aux slot
+//! *prefetches* each candidate's `Σ'` on first touch — the scattered
+//! sigma load is issued while the edge scan still has misses to hide
+//! behind. The choose pass then folds once over the map's dense
+//! key/weight/aux slices via [`gve_prim::simd::choose_prefetched`] with
+//! autovectorizable arithmetic and **zero** scattered loads. Hubs keep
+//! the v1 two-pass path: measured head-to-head, the dense table plus
+//! v1's choose loop beats gathered folds once the candidate set is
+//! large. Bit-identical to v1 on frozen state because the score/gain
+//! arithmetic and tie-breaks are unchanged and the argmax is
+//! order-independent (max score, ties to the smaller id).
 
 use crate::config::{KernelVersion, LeidenConfig};
 use crate::localmove::choose_best;
 use crate::objective::GainCoeffs;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::atomics::AtomicF64;
-use gve_prim::{CommunityMap, SmallScanMap};
+use gve_prim::{simd, CommunityMap, HashScanMap, SmallScanMap};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Fused scan-and-choose over the stack-resident map: accumulates
@@ -162,14 +179,126 @@ pub fn two_pass_best_move(
     choose_best(ht, current, p_i, sigma, coeffs)
 }
 
+/// Accumulate-only edge scan for kernel v3: feeds each retained
+/// `(community, weight)` contribution of `i`'s row to `acc`. The layout
+/// branch happens once per vertex (not per edge, as [`CsrGraph::scan_edges`]'s
+/// enum dispatch does), and the body is a bare load → accumulate with no
+/// scoring, so the compiler keeps the membership loads independent and
+/// the loop tight.
+#[inline]
+fn v3_scan<F: FnMut(u32, f64)>(
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    bounds: Option<&[VertexId]>,
+    i: VertexId,
+    mut acc: F,
+) {
+    // Relaxed membership loads throughout: the asynchronous design
+    // tolerates stale neighbor communities (see `fused_best_move`).
+    match (graph.interleaved_row(i), bounds) {
+        (Some(row), None) => {
+            for &(j, w) in row {
+                if j != i {
+                    // Relaxed: asynchronous design, see above.
+                    acc(membership[j as usize].load(Ordering::Relaxed), w as f64);
+                }
+            }
+        }
+        (Some(row), Some(b)) => {
+            let bound = b[i as usize];
+            for &(j, w) in row {
+                if j != i && b[j as usize] == bound {
+                    // Relaxed: asynchronous design, see above.
+                    acc(membership[j as usize].load(Ordering::Relaxed), w as f64);
+                }
+            }
+        }
+        (None, None) => {
+            for (&j, &w) in graph.neighbors(i).iter().zip(graph.edge_weights(i)) {
+                if j != i {
+                    // Relaxed: asynchronous design, see above.
+                    acc(membership[j as usize].load(Ordering::Relaxed), w as f64);
+                }
+            }
+        }
+        (None, Some(b)) => {
+            let bound = b[i as usize];
+            for (&j, &w) in graph.neighbors(i).iter().zip(graph.edge_weights(i)) {
+                if j != i && b[j as usize] == bound {
+                    // Relaxed: asynchronous design, see above.
+                    acc(membership[j as usize].load(Ordering::Relaxed), w as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Kernel v3: accumulate-only scan, then one lane-chunked choose pass.
+///
+/// `use_small` selects the stack mini-hash tier (callers pass the degree
+/// dispatch result so the graph's degree lookup happens once); when set,
+/// `i`'s distinct neighbour communities must fit
+/// [`gve_prim::HASH_SCAN_CAP`] — guaranteed by any degree-based dispatch
+/// threshold ≤ the cap, and debug-asserted by the map itself. The
+/// final `(community, gain)` is bit-identical to v1 on frozen state:
+/// the score is `lin·K_{i→c} − (quad·p_i)·Σ'_c` with v1's left-to-right
+/// association, ties resolve to the smaller id, and the gain is
+/// evaluated once at the end with the winner's saved `Σ'`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn v3_best_move(
+    ht: &mut CommunityMap,
+    hash: &mut HashScanMap,
+    graph: &CsrGraph,
+    membership: &[AtomicU32],
+    bounds: Option<&[VertexId]>,
+    i: VertexId,
+    current: VertexId,
+    p_i: f64,
+    sigma: &[AtomicF64],
+    coeffs: GainCoeffs,
+    use_small: bool,
+) -> Option<(VertexId, f64)> {
+    let lin = coeffs.lin;
+    let qp = coeffs.quad * p_i;
+    let (best, k_to_current) = if use_small {
+        hash.clear();
+        v3_scan(graph, membership, bounds, i, |c, w| {
+            // Σ' prefetch: the aux callback runs on a candidate's first
+            // touch, issuing its scattered load while the edge scan
+            // still has misses to hide behind, so the choose pass below
+            // touches only the stack.
+            hash.add_with(c, w, |key| sigma[key as usize].load());
+        });
+        let best =
+            simd::choose_prefetched(hash.keys(), hash.weights(), hash.aux(), current, lin, qp)?;
+        (best, hash.weight(current))
+    } else {
+        // Hub tier: the dense table plus the v1 choose loop. Measured
+        // head-to-head against a lane-gathered fold over the table's
+        // key list, the v1 loop wins on hubs — the fold's weight
+        // re-gather buffer costs more than its batched Σ' loads save —
+        // so v3 keeps the reference path for the few high-degree rows
+        // and spends its structure on the tier that dominates.
+        return two_pass_best_move(
+            ht, graph, membership, bounds, i, current, p_i, sigma, coeffs,
+        );
+    };
+    let sigma_current = sigma[current as usize].load();
+    let gain = coeffs.gain(best.weight, k_to_current, p_i, best.sigma, sigma_current);
+    (gain > 0.0).then_some((best.key, gain))
+}
+
 /// Degree-aware dispatch: the fused stack tier for low-degree vertices
-/// under kernel v2, the two-pass table path otherwise. This is the
-/// single entry point the local-moving and greedy-refinement loops use.
+/// under kernel v2, the lane-chunked paths under v3, the two-pass table
+/// path otherwise. This is the single entry point the local-moving and
+/// greedy-refinement loops use.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 pub fn best_move(
     ht: &mut CommunityMap,
     small: &mut SmallScanMap,
+    hash: &mut HashScanMap,
     graph: &CsrGraph,
     membership: &[AtomicU32],
     bounds: Option<&[VertexId]>,
@@ -180,14 +309,27 @@ pub fn best_move(
     coeffs: GainCoeffs,
     config: &LeidenConfig,
 ) -> Option<(VertexId, f64)> {
-    if config.kernel == KernelVersion::V2 && graph.degree(i) <= config.small_degree_threshold {
-        fused_best_move(
-            small, graph, membership, bounds, i, current, p_i, sigma, coeffs,
-        )
-    } else {
-        two_pass_best_move(
+    match config.kernel {
+        KernelVersion::V1 => two_pass_best_move(
             ht, graph, membership, bounds, i, current, p_i, sigma, coeffs,
-        )
+        ),
+        KernelVersion::V2 => {
+            if graph.degree(i) <= config.small_degree_threshold {
+                fused_best_move(
+                    small, graph, membership, bounds, i, current, p_i, sigma, coeffs,
+                )
+            } else {
+                two_pass_best_move(
+                    ht, graph, membership, bounds, i, current, p_i, sigma, coeffs,
+                )
+            }
+        }
+        KernelVersion::V3 => {
+            let use_small = graph.degree(i) <= config.small_degree_threshold;
+            v3_best_move(
+                ht, hash, graph, membership, bounds, i, current, p_i, sigma, coeffs, use_small,
+            )
+        }
     }
 }
 
@@ -324,6 +466,7 @@ mod tests {
         let (membership, penalty, sigma, coeffs) = setup(&graph, &singleton);
         let mut ht = CommunityMap::new(6);
         let mut small = SmallScanMap::new();
+        let mut hash = HashScanMap::new();
         let config = LeidenConfig::default().small_degree_threshold(2);
         // Hub (degree 5 > 2) and leaves (degree 1 ≤ 2) both produce the
         // same answer through the dispatcher as through either kernel.
@@ -331,6 +474,7 @@ mod tests {
             let got = best_move(
                 &mut ht,
                 &mut small,
+                &mut hash,
                 &graph,
                 &membership,
                 None,
@@ -365,6 +509,7 @@ mod tests {
         let (membership, penalty, sigma, coeffs) = setup(&graph, &labels);
         let mut ht = CommunityMap::new(3);
         let mut small = SmallScanMap::new();
+        let mut hash = HashScanMap::new();
         for i in 0..3u32 {
             let v1 = two_pass_best_move(
                 &mut ht,
@@ -390,6 +535,127 @@ mod tests {
             );
             assert_eq!(v1, None, "vertex {i}");
             assert_eq!(v2, None, "vertex {i}");
+            for use_small in [false, true] {
+                let v3 = v3_best_move(
+                    &mut ht,
+                    &mut hash,
+                    &graph,
+                    &membership,
+                    None,
+                    i,
+                    labels[i as usize],
+                    penalty[i as usize],
+                    &sigma,
+                    coeffs,
+                    use_small,
+                );
+                assert_eq!(v3, None, "vertex {i} use_small={use_small}");
+            }
+        }
+    }
+
+    /// v3 must agree bit-for-bit with v1 on frozen state, through both
+    /// tiers, both layouts, and with refinement bounds.
+    #[test]
+    fn v3_matches_two_pass_on_frozen_state() {
+        let edges: Vec<(u32, u32, f32)> = (1..12u32)
+            .map(|v| (0, v, 0.5 + v as f32))
+            .chain([(1, 2, 1.0), (3, 4, 2.0), (5, 6, 1.5), (7, 8, 0.25)])
+            .collect();
+        let split = GraphBuilder::from_edges(12, &edges);
+        let interleaved = split.clone();
+        interleaved.build_interleaved();
+        let labels = [0u32, 0, 0, 3, 3, 3, 6, 6, 6, 9, 9, 9];
+        let bounds = [0u32, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        for graph in [&split, &interleaved] {
+            let (membership, penalty, sigma, coeffs) = setup(graph, &labels);
+            let mut ht = CommunityMap::new(12);
+            let mut hash = HashScanMap::new();
+            for bound in [None, Some(&bounds[..])] {
+                for i in 0..12u32 {
+                    let current = labels[i as usize];
+                    let v1 = two_pass_best_move(
+                        &mut ht,
+                        graph,
+                        &membership,
+                        bound,
+                        i,
+                        current,
+                        penalty[i as usize],
+                        &sigma,
+                        coeffs,
+                    );
+                    for use_small in [false, true] {
+                        if use_small && graph.degree(i) > gve_prim::HASH_SCAN_CAP {
+                            continue;
+                        }
+                        let v3 = v3_best_move(
+                            &mut ht,
+                            &mut hash,
+                            graph,
+                            &membership,
+                            bound,
+                            i,
+                            current,
+                            penalty[i as usize],
+                            &sigma,
+                            coeffs,
+                            use_small,
+                        );
+                        assert_eq!(
+                            v1,
+                            v3,
+                            "vertex {i} use_small={use_small} bounded={}",
+                            bound.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The v3 dispatcher path through `best_move` equals the v1 kernel
+    /// on frozen state for every vertex of a star (hub + leaves).
+    #[test]
+    fn v3_dispatch_matches_reference() {
+        let edges: Vec<(u32, u32, f32)> = (1..6).map(|v| (0, v, v as f32)).collect();
+        let graph = GraphBuilder::from_edges(6, &edges);
+        graph.build_interleaved();
+        let singleton: Vec<u32> = (0..6).collect();
+        let (membership, penalty, sigma, coeffs) = setup(&graph, &singleton);
+        let mut ht = CommunityMap::new(6);
+        let mut small = SmallScanMap::new();
+        let mut hash = HashScanMap::new();
+        let config = LeidenConfig::default()
+            .kernel(KernelVersion::V3)
+            .small_degree_threshold(2);
+        for i in 0..6u32 {
+            let got = best_move(
+                &mut ht,
+                &mut small,
+                &mut hash,
+                &graph,
+                &membership,
+                None,
+                i,
+                i,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+                &config,
+            );
+            let reference = two_pass_best_move(
+                &mut ht,
+                &graph,
+                &membership,
+                None,
+                i,
+                i,
+                penalty[i as usize],
+                &sigma,
+                coeffs,
+            );
+            assert_eq!(got, reference, "vertex {i}");
         }
     }
 }

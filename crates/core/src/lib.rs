@@ -65,8 +65,8 @@ pub mod timing;
 pub mod workspace;
 
 pub use config::{
-    AggregationStrategy, EdgeLayout, KernelVersion, Labeling, LeidenConfig, RefinementStrategy,
-    Scheduling, Variant, VertexOrdering, DEFAULT_SMALL_DEGREE_THRESHOLD,
+    AggregationStrategy, ChunkScheduling, EdgeLayout, KernelVersion, Labeling, LeidenConfig,
+    RefinementStrategy, Scheduling, Variant, VertexOrdering, DEFAULT_SMALL_DEGREE_THRESHOLD,
 };
 pub use localmove::MoveOutcome;
 pub use math::delta_modularity;
@@ -122,6 +122,9 @@ pub struct LeidenResult {
     pub pass_stats: Vec<PassStats>,
     /// Why the pass loop ended.
     pub stop: StopReason,
+    /// Chunk scheduling policy the run used (config echo, so metrics
+    /// and traces can label the scheduler counters).
+    pub chunking: ChunkScheduling,
     /// Dendrogram levels, recorded only when
     /// [`LeidenConfig::record_dendrogram`] is set: level `l` maps each
     /// vertex of the pass-`l` graph to its refined community (a vertex
@@ -350,6 +353,7 @@ impl Leiden {
                 timings,
                 pass_stats,
                 stop: StopReason::Converged,
+                chunking: config.chunking,
                 dendrogram: Vec::new(),
             };
         }
@@ -368,6 +372,12 @@ impl Leiden {
         if use_sizes {
             workspace.ensure_sizes(n);
         }
+        if config.layout == EdgeLayout::Interleaved {
+            // Super-vertex graphs adopt a pooled interleaved buffer (a
+            // supergraph never has more arcs than its input), so later
+            // passes allocate nothing for the layout either.
+            workspace.ensure_interleaved(graph.num_arcs());
+        }
         let PassWorkspace {
             membership,
             sigma,
@@ -385,6 +395,7 @@ impl Leiden {
             plain_sigma,
             sync_decisions,
             unprocessed,
+            interleaved_pool,
             aggregate: agg,
             // The per-worker collision-free hashtables (the O(T·N)
             // memory term) live in the arena too, reused across phases,
@@ -415,18 +426,26 @@ impl Leiden {
         let mut stop = StopReason::PassCap;
 
         for pass in 0..config.max_passes {
+            // Interleaved layout: build the (target, weight) copy once
+            // per pass graph; every scan_edges call then walks a single
+            // cache stream. The shared input graph caches its copy in
+            // its `OnceLock` (reused across runs); owned super-vertex
+            // graphs adopt a pooled buffer instead, returned to the
+            // pool before the CSR is recycled.
+            if config.layout == EdgeLayout::Interleaved {
+                let t_layout = Instant::now();
+                match current.as_mut() {
+                    Some(cur) => cur.adopt_interleaved(interleaved_pool.pop().unwrap_or_default()),
+                    None => {
+                        graph.build_interleaved();
+                    }
+                }
+                timings.other += t_layout.elapsed();
+            }
+
             let g: &CsrGraph = current.as_ref().unwrap_or(graph);
             let n_cur = g.num_vertices();
             let t_pass = Instant::now();
-
-            // Interleaved layout: build the (target, weight) copy once
-            // per pass graph; every scan_edges call then walks a single
-            // cache stream.
-            if config.layout == EdgeLayout::Interleaved {
-                let t_layout = Instant::now();
-                g.build_interleaved();
-                timings.other += t_layout.elapsed();
-            }
 
             // Stale-suffix poisoning (requires `--features analysis`):
             // everything past this pass's prefix is sentinel-filled, and
@@ -474,7 +493,7 @@ impl Leiden {
             // Local-moving (Algorithm 2) and refinement (Algorithm 3),
             // under the configured scheduling. Bounds and refined
             // memberships land in workspace prefixes.
-            let (outcome, refine_moves): (MoveOutcome, u64) = match config.scheduling {
+            let (outcome, refine_moves, refine_sched) = match config.scheduling {
                 Scheduling::Asynchronous => {
                     // Reinitialize the atomic prefix in place (parallel
                     // fills — no fresh atomic vectors). Relaxed stores:
@@ -567,7 +586,7 @@ impl Leiden {
                     timings.other += t2.elapsed();
 
                     let t3 = Instant::now();
-                    let refine_moves = refine::refine(
+                    let (refine_moves, refine_sched) = refine::refine(
                         g,
                         bounds,
                         membership,
@@ -599,7 +618,7 @@ impl Leiden {
                             &totals,
                         );
                     }
-                    (outcome, refine_moves)
+                    (outcome, refine_moves, refine_sched)
                 }
                 Scheduling::ColorSynchronous => {
                     // Deterministic path: plain state, decisions per
@@ -681,11 +700,16 @@ impl Leiden {
                     #[cfg(feature = "analysis")]
                     analysis::assert_phase_state("refinement", pass, n_cur, membership, pen, sigma);
                     refined[..n_cur].copy_from_slice(membership);
-                    (outcome, refine_moves)
+                    // The color-synchronous path schedules per color
+                    // class through `par_for_dynamic`; chunk scheduling
+                    // (and its counters) apply to the async path only.
+                    (outcome, refine_moves, gve_prim::SchedStats::default())
                 }
             };
             let li = outcome.gains.len();
             move_iterations += li;
+            let mut pass_sched = outcome.sched;
+            pass_sched.merge(refine_sched);
 
             // The phases may only have touched this pass's prefix: the
             // poisoned suffix must be byte-for-byte intact.
@@ -721,6 +745,8 @@ impl Leiden {
                 pruning_processed: outcome.pruning_processed,
                 pruning_skipped: outcome.pruning_skipped,
                 tolerance,
+                sched_chunks: pass_sched.chunks,
+                sched_steals: pass_sched.steals,
                 local_move_time: timings.local_move - lm_before,
                 refinement_time: timings.refinement - rf_before,
                 aggregation_time: Duration::ZERO,
@@ -765,7 +791,7 @@ impl Leiden {
                         k,
                         (config.chunk_size / 4).max(1),
                         tables,
-                        (config.kernel == KernelVersion::V2)
+                        matches!(config.kernel, KernelVersion::V2 | KernelVersion::V3)
                             .then_some(config.small_degree_threshold),
                         agg,
                     )
@@ -835,8 +861,13 @@ impl Leiden {
 
             // Swap in the super-vertex graph; the displaced one's
             // buffers feed the aggregation recycle stack, so steady
-            // state holds exactly two resident CSR buffer sets.
-            if let Some(old) = current.replace(supergraph) {
+            // state holds exactly two resident CSR buffer sets. Its
+            // adopted interleaved buffer (if any) returns to the pool
+            // first — `recycle` would drop it.
+            if let Some(mut old) = current.replace(supergraph) {
+                if let Some(buf) = old.take_interleaved() {
+                    interleaved_pool.push(buf);
+                }
                 agg.recycle(old);
             }
             // Threshold scaling (line 15).
@@ -846,7 +877,10 @@ impl Leiden {
         }
 
         // Recycle the last super-vertex graph for the next run.
-        if let Some(last) = current.take() {
+        if let Some(mut last) = current.take() {
+            if let Some(buf) = last.take_interleaved() {
+                interleaved_pool.push(buf);
+            }
             agg.recycle(last);
         }
 
@@ -866,6 +900,7 @@ impl Leiden {
             timings,
             pass_stats,
             stop,
+            chunking: config.chunking,
             dendrogram,
         }
     }

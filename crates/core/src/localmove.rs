@@ -12,13 +12,32 @@
 //! vertex re-marks its neighbours. This replaces NetworKit's global
 //! queues and is one of the paper's named optimizations.
 
-use crate::config::LeidenConfig;
+use crate::config::{ChunkScheduling, LeidenConfig};
 use crate::objective::GainCoeffs;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::atomics::AtomicF64;
-use gve_prim::parfor::dynamic_workers;
-use gve_prim::{AtomicBitset, CommunityMap, PerThread, SmallScanMap};
+use gve_prim::sched::{scheduled_workers, SchedStats, Schedule};
+use gve_prim::{AtomicBitset, CommunityMap, HashScanMap, PerThread, SmallScanMap};
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Maps the configured chunking policy onto a concrete [`Schedule`] for
+/// `graph`'s vertex range. The arc-aware policies feed on the CSR
+/// offset array (a degree prefix sum) the graph already carries.
+#[inline]
+pub(crate) fn schedule_for<'g>(config: &LeidenConfig, graph: &'g CsrGraph) -> Schedule<'g> {
+    match config.chunking {
+        ChunkScheduling::Static => Schedule::Static {
+            chunk: config.chunk_size,
+        },
+        ChunkScheduling::Guided => Schedule::Guided {
+            offsets: graph.offsets(),
+        },
+        ChunkScheduling::Stealing => Schedule::Stealing {
+            offsets: graph.offsets(),
+            chunk: config.chunk_size,
+        },
+    }
+}
 
 /// Scans the communities adjacent to `i` into the per-thread hashtable
 /// (`scanCommunities` of Algorithm 2). `include_self` controls whether
@@ -96,6 +115,9 @@ pub struct MoveOutcome {
     /// Vertices skipped because their unprocessed flag was already
     /// clear — work the pruning optimization avoided.
     pub pruning_skipped: u64,
+    /// Scheduling counters (chunks claimed / chunks stolen) summed over
+    /// all iterations of the phase.
+    pub sched: SchedStats,
 }
 
 /// Runs the local-moving phase; see [`MoveOutcome`] for what comes back
@@ -119,11 +141,12 @@ pub fn local_move(
     let n = graph.num_vertices();
     let mut outcome = MoveOutcome::default();
     while outcome.gains.len() < config.max_iterations {
-        let (delta_q, processed, skipped) = dynamic_workers(n, config.chunk_size, |claims| {
+        let (results, sched) = scheduled_workers(n, schedule_for(config, graph), |claims| {
             tables.with(|ht| {
-                // Stack tier of the kernel-v2 two-tier scan; unused (and
-                // costless) when kernel v1 is configured.
+                // Stack tiers of the kernel-v2/v3 two-tier scans; unused
+                // (and costless) when kernel v1 is configured.
                 let mut small = SmallScanMap::new();
+                let mut hash = HashScanMap::new();
                 let mut local_dq = 0.0;
                 let mut local_processed = 0u64;
                 let mut local_skipped = 0u64;
@@ -143,8 +166,8 @@ pub fn local_move(
                         let current = membership[i as usize].load(Ordering::Relaxed);
                         let p_i = penalty[i as usize];
                         if let Some((target, gain)) = crate::kernel::best_move(
-                            ht, &mut small, graph, membership, None, i, current, p_i, sigma,
-                            coeffs, config,
+                            ht, &mut small, &mut hash, graph, membership, None, i, current, p_i,
+                            sigma, coeffs, config,
                         ) {
                             // Asynchronous commit: weight transfer is
                             // atomic per community, membership is a
@@ -166,14 +189,15 @@ pub fn local_move(
                 }
                 (local_dq, local_processed, local_skipped)
             })
-        })
-        .into_iter()
-        .fold((0.0, 0u64, 0u64), |acc, w| {
-            (acc.0 + w.0, acc.1 + w.1, acc.2 + w.2)
         });
+        let (delta_q, processed, skipped) =
+            results.into_iter().fold((0.0, 0u64, 0u64), |acc, w| {
+                (acc.0 + w.0, acc.1 + w.1, acc.2 + w.2)
+            });
         outcome.gains.push(delta_q);
         outcome.pruning_processed += processed;
         outcome.pruning_skipped += skipped;
+        outcome.sched.merge(sched);
         if delta_q <= tolerance {
             break;
         }

@@ -19,7 +19,7 @@
 //! stay untouched, and observation can never perturb the measurement
 //! it reports.
 
-use crate::{Leiden, LeidenResult, StopReason};
+use crate::{ChunkScheduling, Leiden, LeidenResult, StopReason};
 use gve_graph::CsrGraph;
 use gve_obs::{Counter, FloatCounter, Gauge, MetricsRegistry, Tracer, Value};
 
@@ -56,6 +56,14 @@ pub struct CoreMetrics {
     pub aggregation_seconds: FloatCounter,
     /// Seconds in everything else (init, renumbering, resets).
     pub other_seconds: FloatCounter,
+    /// Scheduler chunks claimed under static chunking.
+    pub chunks_static: Counter,
+    /// Scheduler chunks claimed under guided chunking.
+    pub chunks_guided: Counter,
+    /// Scheduler chunks claimed under work-stealing chunking.
+    pub chunks_stealing: Counter,
+    /// Chunks a stealing worker claimed from another worker's segment.
+    pub steals: Counter,
 }
 
 impl CoreMetrics {
@@ -127,6 +135,24 @@ impl CoreMetrics {
                 handle,
             );
         }
+        for (policy, handle) in [
+            ("static", &self.chunks_static),
+            ("guided", &self.chunks_guided),
+            ("stealing", &self.chunks_stealing),
+        ] {
+            registry.register_counter(
+                "gve_core_chunks_total",
+                "Scheduler chunks claimed by the local-moving and refinement phases.",
+                &[("policy", policy)],
+                handle,
+            );
+        }
+        registry.register_counter(
+            "gve_core_steals_total",
+            "Chunks a work-stealing worker claimed from another worker's segment.",
+            &[],
+            &self.steals,
+        );
     }
 
     /// Folds one finished run into the handles.
@@ -134,10 +160,17 @@ impl CoreMetrics {
         self.runs.inc();
         self.passes.add(result.passes as u64);
         self.move_iterations.add(result.move_iterations as u64);
+        let chunk_counter = match result.chunking {
+            ChunkScheduling::Static => &self.chunks_static,
+            ChunkScheduling::Guided => &self.chunks_guided,
+            ChunkScheduling::Stealing => &self.chunks_stealing,
+        };
         for stats in &result.pass_stats {
             self.pruning_processed.add(stats.pruning_processed);
             self.pruning_skipped.add(stats.pruning_skipped);
             self.refine_moves.add(stats.refine_moves);
+            chunk_counter.add(stats.sched_chunks);
+            self.steals.add(stats.sched_steals);
         }
         if result.stop == StopReason::AggregationTolerance {
             self.tolerance_skips.inc();
@@ -208,6 +241,7 @@ fn trace_run(tracer: &Tracer, result: &LeidenResult) {
         &[
             ("vertices", Value::from(vertices)),
             ("passes", Value::from(result.passes)),
+            ("chunking", Value::from(result.chunking.label())),
         ],
     );
     for stats in &result.pass_stats {
@@ -251,6 +285,8 @@ fn trace_run(tracer: &Tracer, result: &LeidenResult) {
                 ("pruning_processed", Value::from(stats.pruning_processed)),
                 ("pruning_skipped", Value::from(stats.pruning_skipped)),
                 ("tolerance", Value::F64(stats.tolerance)),
+                ("sched_chunks", Value::from(stats.sched_chunks)),
+                ("sched_steals", Value::from(stats.sched_steals)),
                 (
                     "dur_us",
                     Value::U64((stats.duration.as_secs_f64() * US_PER_SEC) as u64),
@@ -365,11 +401,45 @@ mod tests {
             "gve_leiden_tolerance_skips_total",
             "gve_leiden_aggregation_shrink_ratio",
             "gve_leiden_phase_seconds_total",
+            "gve_core_chunks_total",
+            "gve_core_steals_total",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(text.contains("gve_leiden_phase_seconds_total{phase=\"local_move\"}"));
         assert!(text.contains("gve_leiden_phase_seconds_total{phase=\"aggregation\"}"));
+        for policy in ["static", "guided", "stealing"] {
+            assert!(
+                text.contains(&format!("gve_core_chunks_total{{policy=\"{policy}\"}}")),
+                "missing chunks counter for {policy}:\n{text}"
+            );
+        }
+        // The default config schedules statically, so its chunk claims
+        // land on the static policy counter.
+        assert!(metrics.chunks_static.get() > 0);
+        assert_eq!(metrics.chunks_guided.get(), 0);
+        assert_eq!(metrics.steals.get(), 0);
+    }
+
+    #[test]
+    fn scheduling_policies_fill_their_own_counters() {
+        let graph = sample_graph();
+        for (chunking, expect_counter) in [
+            (ChunkScheduling::Guided, 1usize),
+            (ChunkScheduling::Stealing, 2usize),
+        ] {
+            let metrics = CoreMetrics::new();
+            let config = LeidenConfig::default().chunking(chunking);
+            let result =
+                Leiden::new(config).run_observed(&graph, &RunObserver::with_metrics(&metrics));
+            assert!(result.num_communities > 1);
+            let (guided, stealing) = (metrics.chunks_guided.get(), metrics.chunks_stealing.get());
+            match expect_counter {
+                1 => assert!(guided > 0 && stealing == 0, "guided={guided}"),
+                _ => assert!(stealing > 0 && guided == 0, "stealing={stealing}"),
+            }
+            assert_eq!(metrics.chunks_static.get(), 0);
+        }
     }
 
     #[test]
@@ -406,5 +476,9 @@ mod tests {
         assert!(text.contains("\"event\":\"iteration\""));
         assert!(text.contains("\"gain\":"));
         assert!(text.contains(&format!("\"stop\":\"{}\"", result.stop.label())));
+        // Scheduling policy and per-pass scheduler counters are traced.
+        assert!(text.contains("\"chunking\":\"static\""));
+        assert!(text.contains("\"sched_chunks\":"));
+        assert!(text.contains("\"sched_steals\":0"));
     }
 }

@@ -15,11 +15,12 @@
 //! original Leiden behaviour).
 
 use crate::config::{LeidenConfig, RefinementStrategy};
+use crate::localmove::schedule_for;
 use crate::objective::GainCoeffs;
 use gve_graph::{CsrGraph, VertexId};
 use gve_prim::atomics::AtomicF64;
-use gve_prim::parfor::dynamic_workers;
-use gve_prim::{CommunityMap, PerThread, SmallScanMap, Xorshift32};
+use gve_prim::sched::{scheduled_workers, SchedStats};
+use gve_prim::{CommunityMap, HashScanMap, PerThread, SmallScanMap, Xorshift32};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Scans the communities adjacent to `i` *within the same community
@@ -45,7 +46,8 @@ fn scan_bounded(
 }
 
 /// Runs the refinement phase; returns the number of vertices that
-/// changed community (the paper's `l_j`).
+/// changed community (the paper's `l_j`) plus the phase's scheduling
+/// counters.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refine(
     graph: &CsrGraph,
@@ -57,12 +59,13 @@ pub(crate) fn refine(
     config: &LeidenConfig,
     tables: &PerThread<CommunityMap>,
     pass_seed: u64,
-) -> u64 {
+) -> (u64, SchedStats) {
     let n = graph.num_vertices();
 
-    dynamic_workers(n, config.chunk_size, |claims| {
+    let (results, sched) = scheduled_workers(n, schedule_for(config, graph), |claims| {
         tables.with(|ht| {
             let mut small = SmallScanMap::new();
+            let mut hash = HashScanMap::new();
             let mut candidates: Vec<(VertexId, f64)> = Vec::new();
             let mut moves = 0u64;
             for range in claims {
@@ -86,6 +89,7 @@ pub(crate) fn refine(
                         RefinementStrategy::Greedy => crate::kernel::best_move(
                             ht,
                             &mut small,
+                            &mut hash,
                             graph,
                             membership,
                             Some(bounds),
@@ -142,9 +146,8 @@ pub(crate) fn refine(
             }
             moves
         })
-    })
-    .into_iter()
-    .sum()
+    });
+    (results.into_iter().sum(), sched)
 }
 
 /// Random-proportional community choice over positive-gain candidates.
@@ -232,7 +235,7 @@ mod tests {
         let m = graph.total_arc_weight() / 2.0;
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(6));
-        let moved = refine(
+        let (moved, sched) = refine(
             &graph,
             &bounds,
             &membership,
@@ -244,6 +247,7 @@ mod tests {
             0,
         );
         assert!(moved > 0);
+        assert!(sched.chunks > 0, "refinement must report claimed chunks");
         let mem = snapshot(&membership);
         // Refinement merges isolated vertices into sub-communities; the
         // partition must be strictly coarser than singletons and every
@@ -392,7 +396,7 @@ mod tests {
         let sigma = atomic_f64_from_slice(&weights);
         let config = LeidenConfig::default();
         let tables = PerThread::new(|| CommunityMap::new(3));
-        let moved = refine(
+        let (moved, _) = refine(
             &graph,
             &bounds,
             &membership,

@@ -79,6 +79,12 @@ pub struct PassStats {
     /// Per-iteration gain tolerance this pass ran with (the threshold
     /// scaling schedule: `initial_tolerance / tolerance_drop^pass`).
     pub tolerance: f64,
+    /// Chunks claimed by the local-moving + refinement schedulers this
+    /// pass (static, guided, and stealing all count claims).
+    pub sched_chunks: u64,
+    /// Chunks a stealing worker claimed from another worker's segment
+    /// (always 0 under static/guided scheduling).
+    pub sched_steals: u64,
     /// Wall time of the local-moving phase of this pass.
     pub local_move_time: Duration,
     /// Wall time of the refinement phase of this pass.
@@ -154,6 +160,8 @@ mod tests {
             pruning_processed: processed,
             pruning_skipped: skipped,
             tolerance: 1e-2,
+            sched_chunks: 0,
+            sched_steals: 0,
             local_move_time: Duration::ZERO,
             refinement_time: Duration::ZERO,
             aggregation_time: Duration::ZERO,

@@ -1,15 +1,19 @@
-//! Differential tests of the kernel-v2 machinery: the fused
-//! scan-and-choose kernel must pick exactly the same `(community, gain)`
-//! as the two-pass reference on any frozen state, and cache-aware
-//! relabeling must be invisible in the reported result.
+//! Differential tests of the kernel-v2/v3 machinery: the fused kernel
+//! and the lane-chunked v3 kernel must pick exactly the same
+//! `(community, gain)` as the two-pass reference on any frozen state
+//! (both v3 tiers, both edge layouts, every chunk-scheduling policy),
+//! and cache-aware relabeling must be invisible in the reported result.
+//! Running this suite with `--features gve-prim/scalar-scan` swaps the
+//! lane fold for its scalar reference, covering both code paths.
 
 use gve_graph::{CsrGraph, GraphBuilder};
-use gve_leiden::kernel::{best_move, fused_best_move, two_pass_best_move};
+use gve_leiden::kernel::{best_move, fused_best_move, two_pass_best_move, v3_best_move};
 use gve_leiden::{
-    EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, Scheduling, VertexOrdering,
+    ChunkScheduling, EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, Scheduling,
+    VertexOrdering,
 };
 use gve_prim::atomics::{atomic_f64_from_slice, AtomicF64};
-use gve_prim::{CommunityMap, SmallScanMap};
+use gve_prim::{CommunityMap, HashScanMap, SmallScanMap};
 use proptest::prelude::*;
 use std::sync::atomic::AtomicU32;
 
@@ -114,6 +118,7 @@ proptest! {
             .small_degree_threshold(threshold);
         let mut ht = CommunityMap::new(n as usize);
         let mut small = SmallScanMap::new();
+        let mut hash = HashScanMap::new();
         for i in 0..n {
             let current = labels[i as usize];
             let p_i = penalty[i as usize];
@@ -121,15 +126,70 @@ proptest! {
                 &mut ht, &graph, &membership, None, i, current, p_i, &sigma, coeffs,
             );
             let dispatched = best_move(
-                &mut ht, &mut small, &graph, &membership, None, i, current, p_i, &sigma,
-                coeffs, &config,
+                &mut ht, &mut small, &mut hash, &graph, &membership, None, i, current, p_i,
+                &sigma, coeffs, &config,
             );
             let on_interleaved = best_move(
-                &mut ht, &mut small, &interleaved, &membership, None, i, current, p_i, &sigma,
-                coeffs, &config,
+                &mut ht, &mut small, &mut hash, &interleaved, &membership, None, i, current,
+                p_i, &sigma, coeffs, &config,
             );
             prop_assert_eq!(reference, dispatched, "vertex {} threshold {}", i, threshold);
             prop_assert_eq!(reference, on_interleaved, "vertex {} interleaved", i);
+        }
+    }
+
+    /// The v3 kernel is bit-identical to the two-pass reference on any
+    /// frozen state: both tiers (stack map and hashtable), both edge
+    /// layouts, with and without refinement bounds, for both objectives.
+    #[test]
+    fn v3_agrees_with_two_pass(
+        (n, edges) in arb_graph(48, 220),
+        labels_seed in 0u64..1000,
+        cpm in 0u32..2,
+    ) {
+        let graph = GraphBuilder::from_edges(n as usize, &edges);
+        let interleaved = graph.clone();
+        interleaved.build_interleaved();
+        let labels: Vec<u32> = (0..n)
+            .map(|v| {
+                let mut x = labels_seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (x % n as u64) as u32
+            })
+            .collect();
+        let bounds: Vec<u32> = labels.iter().map(|&c| c % 3).collect();
+        let (membership, penalty, sigma) = frozen_state(&graph, &labels);
+        let m = graph.total_arc_weight() / 2.0;
+        let objective = if cpm == 1 {
+            Objective::Cpm { resolution: 0.25 }
+        } else {
+            Objective::default()
+        };
+        let coeffs = objective.coeffs(m.max(f64::MIN_POSITIVE));
+        let mut ht = CommunityMap::new(n as usize);
+        let mut hash = HashScanMap::new();
+        for i in 0..n {
+            let current = labels[i as usize];
+            let p_i = penalty[i as usize];
+            for bound in [None, Some(bounds.as_slice())] {
+                let reference = two_pass_best_move(
+                    &mut ht, &graph, &membership, bound, i, current, p_i, &sigma, coeffs,
+                );
+                for g in [&graph, &interleaved] {
+                    for use_small in [false, true] {
+                        let v3 = v3_best_move(
+                            &mut ht, &mut hash, g, &membership, bound, i, current, p_i,
+                            &sigma, coeffs, use_small,
+                        );
+                        prop_assert_eq!(
+                            reference, v3,
+                            "vertex {} (bounded: {}, small: {}, interleaved: {})",
+                            i, bound.is_some(), use_small, g.interleaved().is_some()
+                        );
+                    }
+                }
+            }
         }
     }
 }
@@ -201,4 +261,80 @@ fn interleaved_layout_matches_split_end_to_end() {
     let split = Leiden::new(base.clone()).run(&planted.graph);
     let inter = Leiden::new(base.layout(EdgeLayout::Interleaved)).run(&planted.graph);
     assert_eq!(split.membership, inter.membership);
+}
+
+/// Under the deterministic color-synchronous schedule, kernel v3 is
+/// bit-identical to v1 end-to-end for every layout × chunk-scheduling
+/// combination (chunking only redistributes work across workers; the
+/// per-vertex decisions are the same).
+#[test]
+fn v3_end_to_end_is_bitwise_identical_to_v1() {
+    let planted = gve_generate::PlantedPartition::new(1500, 12, 10.0, 0.8)
+        .seed(11)
+        .generate();
+    let base = LeidenConfig::default().scheduling(Scheduling::ColorSynchronous);
+    let v1 = Leiden::new(base.clone().kernel(KernelVersion::V1)).run(&planted.graph);
+    for layout in [EdgeLayout::Split, EdgeLayout::Interleaved] {
+        for chunking in [
+            ChunkScheduling::Static,
+            ChunkScheduling::Guided,
+            ChunkScheduling::Stealing,
+        ] {
+            let v3 = Leiden::new(
+                base.clone()
+                    .kernel(KernelVersion::V3)
+                    .layout(layout)
+                    .chunking(chunking),
+            )
+            .run(&planted.graph);
+            assert_eq!(
+                v1.membership, v3.membership,
+                "v3 diverged from v1 ({layout:?}, {chunking:?})"
+            );
+        }
+    }
+}
+
+/// The asynchronous path under v3 reaches the same quality as v1 for
+/// every chunk-scheduling policy, and the scheduler counters report the
+/// work distribution the policy promises.
+#[test]
+fn v3_async_quality_and_sched_counters() {
+    let planted = gve_generate::PlantedPartition::new(2000, 10, 14.0, 1.0)
+        .seed(23)
+        .generate();
+    let g = &planted.graph;
+    let q1 = gve_quality::modularity(
+        g,
+        &Leiden::new(LeidenConfig::default().kernel(KernelVersion::V1))
+            .run(g)
+            .membership,
+    );
+    for chunking in [
+        ChunkScheduling::Static,
+        ChunkScheduling::Guided,
+        ChunkScheduling::Stealing,
+    ] {
+        let result = Leiden::new(
+            LeidenConfig::default()
+                .kernel(KernelVersion::V3)
+                .layout(EdgeLayout::Interleaved)
+                .chunking(chunking),
+        )
+        .run(g);
+        let q3 = gve_quality::modularity(g, &result.membership);
+        assert!(
+            (q1 - q3).abs() < 0.05,
+            "{chunking:?}: v3 Q {q3} vs v1 Q {q1}"
+        );
+        assert_eq!(result.chunking, chunking);
+        let chunks: u64 = result.pass_stats.iter().map(|p| p.sched_chunks).sum();
+        assert!(chunks > 0, "{chunking:?}: no chunks recorded");
+        if chunking != ChunkScheduling::Stealing {
+            let steals: u64 = result.pass_stats.iter().map(|p| p.sched_steals).sum();
+            assert_eq!(steals, 0, "{chunking:?}: impossible steals recorded");
+        }
+        let report = gve_quality::disconnected_communities(g, &result.membership);
+        assert!(report.all_connected(), "{chunking:?}: disconnected output");
+    }
 }

@@ -254,6 +254,44 @@ impl CsrGraph {
         self.interleaved.get().map(Vec::as_slice)
     }
 
+    /// Installs `buf` as the interleaved cache, refilling it from the
+    /// split arrays and reusing its capacity. This is the arena path:
+    /// per-pass supergraphs borrow a pooled buffer instead of letting
+    /// [`CsrGraph::build_interleaved`] allocate a fresh vector, keeping
+    /// the steady-state Leiden loop allocation-free. Replaces any
+    /// previously built cache.
+    pub fn adopt_interleaved(&mut self, mut buf: Vec<(VertexId, EdgeWeight)>) {
+        buf.clear();
+        buf.extend(
+            self.targets
+                .iter()
+                .copied()
+                .zip(self.weights.iter().copied()),
+        );
+        self.interleaved = OnceLock::new();
+        let _ = self.interleaved.set(buf);
+    }
+
+    /// Removes and returns the interleaved cache so its allocation can
+    /// be pooled before the graph is recycled ([`CsrGraph::into_raw`]
+    /// would drop it).
+    pub fn take_interleaved(&mut self) -> Option<Vec<(VertexId, EdgeWeight)>> {
+        self.interleaved.take()
+    }
+
+    /// One vertex's interleaved `(target, weight)` row, or `None` when
+    /// the cache has not been built. The kernel-v3 scan branches on
+    /// this once per vertex instead of paying [`EdgeScan`]'s per-edge
+    /// layout dispatch.
+    #[inline]
+    pub fn interleaved_row(&self, u: VertexId) -> Option<&[(VertexId, EdgeWeight)]> {
+        let pairs = self.interleaved.get()?;
+        let u = u as usize;
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        Some(&pairs[lo..hi])
+    }
+
     /// Layout-aware neighbour scan for hot kernels: iterates the
     /// interleaved array when it has been built (one cache stream), the
     /// split `targets`/`weights` arrays otherwise. Yields exactly the
@@ -438,5 +476,45 @@ mod tests {
         // Cloning carries the built layout along.
         let c = a.clone();
         assert!(c.interleaved().is_some());
+    }
+
+    #[test]
+    fn adopt_take_interleaved_recycles_capacity() {
+        let mut g = sample();
+        // Adopting a dirty, over-sized pooled buffer refills it with
+        // this graph's arcs without allocating.
+        let mut pooled = Vec::with_capacity(64);
+        pooled.push((99u32, 9.0f32));
+        let cap_before = pooled.capacity();
+        g.adopt_interleaved(pooled);
+        let built = g.interleaved().expect("cache installed");
+        assert_eq!(built.len(), g.num_arcs());
+        for u in 0..g.num_vertices() as VertexId {
+            assert_eq!(
+                g.interleaved_row(u).unwrap(),
+                g.edges(u).collect::<Vec<_>>().as_slice(),
+                "u={u}"
+            );
+        }
+        // Taking the cache hands the same allocation back.
+        let returned = g.take_interleaved().expect("cache was present");
+        assert_eq!(returned.capacity(), cap_before);
+        assert!(g.interleaved().is_none());
+        assert!(g.take_interleaved().is_none());
+        assert_eq!(g.interleaved_row(0), None);
+    }
+
+    #[test]
+    fn adopt_interleaved_replaces_built_cache() {
+        let mut g = sample();
+        g.build_interleaved();
+        g.adopt_interleaved(Vec::new());
+        let built = g.interleaved().expect("cache installed");
+        assert_eq!(built.len(), g.num_arcs());
+        assert_eq!(
+            built.to_vec(),
+            sample().build_interleaved().to_vec(),
+            "adopted cache must equal the built one"
+        );
     }
 }

@@ -149,6 +149,8 @@ impl Louvain {
                 pruning_processed: outcome.pruning_processed,
                 pruning_skipped: outcome.pruning_skipped,
                 tolerance,
+                sched_chunks: outcome.sched.chunks,
+                sched_steals: outcome.sched.steals,
                 local_move_time,
                 refinement_time: Duration::ZERO,
                 aggregation_time: Duration::ZERO,

@@ -304,9 +304,7 @@ fn parse_head(head: &str) -> Result<(Request, usize), HttpError> {
                 // values are the other classic desync vector; last-wins
                 // silently picks a framing the peer may not share.
                 if content_length.is_some_and(|prev| prev != parsed) {
-                    return Err(HttpError::bad_request(
-                        "conflicting Content-Length headers",
-                    ));
+                    return Err(HttpError::bad_request("conflicting Content-Length headers"));
                 }
                 content_length = Some(parsed);
             }

@@ -20,6 +20,10 @@
 //!   `O(T·N)` memory term in the paper's space complexity);
 //! * [`parfor`] — helpers approximating OpenMP's `schedule(dynamic, chunk)`
 //!   on top of rayon;
+//! * [`sched`] — arc-aware scheduling policies (guided shrinking chunks
+//!   and work-stealing over arc-balanced segments) for the phase loops;
+//! * [`simd`] — lane-chunked candidate scoring, the "choose" half of
+//!   kernel v3 (scalar fallback behind the `scalar-scan` feature);
 //! * [`alloc_count`] — an allocation-counting global allocator that lets
 //!   the benchmarks prove the preallocation discipline (zero steady-state
 //!   allocation in the Leiden hot path).
@@ -34,7 +38,9 @@ pub mod hashtable;
 pub mod parfor;
 pub mod rng;
 pub mod scan;
+pub mod sched;
 pub mod shared_slice;
+pub mod simd;
 pub mod smallmap;
 pub mod workspace;
 
@@ -44,6 +50,7 @@ pub use bitset::AtomicBitset;
 pub use hashtable::CommunityMap;
 pub use rng::Xorshift32;
 pub use scan::{exclusive_scan_in_place, parallel_exclusive_scan};
+pub use sched::{scheduled_workers, SchedStats, Schedule};
 pub use shared_slice::SharedSlice;
-pub use smallmap::{SmallScanMap, SMALL_SCAN_CAP};
+pub use smallmap::{HashScanMap, SmallScanMap, HASH_SCAN_CAP, SMALL_SCAN_CAP};
 pub use workspace::PerThread;

@@ -148,6 +148,18 @@ impl SmallScanMap {
         self.get(key).unwrap_or(0.0)
     }
 
+    /// Live keys in insertion order.
+    #[inline]
+    pub fn keys(&self) -> &[u32] {
+        &self.keys[..self.len]
+    }
+
+    /// Live accumulated weights, parallel to [`SmallScanMap::keys`].
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights[..self.len]
+    }
+
     /// Iterates over live `(key, weight)` pairs in insertion order —
     /// the same iteration contract as
     /// [`CommunityMap::iter`](crate::CommunityMap::iter).
@@ -238,5 +250,225 @@ mod tests {
         m.add(1, 0.0);
         assert_eq!(m.get(1), Some(0.0));
         assert_eq!(m.len(), 1);
+    }
+}
+
+/// Capacity of [`HashScanMap`]: both its dense entry count and its
+/// power-of-two hash-slot count. Dispatch keeps the live entries at or
+/// below the small-degree threshold, so the table's load factor stays
+/// low and probes terminate at the first or second slot.
+pub const HASH_SCAN_CAP: usize = 64;
+
+/// Stack-resident open-addressing accumulator map — the kernel-v3
+/// low-degree scan tier.
+///
+/// [`SmallScanMap`]'s linear probe costs O(live) compares per edge,
+/// which is quadratic over a row whose neighbours all sit in distinct
+/// communities (exactly the first local-moving iteration, where every
+/// membership is a singleton). This map keeps the same three dense,
+/// insertion-ordered arrays (`keys`/`weights`/`aux` — the choose pass
+/// folds straight over them as parallel slices) but finds a key's slot
+/// through a 64-entry open-addressed index in O(1) probes, like the
+/// big [`CommunityMap`](crate::CommunityMap) table — without that
+/// table's O(N) heap arrays, scattered clears, or choose-time gathers.
+///
+/// The aux slot is filled by the `aux_of` callback on a key's first
+/// touch; kernel v3 uses it to issue each candidate's `Σ'` load during
+/// the edge scan, while there are still misses to hide behind.
+#[derive(Debug, Clone)]
+pub struct HashScanMap {
+    len: usize,
+    /// Hash slot → dense entry index + 1; 0 marks a free slot.
+    idx: [u8; HASH_SCAN_CAP],
+    /// Dense entry → its hash slot, for O(live) clearing.
+    hslot: [u8; HASH_SCAN_CAP],
+    keys: [u32; HASH_SCAN_CAP],
+    weights: [f64; HASH_SCAN_CAP],
+    aux: [f64; HASH_SCAN_CAP],
+}
+
+impl Default for HashScanMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashScanMap {
+    /// Creates an empty map. Cheap: no heap allocation.
+    pub fn new() -> Self {
+        Self {
+            len: 0,
+            idx: [0; HASH_SCAN_CAP],
+            hslot: [0; HASH_SCAN_CAP],
+            keys: [0; HASH_SCAN_CAP],
+            weights: [0.0; HASH_SCAN_CAP],
+            aux: [0.0; HASH_SCAN_CAP],
+        }
+    }
+
+    /// Multiply-shift hash to a slot index: avalanches clustered
+    /// community ids (post-aggregation ids are dense) across the table.
+    #[inline]
+    fn slot_of(key: u32) -> usize {
+        (key.wrapping_mul(0x9E37_79B9) >> 26) as usize
+    }
+
+    /// Number of live keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no key is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `weight` to `key`'s accumulator; on the key's first touch,
+    /// fills its aux slot with `aux_of(key)`.
+    ///
+    /// Callers must keep the distinct-key count *below*
+    /// [`HASH_SCAN_CAP`] (the kernel's degree dispatch threshold sits at
+    /// a quarter of it): the probe loops terminate because a free slot
+    /// always exists. Debug builds assert this before probing — a full
+    /// table would otherwise probe forever for an absent key.
+    #[inline]
+    pub fn add_with<F: FnOnce(u32) -> f64>(&mut self, key: u32, weight: f64, aux_of: F) {
+        debug_assert!(
+            self.len < HASH_SCAN_CAP,
+            "HashScanMap overflow: dispatch must bound distinct keys by degree"
+        );
+        let mut h = Self::slot_of(key);
+        loop {
+            let d = self.idx[h] as usize;
+            if d == 0 {
+                let e = self.len;
+                self.idx[h] = (e + 1) as u8;
+                self.hslot[e] = h as u8;
+                self.keys[e] = key;
+                self.weights[e] = weight;
+                self.aux[e] = aux_of(key);
+                self.len = e + 1;
+                return;
+            }
+            if self.keys[d - 1] == key {
+                self.weights[d - 1] += weight;
+                return;
+            }
+            h = (h + 1) & (HASH_SCAN_CAP - 1);
+        }
+    }
+
+    /// Accumulated weight for `key`, `0.0` if untouched.
+    #[inline]
+    pub fn weight(&self, key: u32) -> f64 {
+        let mut h = Self::slot_of(key);
+        loop {
+            let d = self.idx[h] as usize;
+            if d == 0 {
+                return 0.0;
+            }
+            if self.keys[d - 1] == key {
+                return self.weights[d - 1];
+            }
+            h = (h + 1) & (HASH_SCAN_CAP - 1);
+        }
+    }
+
+    /// Live keys in insertion order.
+    #[inline]
+    pub fn keys(&self) -> &[u32] {
+        &self.keys[..self.len]
+    }
+
+    /// Live accumulated weights, parallel to [`HashScanMap::keys`].
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights[..self.len]
+    }
+
+    /// Live aux values, parallel to [`HashScanMap::keys`].
+    #[inline]
+    pub fn aux(&self) -> &[f64] {
+        &self.aux[..self.len]
+    }
+
+    /// Resets the map in O(live) stack stores.
+    #[inline]
+    pub fn clear(&mut self) {
+        for e in 0..self.len {
+            self.idx[self.hslot[e] as usize] = 0;
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod hash_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accumulates_and_matches_model() {
+        let mut m = HashScanMap::new();
+        let mut model: HashMap<u32, f64> = HashMap::new();
+        // Adversarial ids: stride-64 clusters that collide under cheap
+        // masks, 48 distinct keys (below the 64-slot capacity).
+        let ops: Vec<(u32, f64)> = (0..200u32)
+            .map(|i| ((i % 48) * 64 + (i % 3), 0.5 + (i % 7) as f64))
+            .collect();
+        for &(k, w) in &ops {
+            m.add_with(k, w, |_| 0.0);
+            *model.entry(k).or_insert(0.0) += w;
+        }
+        assert_eq!(m.len(), model.len());
+        for (&k, &w) in &model {
+            assert!((m.weight(k) - w).abs() < 1e-9, "key {k}");
+        }
+        assert_eq!(m.weight(999_999), 0.0, "absent key reads zero");
+    }
+
+    #[test]
+    fn aux_computed_once_on_first_touch() {
+        let mut m = HashScanMap::new();
+        let mut calls = 0;
+        m.add_with(7, 1.0, |_| {
+            calls += 1;
+            42.0
+        });
+        m.add_with(7, 2.0, |_| {
+            calls += 1;
+            -1.0
+        });
+        assert_eq!(calls, 1, "aux_of runs only on first touch");
+        assert_eq!(m.keys(), &[7]);
+        assert_eq!(m.weights(), &[3.0]);
+        assert_eq!(m.aux(), &[42.0]);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut m = HashScanMap::new();
+        for k in 0..(HASH_SCAN_CAP - 1) as u32 {
+            m.add_with(k, 1.0, |_| 1.0);
+        }
+        assert_eq!(m.len(), HASH_SCAN_CAP - 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.weight(3), 0.0);
+        m.add_with(3, 2.5, |_| 0.5);
+        assert_eq!(m.keys(), &[3]);
+        assert_eq!(m.weights(), &[2.5]);
+        assert_eq!(m.aux(), &[0.5]);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut m = HashScanMap::new();
+        for &k in &[90, 5, 33, 5, 90, 2] {
+            m.add_with(k, 1.0, |_| 0.0);
+        }
+        assert_eq!(m.keys(), &[90, 5, 33, 2]);
     }
 }

@@ -14,8 +14,8 @@ use crate::json::Json;
 use crate::pool::WorkspacePool;
 use crate::registry::GraphRegistry;
 use gve_leiden::{
-    CoreMetrics, EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective, RunObserver,
-    Scheduling, VertexOrdering,
+    ChunkScheduling, CoreMetrics, EdgeLayout, KernelVersion, Leiden, LeidenConfig, Objective,
+    RunObserver, Scheduling, VertexOrdering,
 };
 use gve_obs::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use gve_prim::alloc_count;
@@ -49,6 +49,9 @@ pub struct DetectRequest {
     /// Phase scheduling: fast `async` (default) or reproducible
     /// `color-sync`.
     pub scheduling: Scheduling,
+    /// Chunk scheduling of the async phases: `static`, `guided`, or
+    /// work-`stealing`.
+    pub chunking: ChunkScheduling,
 }
 
 impl Default for DetectRequest {
@@ -64,6 +67,7 @@ impl Default for DetectRequest {
             ordering: defaults.ordering,
             layout: defaults.layout,
             scheduling: defaults.scheduling,
+            chunking: defaults.chunking,
         }
     }
 }
@@ -103,6 +107,9 @@ impl DetectRequest {
         if let Some(scheduling) = body.get("scheduling").and_then(Json::as_str) {
             request.scheduling = Scheduling::parse(scheduling)?;
         }
+        if let Some(chunking) = body.get("chunking").and_then(Json::as_str) {
+            request.chunking = ChunkScheduling::parse(chunking)?;
+        }
         request.to_config()?; // surface invalid configs at submit time
         Ok(request)
     }
@@ -125,7 +132,8 @@ impl DetectRequest {
             .kernel(self.kernel)
             .ordering(self.ordering)
             .layout(self.layout)
-            .scheduling(self.scheduling);
+            .scheduling(self.scheduling)
+            .chunking(self.chunking);
         config.max_passes = self.max_passes;
         config.validate()?;
         Ok(config)
@@ -135,7 +143,7 @@ impl DetectRequest {
     /// textual form, so semantically equal requests collide on purpose).
     pub fn fingerprint(&self) -> u64 {
         let canonical = format!(
-            "objective={};resolution={};seed={};max_passes={};chunk_size={};kernel={};ordering={};layout={};scheduling={}",
+            "objective={};resolution={};seed={};max_passes={};chunk_size={};kernel={};ordering={};layout={};scheduling={};chunking={}",
             self.objective,
             self.resolution,
             self.seed,
@@ -145,6 +153,7 @@ impl DetectRequest {
             self.ordering.label(),
             self.layout.label(),
             self.scheduling.label(),
+            self.chunking.label(),
         );
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in canonical.bytes() {
@@ -166,6 +175,7 @@ impl DetectRequest {
             ("ordering", Json::from(self.ordering.label())),
             ("layout", Json::from(self.layout.label())),
             ("scheduling", Json::from(self.scheduling.label())),
+            ("chunking", Json::from(self.chunking.label())),
         ])
     }
 }
@@ -976,15 +986,16 @@ mod tests {
     #[test]
     fn kernel_knobs_fingerprint_and_validate() {
         let body = crate::json::parse(
-            r#"{"kernel":"v1","ordering":"degree","layout":"interleaved","chunk_size":512,"scheduling":"color-sync"}"#,
+            r#"{"kernel":"v3","ordering":"degree","layout":"interleaved","chunk_size":512,"scheduling":"color-sync","chunking":"guided"}"#,
         )
         .unwrap();
         let request = DetectRequest::from_json(&body).unwrap();
-        assert_eq!(request.kernel, KernelVersion::V1);
+        assert_eq!(request.kernel, KernelVersion::V3);
         assert_eq!(request.ordering, VertexOrdering::DegreeDesc);
         assert_eq!(request.layout, EdgeLayout::Interleaved);
         assert_eq!(request.chunk_size, 512);
         assert_eq!(request.scheduling, Scheduling::ColorSynchronous);
+        assert_eq!(request.chunking, ChunkScheduling::Guided);
 
         let defaults = DetectRequest::default();
         for other in [
@@ -1008,16 +1019,21 @@ mod tests {
                 scheduling: Scheduling::ColorSynchronous,
                 ..defaults.clone()
             },
+            DetectRequest {
+                chunking: ChunkScheduling::Stealing,
+                ..defaults.clone()
+            },
         ] {
             assert_ne!(other.fingerprint(), defaults.fingerprint());
         }
 
         for bad in [
-            r#"{"kernel":"v3"}"#,
+            r#"{"kernel":"v9"}"#,
             r#"{"ordering":"random"}"#,
             r#"{"layout":"columnar"}"#,
             r#"{"chunk_size":0}"#,
             r#"{"scheduling":"chaotic"}"#,
+            r#"{"chunking":"chaotic"}"#,
         ] {
             let body = crate::json::parse(bad).unwrap();
             assert!(DetectRequest::from_json(&body).is_err(), "accepted {bad}");

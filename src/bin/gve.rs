@@ -28,8 +28,9 @@ fn usage() -> ! {
          [--degree <f>] [--seed <n>] --out <path>\n  \
          gve detect <graph> [--algorithm <leiden|louvain|seq-leiden|seq-louvain|nk-leiden>] \
          [--objective <modularity|cpm>] [--resolution <f>] [--threads <n>] \
-         [--chunk-size <n>] [--kernel <v1|v2>] [--ordering <original|degree|bfs>] \
-         [--layout <split|interleaved>] [--trace <path>] [--repeat <n>] [--out <path>]\n  \
+         [--chunk-size <n>] [--kernel <v1|v2|v3>] [--ordering <original|degree|bfs>] \
+         [--layout <split|interleaved>] [--scheduling <static|guided|stealing>] \
+         [--trace <path>] [--repeat <n>] [--out <path>]\n  \
          gve quality <graph> <membership> [--detail <n>]\n  \
          gve stats <graph>\n  \
          gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
@@ -228,6 +229,15 @@ fn cmd_detect(args: &[String]) {
     if let Some(token) = flag_value(args, "--layout") {
         match gve::leiden::EdgeLayout::parse(token) {
             Ok(layout) => leiden_config = leiden_config.layout(layout),
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(token) = flag_value(args, "--scheduling") {
+        match gve::leiden::ChunkScheduling::parse(token) {
+            Ok(chunking) => leiden_config = leiden_config.chunking(chunking),
             Err(e) => {
                 eprintln!("error: {e}");
                 exit(2);
@@ -596,6 +606,13 @@ fn cmd_top(args: &[String]) {
         processed + skipped,
         get("gve_leiden_aggregation_shrink_ratio"),
         get("gve_leiden_tolerance_skips_total"),
+    );
+    println!(
+        "scheduler    chunks static {} / guided {} / stealing {}; {} steals",
+        get("gve_core_chunks_total{policy=\"static\"}"),
+        get("gve_core_chunks_total{policy=\"guided\"}"),
+        get("gve_core_chunks_total{policy=\"stealing\"}"),
+        get("gve_core_steals_total"),
     );
     let hits = get("gve_cache_hits_total");
     let misses = get("gve_cache_misses_total");
