@@ -29,6 +29,12 @@ pub struct BenchArgs {
     /// variant is strictly faster than the v1 reference — the kernel-v3
     /// performance gate enforced by CI bench-smoke.
     pub assert_v3_beats_v1: bool,
+    /// Noise allowance for the v3 gate: the gate passes a graph when
+    /// `best_v3 < v1 * tolerance`. Defaults to 1.0 (strictly faster);
+    /// CI runs on shared runners where min-of-reps wall times still
+    /// jitter a few percent, so its jobs pass a small margin (1.02)
+    /// rather than letting a scheduler hiccup block unrelated merges.
+    pub v3_tolerance: f64,
 }
 
 impl Default for BenchArgs {
@@ -43,6 +49,7 @@ impl Default for BenchArgs {
             quick: false,
             assert_steady_allocs: None,
             assert_v3_beats_v1: false,
+            v3_tolerance: 1.0,
         }
     }
 }
@@ -74,6 +81,11 @@ impl BenchArgs {
                 }
                 "--quick" => args.quick = true,
                 "--assert-v3-beats-v1" => args.assert_v3_beats_v1 = true,
+                "--v3-tolerance" => {
+                    args.v3_tolerance = value("--v3-tolerance")
+                        .parse()
+                        .expect("bad --v3-tolerance")
+                }
                 "--assert-steady-allocs" => {
                     args.assert_steady_allocs = Some(
                         value("--assert-steady-allocs")
@@ -85,7 +97,7 @@ impl BenchArgs {
                     eprintln!(
                         "options: --scale <f64> --reps <n> --seed <n> --csv <path> --json <path> \
                          --threads <n> --quick --assert-steady-allocs <n> \
-                         --assert-v3-beats-v1"
+                         --assert-v3-beats-v1 --v3-tolerance <f64>"
                     );
                     std::process::exit(0);
                 }
@@ -94,6 +106,10 @@ impl BenchArgs {
         }
         assert!(args.reps >= 1, "--reps must be at least 1");
         assert!(args.scale > 0.0, "--scale must be positive");
+        assert!(
+            args.v3_tolerance >= 1.0,
+            "--v3-tolerance must be at least 1.0"
+        );
         args
     }
 
@@ -173,6 +189,19 @@ mod tests {
     fn v3_gate_flag() {
         assert!(!parse(&[]).assert_v3_beats_v1);
         assert!(parse(&["--assert-v3-beats-v1"]).assert_v3_beats_v1);
+    }
+
+    #[test]
+    fn v3_tolerance_flag() {
+        assert_eq!(parse(&[]).v3_tolerance, 1.0);
+        let a = parse(&["--v3-tolerance", "1.02"]);
+        assert_eq!(a.v3_tolerance, 1.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "--v3-tolerance must be at least 1.0")]
+    fn v3_tolerance_below_one_rejected() {
+        parse(&["--v3-tolerance", "0.9"]);
     }
 
     #[test]

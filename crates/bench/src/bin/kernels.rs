@@ -28,7 +28,9 @@
 //!
 //! `--assert-v3-beats-v1` turns the comparison into a hard gate: on
 //! every suite graph the best v3 variant must be strictly faster than
-//! the v1 reference (exit 1 otherwise).
+//! the v1 reference (exit 1 otherwise). `--v3-tolerance <f64>` relaxes
+//! the gate to `best < v1 * tolerance` so CI on noisy shared runners
+//! can grant a small margin (e.g. 1.02) instead of failing on jitter.
 //!
 //! This binary installs the counting global allocator and runs every
 //! variant inside one pass-resident [`PassWorkspace`], so the report
@@ -317,8 +319,12 @@ fn main() {
     }
 
     // The kernel-v3 performance gate (CI bench-smoke): on every graph
-    // the best v3 variant must be strictly faster than v1.
+    // the best v3 variant must beat v1 within the configured noise
+    // tolerance (`best < v1 * tolerance`; tolerance 1.0 = strictly
+    // faster). CI passes a small margin so a scheduler hiccup on a
+    // shared runner can't fail the gate nondeterministically.
     if args.assert_v3_beats_v1 {
+        let tolerance = args.v3_tolerance;
         let mut graphs: Vec<&str> = rows.iter().map(|r| r.graph.as_str()).collect();
         graphs.dedup();
         let mut violated = false;
@@ -334,7 +340,7 @@ fn main() {
                 .map(|r| (r.variant, r.seconds))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("v3 rows missing");
-            if best < v1 {
+            if best < v1 * tolerance {
                 eprintln!(
                     "v3 gate: {graph}: {best_variant} {} vs v1 {} ({:.2}x)",
                     report::fmt_secs(best),
@@ -345,7 +351,7 @@ fn main() {
                 violated = true;
                 eprintln!(
                     "v3 gate FAILED: {graph}: best v3 variant {best_variant} {} \
-                     is not faster than v1 {}",
+                     is not faster than v1 {} (tolerance {tolerance:.2})",
                     report::fmt_secs(best),
                     report::fmt_secs(v1)
                 );
@@ -354,6 +360,9 @@ fn main() {
         if violated {
             std::process::exit(1);
         }
-        eprintln!("v3 gate passed: v3 beats v1 on every suite graph");
+        eprintln!(
+            "v3 gate passed: v3 beats v1 on every suite graph \
+             (tolerance {tolerance:.2})"
+        );
     }
 }

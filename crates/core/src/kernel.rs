@@ -500,6 +500,48 @@ mod tests {
         }
     }
 
+    /// Regression: with the threshold at the cap (a legal config), a
+    /// degree-64 vertex over singleton memberships fills the v3 stack
+    /// hash completely, and the kernel then looks up its own — absent —
+    /// community. The map's half-loaded slot table must terminate that
+    /// probe (it used to spin forever when slots == entries).
+    #[test]
+    fn v3_full_stack_hash_at_threshold_cap() {
+        let cap = gve_prim::HASH_SCAN_CAP as u32;
+        // Star: hub 0 with exactly `cap` leaves, every membership a
+        // singleton — the normal first local-moving iteration.
+        let edges: Vec<(u32, u32, f32)> = (1..=cap).map(|v| (0, v, 1.0)).collect();
+        let graph = GraphBuilder::from_edges(cap as usize + 1, &edges);
+        let singleton: Vec<u32> = (0..=cap).collect();
+        let (membership, penalty, sigma, coeffs) = setup(&graph, &singleton);
+        let mut ht = CommunityMap::new(cap as usize + 1);
+        let mut small = SmallScanMap::new();
+        let mut hash = HashScanMap::new();
+        let config = LeidenConfig::default()
+            .kernel(KernelVersion::V3)
+            .small_degree_threshold(gve_prim::HASH_SCAN_CAP);
+        config.validate().expect("threshold at the cap is legal");
+        assert!(graph.degree(0) as usize <= config.small_degree_threshold);
+        let got = best_move(
+            &mut ht,
+            &mut small,
+            &mut hash,
+            &graph,
+            &membership,
+            None,
+            0,
+            0,
+            penalty[0],
+            &sigma,
+            coeffs,
+            &config,
+        );
+        let reference = two_pass_best_move(
+            &mut ht, &graph, &membership, None, 0, 0, penalty[0], &sigma, coeffs,
+        );
+        assert_eq!(got, reference, "full-occupancy hub");
+    }
+
     /// Isolated vertices and vertices whose only neighbour shares their
     /// community yield no move in both kernels.
     #[test]

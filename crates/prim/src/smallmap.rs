@@ -253,11 +253,18 @@ mod tests {
     }
 }
 
-/// Capacity of [`HashScanMap`]: both its dense entry count and its
-/// power-of-two hash-slot count. Dispatch keeps the live entries at or
-/// below the small-degree threshold, so the table's load factor stays
-/// low and probes terminate at the first or second slot.
+/// Capacity of [`HashScanMap`]: the maximum number of *distinct* keys a
+/// single scan may touch. The dispatch threshold is user-configurable up
+/// to this cap, so the map must stay correct at full occupancy: its hash
+/// index has [`HASH_SLOTS`] (= 2×) slots, guaranteeing a free slot — and
+/// hence probe termination — even with all 64 entries live.
 pub const HASH_SCAN_CAP: usize = 64;
+
+/// Power-of-two hash-slot count of [`HashScanMap`]'s open-addressed
+/// index. Twice [`HASH_SCAN_CAP`] keeps the load factor ≤ 1/2 at full
+/// entry occupancy, so every probe sequence reaches a free slot and
+/// terminates — including lookups for absent keys on a full map.
+pub const HASH_SLOTS: usize = 2 * HASH_SCAN_CAP;
 
 /// Stack-resident open-addressing accumulator map — the kernel-v3
 /// low-degree scan tier.
@@ -268,9 +275,10 @@ pub const HASH_SCAN_CAP: usize = 64;
 /// membership is a singleton). This map keeps the same three dense,
 /// insertion-ordered arrays (`keys`/`weights`/`aux` — the choose pass
 /// folds straight over them as parallel slices) but finds a key's slot
-/// through a 64-entry open-addressed index in O(1) probes, like the
-/// big [`CommunityMap`](crate::CommunityMap) table — without that
-/// table's O(N) heap arrays, scattered clears, or choose-time gathers.
+/// through a half-loaded 128-slot open-addressed index in O(1) probes,
+/// like the big [`CommunityMap`](crate::CommunityMap) table — without
+/// that table's O(N) heap arrays, scattered clears, or choose-time
+/// gathers.
 ///
 /// The aux slot is filled by the `aux_of` callback on a key's first
 /// touch; kernel v3 uses it to issue each candidate's `Σ'` load during
@@ -279,7 +287,7 @@ pub const HASH_SCAN_CAP: usize = 64;
 pub struct HashScanMap {
     len: usize,
     /// Hash slot → dense entry index + 1; 0 marks a free slot.
-    idx: [u8; HASH_SCAN_CAP],
+    idx: [u8; HASH_SLOTS],
     /// Dense entry → its hash slot, for O(live) clearing.
     hslot: [u8; HASH_SCAN_CAP],
     keys: [u32; HASH_SCAN_CAP],
@@ -298,7 +306,7 @@ impl HashScanMap {
     pub fn new() -> Self {
         Self {
             len: 0,
-            idx: [0; HASH_SCAN_CAP],
+            idx: [0; HASH_SLOTS],
             hslot: [0; HASH_SCAN_CAP],
             keys: [0; HASH_SCAN_CAP],
             weights: [0.0; HASH_SCAN_CAP],
@@ -310,7 +318,7 @@ impl HashScanMap {
     /// community ids (post-aggregation ids are dense) across the table.
     #[inline]
     fn slot_of(key: u32) -> usize {
-        (key.wrapping_mul(0x9E37_79B9) >> 26) as usize
+        (key.wrapping_mul(0x9E37_79B9) >> 25) as usize
     }
 
     /// Number of live keys.
@@ -328,22 +336,26 @@ impl HashScanMap {
     /// Adds `weight` to `key`'s accumulator; on the key's first touch,
     /// fills its aux slot with `aux_of(key)`.
     ///
-    /// Callers must keep the distinct-key count *below*
-    /// [`HASH_SCAN_CAP`] (the kernel's degree dispatch threshold sits at
-    /// a quarter of it): the probe loops terminate because a free slot
-    /// always exists. Debug builds assert this before probing — a full
-    /// table would otherwise probe forever for an absent key.
+    /// Callers must keep the distinct-key count at or below
+    /// [`HASH_SCAN_CAP`] — the kernel dispatches on vertex degree, whose
+    /// configurable threshold is validated against the cap, so a
+    /// degree-≤64 vertex can fill the map completely. That is safe: the
+    /// slot index holds [`HASH_SLOTS`] = 2× entries, so even a full map
+    /// keeps free slots and every probe loop (insert *and* absent-key
+    /// lookup) terminates. A fresh key past the cap is a caller bug:
+    /// debug builds assert, release builds hit the dense arrays' bounds
+    /// check.
     #[inline]
     pub fn add_with<F: FnOnce(u32) -> f64>(&mut self, key: u32, weight: f64, aux_of: F) {
-        debug_assert!(
-            self.len < HASH_SCAN_CAP,
-            "HashScanMap overflow: dispatch must bound distinct keys by degree"
-        );
         let mut h = Self::slot_of(key);
         loop {
             let d = self.idx[h] as usize;
             if d == 0 {
                 let e = self.len;
+                debug_assert!(
+                    e < HASH_SCAN_CAP,
+                    "HashScanMap overflow: dispatch must bound distinct keys by degree"
+                );
                 self.idx[h] = (e + 1) as u8;
                 self.hslot[e] = h as u8;
                 self.keys[e] = key;
@@ -356,7 +368,7 @@ impl HashScanMap {
                 self.weights[d - 1] += weight;
                 return;
             }
-            h = (h + 1) & (HASH_SCAN_CAP - 1);
+            h = (h + 1) & (HASH_SLOTS - 1);
         }
     }
 
@@ -372,7 +384,7 @@ impl HashScanMap {
             if self.keys[d - 1] == key {
                 return self.weights[d - 1];
             }
-            h = (h + 1) & (HASH_SCAN_CAP - 1);
+            h = (h + 1) & (HASH_SLOTS - 1);
         }
     }
 
@@ -414,7 +426,7 @@ mod hash_tests {
         let mut m = HashScanMap::new();
         let mut model: HashMap<u32, f64> = HashMap::new();
         // Adversarial ids: stride-64 clusters that collide under cheap
-        // masks, 48 distinct keys (below the 64-slot capacity).
+        // masks, 48 distinct keys (below the 64-entry capacity).
         let ops: Vec<(u32, f64)> = (0..200u32)
             .map(|i| ((i % 48) * 64 + (i % 3), 0.5 + (i % 7) as f64))
             .collect();
@@ -445,6 +457,32 @@ mod hash_tests {
         assert_eq!(m.keys(), &[7]);
         assert_eq!(m.weights(), &[3.0]);
         assert_eq!(m.aux(), &[42.0]);
+    }
+
+    /// Regression: a degree-64 vertex whose neighbours all sit in
+    /// distinct communities (the normal first local-moving iteration
+    /// over singleton memberships, with `small_degree_threshold` at the
+    /// cap) fills the map completely, and the kernel then looks up the
+    /// vertex's own — absent — community. With a slot table equal in
+    /// size to the entry count that lookup never terminated; the 2×
+    /// slot table guarantees a free slot ends the probe.
+    #[test]
+    fn full_occupancy_absent_lookup_terminates() {
+        let mut m = HashScanMap::new();
+        for k in 0..HASH_SCAN_CAP as u32 {
+            m.add_with(k * 64, 1.0 + k as f64, |key| key as f64);
+        }
+        assert_eq!(m.len(), HASH_SCAN_CAP);
+        for k in 0..HASH_SCAN_CAP as u32 {
+            assert_eq!(m.weight(k * 64), 1.0 + k as f64, "key {}", k * 64);
+        }
+        assert_eq!(m.weight(7), 0.0, "absent key on a full map reads zero");
+        // Accumulating into an existing key of a full map is also legal.
+        m.add_with(0, 2.0, |_| -1.0);
+        assert_eq!(m.weight(0), 3.0);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.weight(0), 0.0);
     }
 
     #[test]
