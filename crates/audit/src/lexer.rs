@@ -111,11 +111,14 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 });
             }
             b'"' => {
+                // Capture the line *before* the body scan: a multiline
+                // string must report where it starts, not where it ends.
+                let start_line = line;
                 i = skip_string(bytes, i + 1, &mut line);
                 toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "\"…\"".to_string(),
-                    line,
+                    line: start_line,
                 });
             }
             // Raw / byte / C strings: r"…", r#"…"#, b"…", br#"…"#, c"…".
@@ -403,5 +406,63 @@ mod tests {
     fn float_literals_do_not_eat_method_calls() {
         let ids = idents("let x = 1.0f64.max(2.5); let y = 1.max(2);");
         assert_eq!(ids.iter().filter(|s| *s == "max").count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_skip_code_words_at_every_hash_depth() {
+        for src in [
+            "let a = r\"unsafe\"; done",
+            "let a = r#\"unsafe \"quoted\" unwrap\"#; done",
+            "let a = r##\"panic! \"# still in\"##; done",
+            "let a = r####\"Ordering::Relaxed \"###\"####; done",
+        ] {
+            let ids = idents(src);
+            assert!(ids.contains(&"done".to_string()), "{src}: lexer lost sync");
+            assert!(!ids.contains(&"unsafe".to_string()), "{src}");
+            assert!(!ids.contains(&"unwrap".to_string()), "{src}");
+            assert!(!ids.contains(&"panic".to_string()), "{src}");
+            assert!(!ids.contains(&"Relaxed".to_string()), "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_not_first_terminator() {
+        let toks = lex("/* a /* b /* c */ */ unsafe-still-comment */ code");
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[0].text.contains("unsafe-still-comment"));
+        assert!(toks.iter().any(|t| t.is_ident("code")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn byte_and_c_strings_hide_their_contents() {
+        for src in [
+            "let a = b\"unsafe unwrap\"; done",
+            "let a = br#\"panic!()\"#; done",
+            "let a = c\"Ordering::Relaxed\"; done",
+            "let a = b'\\n'; let b = b'x'; done",
+        ] {
+            let ids = idents(src);
+            assert!(ids.contains(&"done".to_string()), "{src}: lexer lost sync");
+            assert!(!ids.contains(&"unsafe".to_string()), "{src}");
+            assert!(!ids.contains(&"panic".to_string()), "{src}");
+            assert!(!ids.contains(&"Relaxed".to_string()), "{src}");
+        }
+    }
+
+    #[test]
+    fn multiline_literals_report_their_starting_line() {
+        let toks = lex("let s = \"line1\nline2\nline3\";\nlet r = r#\"a\nb\"#;");
+        let lits: Vec<&Tok> = toks.iter().filter(|t| t.text == "\"…\"").collect();
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].line, 1, "plain string starts on line 1");
+        assert_eq!(lits[1].line, 4, "raw string starts on line 4");
+        // And the code after them lands on the right lines.
+        let lets: Vec<u32> = toks
+            .iter()
+            .filter(|t| t.is_ident("let"))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lets, vec![1, 4]);
     }
 }

@@ -7,22 +7,36 @@
 //! them executable. `cargo run -p gve-audit` walks every Rust source in
 //! the workspace, tokenizes it (a minimal hand-rolled lexer — the
 //! offline workspace has no `syn`; token-level views of comments vs.
-//! code are exactly what the rules need), and enforces the four rules
-//! documented in [`rules`], driven by the policy table in [`policy`].
+//! code are exactly what the rules need), and enforces the rule
+//! families documented in [`rules`], driven by the policy table in
+//! [`policy`]. v2 adds a scope-aware pass ([`scopes`]): lexical lock
+//! guard tracking feeding a workspace-wide acquisition graph
+//! ([`lockgraph`]), a hot-path allocation lint, and a
+//! guard-across-blocking check.
 //!
-//! Exit status is the contract: `0` means the workspace is clean, `1`
-//! means findings were printed, `2` means the tool itself failed
-//! (unreadable policy, I/O error). CI gates merges on it.
+//! Exit status is the contract: `0` means no error-severity findings,
+//! `1` means errors were printed, `2` means the tool itself failed
+//! (unreadable policy, I/O error). CI gates merges on it and uploads
+//! the `--sarif` rendering ([`sarif`]) to code scanning. `--incremental`
+//! re-scans only files whose content hash changed ([`cache`]).
 //!
 //! [`SharedSlice`]: ../gve_prim/shared_slice/struct.SharedSlice.html
 
+pub mod cache;
 pub mod lexer;
+pub mod lockgraph;
+pub mod mini_json;
 pub mod policy;
 pub mod rules;
+pub mod sarif;
+mod scopes;
+mod view;
 
 pub use policy::Policy;
-pub use rules::{audit_source, Violation};
+pub use rules::{audit_file, audit_source, canonical_rule_id, FileAudit, Severity, Violation};
 
+use cache::{fnv1a, AuditCache};
+use rules::violation_at;
 use std::path::{Path, PathBuf};
 
 /// Directories under the workspace root that are scanned for `.rs`
@@ -31,9 +45,50 @@ use std::path::{Path, PathBuf};
 /// policy file rather than hard-coded.
 const SCAN_ROOTS: [&str; 2] = ["crates", "shims"];
 
+/// Knobs for [`audit_workspace_with`].
+#[derive(Debug, Clone, Default)]
+pub struct AuditOptions {
+    /// `Some(path)` enables the incremental cache at `path`
+    /// (conventionally `target/audit-cache.json`).
+    pub cache_path: Option<PathBuf>,
+    /// FNV-1a 64 hash of the policy *text*; any policy edit invalidates
+    /// the cache. Only consulted when `cache_path` is set.
+    pub policy_fingerprint: u64,
+    /// Promote `stale-suppression` findings from warnings to errors.
+    pub strict_suppressions: bool,
+}
+
+/// What a workspace audit produced.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All findings, sorted by `(path, line, rule, message)`.
+    pub findings: Vec<Violation>,
+    /// Files actually audited (after `skip` filtering).
+    pub files_scanned: usize,
+    /// Of those, how many were satisfied from the incremental cache.
+    pub cache_hits: usize,
+}
+
 /// Audits every non-skipped `.rs` file under `root`. Returns findings
 /// sorted by path then line; I/O problems are reported as `Err`.
+///
+/// Thin wrapper over [`audit_workspace_with`] with default options
+/// (no cache, suppression staleness as warnings).
 pub fn audit_workspace(root: &Path, policy: &Policy) -> Result<Vec<Violation>, String> {
+    audit_workspace_with(root, policy, &AuditOptions::default()).map(|r| r.findings)
+}
+
+/// The full workspace driver: per-file rules (cached when
+/// `opts.cache_path` is set), then the global analyses — the lock-order
+/// acquisition graph over the union of every file's edges, and
+/// stale-suppression accounting over the union of every file's
+/// `audit:allow` ledger plus the policy's own `relaxed-ok`/`skip`
+/// entries.
+pub fn audit_workspace_with(
+    root: &Path,
+    policy: &Policy,
+    opts: &AuditOptions,
+) -> Result<AuditReport, String> {
     let mut files = Vec::new();
     for dir in SCAN_ROOTS {
         let top = root.join(dir);
@@ -41,18 +96,124 @@ pub fn audit_workspace(root: &Path, policy: &Policy) -> Result<Vec<Violation>, S
             collect_rs_files(&top, &mut files)?;
         }
     }
-    let mut out = Vec::new();
+    let mut cache = opts
+        .cache_path
+        .as_ref()
+        .map(|p| AuditCache::load(p, opts.policy_fingerprint));
+
+    let mut audits: Vec<(String, FileAudit)> = Vec::new();
+    let mut cache_hits = 0usize;
+    // Policy `skip` entries that matched at least one walked file.
+    let mut used_skip_lines: Vec<usize> = Vec::new();
     for file in files {
         let rel = relative_slash_path(root, &file);
-        if policy.is_skipped(&rel) {
+        if let Some(entry) = policy.skip_entry_for(&rel) {
+            if !used_skip_lines.contains(&entry.line) {
+                used_skip_lines.push(entry.line);
+            }
             continue;
         }
         let source = std::fs::read_to_string(&file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        out.extend(audit_source(&rel, &source, policy));
+        let hash = fnv1a(source.as_bytes());
+        let audit = match cache.as_ref().and_then(|c| c.lookup(&rel, hash)) {
+            Some(cached) => {
+                cache_hits += 1;
+                cached.clone()
+            }
+            None => {
+                let fresh = audit_file(&rel, &source, policy);
+                if let Some(c) = cache.as_mut() {
+                    c.store(&rel, hash, fresh.clone());
+                }
+                fresh
+            }
+        };
+        audits.push((rel, audit));
     }
-    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
-    Ok(out)
+
+    let mut findings: Vec<Violation> = Vec::new();
+    let mut edges = Vec::new();
+    for (_, a) in &audits {
+        findings.extend(a.findings.iter().cloned());
+        edges.extend(a.edges.iter().cloned());
+    }
+    findings.extend(lockgraph::analyze(&edges, policy));
+
+    // Stale-suppression accounting. A marker is stale when it silenced
+    // nothing; a `relaxed-ok` entry when no matched file has a non-test
+    // `Ordering::Relaxed`; a `skip` entry when it matched no walked
+    // file. `--strict-suppressions` promotes these to errors.
+    let stale_sev = if opts.strict_suppressions {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    for (path, a) in &audits {
+        for (line, rule) in &a.markers {
+            if !a.used_markers.iter().any(|(l, r)| l == line && r == rule) {
+                findings.push(violation_at(
+                    path,
+                    "stale-suppression",
+                    *line,
+                    stale_sev,
+                    format!("audit:allow({rule}) suppresses nothing — delete the marker"),
+                ));
+            }
+        }
+    }
+    for entry in &policy.relaxed_ok {
+        let used = audits
+            .iter()
+            .any(|(_, a)| a.relaxed_entry_used.as_deref() == Some(entry.path.as_str()));
+        if !used {
+            findings.push(violation_at(
+                "audit.policy",
+                "stale-suppression",
+                entry.line as u32,
+                stale_sev,
+                format!(
+                    "`relaxed-ok {}` matches no non-test Ordering::Relaxed use — delete the entry",
+                    entry.path
+                ),
+            ));
+        }
+    }
+    for entry in &policy.skip {
+        if !used_skip_lines.contains(&entry.line) {
+            findings.push(violation_at(
+                "audit.policy",
+                "stale-suppression",
+                entry.line as u32,
+                stale_sev,
+                format!(
+                    "`skip {}` matches no file in the tree — delete the entry",
+                    entry.path
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+
+    if let (Some(c), Some(p)) = (cache.as_mut(), opts.cache_path.as_ref()) {
+        c.retain_paths(&audits.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        c.save(p)
+            .map_err(|e| format!("cannot write cache {}: {e}", p.display()))?;
+    }
+
+    Ok(AuditReport {
+        findings,
+        files_scanned: audits.len(),
+        cache_hits,
+    })
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

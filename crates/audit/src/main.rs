@@ -1,13 +1,21 @@
 //! `gve-audit` CLI: lint the workspace, exit non-zero on findings.
 //!
 //! ```text
-//! cargo run -p gve-audit            # audit the enclosing workspace
-//! gve-audit --root /path/to/repo    # audit an explicit checkout
-//! gve-audit --policy custom.policy  # override the policy file
-//! gve-audit --json                  # machine-readable findings
+//! cargo run -p gve-audit                 # audit the enclosing workspace
+//! gve-audit --root /path/to/repo         # audit an explicit checkout
+//! gve-audit --policy custom.policy       # override the policy file
+//! gve-audit --json                       # machine-readable findings on stdout
+//! gve-audit --sarif out.sarif            # SARIF 2.1.0 for code scanning
+//! gve-audit --incremental                # cache per-file results by content hash
+//! gve-audit --strict-suppressions        # stale suppressions become errors
 //! ```
+//!
+//! Findings (text or `--json`) are the only thing written to stdout —
+//! all diagnostics go to stderr, so `gve-audit --json | jq .` always
+//! parses.
 
-use gve_audit::{audit_workspace, find_workspace_root, Policy};
+use gve_audit::cache::fnv1a;
+use gve_audit::{audit_workspace_with, find_workspace_root, sarif, AuditOptions, Policy, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,6 +23,10 @@ struct Args {
     root: Option<PathBuf>,
     policy: Option<PathBuf>,
     json: bool,
+    sarif: Option<PathBuf>,
+    incremental: bool,
+    cache: Option<PathBuf>,
+    strict_suppressions: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -22,6 +34,10 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         policy: None,
         json: false,
+        sarif: None,
+        incremental: false,
+        cache: None,
+        strict_suppressions: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -37,11 +53,26 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--json" => args.json = true,
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(
+                    it.next().ok_or("--sarif needs a path".to_string())?,
+                ));
+            }
+            "--incremental" => args.incremental = true,
+            "--cache" => {
+                args.cache = Some(PathBuf::from(
+                    it.next().ok_or("--cache needs a path".to_string())?,
+                ));
+                args.incremental = true;
+            }
+            "--strict-suppressions" => args.strict_suppressions = true,
             "--help" | "-h" => {
                 println!(
                     "gve-audit: workspace concurrency/soundness lints\n\n\
-                     USAGE: gve-audit [--root DIR] [--policy FILE] [--json]\n\n\
-                     Exit status: 0 clean, 1 findings, 2 tool error."
+                     USAGE: gve-audit [--root DIR] [--policy FILE] [--json]\n\
+                            [--sarif FILE] [--incremental] [--cache FILE]\n\
+                            [--strict-suppressions]\n\n\
+                     Exit status: 0 clean (warnings allowed), 1 errors, 2 tool error."
                 );
                 std::process::exit(0);
             }
@@ -81,24 +112,54 @@ fn run() -> Result<bool, String> {
                 .ok_or("cannot locate workspace root (use --root)".to_string())?
         }
     };
-    let policy = match &args.policy {
-        Some(p) => Policy::load(p)?,
+    let policy_file = match &args.policy {
+        Some(p) => Some(p.clone()),
         None => {
             let default_file = root.join("audit.policy");
-            if default_file.is_file() {
-                Policy::load(&default_file)?
-            } else {
-                Policy::default_workspace()
-            }
+            default_file.is_file().then_some(default_file)
         }
     };
-    let findings = audit_workspace(&root, &policy)?;
+    let (policy, policy_text) = match &policy_file {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            (Policy::load(p)?, text)
+        }
+        None => (
+            Policy::default_workspace(),
+            gve_audit::policy::DEFAULT_POLICY.to_string(),
+        ),
+    };
+    let opts = AuditOptions {
+        cache_path: if args.incremental {
+            Some(
+                args.cache
+                    .clone()
+                    .unwrap_or_else(|| root.join("target/audit-cache.json")),
+            )
+        } else {
+            None
+        },
+        policy_fingerprint: fnv1a(policy_text.as_bytes()),
+        strict_suppressions: args.strict_suppressions,
+    };
+    let report = audit_workspace_with(&root, &policy, &opts)?;
+    let findings = &report.findings;
+    if let Some(path) = &args.sarif {
+        std::fs::write(path, sarif::to_sarif(findings))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("gve-audit: wrote SARIF to {}", path.display());
+    }
     if args.json {
         println!("[");
         for (i, v) in findings.iter().enumerate() {
             let comma = if i + 1 == findings.len() { "" } else { "," };
+            let sev = match v.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
             println!(
-                "  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}{comma}",
+                "  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"severity\":\"{sev}\",\"message\":\"{}\"}}{comma}",
                 v.rule,
                 json_escape(&v.path),
                 v.line,
@@ -107,16 +168,27 @@ fn run() -> Result<bool, String> {
         }
         println!("]");
     } else {
-        for v in &findings {
+        for v in findings {
             println!("{v}");
         }
-        if findings.is_empty() {
-            eprintln!("gve-audit: workspace clean ({})", root.display());
-        } else {
-            eprintln!("gve-audit: {} finding(s)", findings.len());
-        }
     }
-    Ok(findings.is_empty())
+    let errors = findings
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    if args.incremental {
+        eprintln!(
+            "gve-audit: scanned {} file(s), {} from cache",
+            report.files_scanned, report.cache_hits
+        );
+    }
+    if findings.is_empty() {
+        eprintln!("gve-audit: workspace clean ({})", root.display());
+    } else {
+        eprintln!("gve-audit: {errors} error(s), {warnings} warning(s)");
+    }
+    Ok(errors == 0)
 }
 
 fn main() -> ExitCode {

@@ -1,6 +1,8 @@
 //! The audit policy: which files are hot paths, where `Relaxed` is
-//! allowed wholesale, and which atomics are cross-thread *publishes*
-//! that must use Release/Acquire or stronger.
+//! allowed wholesale, which atomics are cross-thread *publishes* that
+//! must use Release/Acquire or stronger — and, since v2, the declared
+//! lock hierarchy plus the tables that teach the scope-aware rules
+//! about this workspace's lock wrappers and long-running calls.
 //!
 //! The policy ships in `audit.policy` at the workspace root so it is
 //! reviewable next to the code it governs; [`Policy::default_workspace`]
@@ -8,10 +10,17 @@
 //! bare checkout. Format (one entry per line, `#` comments):
 //!
 //! ```text
-//! hotpath    <path-substring>
-//! relaxed-ok <path-substring> -- <reason>
-//! publish    <path-substring> <field>.<method> <Ordering>[,<Ordering>] -- <reason>
-//! skip       <path-substring>
+//! hotpath       <path-substring>
+//! relaxed-ok    <path-substring> -- <reason>
+//! publish       <path-substring> <field>.<method> <Ordering>[,<Ordering>] -- <reason>
+//! skip          <path-substring>
+//! lock-order    <A> before <B> -- <reason>
+//! lock-fn       [<recv>.]<callee> <lock> [-- <reason>]
+//! lock-wrapper  <callee> [-- <reason>]
+//! lock-alias    <path-substring> <derived> <canonical> [-- <reason>]
+//! lock-allows-blocking <lock> -- <reason>
+//! blocking-call <callee> -- <reason>
+//! hotpath-alloc <path-substring> [fn=<name>[,<name>]*]
 //! ```
 //!
 //! * `hotpath` — rule `hotpath-panic` bans `unwrap`/`expect`/`panic!`/
@@ -26,12 +35,39 @@
 //!   threads *synchronize on* (not mere counters) may not be demoted to
 //!   `Relaxed` without editing the policy in the same diff.
 //! * `skip` — files the engine never scans (stand-in shims, fixtures).
+//! * `lock-order` — declares that lock `<A>` may be held while
+//!   acquiring `<B>` (and, transitively, anything `<B>` precedes). The
+//!   `lock-order` rule reports observed nested acquisitions that invert
+//!   a declared order, every undeclared nested acquisition, and any
+//!   cycle in the observed acquisition graph.
+//! * `lock-fn` — calling `<callee>` (optionally only as a method on a
+//!   receiver whose last path segment is `<recv>`) acquires `<lock>`.
+//!   This names acquisitions hidden behind constructors like
+//!   `begin_update()` or accessors like `cache.get(..)`.
+//! * `lock-wrapper` — `<callee>(&some.lock_field)` acquires the lock
+//!   named by the last identifier of its first argument. Covers
+//!   poison-recovering helpers like `lock_clean` / `lock_table`.
+//! * `lock-alias` — within files matching `<path-substring>`, a lock
+//!   whose derived name is `<derived>` is really `<canonical>`. Keeps
+//!   the graph's vertex names stable when a local variable hides the
+//!   field name (`cell.lock()` → the registry `entry` mutex).
+//! * `lock-allows-blocking` — `guard-across-blocking` accepts guards of
+//!   `<lock>` across blocking calls; for gates *designed* to be held
+//!   across long compute (the registry `update_gate`).
+//! * `blocking-call` — `<callee>(..)` counts as blocking for the
+//!   `guard-across-blocking` rule, in addition to the built-in set
+//!   (`recv`, `join`, `sleep`, ...). Names long compute like
+//!   `apply_batch`.
+//! * `hotpath-alloc` — rule `hotpath-alloc` bans allocating constructs
+//!   in these files (tests exempt); with `fn=a,b,c` only the named
+//!   functions' bodies are checked (for files whose setup paths may
+//!   allocate freely while the steady-state loop may not).
 
 use std::fmt;
 use std::path::Path;
 
 /// A `publish` table entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PublishRule {
     /// Path substring selecting the files this entry covers.
     pub path: String,
@@ -46,12 +82,65 @@ pub struct PublishRule {
 }
 
 /// An allowlist entry with its justification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
     /// Path substring.
     pub path: String,
     /// Why `Relaxed` is blanket-acceptable there.
     pub reason: String,
+    /// 1-based policy-file line (stale-suppression reporting).
+    pub line: usize,
+}
+
+/// A `skip` entry with its policy-file line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// Path substring.
+    pub path: String,
+    /// 1-based policy-file line (stale-suppression reporting).
+    pub line: usize,
+}
+
+/// A declared `lock-order <before> before <after>` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrder {
+    /// Lock that may be held first.
+    pub before: String,
+    /// Lock that may be acquired under it.
+    pub after: String,
+    /// Why the hierarchy runs this way.
+    pub reason: String,
+}
+
+/// A `lock-fn` entry: calling `callee` acquires `lock`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockFn {
+    /// Required receiver name (`cache.get` → `Some("cache")`), or any.
+    pub receiver: Option<String>,
+    /// Callee identifier.
+    pub callee: String,
+    /// Lock the call acquires.
+    pub lock: String,
+}
+
+/// A path-scoped lock rename.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockAlias {
+    /// Path substring the alias applies to.
+    pub path: String,
+    /// Derived (lexical) name.
+    pub from: String,
+    /// Canonical graph name.
+    pub to: String,
+}
+
+/// A `hotpath-alloc` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotAlloc {
+    /// Path substring.
+    pub path: String,
+    /// Function names to check; empty = the whole file.
+    pub fns: Vec<String>,
 }
 
 /// The full audit policy.
@@ -64,7 +153,21 @@ pub struct Policy {
     /// Ordering-sensitive publish sites.
     pub publish: Vec<PublishRule>,
     /// Path substrings excluded from scanning entirely.
-    pub skip: Vec<String>,
+    pub skip: Vec<SkipEntry>,
+    /// Declared lock hierarchy.
+    pub lock_orders: Vec<LockOrder>,
+    /// Calls that acquire a named lock.
+    pub lock_fns: Vec<LockFn>,
+    /// Wrappers acquiring the lock named by their first argument.
+    pub lock_wrappers: Vec<String>,
+    /// Path-scoped lock renames.
+    pub lock_aliases: Vec<LockAlias>,
+    /// Locks that may be held across blocking calls by design.
+    pub lock_blocking_ok: Vec<String>,
+    /// Extra callees the blocking rule treats as blocking.
+    pub blocking_calls: Vec<String>,
+    /// Files (or functions) under the `hotpath-alloc` rule.
+    pub hotpath_alloc: Vec<HotAlloc>,
 }
 
 /// A policy-file parse error with its line number.
@@ -122,6 +225,7 @@ impl Policy {
                     policy.relaxed_ok.push(AllowEntry {
                         path: path.to_string(),
                         reason,
+                        line: idx + 1,
                     });
                 }
                 "publish" => {
@@ -159,13 +263,124 @@ impl Policy {
                     let path = fields
                         .next()
                         .ok_or_else(|| err("skip needs a path".into()))?;
-                    policy.skip.push(path.to_string());
+                    policy.skip.push(SkipEntry {
+                        path: path.to_string(),
+                        line: idx + 1,
+                    });
+                }
+                "lock-order" => {
+                    let before = fields
+                        .next()
+                        .ok_or_else(|| err("lock-order needs `<A> before <B>`".into()))?;
+                    let kw = fields.next();
+                    let after = fields.next();
+                    let (Some("before"), Some(after)) = (kw, after) else {
+                        return Err(err("lock-order needs `<A> before <B>`".into()));
+                    };
+                    if reason.is_empty() {
+                        return Err(err(format!(
+                            "lock-order {before} before {after} needs a `-- reason`"
+                        )));
+                    }
+                    policy.lock_orders.push(LockOrder {
+                        before: before.to_string(),
+                        after: after.to_string(),
+                        reason,
+                    });
+                }
+                "lock-fn" => {
+                    let callee = fields
+                        .next()
+                        .ok_or_else(|| err("lock-fn needs `[recv.]callee lock`".into()))?;
+                    let lock = fields
+                        .next()
+                        .ok_or_else(|| err("lock-fn needs the lock name".into()))?;
+                    let (receiver, callee) = match callee.split_once('.') {
+                        Some((r, c)) => (Some(r.to_string()), c.to_string()),
+                        None => (None, callee.to_string()),
+                    };
+                    policy.lock_fns.push(LockFn {
+                        receiver,
+                        callee,
+                        lock: lock.to_string(),
+                    });
+                }
+                "lock-wrapper" => {
+                    let callee = fields
+                        .next()
+                        .ok_or_else(|| err("lock-wrapper needs a callee".into()))?;
+                    policy.lock_wrappers.push(callee.to_string());
+                }
+                "lock-alias" => {
+                    let path = fields
+                        .next()
+                        .ok_or_else(|| err("lock-alias needs `path derived canonical`".into()))?;
+                    let from = fields
+                        .next()
+                        .ok_or_else(|| err("lock-alias needs the derived name".into()))?;
+                    let to = fields
+                        .next()
+                        .ok_or_else(|| err("lock-alias needs the canonical name".into()))?;
+                    policy.lock_aliases.push(LockAlias {
+                        path: path.to_string(),
+                        from: from.to_string(),
+                        to: to.to_string(),
+                    });
+                }
+                "lock-allows-blocking" => {
+                    let lock = fields
+                        .next()
+                        .ok_or_else(|| err("lock-allows-blocking needs a lock name".into()))?;
+                    if reason.is_empty() {
+                        return Err(err(format!(
+                            "lock-allows-blocking {lock} needs a `-- reason`"
+                        )));
+                    }
+                    policy.lock_blocking_ok.push(lock.to_string());
+                }
+                "blocking-call" => {
+                    let callee = fields
+                        .next()
+                        .ok_or_else(|| err("blocking-call needs a callee".into()))?;
+                    if reason.is_empty() {
+                        return Err(err(format!("blocking-call {callee} needs a `-- reason`")));
+                    }
+                    policy.blocking_calls.push(callee.to_string());
+                }
+                "hotpath-alloc" => {
+                    let path = fields
+                        .next()
+                        .ok_or_else(|| err("hotpath-alloc needs a path".into()))?;
+                    let mut fns = Vec::new();
+                    if let Some(spec) = fields.next() {
+                        let names = spec
+                            .strip_prefix("fn=")
+                            .ok_or_else(|| err(format!("expected `fn=a,b,...`, got '{spec}'")))?;
+                        fns = names
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if fns.is_empty() {
+                            return Err(err("fn= needs at least one function name".into()));
+                        }
+                    }
+                    policy.hotpath_alloc.push(HotAlloc {
+                        path: path.to_string(),
+                        fns,
+                    });
                 }
                 other => return Err(err(format!("unknown policy keyword '{other}'"))),
             }
             if let Some(extra) = fields.next() {
                 return Err(err(format!("trailing field '{extra}'")));
             }
+        }
+        if let Some(cycle) = declared_order_cycle(&policy.lock_orders) {
+            return Err(PolicyError {
+                line: 0,
+                message: format!("declared lock-order hierarchy is cyclic through `{cycle}`"),
+            });
         }
         Ok(policy)
     }
@@ -207,14 +422,72 @@ impl Policy {
 
     /// True when the engine must not scan `path` at all.
     pub fn is_skipped(&self, path: &str) -> bool {
-        self.skip.iter().any(|p| path.contains(p.as_str()))
+        self.skip.iter().any(|p| path.contains(p.path.as_str()))
+    }
+
+    /// The `skip` entry matching `path`, if any.
+    pub fn skip_entry_for(&self, path: &str) -> Option<&SkipEntry> {
+        self.skip.iter().find(|p| path.contains(p.path.as_str()))
+    }
+
+    /// The `hotpath-alloc` entry covering `path`, if any.
+    pub fn hot_alloc_for(&self, path: &str) -> Option<&HotAlloc> {
+        self.hotpath_alloc
+            .iter()
+            .find(|e| path.contains(e.path.as_str()))
+    }
+
+    /// Canonical name of a lexically-derived lock name within `path`.
+    pub fn canonical_lock<'a>(&'a self, path: &str, derived: &'a str) -> &'a str {
+        self.lock_aliases
+            .iter()
+            .find(|a| path.contains(a.path.as_str()) && a.from == derived)
+            .map(|a| a.to.as_str())
+            .unwrap_or(derived)
+    }
+
+    /// True when guards of `lock` may be held across blocking calls.
+    pub fn lock_allows_blocking(&self, lock: &str) -> bool {
+        self.lock_blocking_ok.iter().any(|l| l == lock)
     }
 }
 
+/// A lock name on a cycle in the declared `lock-order` relation, if the
+/// declarations are not a partial order.
+fn declared_order_cycle(orders: &[LockOrder]) -> Option<String> {
+    let mut names: Vec<&str> = Vec::new();
+    for o in orders {
+        for n in [o.before.as_str(), o.after.as_str()] {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    let idx = |n: &str| names.iter().position(|m| *m == n).unwrap();
+    let n = names.len();
+    let mut reach = vec![false; n * n];
+    for o in orders {
+        reach[idx(&o.before) * n + idx(&o.after)] = true;
+    }
+    // Transitive closure, then any self-reachable vertex is on a cycle.
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if reach[i * n + k] && reach[k * n + j] {
+                    reach[i * n + j] = true;
+                }
+            }
+        }
+    }
+    (0..n)
+        .find(|&i| reach[i * n + i])
+        .map(|i| names[i].to_string())
+}
+
 /// Embedded copy of the workspace policy (kept in sync with
-/// `audit.policy`; the root file wins when present).
-pub const DEFAULT_POLICY: &str = r#"
-# ---- gve-audit workspace policy -------------------------------------
+/// `audit.policy`; the root file wins when present). The engine test
+/// `policy_file_on_disk_matches_embedded_default` enforces the sync.
+pub const DEFAULT_POLICY: &str = r#"# ---- gve-audit workspace policy -------------------------------------
 # Hot paths: no unwrap/expect/panic!/assert!/todo!/unimplemented!/
 # get_unchecked outside tests (debug_assert! is allowed). These are the
 # phase kernels the service runs per request plus the request loop.
@@ -240,13 +513,48 @@ publish crates/net/src/server.rs stopping.load Acquire,SeqCst -- pairs with the 
 
 # Blanket Relaxed allowlists. Everything else needs an inline
 # justification comment mentioning "relaxed" within 8 lines.
-relaxed-ok shims/ -- offline stand-ins for third-party crates; not our code to annotate
 relaxed-ok crates/prim/src/alloc_count.rs -- advisory allocator statistics read at measurement boundaries; never synchronization
 
 # Never scanned: shims are API stand-ins, fixtures are deliberately bad.
 skip shims/
 skip crates/audit/tests/fixtures/
-skip target/
+
+# ---- lock model ------------------------------------------------------
+# Teach the scope tracker about this workspace's lock wrappers: the
+# poison-recovering helpers acquire the lock named by their argument,
+# and the named constructors/accessors acquire a specific lock.
+lock-wrapper lock_clean
+lock-wrapper lock_table
+lock-fn begin_update update_gate -- GraphCell::begin_update claims the per-graph update gate
+lock-fn cache.get cache_inner -- ResultCache::get takes the single cache mutex
+lock-fn cache.insert cache_inner -- ResultCache::insert takes the single cache mutex
+lock-fn sender.send shard_queue -- modelled: a shard channel send publishes under the shard queue
+lock-alias crates/serve/src/handlers.rs cell entry -- handler-local GraphCell variable is the registry entry mutex
+lock-alias crates/serve/src/registry.rs cell entry -- registry-local GraphCell variable is the entry mutex
+lock-alias crates/serve/src/cache.rs inner cache_inner -- ResultCache's single inner mutex
+
+# Declared lock hierarchy. Observed nested acquisitions must follow
+# these (transitively); anything else is a lock-order finding.
+lock-order update_gate before entry -- updates claim the gate, then briefly the entry mutex to publish
+lock-order update_gate before cache_inner -- incremental refresh publishes the recomputed partition to the cache under the gate
+lock-order table before cache_inner -- submit consults the cache while holding the job table
+lock-order table before shard_queue -- submit enqueues shard work while holding the job table
+
+# Blocking model for guard-across-blocking: apply_batch is long graph
+# compute; the update gate alone is designed to be held across it.
+blocking-call apply_batch -- batch mutation replays the whole update set
+lock-allows-blocking update_gate -- serializes writers per graph; designed to be held across batch compute
+
+# ---- hot-path allocation lint ----------------------------------------
+# Static complement of the PR 5 counting-allocator gate: no allocating
+# constructs in the kernels (whole files) or the reactor's steady-state
+# functions (fn-scoped: setup/accept paths may allocate).
+hotpath-alloc crates/core/src/kernel.rs
+hotpath-alloc crates/prim/src/simd.rs
+hotpath-alloc crates/prim/src/smallmap.rs
+hotpath-alloc crates/prim/src/sched.rs
+hotpath-alloc crates/net/src/poller.rs fn=wait
+hotpath-alloc crates/net/src/server.rs fn=conn_ready,read_conn,advance_parser,start_write,flush_write,apply_completions,expire_deadlines,poll_timeout_ms,close_conn
 "#;
 
 #[cfg(test)]
@@ -267,6 +575,27 @@ mod tests {
     }
 
     #[test]
+    fn default_policy_declares_the_serve_lock_hierarchy() {
+        let p = Policy::default_workspace();
+        assert!(p
+            .lock_orders
+            .iter()
+            .any(|o| o.before == "update_gate" && o.after == "entry"));
+        assert!(p.lock_wrappers.iter().any(|w| w == "lock_clean"));
+        assert!(p.lock_allows_blocking("update_gate"));
+        assert!(!p.lock_allows_blocking("entry"));
+        assert_eq!(
+            p.canonical_lock("crates/serve/src/handlers.rs", "cell"),
+            "entry"
+        );
+        assert_eq!(p.canonical_lock("crates/net/src/server.rs", "cell"), "cell");
+        let reactor = p.hot_alloc_for("crates/net/src/server.rs").expect("entry");
+        assert!(reactor.fns.iter().any(|f| f == "expire_deadlines"));
+        assert!(p.hot_alloc_for("crates/core/src/kernel.rs").is_some());
+        assert!(p.hot_alloc_for("crates/serve/src/jobs.rs").is_none());
+    }
+
+    #[test]
     fn parse_rejects_malformed_entries() {
         assert!(Policy::parse("hotpath").is_err());
         assert!(
@@ -277,6 +606,22 @@ mod tests {
         assert!(Policy::parse("publish a.rs shutdownstore Release -- r").is_err());
         assert!(Policy::parse("frobnicate x").is_err());
         assert!(Policy::parse("hotpath a.rs extra").is_err());
+        assert!(Policy::parse("lock-order a b -- r").is_err(), "no `before`");
+        assert!(Policy::parse("lock-order a before b").is_err(), "no reason");
+        assert!(Policy::parse("lock-fn only_callee").is_err());
+        assert!(Policy::parse("blocking-call recv").is_err(), "no reason");
+        assert!(Policy::parse("lock-allows-blocking g").is_err(), "reason");
+        assert!(Policy::parse("hotpath-alloc a.rs bogus=x").is_err());
+        assert!(Policy::parse("hotpath-alloc a.rs fn=").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_cyclic_declared_hierarchy() {
+        let cyclic = "lock-order a before b -- r\n\
+                      lock-order b before c -- r\n\
+                      lock-order c before a -- r\n";
+        let e = Policy::parse(cyclic).expect_err("cycle must be rejected");
+        assert!(e.message.contains("cyclic"), "{e}");
     }
 
     #[test]
@@ -287,5 +632,28 @@ mod tests {
         .unwrap();
         assert_eq!(p.publish[0].allowed, vec!["Release", "SeqCst"]);
         assert_eq!(p.relaxed_ok[0].reason, "counters only");
+        assert_eq!(p.relaxed_ok[0].line, 2);
+    }
+
+    #[test]
+    fn parse_accepts_the_v2_lock_model_keywords() {
+        let p = Policy::parse(
+            "lock-order a before b -- why\n\
+             lock-fn recv.get inner\n\
+             lock-fn begin_update gate -- constructor\n\
+             lock-wrapper lock_clean\n\
+             lock-alias x.rs cell entry -- local name\n\
+             lock-allows-blocking gate -- by design\n\
+             blocking-call apply_batch -- long compute\n\
+             hotpath-alloc hot.rs fn=step,tick\n",
+        )
+        .unwrap();
+        assert_eq!(p.lock_orders[0].before, "a");
+        assert_eq!(p.lock_fns[0].receiver.as_deref(), Some("recv"));
+        assert_eq!(p.lock_fns[1].receiver, None);
+        assert_eq!(p.lock_fns[1].lock, "gate");
+        assert_eq!(p.lock_aliases[0].from, "cell");
+        assert!(p.blocking_calls.iter().any(|c| c == "apply_batch"));
+        assert_eq!(p.hotpath_alloc[0].fns, vec!["step", "tick"]);
     }
 }

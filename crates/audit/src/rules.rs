@@ -1,28 +1,61 @@
 //! The lint rules and the per-file audit driver.
 //!
-//! Four rules, each enforcing an invariant the concurrency design of
-//! GVE-Leiden depends on but the compiler cannot check:
+//! Seven rule families, each enforcing an invariant the concurrency
+//! design of GVE-Leiden depends on but the compiler cannot check:
 //!
-//! | rule id          | invariant |
-//! |------------------|-----------|
-//! | `unsafe-safety`  | every `unsafe` block/fn/impl carries a `SAFETY:` comment (or `# Safety` doc section) |
-//! | `atomic-ordering`| `Ordering::Relaxed` needs an inline justification mentioning "relaxed" within 8 lines, or a policy allowlist entry; publish sites must use their policy-mandated orderings |
-//! | `hotpath-panic`  | no `unwrap`/`expect`/`panic!`/`assert!`/`todo!`/`unimplemented!`/`unreachable!`/`get_unchecked` in designated hot paths (`debug_assert!` allowed) |
-//! | `rayon-blocking` | no `std::thread::spawn`/`thread::sleep`/blocking I/O inside rayon parallel regions |
+//! | rule id                 | invariant |
+//! |-------------------------|-----------|
+//! | `unsafe-safety`         | every `unsafe` block/fn/impl carries a `SAFETY:` comment (or `# Safety` doc section) |
+//! | `atomic-ordering`       | `Ordering::Relaxed` needs an inline justification mentioning "relaxed" within 8 lines, or a policy allowlist entry; publish sites must use their policy-mandated orderings |
+//! | `hotpath-panic`         | no `unwrap`/`expect`/`panic!`/`assert!`/`todo!`/`unimplemented!`/`unreachable!`/`get_unchecked` in designated hot paths (`debug_assert!` allowed) |
+//! | `rayon-blocking`        | no `std::thread::spawn`/`thread::sleep`/blocking I/O inside rayon parallel regions |
+//! | `lock-order`            | nested lock acquisitions follow the policy's declared `lock-order` hierarchy; no cycles in the observed acquisition graph (see [`crate::scopes`], [`crate::lockgraph`]) |
+//! | `hotpath-alloc`         | no allocating constructs in policy-pinned allocation-free files/functions |
+//! | `guard-across-blocking` | no lock guard held across `recv`/`join`/`sleep`/`accept` or policy-declared blocking calls |
 //!
-//! Test code (`#[cfg(test)]` / `#[test]` onward — by workspace
-//! convention test modules close each file) is exempt from the
-//! ordering, hot-path and rayon rules, not from `unsafe-safety`:
+//! Test code (brace-matched `#[cfg(test)]` / `#[test]` regions — see
+//! [`crate::view`]) is exempt from everything but `unsafe-safety`:
 //! undocumented aliasing in tests is how soundness bugs hide.
 //!
 //! A finding can be suppressed in place with a comment containing
 //! `audit:allow(<rule-id>)` on the offending line or the line above —
-//! grep-able, reviewable, and self-expiring when the code moves.
+//! grep-able, reviewable, and self-expiring when the code moves: the
+//! `stale-suppression` check warns on markers that silence nothing.
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::TokKind;
+use crate::lockgraph::{self, LockEdge};
 use crate::policy::Policy;
-use std::collections::BTreeMap;
+use crate::scopes;
+use crate::view::FileView;
 use std::fmt;
+
+/// Every rule id the engine can emit, for cache round-tripping and the
+/// SARIF rule table.
+pub const RULE_IDS: [&str; 8] = [
+    "unsafe-safety",
+    "atomic-ordering",
+    "hotpath-panic",
+    "rayon-blocking",
+    "lock-order",
+    "hotpath-alloc",
+    "guard-across-blocking",
+    "stale-suppression",
+];
+
+/// Interns a rule name back to its `'static` id (cache deserialization).
+pub fn canonical_rule_id(name: &str) -> Option<&'static str> {
+    RULE_IDS.iter().find(|r| **r == name).copied()
+}
+
+/// How bad a finding is: errors gate CI (exit 1), warnings are
+/// advisory (exit 0 unless promoted, e.g. `--strict-suppressions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; does not fail the audit by itself.
+    Warning,
+    /// Gates the merge.
+    Error,
+}
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +68,8 @@ pub struct Violation {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// Error (gates CI) or Warning (advisory).
+    pub severity: Severity,
 }
 
 impl fmt::Display for Violation {
@@ -44,6 +79,23 @@ impl fmt::Display for Violation {
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.message
         )
+    }
+}
+
+/// Builds a [`Violation`] without a [`FileView`] at hand.
+pub(crate) fn violation_at(
+    path: &str,
+    rule: &'static str,
+    line: u32,
+    severity: Severity,
+    message: String,
+) -> Violation {
+    Violation {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+        severity,
     }
 }
 
@@ -66,122 +118,28 @@ const RAYON_ENTRIES: [&str; 15] = [
     "par_for_dynamic_sum",
 ];
 
-/// Everything the audit derives from one source file before the rules
-/// run: the code-token stream, per-line comment text, raw lines, and
-/// where test-only code begins.
-struct FileView<'a> {
-    path: &'a str,
-    code: Vec<Tok>,
-    comments: BTreeMap<u32, String>,
-    lines: Vec<&'a str>,
-    test_start: u32,
+/// Everything one file contributes to the workspace audit: its local
+/// findings, its lock-acquisition edges (graph analysis is global), and
+/// its suppression ledger (stale-suppression accounting is global too).
+#[derive(Debug, Clone)]
+pub struct FileAudit {
+    /// Findings local to this file (all rules except `lock-order` and
+    /// `stale-suppression`, which need the whole workspace).
+    pub findings: Vec<Violation>,
+    /// Observed nested-acquisition edges.
+    pub edges: Vec<LockEdge>,
+    /// `(comment line, rule)` of every `audit:allow` marker.
+    pub markers: Vec<(u32, String)>,
+    /// Markers that silenced at least one finding.
+    pub used_markers: Vec<(u32, String)>,
+    /// Path pattern of the `relaxed-ok` entry this file exercised.
+    pub relaxed_entry_used: Option<String>,
 }
 
-impl<'a> FileView<'a> {
-    fn new(path: &'a str, source: &'a str) -> Self {
-        let toks = lex(source);
-        let mut code = Vec::new();
-        let mut comments: BTreeMap<u32, String> = BTreeMap::new();
-        for t in toks {
-            if t.kind == TokKind::Comment {
-                let entry = comments.entry(t.line).or_default();
-                entry.push(' ');
-                entry.push_str(&t.text);
-            } else {
-                code.push(t);
-            }
-        }
-        let test_start = find_test_start(&code);
-        Self {
-            path,
-            code,
-            comments,
-            lines: source.lines().collect(),
-            test_start,
-        }
-    }
-
-    fn in_tests(&self, line: u32) -> bool {
-        line >= self.test_start
-    }
-
-    /// Any comment on lines `[line - span, line]` satisfying `pred`.
-    fn comment_near(&self, line: u32, span: u32, pred: impl Fn(&str) -> bool) -> bool {
-        let lo = line.saturating_sub(span);
-        self.comments
-            .range(lo..=line)
-            .any(|(_, text)| pred(text.as_str()))
-    }
-
-    /// `audit:allow(rule)` on the line or the line above.
-    fn suppressed(&self, line: u32, rule: &str) -> bool {
-        let marker = format!("audit:allow({rule})");
-        self.comment_near(line, 1, |c| c.contains(&marker))
-    }
-
-    /// Text of the contiguous comment/attribute block ending just above
-    /// `line` (doc comments, `//` comments, attributes, blank lines;
-    /// bounded at 60 lines). Used by `unsafe-safety`, whose `# Safety`
-    /// doc section may sit above a pile of attributes.
-    fn block_above(&self, line: u32) -> String {
-        let mut out = String::new();
-        let mut l = line.saturating_sub(1);
-        let mut budget = 60;
-        while l >= 1 && budget > 0 {
-            let raw = self.lines.get(l as usize - 1).copied().unwrap_or("").trim();
-            let attached = raw.is_empty()
-                || raw.starts_with("//")
-                || raw.starts_with("#[")
-                || raw.starts_with("#![")
-                || raw == "]" // tail of a multi-line attribute
-                || raw == ")]";
-            if !attached {
-                break;
-            }
-            out.push_str(raw);
-            out.push('\n');
-            l -= 1;
-            budget -= 1;
-        }
-        out
-    }
-}
-
-/// Earliest line of a `#[test]` / `#[cfg(test)]`-style attribute.
-fn find_test_start(code: &[Tok]) -> u32 {
-    let mut start = u32::MAX;
-    let mut i = 0;
-    while i + 1 < code.len() {
-        if code[i].is_punct("#") && code[i + 1].is_punct("[") {
-            // Collect idents until the matching `]`.
-            let attr_line = code[i].line;
-            let mut depth = 1;
-            let mut j = i + 2;
-            let mut is_test = false;
-            while j < code.len() && depth > 0 {
-                if code[j].is_punct("[") {
-                    depth += 1;
-                } else if code[j].is_punct("]") {
-                    depth -= 1;
-                } else if code[j].is_ident("test") {
-                    is_test = true;
-                }
-                j += 1;
-            }
-            if is_test {
-                start = start.min(attr_line);
-            }
-            i = j;
-        } else {
-            i += 1;
-        }
-    }
-    start
-}
-
-/// Runs every rule against one file. `path` must be workspace-relative
-/// with `/` separators (it is matched against the policy tables).
-pub fn audit_source(path: &str, source: &str, policy: &Policy) -> Vec<Violation> {
+/// Runs every per-file rule against one file. `path` must be
+/// workspace-relative with `/` separators (it is matched against the
+/// policy tables).
+pub fn audit_file(path: &str, source: &str, policy: &Policy) -> FileAudit {
     let view = FileView::new(path, source);
     let mut out = Vec::new();
     rule_unsafe_safety(&view, &mut out);
@@ -191,17 +149,42 @@ pub fn audit_source(path: &str, source: &str, policy: &Policy) -> Vec<Violation>
         rule_hotpath_panic(&view, &mut out);
     }
     rule_rayon_blocking(&view, &mut out);
+    let scoped = scopes::analyze(&view, policy);
+    out.extend(scoped.findings);
+    out.sort_by_key(|v| (v.line, v.rule));
+    let relaxed_entry_used = policy.relaxed_ok_for(path).and_then(|entry| {
+        let exercised = view.code.iter().enumerate().any(|(i, t)| {
+            t.is_ident("Relaxed")
+                && i >= 3
+                && view.code[i - 1].is_punct(":")
+                && view.code[i - 2].is_punct(":")
+                && view.code[i - 3].is_ident("Ordering")
+                && !view.in_tests(t.line)
+        });
+        exercised.then(|| entry.path.clone())
+    });
+    FileAudit {
+        findings: out,
+        edges: scoped.edges,
+        markers: view.markers(),
+        used_markers: view.used_markers(),
+        relaxed_entry_used,
+    }
+}
+
+/// Single-file entry point: per-file rules plus a lock-graph analysis
+/// of just this file's edges. The workspace driver uses [`audit_file`]
+/// instead and runs the graph globally.
+pub fn audit_source(path: &str, source: &str, policy: &Policy) -> Vec<Violation> {
+    let fa = audit_file(path, source, policy);
+    let mut out = fa.findings;
+    out.extend(lockgraph::analyze(&fa.edges, policy));
     out.sort_by_key(|v| (v.line, v.rule));
     out
 }
 
 fn violation(view: &FileView<'_>, rule: &'static str, line: u32, message: String) -> Violation {
-    Violation {
-        rule,
-        path: view.path.to_string(),
-        line,
-        message,
-    }
+    violation_at(view.path, rule, line, Severity::Error, message)
 }
 
 // ---- unsafe-safety --------------------------------------------------
@@ -468,7 +451,7 @@ fn rule_rayon_blocking(view: &FileView<'_>, out: &mut Vec<Violation>) {
 
 /// Index of the `)` matching the `(` at `open`. Only parentheses are
 /// tracked — brackets and braces inside are irrelevant to balance.
-fn matching_paren(code: &[Tok], open: usize) -> Option<usize> {
+fn matching_paren(code: &[crate::lexer::Tok], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (j, t) in code.iter().enumerate().skip(open) {
         if t.is_punct("(") {
@@ -497,6 +480,7 @@ mod tests {
         let found = run("crates/x/src/lib.rs", bad);
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].rule, "unsafe-safety");
+        assert_eq!(found[0].severity, Severity::Error);
 
         let good = "fn f(p: *mut u8) {\n    // SAFETY: p is valid per caller contract.\n    unsafe { *p = 1; }\n}";
         assert!(run("crates/x/src/lib.rs", good).is_empty());
@@ -534,6 +518,20 @@ mod tests {
     fn relaxed_in_tests_and_in_comments_is_ignored() {
         let src = "// Ordering::Relaxed mentioned in prose.\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::{AtomicU64, Ordering};\n    #[test]\n    fn t() { AtomicU64::new(0).fetch_add(1, Ordering::Relaxed); }\n}";
         assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_still_audited() {
+        // v1's "earliest test attribute onward" heuristic exempted
+        // everything below the first #[cfg(test)] — including real code
+        // between two test modules (the `prim/smallmap.rs` layout).
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\
+                   use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn prod(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n\
+                   #[cfg(test)]\nmod more {\n    fn u() {}\n}";
+        let found = run("crates/x/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:#?}");
+        assert_eq!(found[0].rule, "atomic-ordering");
     }
 
     #[test]
@@ -605,5 +603,29 @@ mod tests {
         assert_eq!(found[1].line, 2);
         assert_eq!(found[0].path, "crates/core/src/refine.rs");
         assert!(found[1].to_string().contains("refine.rs:2"));
+    }
+
+    #[test]
+    fn audit_file_reports_the_suppression_ledger() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    // audit:allow(hotpath-panic): len checked by caller.\n    v.first().unwrap().wrapping_add(1)\n}\n// audit:allow(unsafe-safety): nothing unsafe here, stale.\nfn g() {}\n";
+        let fa = audit_file(
+            "crates/core/src/kernel.rs",
+            src,
+            &Policy::default_workspace(),
+        );
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        assert_eq!(fa.markers.len(), 2);
+        assert_eq!(fa.used_markers, vec![(2, "hotpath-panic".to_string())]);
+    }
+
+    #[test]
+    fn audit_file_tracks_relaxed_ok_entry_usage() {
+        let p = Policy::parse("relaxed-ok crates/gen/ -- generated code\n").unwrap();
+        let used = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let fa = audit_file("crates/gen/src/lib.rs", used, &p);
+        assert_eq!(fa.relaxed_entry_used.as_deref(), Some("crates/gen/"));
+        let unused = "fn f() {}";
+        let fa = audit_file("crates/gen/src/lib.rs", unused, &p);
+        assert_eq!(fa.relaxed_entry_used, None);
     }
 }

@@ -1,0 +1,759 @@
+//! Scope-aware analysis: lexical guard tracking per function.
+//!
+//! This is the v2 upgrade over the flat token rules — still no AST (the
+//! offline workspace has no `syn`), but enough structure to reason
+//! about *regions*: function bodies, `let`-bound lock guards and the
+//! block scope they live to, `drop(guard)` early releases, and the
+//! calls made while a guard is held. Three things come out of a walk:
+//!
+//! * **Lock edges** — `A` held while acquiring `B` — feeding the
+//!   workspace-wide graph in [`crate::lockgraph`].
+//! * **`guard-across-blocking` findings** — a guard alive across
+//!   `recv`/`join`/`sleep`/`accept` or a policy-declared blocking call
+//!   (the PR 6 "inline handlers block behind update batches" bug class,
+//!   as a permanent lint). Condvar waits are *not* blocking here: they
+//!   release the guard while parked.
+//! * **`hotpath-alloc` findings** — allocating constructs inside files
+//!   or functions the policy pins as allocation-free.
+//!
+//! What counts as acquiring a lock:
+//!
+//! * `recv.lock()` / zero-arg `recv.read()` / zero-arg `recv.write()` —
+//!   the lock name is the last identifier of the receiver chain
+//!   (`self.shard(name).write()` → `shard`); the zero-argument
+//!   requirement is what separates `RwLock::read` from `io::Read::read`.
+//! * a policy `lock-fn` callee (`begin_update` → `update_gate`,
+//!   `cache.get` → `cache_inner`);
+//! * a policy `lock-wrapper` call — the name comes from the last
+//!   identifier of its first argument (`lock_clean(&self.state)` →
+//!   `state`).
+//!
+//! Names then pass through the policy's path-scoped `lock-alias` table
+//! so local variable names map onto canonical graph vertices. Receivers
+//! that resolve to `self` stay anonymous and are ignored — their locks
+//! are modelled at the caller via `lock-fn` instead.
+
+use crate::lexer::{Tok, TokKind};
+use crate::lockgraph::LockEdge;
+use crate::policy::Policy;
+use crate::rules::{violation_at, Severity, Violation};
+use crate::view::FileView;
+
+/// A function body found in the token stream.
+pub(crate) struct FnScope {
+    /// Function name (for `hotpath-alloc fn=` scoping).
+    pub name: String,
+    /// Token index of the body's `{`.
+    pub open: usize,
+    /// Token index of the matching `}`.
+    pub close: usize,
+}
+
+/// Result of the scope walk over one file.
+pub(crate) struct ScopeAnalysis {
+    /// Nested-acquisition edges (deduped per `(from, to)`).
+    pub edges: Vec<LockEdge>,
+    /// `guard-across-blocking` and `hotpath-alloc` findings.
+    pub findings: Vec<Violation>,
+}
+
+/// Calls that block the thread when made with a guard held. `join` is
+/// only blocking as the zero-arg `handle.join()` — `slice.join(sep)` is
+/// string concatenation. Condvar `wait*` release the guard and are
+/// deliberately absent.
+const BLOCKING_BUILTIN: [&str; 6] = [
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "join",
+    "sleep",
+    "accept",
+];
+
+/// Types whose associated constructors allocate (or, for `Vec::new` /
+/// `String::new`, announce an about-to-grow buffer in a loop).
+const ALLOC_TYPES: [&str; 9] = [
+    "Vec",
+    "String",
+    "Box",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "VecDeque",
+    "BinaryHeap",
+];
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+const ALLOC_METHODS: [&str; 5] = ["to_vec", "to_string", "to_owned", "collect", "clone"];
+
+/// Runs the scope-aware rules over one file.
+pub(crate) fn analyze(view: &FileView<'_>, policy: &Policy) -> ScopeAnalysis {
+    let fns = functions(&view.code);
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut findings = Vec::new();
+    // Walk outermost function bodies only: a nested `fn` is covered by
+    // its enclosing walk (guards cannot cross the boundary anyway — the
+    // nested body simply starts with an empty guard stack of its own,
+    // which the single walk approximates closely enough for lexical
+    // analysis, erring on the side of reporting).
+    let mut last_close = 0usize;
+    for f in &fns {
+        if f.open < last_close {
+            continue;
+        }
+        last_close = f.close;
+        walk_function(view, policy, f, &mut edges, &mut findings);
+    }
+    rule_hotpath_alloc(view, policy, &fns, &mut findings);
+    ScopeAnalysis { edges, findings }
+}
+
+/// One `let`-bound (or `if let`-bound) guard currently in scope.
+struct Guard {
+    lock: String,
+    line: u32,
+    /// Token index where the guard's block scope closes.
+    end_tok: usize,
+    /// Binding name, for `drop(name)` early release.
+    name: Option<String>,
+}
+
+/// A `let` binding whose initializer we are inside: an acquisition in
+/// `[from, to]` becomes a guard scoped to `end_tok`.
+struct PendingLet {
+    name: Option<String>,
+    from: usize,
+    to: usize,
+    end_tok: usize,
+}
+
+fn walk_function(
+    view: &FileView<'_>,
+    policy: &Policy,
+    f: &FnScope,
+    edges: &mut Vec<LockEdge>,
+    findings: &mut Vec<Violation>,
+) {
+    let code = &view.code;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut brace_stack: Vec<usize> = vec![f.close];
+    let mut pending: Option<PendingLet> = None;
+    let mut blocked_once: Vec<(u32, String)> = Vec::new();
+    let mut j = f.open + 1;
+    while j < f.close {
+        guards.retain(|g| j < g.end_tok);
+        if pending.as_ref().is_some_and(|p| p.to < j) {
+            pending = None;
+        }
+        let t = &code[j];
+        if t.is_punct("{") {
+            if let Some(close) = matching_brace(code, j) {
+                brace_stack.push(close);
+            }
+        } else if t.is_punct("}") {
+            if brace_stack.last() == Some(&j) {
+                brace_stack.pop();
+            }
+        } else if t.is_ident("let") {
+            pending = scan_let(code, j, &brace_stack);
+        } else if t.is_ident("drop")
+            && matches!(code.get(j + 1), Some(n) if n.is_punct("("))
+            && matches!(code.get(j + 3), Some(n) if n.is_punct(")"))
+        {
+            if let Some(name) = code.get(j + 2).filter(|n| n.kind == TokKind::Ident) {
+                guards.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+            }
+        }
+
+        if let Some(lock) = acquisition_at(code, j, policy, view.path) {
+            if !view.in_tests(t.line) {
+                for g in &guards {
+                    if g.lock != lock && !view.suppressed(t.line, "lock-order") {
+                        let dup = edges.iter().any(|e| e.from == g.lock && e.to == lock);
+                        if !dup {
+                            edges.push(LockEdge {
+                                from: g.lock.clone(),
+                                to: lock.clone(),
+                                path: view.path.to_string(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+                if let Some(p) = pending.take() {
+                    if (p.from..=p.to).contains(&j) {
+                        if p.name.is_some() {
+                            guards.push(Guard {
+                                lock: lock.clone(),
+                                line: t.line,
+                                end_tok: p.end_tok,
+                                name: p.name,
+                            });
+                        }
+                    } else {
+                        pending = Some(p);
+                    }
+                }
+            }
+        } else if let Some(callee) = blocking_call_at(code, j, policy) {
+            if !view.in_tests(t.line) {
+                for g in &guards {
+                    if policy.lock_allows_blocking(&g.lock) {
+                        continue;
+                    }
+                    let key = (t.line, g.lock.clone());
+                    if blocked_once.contains(&key)
+                        || view.suppressed(t.line, "guard-across-blocking")
+                    {
+                        continue;
+                    }
+                    blocked_once.push(key);
+                    findings.push(violation_at(
+                        view.path,
+                        "guard-across-blocking",
+                        t.line,
+                        Severity::Error,
+                        format!(
+                            "guard of `{}` (acquired on line {}) held across blocking call \
+                             `{callee}` — drop the guard first or move the call out of the \
+                             critical section",
+                            g.lock, g.line
+                        ),
+                    ));
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Parses the binding shape of a `let` at `j` (including `if let` /
+/// `while let`). Returns the region where an acquisition binds and the
+/// token where the resulting guard's scope ends.
+fn scan_let(code: &[Tok], j: usize, brace_stack: &[usize]) -> Option<PendingLet> {
+    let conditional = j >= 1 && (code[j - 1].is_ident("if") || code[j - 1].is_ident("while"));
+    if conditional {
+        // `if let PAT = EXPR { BODY }`: guard binds in EXPR, lives to
+        // the close of BODY. The pattern's last non-`mut`/`ref` ident is
+        // the binding (`Ok(mut g)` → `g`).
+        let mut eq = None;
+        for (k, t) in code.iter().enumerate().skip(j + 1) {
+            if t.is_punct("=") && !matches!(code.get(k + 1), Some(n) if n.is_punct("=")) {
+                eq = Some(k);
+                break;
+            }
+            if t.is_punct("{") || t.is_punct(";") {
+                return None;
+            }
+        }
+        let eq = eq?;
+        let name = code[j + 1..eq]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone())
+            .filter(|n| n != "_");
+        let (mut par, mut brk) = (0i32, 0i32);
+        let mut open = None;
+        for (k, t) in code.iter().enumerate().skip(eq + 1) {
+            if t.is_punct("(") {
+                par += 1;
+            } else if t.is_punct(")") {
+                par -= 1;
+            } else if t.is_punct("[") {
+                brk += 1;
+            } else if t.is_punct("]") {
+                brk -= 1;
+            } else if t.is_punct("{") && par == 0 && brk == 0 {
+                open = Some(k);
+                break;
+            }
+        }
+        let open = open?;
+        let close = matching_brace(code, open)?;
+        return Some(PendingLet {
+            name,
+            from: eq + 1,
+            to: open,
+            end_tok: close,
+        });
+    }
+    // Plain `let [mut] NAME = EXPR ;` — guard binds anywhere up to the
+    // statement's `;`, lives to the innermost enclosing block close.
+    let mut k = j + 1;
+    if matches!(code.get(k), Some(t) if t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = code
+        .get(k)
+        .filter(|t| t.kind == TokKind::Ident && t.text != "_")
+        .map(|t| t.text.clone());
+    // Tuple/struct patterns (`let (a, b) = ...`) stay unbound: `name`
+    // is None and any acquisition is a point event.
+    let name = match code.get(k + 1) {
+        Some(n) if n.is_punct("(") || n.is_punct("{") => None,
+        _ => name,
+    };
+    let (mut par, mut brk, mut brc) = (0i32, 0i32, 0i32);
+    let mut end = None;
+    for (m, t) in code.iter().enumerate().skip(j + 1) {
+        if t.is_punct("(") {
+            par += 1;
+        } else if t.is_punct(")") {
+            par -= 1;
+        } else if t.is_punct("[") {
+            brk += 1;
+        } else if t.is_punct("{") {
+            brc += 1;
+        } else if t.is_punct("]") {
+            brk -= 1;
+        } else if t.is_punct("}") {
+            brc -= 1;
+            if brc < 0 {
+                break;
+            }
+        } else if t.is_punct(";") && par == 0 && brk == 0 && brc == 0 {
+            end = Some(m);
+            break;
+        }
+    }
+    let end = end?;
+    Some(PendingLet {
+        name,
+        from: j,
+        to: end,
+        end_tok: *brace_stack.last()?,
+    })
+}
+
+/// If the token at `j` acquires a lock, its canonical name.
+fn acquisition_at(code: &[Tok], j: usize, policy: &Policy, path: &str) -> Option<String> {
+    let t = code.get(j)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // Definitions (`fn lock_clean(...)`) are not calls.
+    if j >= 1 && code[j - 1].is_ident("fn") {
+        return None;
+    }
+    if !matches!(code.get(j + 1), Some(n) if n.is_punct("(")) {
+        return None;
+    }
+    let after_dot = j >= 1 && code[j - 1].is_punct(".");
+    let zero_arg = matches!(code.get(j + 2), Some(n) if n.is_punct(")"));
+
+    // Native guard constructors: zero-arg distinguishes RwLock's
+    // read()/write() from io::Read/Write and Mutex::lock from fs locks.
+    if after_dot && zero_arg && matches!(t.text.as_str(), "lock" | "read" | "write") {
+        let recv = receiver_name(code, j.checked_sub(2)?)?;
+        if recv == "self" || matches!(recv.as_str(), "stdin" | "stdout" | "stderr") {
+            return None;
+        }
+        return Some(policy.canonical_lock(path, &recv).to_string());
+    }
+    for lf in &policy.lock_fns {
+        if lf.callee != t.text {
+            continue;
+        }
+        match &lf.receiver {
+            None => return Some(policy.canonical_lock(path, &lf.lock).to_string()),
+            Some(r) => {
+                if after_dot && j >= 2 && receiver_name(code, j - 2).as_deref() == Some(r) {
+                    return Some(policy.canonical_lock(path, &lf.lock).to_string());
+                }
+            }
+        }
+    }
+    if !after_dot && policy.lock_wrappers.contains(&t.text) {
+        let close = matching_paren(code, j + 1)?;
+        let name = code[j + 2..close]
+            .iter()
+            .rev()
+            .find(|a| a.kind == TokKind::Ident && a.text != "self" && a.text != "mut")
+            .map(|a| a.text.clone())?;
+        return Some(policy.canonical_lock(path, &name).to_string());
+    }
+    None
+}
+
+/// If the token at `j` is a blocking call, its callee name.
+fn blocking_call_at(code: &[Tok], j: usize, policy: &Policy) -> Option<String> {
+    let t = code.get(j)?;
+    if t.kind != TokKind::Ident
+        || !matches!(code.get(j + 1), Some(n) if n.is_punct("("))
+        || (j >= 1 && code[j - 1].is_ident("fn"))
+    {
+        return None;
+    }
+    let zero_arg = matches!(code.get(j + 2), Some(n) if n.is_punct(")"));
+    let builtin = match t.text.as_str() {
+        // `handle.join()` blocks; `slice.join(sep)` concatenates.
+        "join" => zero_arg,
+        other => BLOCKING_BUILTIN.contains(&other),
+    };
+    if builtin || policy.blocking_calls.contains(&t.text) {
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// The last identifier of the receiver chain ending at token `k` (the
+/// token just before the `.` of a method call).
+fn receiver_name(code: &[Tok], k: usize) -> Option<String> {
+    let t = code.get(k)?;
+    if t.kind == TokKind::Ident {
+        return Some(t.text.clone());
+    }
+    if t.is_punct("?") {
+        return receiver_name(code, k.checked_sub(1)?);
+    }
+    if t.is_punct(")") {
+        // `self.shard(name).write()` → the method name before the `(`.
+        let open = matching_paren_back(code, k)?;
+        let before = code.get(open.checked_sub(1)?)?;
+        if before.kind == TokKind::Ident {
+            return Some(before.text.clone());
+        }
+        return None;
+    }
+    if t.is_punct("]") {
+        let mut depth = 0i32;
+        for i in (0..=k).rev() {
+            if code[i].is_punct("]") {
+                depth += 1;
+            } else if code[i].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    let before = code.get(i.checked_sub(1)?)?;
+                    if before.kind == TokKind::Ident {
+                        return Some(before.text.clone());
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---- hotpath-alloc --------------------------------------------------
+
+fn rule_hotpath_alloc(
+    view: &FileView<'_>,
+    policy: &Policy,
+    fns: &[FnScope],
+    out: &mut Vec<Violation>,
+) {
+    const RULE: &str = "hotpath-alloc";
+    let Some(entry) = policy.hot_alloc_for(view.path) else {
+        return;
+    };
+    let in_scope = |j: usize| -> bool {
+        if entry.fns.is_empty() {
+            return true;
+        }
+        fns.iter()
+            .any(|f| entry.fns.contains(&f.name) && f.open < j && j < f.close)
+    };
+    for j in 0..view.code.len() {
+        let t = &view.code[j];
+        if t.kind != TokKind::Ident || view.in_tests(t.line) || !in_scope(j) {
+            continue;
+        }
+        let what = alloc_at(&view.code, j);
+        if let Some(what) = what {
+            if !view.suppressed(t.line, RULE) {
+                out.push(violation_at(
+                    view.path,
+                    RULE,
+                    t.line,
+                    Severity::Error,
+                    format!(
+                        "{what} allocates in an allocation-free hot path — preallocate, \
+                         reuse a scratch buffer, or move the work off the steady path"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Description of the allocating construct at `j`, if any.
+fn alloc_at(code: &[Tok], j: usize) -> Option<String> {
+    let t = &code[j];
+    let after_dot = j >= 1 && code[j - 1].is_punct(".");
+    let next_is = |s: &str| matches!(code.get(j + 1), Some(n) if n.is_punct(s));
+    if ALLOC_TYPES.contains(&t.text.as_str())
+        && next_is(":")
+        && matches!(code.get(j + 2), Some(n) if n.is_punct(":"))
+    {
+        if let Some(m) = code.get(j + 3) {
+            if ALLOC_CTORS.contains(&m.text.as_str())
+                && matches!(code.get(j + 4), Some(n) if n.is_punct("("))
+            {
+                return Some(format!("`{}::{}`", t.text, m.text));
+            }
+        }
+        return None;
+    }
+    if matches!(t.text.as_str(), "vec" | "format") && next_is("!") {
+        return Some(format!("`{}!`", t.text));
+    }
+    if after_dot && ALLOC_METHODS.contains(&t.text.as_str()) && next_is("(") {
+        if t.text == "clone" {
+            return Some(
+                "`.clone()` of an owned container (use `Arc::clone(&x)` form for \
+                 refcount bumps — it passes this lint)"
+                    .to_string(),
+            );
+        }
+        return Some(format!("`.{}()`", t.text));
+    }
+    None
+}
+
+// ---- token helpers --------------------------------------------------
+
+/// Finds every `fn` item with a body. Nested functions produce nested
+/// scopes; callers that need disjoint regions skip contained ones.
+pub(crate) fn functions(code: &[Tok]) -> Vec<FnScope> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !(code[i].is_ident("fn") && code[i + 1].kind == TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = code[i + 1].text.clone();
+        // Find the body `{`, skipping the parameter list, generics and
+        // return type. `>` only closes an angle bracket when it is not
+        // the tail of a `->` arrow.
+        let (mut par, mut brk, mut ang) = (0i32, 0i32, 0i32);
+        let mut j = i + 2;
+        let mut body = None;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct("(") {
+                par += 1;
+            } else if t.is_punct(")") {
+                par -= 1;
+            } else if t.is_punct("[") {
+                brk += 1;
+            } else if t.is_punct("]") {
+                brk -= 1;
+            } else if t.is_punct("<") {
+                ang += 1;
+            } else if t.is_punct(">") && !(j >= 1 && code[j - 1].is_punct("-")) {
+                ang = (ang - 1).max(0);
+            } else if par == 0 && brk == 0 && ang == 0 {
+                if t.is_punct("{") {
+                    body = Some(j);
+                    break;
+                }
+                if t.is_punct(";") {
+                    break; // trait/extern declaration without a body
+                }
+            }
+            j += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = matching_brace(code, open) {
+                out.push(FnScope { name, open, close });
+            }
+        }
+        i += 2;
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+fn matching_paren_back(code: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        if code[i].is_punct(")") {
+            depth += 1;
+        } else if code[i].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str, policy: &Policy) -> ScopeAnalysis {
+        let view = FileView::new("crates/x/src/lib.rs", src);
+        analyze(&view, policy)
+    }
+
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        let src = "fn f(a: &M, b: &M) {\n    let g = a.lock();\n    let h = b.lock();\n}";
+        let out = scan(src, &Policy::default());
+        assert_eq!(out.edges.len(), 1, "{:?}", out.edges);
+        assert_eq!(out.edges[0].from, "a");
+        assert_eq!(out.edges[0].to, "b");
+        assert_eq!(out.edges[0].line, 3);
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close_and_drop() {
+        // Inner-block guard released before the second acquisition.
+        let scoped =
+            "fn f(a: &M, b: &M) {\n    { let g = a.lock(); use_it(&g); }\n    let h = b.lock();\n}";
+        assert!(scan(scoped, &Policy::default()).edges.is_empty());
+        let dropped =
+            "fn f(a: &M, b: &M) {\n    let g = a.lock();\n    drop(g);\n    let h = b.lock();\n}";
+        assert!(scan(dropped, &Policy::default()).edges.is_empty());
+    }
+
+    #[test]
+    fn transient_acquisitions_do_not_hold() {
+        // No binding: the guard is a temporary, dead at the `;`.
+        let src = "fn f(a: &M, b: &M) {\n    a.lock().push(1);\n    b.lock().push(2);\n}";
+        assert!(scan(src, &Policy::default()).edges.is_empty());
+        // `let _ =` drops immediately too.
+        let src2 = "fn f(a: &M, b: &M) {\n    let _ = a.lock();\n    let h = b.lock();\n}";
+        assert!(scan(src2, &Policy::default()).edges.is_empty());
+    }
+
+    #[test]
+    fn if_let_guard_lives_to_its_block() {
+        let src = "fn f(a: &M, b: &M) {\n    if let Ok(mut g) = a.lock() {\n        let h = b.lock();\n    }\n    let k = b.lock();\n}";
+        let out = scan(src, &Policy::default());
+        assert_eq!(out.edges.len(), 1, "{:?}", out.edges);
+        assert_eq!((&*out.edges[0].from, &*out.edges[0].to), ("a", "b"));
+    }
+
+    #[test]
+    fn receiver_chains_and_rwlock_arity() {
+        let p = Policy::default();
+        // Last path segment names the lock; method-call receivers use
+        // the method name; `write(buf)` with args is io, not RwLock.
+        let src = "fn f(s: &S) {\n    let g = s.shard(k).write();\n    let h = s.inner.state.read();\n    s.out.write(buf);\n}";
+        let out = scan(src, &p);
+        assert_eq!(out.edges.len(), 1, "{:?}", out.edges);
+        assert_eq!((&*out.edges[0].from, &*out.edges[0].to), ("shard", "state"));
+    }
+
+    #[test]
+    fn wrapper_and_lock_fn_and_alias_resolve_names() {
+        let p = Policy::parse(
+            "lock-wrapper lock_clean\n\
+             lock-fn cache.get cache_inner\n\
+             lock-alias crates/x cell entry\n",
+        )
+        .unwrap();
+        let src = "fn f(s: &S) {\n    let g = lock_clean(&s.table);\n    let v = cache.get(&k);\n    let e = cell.lock();\n}";
+        let out = scan(src, &p);
+        let pairs: Vec<(&str, &str)> = out
+            .edges
+            .iter()
+            .map(|e| (e.from.as_str(), e.to.as_str()))
+            .collect();
+        assert!(pairs.contains(&("table", "cache_inner")), "{pairs:?}");
+        assert!(pairs.contains(&("table", "entry")), "{pairs:?}");
+    }
+
+    #[test]
+    fn guard_across_blocking_flags_recv_but_not_condvar_wait() {
+        let src = "fn f(a: &M, rx: &R) {\n    let g = a.lock();\n    let msg = rx.recv();\n}";
+        let out = scan(src, &Policy::default());
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "guard-across-blocking");
+        assert!(out.findings[0].message.contains("`recv`"));
+
+        let cond = "fn f(a: &M, cv: &C) {\n    let mut g = a.lock();\n    g = cv.wait(g);\n}";
+        assert!(scan(cond, &Policy::default()).findings.is_empty());
+    }
+
+    #[test]
+    fn join_blocks_only_zero_arg_and_policy_calls_count() {
+        let strjoin =
+            "fn f(a: &M, parts: &[String]) {\n    let g = a.lock();\n    let s = parts.join(c);\n}";
+        assert!(scan(strjoin, &Policy::default()).findings.is_empty());
+        let hjoin = "fn f(a: &M, h: H) {\n    let g = a.lock();\n    h.join();\n}";
+        assert_eq!(scan(hjoin, &Policy::default()).findings.len(), 1);
+        let p = Policy::parse("blocking-call apply_batch -- long compute\n").unwrap();
+        let batch = "fn f(a: &M) {\n    let g = a.lock();\n    apply_batch(&g);\n}";
+        assert_eq!(scan(batch, &p).findings.len(), 1);
+    }
+
+    #[test]
+    fn lock_allows_blocking_exempts_a_designed_gate() {
+        let p = Policy::parse(
+            "lock-fn begin_update update_gate\n\
+             blocking-call apply_batch -- long compute\n\
+             lock-allows-blocking update_gate -- by design\n",
+        )
+        .unwrap();
+        let src = "fn f(cell: &C) {\n    let _gate = cell.begin_update();\n    apply_batch(x);\n}";
+        assert!(scan(src, &p).findings.is_empty());
+    }
+
+    #[test]
+    fn hotpath_alloc_flags_constructs_only_in_scoped_fns() {
+        let p = Policy::parse("hotpath-alloc crates/x/src/lib.rs fn=steady\n").unwrap();
+        let src = "fn setup() -> Vec<u32> {\n    Vec::with_capacity(8)\n}\n\
+                   fn steady(xs: &[u32]) -> u32 {\n    let v: Vec<u32> = xs.iter().map(|x| x + 1).collect();\n    v[0]\n}";
+        let out = scan(src, &p);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "hotpath-alloc");
+        assert_eq!(out.findings[0].line, 5);
+    }
+
+    #[test]
+    fn hotpath_alloc_whole_file_exempts_tests_and_suppressions() {
+        let p = Policy::parse("hotpath-alloc crates/x/src/lib.rs\n").unwrap();
+        let src = "fn hot() {\n    // audit:allow(hotpath-alloc): one-time growth.\n    let v = Vec::new();\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1, 2]; }\n}";
+        assert!(scan(src, &p).findings.is_empty());
+    }
+
+    #[test]
+    fn function_extraction_handles_generics_and_arrows() {
+        let code = lex("fn a<T: Into<Vec<u8>>>(x: T) -> Vec<u8> { x.into() }\nfn b() {}");
+        let fns = functions(&code);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[1].name, "b");
+    }
+}

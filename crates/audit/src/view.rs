@@ -1,0 +1,279 @@
+//! The per-file view every rule works from: the code-token stream,
+//! per-line comment text, raw lines, brace-matched test regions, and
+//! the `audit:allow` suppression ledger.
+//!
+//! v2 replaced the v1 "earliest test attribute onward" heuristic with
+//! real region tracking: a `#[test]` / `#[cfg(test)]` attribute exempts
+//! exactly the item it is attached to (to the matching close brace, or
+//! the terminating `;`). Files that interleave production code between
+//! test modules — `prim/smallmap.rs` keeps `HashScanMap` between two
+//! `#[cfg(test)]` mods — are now fully audited outside those regions.
+//!
+//! Suppressions are a ledger, not just a predicate: every
+//! `audit:allow(<rule>)` marker found in comments is recorded, and
+//! [`FileView::suppressed`] marks the matching marker *used* when a
+//! rule consults it. The workspace driver reports markers that silenced
+//! nothing as `stale-suppression` findings.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything the audit derives from one source file before the rules
+/// run.
+pub(crate) struct FileView<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) code: Vec<Tok>,
+    pub(crate) comments: BTreeMap<u32, String>,
+    pub(crate) lines: Vec<&'a str>,
+    /// Line ranges (inclusive) of test-only code.
+    test_regions: Vec<(u32, u32)>,
+    /// `(comment line, rule)` of every `audit:allow` marker in the file.
+    markers: Vec<(u32, String)>,
+    /// Markers that have silenced at least one finding.
+    used: RefCell<BTreeSet<(u32, String)>>,
+}
+
+impl<'a> FileView<'a> {
+    pub(crate) fn new(path: &'a str, source: &'a str) -> Self {
+        let toks = lex(source);
+        let mut code = Vec::new();
+        let mut comments: BTreeMap<u32, String> = BTreeMap::new();
+        for t in toks {
+            if t.kind == TokKind::Comment {
+                let entry = comments.entry(t.line).or_default();
+                entry.push(' ');
+                entry.push_str(&t.text);
+            } else {
+                code.push(t);
+            }
+        }
+        let mut test_regions = find_test_regions(&code);
+        // Integration tests, benches and examples are test code wholesale.
+        if path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/") {
+            test_regions = vec![(0, u32::MAX)];
+        }
+        let mut markers = Vec::new();
+        for (&line, text) in &comments {
+            let mut rest = text.as_str();
+            while let Some(pos) = rest.find("audit:allow(") {
+                rest = &rest[pos + "audit:allow(".len()..];
+                if let Some(end) = rest.find(')') {
+                    // Only a real rule id is a suppression — prose that
+                    // merely *describes* the syntax (placeholder names
+                    // like `<rule-id>`) is not, and a typo'd id is
+                    // self-correcting because the finding it meant to
+                    // silence still fires.
+                    if let Some(rule) = crate::rules::canonical_rule_id(rest[..end].trim()) {
+                        markers.push((line, rule.to_string()));
+                    }
+                    rest = &rest[end..];
+                } else {
+                    break;
+                }
+            }
+        }
+        Self {
+            path,
+            code,
+            comments,
+            lines: source.lines().collect(),
+            test_regions,
+            markers,
+            used: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    pub(crate) fn in_tests(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Any comment on lines `[line - span, line]` satisfying `pred`.
+    pub(crate) fn comment_near(&self, line: u32, span: u32, pred: impl Fn(&str) -> bool) -> bool {
+        let lo = line.saturating_sub(span);
+        self.comments
+            .range(lo..=line)
+            .any(|(_, text)| pred(text.as_str()))
+    }
+
+    /// `audit:allow(rule)` on the line or the line above. Marks the
+    /// matching marker as used for stale-suppression accounting.
+    pub(crate) fn suppressed(&self, line: u32, rule: &str) -> bool {
+        let lo = line.saturating_sub(1);
+        let mut hit = false;
+        for &(mline, ref mrule) in &self.markers {
+            if mrule == rule && (lo..=line).contains(&mline) {
+                self.used.borrow_mut().insert((mline, mrule.clone()));
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Every `audit:allow` marker in the file: `(comment line, rule)`.
+    pub(crate) fn markers(&self) -> Vec<(u32, String)> {
+        self.markers.clone()
+    }
+
+    /// Markers that silenced at least one finding so far.
+    pub(crate) fn used_markers(&self) -> Vec<(u32, String)> {
+        self.used.borrow().iter().cloned().collect()
+    }
+
+    /// Text of the contiguous comment/attribute block ending just above
+    /// `line` (doc comments, `//` comments, attributes, blank lines;
+    /// bounded at 60 lines). Used by `unsafe-safety`, whose `# Safety`
+    /// doc section may sit above a pile of attributes.
+    pub(crate) fn block_above(&self, line: u32) -> String {
+        let mut out = String::new();
+        let mut l = line.saturating_sub(1);
+        let mut budget = 60;
+        while l >= 1 && budget > 0 {
+            let raw = self.lines.get(l as usize - 1).copied().unwrap_or("").trim();
+            let attached = raw.is_empty()
+                || raw.starts_with("//")
+                || raw.starts_with("#[")
+                || raw.starts_with("#![")
+                || raw == "]" // tail of a multi-line attribute
+                || raw == ")]";
+            if !attached {
+                break;
+            }
+            out.push_str(raw);
+            out.push('\n');
+            l -= 1;
+            budget -= 1;
+        }
+        out
+    }
+}
+
+/// Line ranges (inclusive) covered by `#[test]`-like attributes and the
+/// items they attach to. An attribute is a test attribute when it
+/// contains the ident `test` outside a `not(...)` group, so
+/// `#[cfg(not(test))]` does *not* exempt its item.
+fn find_test_regions(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !(code[i].is_punct("#") && code[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_line = code[i].line;
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        let mut is_test = false;
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct("[") {
+                depth += 1;
+            } else if code[j].is_punct("]") {
+                depth -= 1;
+            } else if code[j].is_ident("test")
+                && !(j >= 2 && code[j - 1].is_punct("(") && code[j - 2].is_ident("not"))
+            {
+                is_test = true;
+            }
+            j += 1;
+        }
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // The attached item: skip any further attributes, then run to
+        // the matching close brace of the first body brace — or to the
+        // terminating `;` for brace-less items (`mod tests;`).
+        let mut k = j;
+        while k + 1 < code.len() && code[k].is_punct("#") && code[k + 1].is_punct("[") {
+            let mut d = 1i32;
+            k += 2;
+            while k < code.len() && d > 0 {
+                if code[k].is_punct("[") {
+                    d += 1;
+                } else if code[k].is_punct("]") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        let mut end_line = code.get(k).map(|t| t.line).unwrap_or(attr_line);
+        let mut brace = 0i32;
+        while k < code.len() {
+            let t = &code[k];
+            if t.is_punct("{") {
+                brace += 1;
+            } else if t.is_punct("}") {
+                brace -= 1;
+                if brace == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.is_punct(";") && brace == 0 {
+                end_line = t.line;
+                break;
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        regions.push((attr_line, end_line));
+        i = k.max(j);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_ends_at_the_matching_brace() {
+        let src = "fn real() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() {}\n\
+                   }\n\
+                   fn also_real() {}\n\
+                   #[cfg(test)]\n\
+                   mod more {\n\
+                       fn u() {}\n\
+                   }\n";
+        let v = FileView::new("crates/x/src/lib.rs", src);
+        assert!(!v.in_tests(1), "code before the test mod");
+        assert!(v.in_tests(3) && v.in_tests(5), "inside first test mod");
+        assert!(!v.in_tests(6), "code BETWEEN test mods is production");
+        assert!(v.in_tests(8), "inside second test mod");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn prod() { let x = 1; }\n";
+        let v = FileView::new("crates/x/src/lib.rs", src);
+        assert!(!v.in_tests(2));
+    }
+
+    #[test]
+    fn attributes_between_test_attr_and_item_are_covered() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    body();\n}\nfn real() {}\n";
+        let v = FileView::new("crates/x/src/lib.rs", src);
+        assert!(v.in_tests(4));
+        assert!(!v.in_tests(6));
+    }
+
+    #[test]
+    fn integration_test_files_are_test_code_wholesale() {
+        let v = FileView::new("crates/x/tests/it.rs", "fn helper() {}\n");
+        assert!(v.in_tests(1));
+    }
+
+    #[test]
+    fn markers_are_collected_and_usage_tracked() {
+        let src = "// audit:allow(hotpath-panic): fine\nfn f() {}\n// audit:allow(unsafe-safety)\nfn g() {}\n";
+        let v = FileView::new("crates/x/src/lib.rs", src);
+        assert_eq!(v.markers().len(), 2);
+        assert!(v.suppressed(2, "hotpath-panic"));
+        assert!(!v.suppressed(2, "unsafe-safety"), "wrong rule");
+        assert_eq!(v.used_markers(), vec![(1, "hotpath-panic".to_string())]);
+    }
+}

@@ -14,12 +14,15 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// A policy that treats the fixture path as hot and `shutdown` as a
-/// publish, mirroring the workspace defaults.
+/// A policy that treats the fixture path as hot, `shutdown` as a
+/// publish, and declares the fixture's two-lock hierarchy plus one
+/// allocation-free function — mirroring the workspace defaults.
 fn fixture_policy() -> Policy {
     Policy::parse(
         "hotpath fixture_hot.rs\n\
-         publish fixture shutdown.store Release,SeqCst -- fixture publish flag\n",
+         publish fixture shutdown.store Release,SeqCst -- fixture publish flag\n\
+         lock-order gate before inner -- fixture hierarchy\n\
+         hotpath-alloc fixture_hot.rs fn=hot_alloc_site\n",
     )
     .expect("fixture policy parses")
 }
@@ -36,9 +39,37 @@ fn seeded_fixture_trips_every_rule() {
     assert!(rules.contains(&"atomic-ordering"), "{found:#?}");
     assert!(rules.contains(&"hotpath-panic"), "{found:#?}");
     assert!(rules.contains(&"rayon-blocking"), "{found:#?}");
+    assert!(rules.contains(&"lock-order"), "{found:#?}");
+    assert!(rules.contains(&"hotpath-alloc"), "{found:#?}");
+    assert!(rules.contains(&"guard-across-blocking"), "{found:#?}");
     // Two undocumented unsafes, one naked Relaxed, one demoted publish,
-    // three hot-path panics, spawn + fs inside the region.
-    assert!(found.len() >= 9, "expected >= 9 findings, got {found:#?}");
+    // three hot-path panics, spawn + fs inside the region, one order
+    // inversion, one deadlock cycle, one guard-across-recv, one alloc.
+    assert!(found.len() >= 13, "expected >= 13 findings, got {found:#?}");
+}
+
+#[test]
+fn seeded_fixture_reports_the_inversion_and_the_cycle() {
+    let found = audit_source(
+        "crates/x/src/fixture_hot.rs",
+        &fixture("violations.rs"),
+        &fixture_policy(),
+    );
+    // `inverted_order` nests inner → gate against the declared
+    // `lock-order gate before inner`.
+    assert!(
+        found
+            .iter()
+            .any(|v| v.rule == "lock-order" && v.message.contains("inversion")),
+        "{found:#?}"
+    );
+    // Together with `ordered_nesting` (gate → inner) that closes a
+    // cycle, reported once with both sites.
+    let cycle = found
+        .iter()
+        .find(|v| v.message.contains("potential deadlock"))
+        .unwrap_or_else(|| panic!("no cycle finding in {found:#?}"));
+    assert!(cycle.message.contains("gate → inner → gate"), "{cycle:#?}");
 }
 
 #[test]
@@ -76,6 +107,13 @@ fn policy_file_on_disk_matches_embedded_default() {
     assert_eq!(on_disk.skip, embedded.skip);
     assert_eq!(on_disk.publish.len(), embedded.publish.len());
     assert_eq!(on_disk.relaxed_ok.len(), embedded.relaxed_ok.len());
+    assert_eq!(on_disk.lock_orders, embedded.lock_orders);
+    assert_eq!(on_disk.lock_fns, embedded.lock_fns);
+    assert_eq!(on_disk.lock_wrappers, embedded.lock_wrappers);
+    assert_eq!(on_disk.lock_aliases, embedded.lock_aliases);
+    assert_eq!(on_disk.lock_blocking_ok, embedded.lock_blocking_ok);
+    assert_eq!(on_disk.blocking_calls, embedded.blocking_calls);
+    assert_eq!(on_disk.hotpath_alloc, embedded.hotpath_alloc);
 }
 
 #[test]

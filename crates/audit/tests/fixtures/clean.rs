@@ -41,3 +41,31 @@ pub fn io_outside_rayon(v: &[u32]) {
         let _ = x;
     });
 }
+
+// Follows the declared `lock-order gate before inner` hierarchy.
+pub fn ordered_locks(gate: &std::sync::Mutex<u32>, inner: &std::sync::Mutex<u32>) {
+    if let Ok(g) = gate.lock() {
+        if let Ok(i) = inner.lock() {
+            let _ = (*g, *i);
+        }
+    }
+}
+
+pub fn blocking_after_release(
+    gate: &std::sync::Mutex<u32>,
+    rx: &std::sync::mpsc::Receiver<u32>,
+) {
+    if let Ok(g) = gate.lock() {
+        let _ = *g;
+    }
+    let _ = rx.recv();
+}
+
+// Same fn name the policy pins allocation-free: writes into a
+// caller-provided buffer instead of allocating.
+pub fn hot_alloc_site(out: &mut Vec<u32>, n: usize) {
+    out.clear();
+    for i in 0..n {
+        out.push(i as u32);
+    }
+}

@@ -39,3 +39,41 @@ pub fn spawn_inside_rayon(v: &[u32]) {
         let _ = std::fs::read("nope");
     });
 }
+
+// The fixture policy declares `lock-order gate before inner`; this is
+// the inversion (and, with `ordered_nesting` below, one half of a
+// gate → inner → gate cycle).
+pub fn inverted_order(gate: &std::sync::Mutex<u32>, inner: &std::sync::Mutex<u32>) {
+    if let Ok(i) = inner.lock() {
+        if let Ok(g) = gate.lock() {
+            let _ = (*i, *g);
+        }
+    }
+}
+
+pub fn ordered_nesting(gate: &std::sync::Mutex<u32>, inner: &std::sync::Mutex<u32>) {
+    if let Ok(g) = gate.lock() {
+        if let Ok(i) = inner.lock() {
+            let _ = (*g, *i);
+        }
+    }
+}
+
+pub fn guard_held_across_recv(
+    gate: &std::sync::Mutex<u32>,
+    rx: &std::sync::mpsc::Receiver<u32>,
+) {
+    if let Ok(g) = gate.lock() {
+        let _ = rx.recv();
+        let _ = *g;
+    }
+}
+
+// `hot_alloc_site` is fn-pinned allocation-free in the fixture policy.
+pub fn hot_alloc_site(n: usize) -> u32 {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i as u32);
+    }
+    out.len() as u32
+}

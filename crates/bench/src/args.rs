@@ -82,9 +82,7 @@ impl BenchArgs {
                 "--quick" => args.quick = true,
                 "--assert-v3-beats-v1" => args.assert_v3_beats_v1 = true,
                 "--v3-tolerance" => {
-                    args.v3_tolerance = value("--v3-tolerance")
-                        .parse()
-                        .expect("bad --v3-tolerance")
+                    args.v3_tolerance = value("--v3-tolerance").parse().expect("bad --v3-tolerance")
                 }
                 "--assert-steady-allocs" => {
                     args.assert_steady_allocs = Some(

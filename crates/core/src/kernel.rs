@@ -521,7 +521,7 @@ mod tests {
             .kernel(KernelVersion::V3)
             .small_degree_threshold(gve_prim::HASH_SCAN_CAP);
         config.validate().expect("threshold at the cap is legal");
-        assert!(graph.degree(0) as usize <= config.small_degree_threshold);
+        assert!(graph.degree(0) <= config.small_degree_threshold);
         let got = best_move(
             &mut ht,
             &mut small,
@@ -537,7 +537,15 @@ mod tests {
             &config,
         );
         let reference = two_pass_best_move(
-            &mut ht, &graph, &membership, None, 0, 0, penalty[0], &sigma, coeffs,
+            &mut ht,
+            &graph,
+            &membership,
+            None,
+            0,
+            0,
+            penalty[0],
+            &sigma,
+            coeffs,
         );
         assert_eq!(got, reference, "full-occupancy hub");
     }

@@ -366,6 +366,9 @@ struct Reactor {
     max_connections: usize,
     /// Set once the stop signal is observed: deadline for the drain.
     drain_deadline: Option<Instant>,
+    /// Reused by `expire_deadlines` each tick; keeps the steady-state
+    /// reactor path allocation-free.
+    expired_scratch: Vec<u64>,
     /// Fast-path dispatch: requests the predicate accepts run directly
     /// on this thread instead of through the worker pool.
     inline: Option<InlinePredicate>,
@@ -761,13 +764,17 @@ impl Reactor {
 
     /// Enforces per-connection deadlines.
     fn expire_deadlines(&mut self, now: Instant) {
-        let expired: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.deadline.is_some_and(|d| d <= now))
-            .map(|(&t, _)| t)
-            .collect();
-        for token in expired {
+        // Move the scratch buffer out of `self` for the duration (the
+        // expiry handlers below need `&mut self`); reusing it across
+        // ticks keeps this path allocation-free after warm-up.
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.extend(
+            self.conns
+                .iter()
+                .filter(|(_, c)| c.deadline.is_some_and(|d| d <= now))
+                .map(|(&t, _)| t),
+        );
+        for token in expired.drain(..) {
             let Some(conn) = self.conns.get_mut(&token) else {
                 continue;
             };
@@ -789,6 +796,7 @@ impl Reactor {
                 ConnState::Dispatched => {} // no deadline while parked
             }
         }
+        self.expired_scratch = expired;
     }
 
     fn close_conn(&mut self, token: u64) {
@@ -874,6 +882,7 @@ impl EventLoopServer {
             drain_timeout: options.drain_timeout,
             max_connections: options.max_connections.max(1),
             drain_deadline: None,
+            expired_scratch: Vec::new(),
             inline: options.inline.clone(),
             handler: Arc::clone(&handler),
         };
@@ -909,7 +918,11 @@ impl EventLoopServer {
         self.shared.stopping.store(true, Ordering::Release);
         self.shared.queue.close();
         self.shared.wake();
-        let handles = std::mem::take(&mut *lock_clean(&self.threads));
+        // Scope the guard so it is released before the (blocking) joins.
+        let handles = {
+            let mut threads = lock_clean(&self.threads);
+            std::mem::take(&mut *threads)
+        };
         for handle in handles {
             let _ = handle.join();
         }

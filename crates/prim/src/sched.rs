@@ -519,6 +519,84 @@ mod tests {
     }
 
     #[test]
+    fn stealing_two_worker_sequential_run_has_exact_counts() {
+        // Drive the claim protocol deterministically: two workers over
+        // eight uniform vertices, worker 0 drained to exhaustion before
+        // worker 1 starts. Worker 0 takes its own segment in two chunks,
+        // then steals worker 1's segment in two more; worker 1 finds
+        // nothing left. Exact counts, not bounds.
+        let degrees = vec![1u64; 8];
+        let offsets = prefix(&degrees);
+        let (bounds, w) = arc_balanced_bounds(&offsets, 8, 2);
+        assert_eq!(w, 2);
+        assert_eq!(&bounds[..=2], &[0, 4, 8]);
+        let cursors = [
+            PaddedCursor(AtomicUsize::new(bounds[0])),
+            PaddedCursor(AtomicUsize::new(bounds[1])),
+        ];
+        let chunks = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
+        let claims_for = |me: usize| Claims {
+            inner: ClaimsInner::Stealing {
+                cursors: &cursors,
+                bounds: &bounds[..=2],
+                offsets: &offsets,
+                me,
+                chunk: 2,
+            },
+            chunks: &chunks,
+            steals: &steals,
+        };
+        let first: Vec<Range<usize>> = claims_for(0).collect();
+        assert_eq!(first, vec![0..2, 2..4, 4..6, 6..8]);
+        let second: Vec<Range<usize>> = claims_for(1).collect();
+        assert!(second.is_empty(), "{second:?}");
+        assert_eq!(chunks.load(Ordering::Relaxed), 4);
+        assert_eq!(steals.load(Ordering::Relaxed), 2, "both 4..6 and 6..8");
+    }
+
+    #[test]
+    fn guided_chunk_sizes_are_monotonically_nonincreasing() {
+        // A single sequential driver sees the pure guided shrink curve:
+        // each claim takes remaining/(2·workers) arcs, so with uniform
+        // degrees sizes never grow, bottoming out at the
+        // GUIDED_MIN_ARCS floor.
+        let degrees = vec![64u64; 50_000];
+        let offsets = prefix(&degrees);
+        let cursor = AtomicUsize::new(0);
+        let chunks = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
+        let claims = Claims {
+            inner: ClaimsInner::Guided {
+                cursor: &cursor,
+                len: 50_000,
+                offsets: &offsets,
+                workers: 2,
+            },
+            chunks: &chunks,
+            steals: &steals,
+        };
+        let sizes: Vec<usize> = claims.map(|r| r.len()).collect();
+        assert!(sizes.len() > 3, "expected a multi-chunk schedule");
+        for pair in sizes.windows(2) {
+            assert!(
+                pair[0] >= pair[1],
+                "guided sizes grew: {} then {} in {sizes:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // The floor: every mid-schedule chunk carries at least
+        // GUIDED_MIN_ARCS arcs (64 arcs per vertex here).
+        for &size in &sizes[..sizes.len() - 1] {
+            assert!(size as u64 * 64 >= GUIDED_MIN_ARCS, "{sizes:?}");
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 50_000);
+        assert_eq!(chunks.load(Ordering::Relaxed), sizes.len() as u64);
+        assert_eq!(steals.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn zero_degree_tail_is_still_owned() {
         // Trailing isolated vertices have flat prefix sums; they must
         // still land inside the final segment.

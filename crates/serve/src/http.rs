@@ -333,11 +333,15 @@ impl HttpServer {
         // Release: publish everything preceding the signal to the
         // accept loop's Acquire load.
         self.shutdown.store(true, Ordering::Release);
-        let handle = match self.accept_thread.lock() {
-            Ok(mut guard) => guard.take(),
-            // A poisoned lock means another stop() panicked mid-take;
-            // the handle it left behind is still ours to join.
-            Err(poisoned) => poisoned.into_inner().take(),
+        // Scope the guard so it is released before the (blocking) join.
+        let handle = {
+            let mut guard = match self.accept_thread.lock() {
+                Ok(guard) => guard,
+                // A poisoned lock means another stop() panicked mid-take;
+                // the handle it left behind is still ours to join.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.take()
         };
         if let Some(handle) = handle {
             let _ = handle.join();

@@ -755,17 +755,24 @@ impl JobEngine {
         // across unrelated atomics is needed, so SeqCst was overkill.
         self.shutdown.store(true, Ordering::Release);
         for shard in &self.shards {
-            let mut workers = match shard.workers.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
+            // Take the handles out under the lock, then send sentinels
+            // and join with it released: joining (or touching the shard
+            // channel) while holding `workers` would hold the mutex for
+            // the whole drain and nest it under the channel send.
+            let handles = {
+                let mut workers = match shard.workers.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                std::mem::take(&mut *workers)
             };
             // One sentinel per worker unblocks each parked receive in
             // turn; workers that wake on a stale Run message exit at the
             // shutdown check instead.
-            for _ in 0..workers.len() {
+            for _ in 0..handles.len() {
                 let _ = shard.sender.send(JobMsg::Shutdown);
             }
-            for handle in workers.drain(..) {
+            for handle in handles {
                 let _ = handle.join();
             }
         }
