@@ -529,14 +529,22 @@ lock-fn begin_update update_gate -- GraphCell::begin_update claims the per-graph
 lock-fn cache.get cache_inner -- ResultCache::get takes the single cache mutex
 lock-fn cache.insert cache_inner -- ResultCache::insert takes the single cache mutex
 lock-fn sender.send shard_queue -- modelled: a shard channel send publishes under the shard queue
+lock-fn try_begin_update update_gate -- GraphCell::try_begin_update try-claims the per-graph update gate
+lock-fn lock_shard ingest_shard -- ingest queue's poison-recovering shard lock helper
 lock-alias crates/serve/src/handlers.rs cell entry -- handler-local GraphCell variable is the registry entry mutex
 lock-alias crates/serve/src/registry.rs cell entry -- registry-local GraphCell variable is the entry mutex
 lock-alias crates/serve/src/cache.rs inner cache_inner -- ResultCache's single inner mutex
+lock-alias crates/serve/src/wal.rs wal graph_wal -- per-graph WAL mutex serializes appends and compaction
+lock-alias crates/serve/src/delta.rs inner delta_ring -- DeltaRing's single map mutex
 
 # Declared lock hierarchy. Observed nested acquisitions must follow
 # these (transitively); anything else is a lock-order finding.
 lock-order update_gate before entry -- updates claim the gate, then briefly the entry mutex to publish
 lock-order update_gate before cache_inner -- incremental refresh publishes the recomputed partition to the cache under the gate
+lock-order update_gate before ingest_shard -- the inline ingest fast path claims the gate, then checks the shard's pending map
+lock-order update_gate before graph_wal -- batch WAL appends happen under the update gate, before publish
+lock-order cache_inner before delta_ring -- the cache insert listener records the membership delta after the insert
+lock-order cache_inner before graph_wal -- the cache insert listener logs the partition record after the insert
 lock-order table before cache_inner -- submit consults the cache while holding the job table
 lock-order table before shard_queue -- submit enqueues shard work while holding the job table
 
@@ -544,6 +552,7 @@ lock-order table before shard_queue -- submit enqueues shard work while holding 
 # compute; the update gate alone is designed to be held across it.
 blocking-call apply_batch -- batch mutation replays the whole update set
 lock-allows-blocking update_gate -- serializes writers per graph; designed to be held across batch compute
+lock-allows-blocking graph_wal -- WAL appends fsync by design; only the per-graph WAL mutex is held
 
 # ---- hot-path allocation lint ----------------------------------------
 # Static complement of the PR 5 counting-allocator gate: no allocating

@@ -99,7 +99,7 @@ fn boot(event_loop: bool) -> Server {
         shards: 4,
         max_connections: 512,
         event_loop,
-        force_portable_poll: false,
+        ..ServeConfig::default()
     })
     .expect("bind bench server");
     let planted = gve_generate::PlantedPartition::new(5000, 10, 10.0, 0.8)

@@ -7,7 +7,7 @@
 
 use gve_graph::{CsrGraph, EdgeWeight, GraphBuilder, VertexId};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A batch of undirected edge updates.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -55,26 +55,69 @@ impl BatchUpdate {
             .chain(self.deletions.iter().map(|&(u, v)| u.max(v)))
             .max()
     }
+
+    /// Highest vertex id referenced by an **insertion**, if any. This —
+    /// not [`max_vertex`](Self::max_vertex) — is what decides how far
+    /// the vertex set grows under [`apply_batch`]: deleting an edge of
+    /// a vertex the graph has never seen is a no-op, so deletions must
+    /// never allocate vertices.
+    pub fn max_inserted_vertex(&self) -> Option<VertexId> {
+        self.insertions.iter().map(|&(u, v, _)| u.max(v)).max()
+    }
+
+    /// Folds `later` into `self`, producing one batch equivalent to
+    /// applying `self` then `later` (the ingest-queue coalescing rule):
+    ///
+    /// * insertions concatenate — repeated weights add at apply time;
+    /// * a deletion in `later` cancels every **queued** insertion of the
+    ///   same undirected pair in `self` and is then queued itself, so it
+    ///   still removes any pre-existing edge;
+    /// * insertions in `later` survive deletions queued before them,
+    ///   because [`apply_batch`] removes deleted pairs from the old
+    ///   graph *before* adding insertions.
+    pub fn merge(&mut self, later: &BatchUpdate) {
+        if !later.deletions.is_empty() && !self.insertions.is_empty() {
+            let cancelled: HashSet<(VertexId, VertexId)> = later
+                .deletions
+                .iter()
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            self.insertions
+                .retain(|&(u, v, _)| !cancelled.contains(&(u.min(v), u.max(v))));
+        }
+        self.deletions.extend_from_slice(&later.deletions);
+        self.insertions.extend_from_slice(&later.insertions);
+    }
 }
 
 /// Applies a batch to a graph, returning the updated graph. The vertex
-/// set grows to cover any new ids referenced by the batch; weights of
-/// repeated insertions (and of insertions over existing edges) add up.
+/// set grows to cover any new ids referenced by **insertions** (deleting
+/// an edge of an unknown vertex is a no-op, like deleting a missing
+/// edge); weights of repeated insertions (and of insertions over
+/// existing edges) add up.
 pub fn apply_batch(graph: &CsrGraph, batch: &BatchUpdate) -> CsrGraph {
     if batch.is_empty() {
         return graph.clone();
     }
     let n = graph
         .num_vertices()
-        .max(batch.max_vertex().map_or(0, |v| v as usize + 1));
+        .max(batch.max_inserted_vertex().map_or(0, |v| v as usize + 1));
 
-    // Group directed edits per source vertex.
+    // Group directed edits per source vertex, then sort each vertex's
+    // edit list so the per-row rebuild below is a linear merge against
+    // the (already sorted) CSR row instead of a scan per edge. The
+    // insertion sort is *stable*: repeated insertions of one pair keep
+    // batch order, so their weights accumulate left-to-right exactly as
+    // they would applying the batch one edge at a time.
     let mut inserts: HashMap<VertexId, Vec<(VertexId, EdgeWeight)>> = HashMap::new();
     for &(u, v, w) in &batch.insertions {
         inserts.entry(u).or_default().push((v, w));
         if u != v {
             inserts.entry(v).or_default().push((u, w));
         }
+    }
+    for row in inserts.values_mut() {
+        row.sort_by_key(|&(v, _)| v);
     }
     let mut deletes: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
     for &(u, v) in &batch.deletions {
@@ -83,30 +126,63 @@ pub fn apply_batch(graph: &CsrGraph, batch: &BatchUpdate) -> CsrGraph {
             deletes.entry(v).or_default().push(u);
         }
     }
+    for row in deletes.values_mut() {
+        row.sort_unstable();
+    }
 
-    // Rebuild every row independently.
+    // Rebuild every row independently: one pass over old ∪ inserted
+    // targets, skipping deleted pairs — O(d + k log k) per row instead
+    // of the old O(d·k) contains/find scans.
     let rows: Vec<Vec<(VertexId, EdgeWeight)>> = (0..n as VertexId)
         .into_par_iter()
         .map(|u| {
-            let old: Box<dyn Iterator<Item = (VertexId, EdgeWeight)>> =
-                if (u as usize) < graph.num_vertices() {
-                    Box::new(graph.edges(u))
-                } else {
-                    Box::new(std::iter::empty())
+            let dels: &[VertexId] = deletes.get(&u).map_or(&[], Vec::as_slice);
+            let ins: &[(VertexId, EdgeWeight)] = inserts.get(&u).map_or(&[], Vec::as_slice);
+            let old_degree = if (u as usize) < graph.num_vertices() {
+                graph.degree(u)
+            } else {
+                0
+            };
+            let mut row: Vec<(VertexId, EdgeWeight)> = Vec::with_capacity(old_degree + ins.len());
+            // Append an insertion, folding its weight into the previous
+            // entry when it targets the same vertex (sorted input makes
+            // duplicates adjacent).
+            let push_ins =
+                |row: &mut Vec<(VertexId, EdgeWeight)>, v: VertexId, w: EdgeWeight| match row
+                    .last_mut()
+                {
+                    Some(slot) if slot.0 == v => slot.1 += w,
+                    _ => row.push((v, w)),
                 };
-            let dels = deletes.get(&u);
-            let mut row: Vec<(VertexId, EdgeWeight)> = old
-                .filter(|(v, _)| dels.is_none_or(|d| !d.contains(v)))
-                .collect();
-            if let Some(ins) = inserts.get(&u) {
-                for &(v, w) in ins {
-                    // Merge with an existing arc when present.
-                    match row.iter_mut().find(|(t, _)| *t == v) {
-                        Some(slot) => slot.1 += w,
-                        None => row.push((v, w)),
+            let (mut di, mut ii) = (0usize, 0usize);
+            if old_degree > 0 {
+                for (v, w) in graph.edges(u) {
+                    // Deleted pair? (dels may hold duplicates; advance past
+                    // everything smaller first.)
+                    while di < dels.len() && dels[di] < v {
+                        di += 1;
+                    }
+                    if di < dels.len() && dels[di] == v {
+                        continue;
+                    }
+                    // Insertions targeting ids before v land first…
+                    while ii < ins.len() && ins[ii].0 < v {
+                        let (t, w_ins) = ins[ii];
+                        push_ins(&mut row, t, w_ins);
+                        ii += 1;
+                    }
+                    row.push((v, w));
+                    // …and insertions over the existing arc add weight.
+                    while ii < ins.len() && ins[ii].0 == v {
+                        push_ins(&mut row, v, ins[ii].1);
+                        ii += 1;
                     }
                 }
-                row.sort_unstable_by_key(|&(v, _)| v);
+            }
+            while ii < ins.len() {
+                let (t, w_ins) = ins[ii];
+                push_ins(&mut row, t, w_ins);
+                ii += 1;
             }
             row
         })
@@ -216,6 +292,71 @@ mod tests {
         assert!(updated.has_arc(1, 3));
         assert!(!updated.has_arc(0, 1));
         assert!(updated.is_symmetric());
+    }
+
+    #[test]
+    fn deletions_do_not_grow_the_vertex_set() {
+        // Regression: `delete(0, 100)` on a 4-vertex graph used to yield
+        // a 101-vertex graph because `apply_batch` sized N from
+        // `max_vertex()`, which chains deletions. Deleting an edge of an
+        // unknown vertex must be a plain no-op.
+        let g = path_graph();
+        let mut batch = BatchUpdate::new();
+        batch.delete(0, 100);
+        let updated = apply_batch(&g, &batch);
+        assert_eq!(updated.num_vertices(), 4);
+        assert_eq!(updated, g);
+
+        // Mixed batch: only insertions decide how far N grows.
+        let mut mixed = BatchUpdate::new();
+        mixed.insert(3, 5, 1.0).delete(2, 50);
+        assert_eq!(mixed.max_vertex(), Some(50));
+        assert_eq!(mixed.max_inserted_vertex(), Some(5));
+        assert_eq!(apply_batch(&g, &mixed).num_vertices(), 6);
+    }
+
+    #[test]
+    fn merge_matches_sequential_application() {
+        let g = path_graph();
+        let mut first = BatchUpdate::new();
+        first.insert(0, 3, 1.0).delete(1, 2).insert(2, 5, 2.0);
+        let mut second = BatchUpdate::new();
+        second.insert(1, 2, 0.5).delete(0, 3).insert(0, 3, 4.0);
+
+        let sequential = apply_batch(&apply_batch(&g, &first), &second);
+        let mut merged = first.clone();
+        merged.merge(&second);
+        assert_eq!(apply_batch(&g, &merged), sequential);
+    }
+
+    #[test]
+    fn merge_deletion_cancels_queued_insertion() {
+        let g = path_graph();
+        // Queue an insertion, then delete the same (undirected) pair in a
+        // later batch: the pair must not exist afterwards, matching the
+        // sequential insert-then-delete outcome.
+        let mut first = BatchUpdate::new();
+        first.insert(3, 0, 2.0);
+        let mut second = BatchUpdate::new();
+        second.delete(0, 3);
+        let mut merged = first.clone();
+        merged.merge(&second);
+        assert!(merged.insertions.is_empty());
+        assert_eq!(apply_batch(&g, &merged), g);
+
+        // And the reverse order: a deletion queued before an insertion
+        // leaves the inserted edge in place with the *batch* weight (the
+        // deletion removed the pre-existing edge first).
+        let mut del_first = BatchUpdate::new();
+        del_first.delete(0, 1);
+        let mut ins_second = BatchUpdate::new();
+        ins_second.insert(0, 1, 7.0);
+        let sequential = apply_batch(&apply_batch(&g, &del_first), &ins_second);
+        let mut merged = del_first.clone();
+        merged.merge(&ins_second);
+        let via_merge = apply_batch(&g, &merged);
+        assert_eq!(via_merge, sequential);
+        assert_eq!(via_merge.edges(0).collect::<Vec<_>>(), vec![(1, 7.0)]);
     }
 
     #[test]

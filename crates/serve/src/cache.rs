@@ -18,7 +18,7 @@ use crate::jobs::DetectRequest;
 use gve_graph::VertexId;
 use gve_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key: which graph state and which detection config.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -119,12 +119,32 @@ struct CacheInner {
     latest: HashMap<String, PartitionKey>,
 }
 
+/// Callback invoked after every [`PartitionCache::insert`] publish —
+/// the single choke point through which both producers (detect jobs and
+/// incremental refreshes) flow, so durability logging and the delta
+/// ring see every partition without either producer knowing they exist.
+type InsertListener = Box<dyn Fn(&PartitionKey, &Arc<CachedPartition>) + Send + Sync>;
+
 /// The shared partition cache.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct PartitionCache {
     inner: Mutex<CacheInner>,
+    /// Set at most once, at boot, *after* recovery has re-seeded the
+    /// cache — recovered partitions must not be re-logged. Invoked
+    /// outside the inner lock, so a listener doing IO (the WAL append)
+    /// never blocks cache readers.
+    listener: OnceLock<InsertListener>,
     /// Counter block (public for `/stats` reporting).
     pub stats: CacheStats,
+}
+
+impl std::fmt::Debug for PartitionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionCache")
+            .field("resident", &self.len())
+            .field("has_listener", &self.listener.get().is_some())
+            .finish()
+    }
 }
 
 impl PartitionCache {
@@ -160,17 +180,31 @@ impl PartitionCache {
             .cloned()
     }
 
+    /// Installs the insert listener. At most one listener may ever be
+    /// installed; later calls are ignored (`OnceLock` semantics).
+    pub fn set_listener(
+        &self,
+        listener: impl Fn(&PartitionKey, &Arc<CachedPartition>) + Send + Sync + 'static,
+    ) {
+        let _ = self.listener.set(Box::new(listener));
+    }
+
     /// Inserts a partition and makes it the graph's latest. The entry
     /// and the latest pointer are published under one lock, so readers
-    /// never observe a `latest` that does not resolve.
+    /// never observe a `latest` that does not resolve. The insert
+    /// listener (durability + delta ring), when installed, runs after
+    /// the lock releases.
     pub fn insert(&self, key: PartitionKey, partition: CachedPartition) -> Arc<CachedPartition> {
         let partition = Arc::new(partition);
         {
             let mut inner = self.inner.lock().expect("cache lock poisoned");
             inner.entries.insert(key.clone(), Arc::clone(&partition));
-            inner.latest.insert(key.graph.clone(), key);
+            inner.latest.insert(key.graph.clone(), key.clone());
         }
         self.stats.insertions.inc();
+        if let Some(listener) = self.listener.get() {
+            listener(&key, &partition);
+        }
         partition
     }
 

@@ -1,0 +1,270 @@
+//! Bounded ring of per-epoch membership diffs.
+//!
+//! Clients polling a partition after every update batch should not pay
+//! O(|V|) per poll when only a frontier moved. Each time a partition is
+//! published (detect job or incremental refresh), the ring records the
+//! vertices whose community changed since the previous publication;
+//! `GET /graphs/{name}/delta?since=E` then merges the deltas newer than
+//! `E` — O(changes), not O(|V|). The ring is bounded: when `E` has
+//! fallen off the back, the endpoint answers `resync: true` and the
+//! client fetches the full membership once.
+//!
+//! Deltas form a chain — each entry's `base_epoch` is the epoch of the
+//! previous publication — so coverage of `(since, last]` reduces to
+//! "the oldest retained delta starts at or before `since`".
+
+use gve_graph::VertexId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// One publication's diff against the previous one.
+#[derive(Debug)]
+struct EpochDelta {
+    /// Epoch of the previous publication this diff applies on top of.
+    base_epoch: u64,
+    /// Epoch this diff advances to.
+    epoch: u64,
+    /// `(vertex, new community)` for every vertex that changed.
+    changes: Vec<(VertexId, VertexId)>,
+}
+
+/// Per-graph delta state.
+#[derive(Debug)]
+struct GraphDeltas {
+    /// Epoch of the newest recorded publication.
+    last_epoch: u64,
+    /// Its full membership (the diff base for the next publication).
+    last_membership: Arc<Vec<VertexId>>,
+    ring: VecDeque<EpochDelta>,
+}
+
+/// Answer to a `since=E` query.
+#[derive(Debug, PartialEq)]
+pub enum DeltaAnswer {
+    /// `E` is the current epoch — nothing changed.
+    UpToDate {
+        /// The current epoch.
+        epoch: u64,
+    },
+    /// Merged changes covering `(E, epoch]`, later publications winning.
+    Changes {
+        /// The current epoch.
+        epoch: u64,
+        /// `(vertex, new community)` pairs, sorted by vertex.
+        changes: Vec<(VertexId, VertexId)>,
+    },
+    /// `E` fell off the ring (or is ahead of us) — fetch the full
+    /// membership and start over.
+    Resync {
+        /// The current epoch.
+        epoch: u64,
+    },
+    /// No partition has ever been published for this graph.
+    NoPartition,
+}
+
+/// The shared ring. One brief-hold mutex: every operation is a map
+/// lookup plus O(changes) work, never computation or IO.
+#[derive(Debug)]
+pub struct DeltaRing {
+    inner: Mutex<HashMap<String, GraphDeltas>>,
+    capacity: usize,
+}
+
+impl DeltaRing {
+    /// A ring retaining up to `capacity` deltas per graph (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a published partition. The first publication for a graph
+    /// seeds the chain without producing a delta; later ones append the
+    /// diff against the previous membership. Publications at an older
+    /// epoch than the newest recorded one are ignored (stale).
+    pub fn record(&self, graph: &str, epoch: u64, membership: &Arc<Vec<VertexId>>) {
+        let mut inner = self.inner.lock().expect("delta ring poisoned");
+        match inner.get_mut(graph) {
+            None => {
+                inner.insert(
+                    graph.to_string(),
+                    GraphDeltas {
+                        last_epoch: epoch,
+                        last_membership: Arc::clone(membership),
+                        ring: VecDeque::new(),
+                    },
+                );
+            }
+            Some(state) => {
+                if epoch < state.last_epoch {
+                    return;
+                }
+                let old = &state.last_membership;
+                let mut changes: Vec<(VertexId, VertexId)> = Vec::new();
+                for (v, &community) in membership.iter().enumerate() {
+                    if old.get(v) != Some(&community) {
+                        changes.push((v as VertexId, community));
+                    }
+                }
+                // Re-publication at the same epoch with an identical
+                // membership (e.g. a cache re-seed) is a no-op.
+                if changes.is_empty() && epoch == state.last_epoch {
+                    return;
+                }
+                state.ring.push_back(EpochDelta {
+                    base_epoch: state.last_epoch,
+                    epoch,
+                    changes,
+                });
+                if state.ring.len() > self.capacity {
+                    state.ring.pop_front();
+                }
+                state.last_epoch = epoch;
+                state.last_membership = Arc::clone(membership);
+            }
+        }
+    }
+
+    /// Answers `?since=E` for `graph`.
+    pub fn since(&self, graph: &str, since: u64) -> DeltaAnswer {
+        let inner = self.inner.lock().expect("delta ring poisoned");
+        let Some(state) = inner.get(graph) else {
+            return DeltaAnswer::NoPartition;
+        };
+        if since == state.last_epoch {
+            return DeltaAnswer::UpToDate {
+                epoch: state.last_epoch,
+            };
+        }
+        if since > state.last_epoch {
+            return DeltaAnswer::Resync {
+                epoch: state.last_epoch,
+            };
+        }
+        // Coverage check: the chain must reach back to `since`.
+        let oldest_base = state
+            .ring
+            .front()
+            .map(|delta| delta.base_epoch)
+            .unwrap_or(state.last_epoch);
+        if oldest_base > since {
+            return DeltaAnswer::Resync {
+                epoch: state.last_epoch,
+            };
+        }
+        let mut merged: HashMap<VertexId, VertexId> = HashMap::new();
+        for delta in &state.ring {
+            if delta.epoch > since {
+                for &(v, community) in &delta.changes {
+                    merged.insert(v, community);
+                }
+            }
+        }
+        let mut changes: Vec<(VertexId, VertexId)> = merged.into_iter().collect();
+        changes.sort_unstable_by_key(|&(v, _)| v);
+        DeltaAnswer::Changes {
+            epoch: state.last_epoch,
+            changes,
+        }
+    }
+
+    /// Drops all state for `graph` (deregistered).
+    pub fn forget(&self, graph: &str) {
+        self.inner
+            .lock()
+            .expect("delta ring poisoned")
+            .remove(graph);
+    }
+}
+
+impl Default for DeltaRing {
+    /// Default capacity: 32 deltas per graph.
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership(values: &[VertexId]) -> Arc<Vec<VertexId>> {
+        Arc::new(values.to_vec())
+    }
+
+    #[test]
+    fn first_publication_seeds_without_a_delta() {
+        let ring = DeltaRing::new(4);
+        assert_eq!(ring.since("g", 0), DeltaAnswer::NoPartition);
+        ring.record("g", 0, &membership(&[0, 0, 1, 1]));
+        assert_eq!(ring.since("g", 0), DeltaAnswer::UpToDate { epoch: 0 });
+        // Before the seed there is no history to serve.
+        assert_eq!(ring.since("g", 5), DeltaAnswer::Resync { epoch: 0 });
+    }
+
+    #[test]
+    fn changes_merge_with_later_publications_winning() {
+        let ring = DeltaRing::new(4);
+        ring.record("g", 0, &membership(&[0, 0, 1, 1]));
+        ring.record("g", 1, &membership(&[0, 1, 1, 1])); // v1 moved
+        ring.record("g", 2, &membership(&[2, 1, 1, 1])); // v0 moved
+        ring.record("g", 3, &membership(&[2, 3, 1, 1])); // v1 moved again
+        match ring.since("g", 0) {
+            DeltaAnswer::Changes { epoch, changes } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(changes, vec![(0, 2), (1, 3)]);
+            }
+            other => panic!("expected changes, got {other:?}"),
+        }
+        match ring.since("g", 2) {
+            DeltaAnswer::Changes { epoch, changes } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(changes, vec![(1, 3)]);
+            }
+            other => panic!("expected changes, got {other:?}"),
+        }
+        assert_eq!(ring.since("g", 3), DeltaAnswer::UpToDate { epoch: 3 });
+    }
+
+    #[test]
+    fn appended_vertices_count_as_changed() {
+        let ring = DeltaRing::new(4);
+        ring.record("g", 0, &membership(&[0, 1]));
+        ring.record("g", 1, &membership(&[0, 1, 2, 2]));
+        match ring.since("g", 0) {
+            DeltaAnswer::Changes { changes, .. } => {
+                assert_eq!(changes, vec![(2, 2), (3, 2)]);
+            }
+            other => panic!("expected changes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_ring_forces_resync_when_since_falls_off() {
+        let ring = DeltaRing::new(2);
+        ring.record("g", 0, &membership(&[0, 0]));
+        for epoch in 1..=4u64 {
+            ring.record("g", epoch, &membership(&[epoch as VertexId, 0]));
+        }
+        // Ring holds deltas 3→4 and 2→3 only; since=0 fell off.
+        assert_eq!(ring.since("g", 0), DeltaAnswer::Resync { epoch: 4 });
+        assert!(matches!(
+            ring.since("g", 2),
+            DeltaAnswer::Changes { epoch: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_and_identical_publications_are_ignored() {
+        let ring = DeltaRing::new(4);
+        ring.record("g", 5, &membership(&[0, 1]));
+        ring.record("g", 3, &membership(&[9, 9])); // stale: ignored
+        assert_eq!(ring.since("g", 5), DeltaAnswer::UpToDate { epoch: 5 });
+        ring.record("g", 5, &membership(&[0, 1])); // identical re-seed
+        assert_eq!(ring.since("g", 5), DeltaAnswer::UpToDate { epoch: 5 });
+        ring.forget("g");
+        assert_eq!(ring.since("g", 5), DeltaAnswer::NoPartition);
+    }
+}

@@ -7,27 +7,29 @@
 //! meaningful status code.
 
 use crate::cache::{CachedPartition, PartitionOrigin};
+use crate::delta::DeltaAnswer;
 use crate::http::{Request, Response};
+use crate::ingest::IngestOutcome;
 use crate::jobs::{DetectRequest, JobState};
 use crate::json::Json;
-use crate::registry::{validate_name, GraphSource, RegistryError};
+use crate::registry::{validate_name, GraphCell, GraphSource, RegistryError};
 use crate::ServerState;
 use gve_dynamic::{apply_batch, BatchUpdate, DynamicLeiden, DynamicStrategy};
 use gve_graph::{CsrGraph, GraphBuilder, VertexId};
 use gve_obs::DEFAULT_LATENCY_BUCKETS;
-use std::sync::Arc;
+use std::sync::{Arc, MutexGuard};
 use std::time::Instant;
 
 /// Largest community membership list returned inline.
 const MAX_INLINE_VERTICES: usize = 100_000;
 
-struct ApiError {
-    status: u16,
-    message: String,
+pub(crate) struct ApiError {
+    pub(crate) status: u16,
+    pub(crate) message: String,
 }
 
 impl ApiError {
-    fn new(status: u16, message: impl Into<String>) -> Self {
+    pub(crate) fn new(status: u16, message: impl Into<String>) -> Self {
         Self {
             status,
             message: message.into(),
@@ -91,6 +93,7 @@ fn endpoint_label(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["graphs", _, "membership"]) => "membership",
         ("GET", ["graphs", _, "communities", _]) => "communities",
         ("POST", ["graphs", _, "updates"]) => "updates",
+        ("GET", ["graphs", _, "delta"]) => "delta",
         ("GET", ["jobs", _]) => "job_status",
         ("POST", ["jobs", _, "cancel"]) => "job_cancel",
         _ => "unrouted",
@@ -118,6 +121,7 @@ fn route(state: &ServerState, request: &Request) -> Result<Response, ApiError> {
         ("GET", ["graphs", name, "membership"]) => membership(state, name, request),
         ("GET", ["graphs", name, "communities", community]) => communities(state, name, community),
         ("POST", ["graphs", name, "updates"]) => updates(state, name, request),
+        ("GET", ["graphs", name, "delta"]) => delta(state, name, request),
         ("GET", ["jobs", id]) => job_status(state, id),
         ("POST", ["jobs", id, "cancel"]) => job_cancel(state, id),
         (_, _) => Err(ApiError::new(
@@ -203,6 +207,12 @@ fn remove_graph(state: &ServerState, name: &str) -> Result<Response, ApiError> {
         return Err(RegistryError::NotFound(name.to_string()).into());
     }
     state.cache.forget_graph(name);
+    state.delta.forget(name);
+    if let Some(durability) = &state.durability {
+        if let Err(e) = durability.remove_graph(name) {
+            eprintln!("gve-serve: failed to remove durable state for '{name}': {e}");
+        }
+    }
     Ok(ok(200, Json::obj([("removed", Json::from(name))])))
 }
 
@@ -316,6 +326,18 @@ fn register_graph(state: &ServerState, request: &Request) -> Result<Response, Ap
         return Err(ApiError::bad_request(
             "provide one of 'path', 'generate', or 'edges'",
         ));
+    }
+    if let Some(durability) = &state.durability {
+        let entry = state.registry.snapshot(&name)?;
+        if let Err(e) = durability.register_graph(&name, &entry.graph, &entry.source.label()) {
+            // Roll back: a graph the server cannot persist must not be
+            // half-registered in memory only when durability was asked for.
+            state.registry.remove(&name);
+            return Err(ApiError::new(
+                500,
+                format!("failed to persist graph '{name}': {e}"),
+            ));
+        }
     }
     Ok(ok(201, graph_json(state, &name)?))
 }
@@ -511,30 +533,76 @@ fn parse_batch(body: &Json) -> Result<BatchUpdate, ApiError> {
             batch.delete(parse_vertex_id(&parts[0])?, parse_vertex_id(&parts[1])?);
         }
     }
+    Ok(batch)
+}
+
+/// Routes an edge batch through the ingest queue: applied inline when
+/// the graph is idle (200), deferred behind a busy graph (202), or
+/// rejected at the queue's edit cap (429). An empty batch is a no-op
+/// that reports the current epoch without bumping it or touching the
+/// cache.
+fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let strategy = parse_strategy(&body)?;
+    let batch = parse_batch(&body)?;
     if batch.is_empty() {
-        return Err(ApiError::bad_request(
-            "batch has no insertions or deletions",
+        let cell = state.registry.entry(name)?;
+        let epoch = cell.lock().epoch;
+        return Ok(ok(
+            200,
+            Json::obj([
+                ("graph", Json::from(name)),
+                ("epoch", Json::from(epoch)),
+                ("insertions", Json::from(0usize)),
+                ("deletions", Json::from(0usize)),
+                ("refreshed", Json::from(false)),
+                ("noop", Json::from(true)),
+            ]),
         ));
     }
-    Ok(batch)
+    match state.ingest.submit(state, name, batch, strategy)? {
+        IngestOutcome::Applied(body) => Ok(ok(200, body)),
+        IngestOutcome::Deferred {
+            queue_depth,
+            queued_edits,
+            coalesced,
+        } => Ok(ok(
+            202,
+            Json::obj([
+                ("graph", Json::from(name)),
+                ("deferred", Json::from(true)),
+                ("queue_depth", Json::from(queue_depth)),
+                ("queued_edits", Json::from(queued_edits)),
+                ("coalesced", Json::from(coalesced)),
+            ]),
+        )),
+        IngestOutcome::Rejected { queued_edits } => Err(ApiError::new(
+            429,
+            format!("ingest queue full ({queued_edits} edits queued); retry later"),
+        )),
+    }
 }
 
 /// Applies an edge batch: bumps the graph epoch and, when a current
 /// partition is cached, refreshes it incrementally through
 /// `gve-dynamic` instead of forcing clients to re-detect from scratch.
-fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Response, ApiError> {
-    let body = parse_body(request)?;
-    let strategy = parse_strategy(&body)?;
-    let batch = parse_batch(&body)?;
-
-    let cell = state.registry.entry(name)?;
+/// The caller holds the cell's update gate (witnessed by `_gate`), so
+/// at most one apply per graph is in flight. Returns the JSON body the
+/// synchronous 200 response carries.
+pub(crate) fn apply_update(
+    state: &ServerState,
+    name: &str,
+    cell: &GraphCell,
+    _gate: &MutexGuard<'_, ()>,
+    batch: &BatchUpdate,
+    strategy: DynamicStrategy,
+) -> Result<Json, ApiError> {
     // Updates to one graph are serialized through the cell's update
     // gate, NOT by holding the entry lock across the apply: the entry
     // lock is taken only to snapshot the graph and to publish the
     // result, so readers — including the event-loop reactor's inline
     // handlers, which must never block — wait microseconds at most
     // even while a seconds-long incremental refresh is in flight.
-    let _gate = cell.begin_update();
     let (old_graph, old_epoch) = {
         let entry = cell.lock();
         (Arc::clone(&entry.graph), entry.epoch)
@@ -566,7 +634,7 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
             // on the Leiden hot path too.
             let mut workspace = state.jobs.workspaces_for(name).checkout();
             let alloc_before = gve_prim::alloc_count::snapshot();
-            let result = dynamic.apply_in(&batch, &mut workspace);
+            let result = dynamic.apply_in(batch, &mut workspace);
             state
                 .jobs
                 .stats
@@ -575,9 +643,22 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
             refreshed = Some((result, partition.request.clone()));
             dynamic.graph().clone()
         }
-        None => apply_batch(&old_graph, &batch),
+        None => apply_batch(&old_graph, batch),
     };
     let seconds = started.elapsed().as_secs_f64();
+
+    // Write-ahead ordering: the batch is made durable BEFORE the new
+    // epoch is published. A crash after the fsync replays the batch on
+    // restart; a crash before it leaves the old epoch visible — either
+    // way memory and disk agree.
+    if let Some(durability) = &state.durability {
+        if let Err(e) = durability.append_batch(name, new_epoch, batch, &new_graph) {
+            return Err(ApiError::new(
+                500,
+                format!("WAL append failed for '{name}': {e}"),
+            ));
+        }
+    }
 
     let graph = {
         let mut entry = cell.lock();
@@ -635,7 +716,65 @@ fn updates(state: &ServerState, name: &str, request: &Request) -> Result<Respons
         fields.push(("refreshed".to_string(), Json::from(false)));
     }
     state.cache.evict_stale(name, new_epoch);
-    Ok(ok(200, Json::Obj(fields)))
+    Ok(Json::Obj(fields))
+}
+
+// ----------------------------------------------------------------- delta
+
+/// `GET /graphs/{name}/delta?since=E` — membership changes since epoch
+/// `E`, or `resync: true` when `E` fell off the bounded delta ring.
+fn delta(state: &ServerState, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let since: u64 = request
+        .query_param("since")
+        .ok_or_else(|| ApiError::bad_request("missing required query parameter 'since'"))?
+        .parse()
+        .map_err(|_| ApiError::bad_request("'since' must be a non-negative integer epoch"))?;
+    // Distinguish "unknown graph" (404) from "no partition yet".
+    state.registry.entry(name)?;
+    match state.delta.since(name, since) {
+        DeltaAnswer::NoPartition => Err(ApiError::new(
+            404,
+            format!("no partition has been published for graph '{name}'"),
+        )),
+        DeltaAnswer::UpToDate { epoch } => Ok(ok(
+            200,
+            Json::obj([
+                ("graph", Json::from(name)),
+                ("epoch", Json::from(epoch)),
+                ("since", Json::from(since)),
+                ("resync", Json::from(false)),
+                ("changes", Json::Arr(Vec::new())),
+            ]),
+        )),
+        DeltaAnswer::Changes { epoch, changes } => {
+            let listed: Vec<Json> = changes
+                .iter()
+                .map(|&(v, community)| {
+                    Json::Arr(vec![Json::from(v as usize), Json::from(community as usize)])
+                })
+                .collect();
+            Ok(ok(
+                200,
+                Json::obj([
+                    ("graph", Json::from(name)),
+                    ("epoch", Json::from(epoch)),
+                    ("since", Json::from(since)),
+                    ("resync", Json::from(false)),
+                    ("changes", Json::Arr(listed)),
+                ]),
+            ))
+        }
+        DeltaAnswer::Resync { epoch } => Ok(ok(
+            200,
+            Json::obj([
+                ("graph", Json::from(name)),
+                ("epoch", Json::from(epoch)),
+                ("since", Json::from(since)),
+                ("resync", Json::from(true)),
+                ("changes", Json::Arr(Vec::new())),
+            ]),
+        )),
+    }
 }
 
 fn strategy_label(strategy: DynamicStrategy) -> &'static str {

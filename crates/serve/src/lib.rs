@@ -29,22 +29,28 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod delta;
 pub mod handlers;
 pub mod http;
+pub mod ingest;
 pub mod jobs;
 pub mod json;
 pub mod pool;
 pub mod registry;
+pub mod wal;
 
 pub use http::client_request;
 pub use pool::{PooledWorkspace, WorkspacePool};
 
 use cache::PartitionCache;
+use delta::DeltaRing;
 use gve_obs::{Counter, MetricsRegistry};
+use ingest::{IngestConfig, IngestQueue};
 use jobs::JobEngine;
-use registry::GraphRegistry;
+use registry::{GraphRegistry, GraphSource};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+use wal::{DurabilityConfig, DurabilityStore};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +70,19 @@ pub struct ServeConfig {
     /// Force the portable `poll(2)` reactor backend even where epoll
     /// exists (testing aid; only meaningful with `event_loop`).
     pub force_portable_poll: bool,
+    /// Directory for the write-ahead log + snapshots. `None` (default)
+    /// keeps the server memory-only; `Some` makes registered graphs,
+    /// applied batches, and published partitions survive restarts.
+    pub data_dir: Option<String>,
+    /// WAL records between snapshot compactions (per graph).
+    pub snapshot_every: usize,
+    /// fsync the WAL after every appended record. Turning this off
+    /// trades the durability of the latest acked batches for latency.
+    pub fsync_wal: bool,
+    /// Cap on edits queued in the ingest queue per shard (429 past it).
+    pub ingest_max_queued_edits: usize,
+    /// Membership deltas retained per graph for `GET .../delta`.
+    pub delta_capacity: usize,
 }
 
 /// Largest request body the event-loop inline fast path will handle on
@@ -80,6 +99,11 @@ impl Default for ServeConfig {
             shards: 4,
             event_loop: gve_net::EVENT_LOOP_AVAILABLE,
             force_portable_poll: false,
+            data_dir: None,
+            snapshot_every: 64,
+            fsync_wal: true,
+            ingest_max_queued_edits: 1 << 20,
+            delta_capacity: 32,
         }
     }
 }
@@ -136,6 +160,12 @@ pub struct ServerState {
     pub cache: Arc<PartitionCache>,
     /// Detection job engine.
     pub jobs: JobEngine,
+    /// Bounded coalescing queue in front of the update path.
+    pub ingest: IngestQueue,
+    /// Per-epoch membership diffs for `GET .../delta`.
+    pub delta: Arc<DeltaRing>,
+    /// WAL + snapshot store; `None` when running memory-only.
+    pub durability: Option<Arc<DurabilityStore>>,
     /// Update-path counters.
     pub updates: UpdateStats,
     /// Every subsystem's metric handles, rendered by `GET /metrics`.
@@ -146,37 +176,127 @@ pub struct ServerState {
 
 impl ServerState {
     /// Builds single-shard state with `workers` detection workers
-    /// (embedded/test convenience).
+    /// (embedded/test convenience). Memory-only.
     pub fn new(workers: usize) -> Arc<Self> {
         Self::new_sharded(1, workers)
+    }
+
+    /// Builds sharded, memory-only state (no durability directory).
+    pub fn new_sharded(shards: usize, workers: usize) -> Arc<Self> {
+        let config = ServeConfig {
+            shards,
+            workers,
+            data_dir: None,
+            ..ServeConfig::default()
+        };
+        Self::with_config(&config).expect("memory-only state construction cannot do IO")
     }
 
     /// Builds the state, starts `shards` job-engine shards of `workers`
     /// detection workers each, and wires every subsystem's metrics into
     /// one registry. The graph registry uses the same shard count so a
     /// graph's map shard and its worker pool line up.
-    pub fn new_sharded(shards: usize, workers: usize) -> Arc<Self> {
-        let registry = Arc::new(GraphRegistry::with_shards(shards.max(1)));
+    ///
+    /// When `config.data_dir` is set, opens (or creates) the durability
+    /// store there and **recovers**: every graph directory's newest
+    /// valid snapshot is loaded and its WAL replayed, restoring graphs,
+    /// epochs, and cached partitions to the pre-crash state before the
+    /// listener starts logging new activity.
+    pub fn with_config(config: &ServeConfig) -> std::io::Result<Arc<Self>> {
+        let shards = config.shards.max(1);
+        let registry = Arc::new(GraphRegistry::with_shards(shards));
         let cache = Arc::new(PartitionCache::new());
         let jobs = JobEngine::start_sharded(
             Arc::clone(&registry),
             Arc::clone(&cache),
-            shards.max(1),
-            workers,
+            shards,
+            config.workers,
         );
+        let ingest = IngestQueue::new(
+            shards,
+            IngestConfig {
+                max_queued_edits: config.ingest_max_queued_edits,
+            },
+        );
+        let delta = Arc::new(DeltaRing::new(config.delta_capacity));
         let updates = UpdateStats::default();
         let metrics = MetricsRegistry::new();
         cache.stats.attach_to(&metrics);
         jobs.attach_to(&metrics);
         updates.attach_to(&metrics);
-        Arc::new(Self {
+        ingest.stats.attach_to(&metrics);
+
+        let durability = match &config.data_dir {
+            None => None,
+            Some(dir) => {
+                let store = Arc::new(DurabilityStore::open(DurabilityConfig {
+                    root: dir.into(),
+                    snapshot_every: config.snapshot_every,
+                    fsync: config.fsync_wal,
+                })?);
+                store.stats.attach_to(&metrics);
+                // Recovery seeds registry, cache, and delta ring BEFORE
+                // the insert listener exists, so recovered partitions
+                // are not re-appended to the WAL they came from.
+                for recovered in store.recover()? {
+                    let source = GraphSource::parse_label(&recovered.source);
+                    if let Err(e) = registry.install(
+                        &recovered.name,
+                        recovered.graph,
+                        recovered.epoch,
+                        source,
+                        recovered.epoch,
+                    ) {
+                        eprintln!(
+                            "gve-serve: skipping recovered graph '{}': {e}",
+                            recovered.name
+                        );
+                        continue;
+                    }
+                    for item in recovered.partitions {
+                        delta.record(&item.key.graph, item.key.epoch, &item.partition.membership);
+                        cache.insert(item.key, item.partition);
+                    }
+                }
+                Some(store)
+            }
+        };
+
+        // Single choke point for partition publications: every cache
+        // insert — detect jobs, incremental refreshes, nothing else —
+        // feeds both the delta ring and (when durable) the WAL. The
+        // partition record is written AFTER the cache publish and is
+        // best-effort: partitions are derived state, recomputable from
+        // the durable graph.
+        {
+            let delta = Arc::clone(&delta);
+            let durability = durability.clone();
+            cache.set_listener(move |key, partition| {
+                delta.record(&key.graph, key.epoch, &partition.membership);
+                if let Some(store) = &durability {
+                    if let Err(e) = store.append_partition(key, partition) {
+                        eprintln!(
+                            "gve-serve: partition WAL append failed for '{}': {e}",
+                            key.graph
+                        );
+                    }
+                }
+            });
+        }
+
+        let state = Arc::new(Self {
             registry,
             cache,
             jobs,
+            ingest,
+            delta,
+            durability,
             updates,
             metrics,
             started: Instant::now(),
-        })
+        });
+        state.ingest.start_drainers(&state);
+        Ok(state)
     }
 }
 
@@ -201,7 +321,7 @@ pub struct Server {
 impl Server {
     /// Binds and starts serving.
     pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
-        let state = ServerState::new_sharded(config.shards, config.workers);
+        let state = ServerState::with_config(config)?;
         let handler_state = Arc::clone(&state);
         let handler = move |request| handlers::handle(&handler_state, &request);
         // Routes whose handlers are strictly non-blocking and
@@ -319,6 +439,9 @@ impl Server {
             #[cfg(unix)]
             FrontEnd::EventLoop(server) => server.stop(),
         }
+        // Drain deferred batches before the job engine goes away so
+        // acked (202) work is applied — and WAL-logged — on shutdown.
+        self.state.ingest.stop();
         self.state.jobs.stop();
     }
 }

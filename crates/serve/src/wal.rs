@@ -1,0 +1,911 @@
+//! Per-graph durability: write-ahead log + periodic binary snapshots.
+//!
+//! Opted into with `gve serve --data-dir`; the memory-only registry
+//! stays the default. The layout under the data dir is one directory
+//! per graph (names are path-safe by [`crate::registry::validate_name`]):
+//!
+//! ```text
+//! <data-dir>/<name>/meta              source label, one line of text
+//! <data-dir>/<name>/snapshot-<E>.gveg binary CSR at epoch E
+//! <data-dir>/<name>/wal.log           records appended since <E>
+//! ```
+//!
+//! Every WAL record is length-prefixed and checksummed:
+//!
+//! ```text
+//! u32  payload length (LE)
+//! u64  FNV-1a of the payload (LE)
+//! ...  payload, first byte = record kind
+//! ```
+//!
+//! Kinds: `1` Register (source label; head of a registration-time WAL),
+//! `2` UpdateBatch (new epoch + edge edits), `3` Partition (a cached
+//! partition current at its epoch), `4` EpochBump (head of a
+//! compaction-time WAL, cross-checking the snapshot epoch it follows).
+//!
+//! **Write-ahead ordering.** An update batch is appended — and, under
+//! the default fsync policy, synced — *before* the new graph/epoch is
+//! published to the registry, so every state a client can observe is
+//! recoverable. Partitions are derived data (recomputable by a detect
+//! job) and are logged best-effort *after* cache publish.
+//!
+//! **Fsync policy.** `fsync = true` (default) syncs after every append:
+//! an acknowledged batch survives `kill -9`. `fsync = false` leaves
+//! records in the OS page cache — faster, and still crash-consistent
+//! (the checksummed tail is dropped on recovery), but acknowledged
+//! batches written after the last sync may be lost.
+//!
+//! **Compaction.** Every [`DurabilityConfig::snapshot_every`] appended
+//! records the graph is snapshotted (`tmp` + rename, so a torn write
+//! leaves the previous snapshot intact), the WAL is restarted with a
+//! single EpochBump record, and older snapshots are deleted.
+//!
+//! **Recovery** loads the newest decodable snapshot, then replays the
+//! WAL: batch records at epochs the snapshot already covers are
+//! skipped, a truncated or corrupt tail is tolerated (dropped and
+//! counted in `gve_wal_tail_records_dropped_total`), and partition
+//! records matching the final epoch re-seed the partition cache.
+
+use crate::cache::{CachedPartition, PartitionKey, PartitionOrigin};
+use crate::jobs::DetectRequest;
+use gve_dynamic::{apply_batch, BatchUpdate};
+use gve_graph::io::binary;
+use gve_graph::{CsrGraph, VertexId};
+use gve_obs::{Counter, MetricsRegistry};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Record kind tags (first payload byte).
+const KIND_REGISTER: u8 = 1;
+const KIND_BATCH: u8 = 2;
+const KIND_PARTITION: u8 = 3;
+const KIND_EPOCH_BUMP: u8 = 4;
+
+/// Upper bound on a single record payload. Far above any real record
+/// (the largest are partition memberships, 4 bytes/vertex); its job is
+/// to reject garbage lengths from a corrupt prefix before allocating.
+const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+/// FNV-1a — the same stable hash family the registry and cache use.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Durability tuning, carried from `ServeConfig`.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root data directory; one subdirectory per graph.
+    pub root: PathBuf,
+    /// Snapshot + restart the WAL after this many appended records.
+    pub snapshot_every: usize,
+    /// Sync every append to disk (see the module docs for the policy).
+    pub fsync: bool,
+}
+
+impl DurabilityConfig {
+    /// Defaults for a given root: snapshot every 64 records, fsync on.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            snapshot_every: 64,
+            fsync: true,
+        }
+    }
+}
+
+/// Counters exported under `gve_wal_*`.
+#[derive(Debug, Clone, Default)]
+pub struct WalStats {
+    /// Records appended (all kinds).
+    pub records_appended: Counter,
+    /// Payload bytes appended.
+    pub bytes_appended: Counter,
+    /// Snapshots written by compaction or registration.
+    pub snapshots_written: Counter,
+    /// Graphs restored by recovery.
+    pub recovered_graphs: Counter,
+    /// Valid records replayed by recovery.
+    pub recovered_records: Counter,
+    /// Truncated or corrupt tail records dropped by recovery.
+    pub tail_records_dropped: Counter,
+}
+
+impl WalStats {
+    /// Registers the counters with `registry`.
+    pub fn attach_to(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "gve_wal_records_total",
+            "WAL records appended (all kinds).",
+            &[],
+            &self.records_appended,
+        );
+        registry.register_counter(
+            "gve_wal_bytes_total",
+            "WAL payload bytes appended.",
+            &[],
+            &self.bytes_appended,
+        );
+        registry.register_counter(
+            "gve_wal_snapshots_total",
+            "Graph snapshots written (compaction + registration).",
+            &[],
+            &self.snapshots_written,
+        );
+        registry.register_counter(
+            "gve_wal_recovered_graphs_total",
+            "Graphs restored from disk at startup.",
+            &[],
+            &self.recovered_graphs,
+        );
+        registry.register_counter(
+            "gve_wal_recovered_records_total",
+            "Valid WAL records replayed at startup.",
+            &[],
+            &self.recovered_records,
+        );
+        registry.register_counter(
+            "gve_wal_tail_records_dropped_total",
+            "Truncated or corrupt WAL tail records dropped at startup.",
+            &[],
+            &self.tail_records_dropped,
+        );
+    }
+}
+
+/// Open WAL handle for one graph, behind its per-graph lock.
+#[derive(Debug)]
+struct GraphWal {
+    file: File,
+    records_since_snapshot: usize,
+}
+
+/// The store: one WAL + snapshot chain per registered graph.
+#[derive(Debug)]
+pub struct DurabilityStore {
+    config: DurabilityConfig,
+    /// Brief-hold map of per-graph WAL handles. Never held while doing
+    /// IO — fetch the `Arc`, drop this lock, then lock the graph's WAL.
+    graphs: Mutex<HashMap<String, Arc<Mutex<GraphWal>>>>,
+    /// Counter block (public for `/stats` and tests).
+    pub stats: WalStats,
+}
+
+/// A partition restored from partition records, ready for the cache.
+#[derive(Debug)]
+pub struct RecoveredPartition {
+    /// Cache key (epoch equals the recovered graph epoch).
+    pub key: PartitionKey,
+    /// The partition itself.
+    pub partition: CachedPartition,
+}
+
+/// One graph restored by [`DurabilityStore::recover`].
+#[derive(Debug)]
+pub struct RecoveredGraph {
+    /// Registered name (the directory name).
+    pub name: String,
+    /// Graph state after snapshot + WAL replay.
+    pub graph: CsrGraph,
+    /// Epoch after replay.
+    pub epoch: u64,
+    /// Source label from the `meta` file.
+    pub source: String,
+    /// Tail records dropped while replaying this graph's WAL.
+    pub tail_dropped: u64,
+    /// Partitions current at `epoch`, for re-seeding the cache.
+    pub partitions: Vec<RecoveredPartition>,
+}
+
+impl DurabilityStore {
+    /// Opens (creating if needed) the store rooted at `config.root`.
+    pub fn open(config: DurabilityConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.root)?;
+        Ok(Self {
+            config,
+            graphs: Mutex::new(HashMap::new()),
+            stats: WalStats::default(),
+        })
+    }
+
+    /// The root data directory.
+    pub fn root(&self) -> &Path {
+        &self.config.root
+    }
+
+    fn graph_dir(&self, name: &str) -> PathBuf {
+        self.config.root.join(name)
+    }
+
+    fn wal_handle(&self, name: &str) -> io::Result<Arc<Mutex<GraphWal>>> {
+        let mut graphs = self.graphs.lock().expect("wal map poisoned");
+        if let Some(handle) = graphs.get(name) {
+            return Ok(Arc::clone(handle));
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.graph_dir(name).join("wal.log"))?;
+        let handle = Arc::new(Mutex::new(GraphWal {
+            file,
+            records_since_snapshot: 0,
+        }));
+        graphs.insert(name.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    fn lock_wal<'a>(&self, handle: &'a Mutex<GraphWal>) -> MutexGuard<'a, GraphWal> {
+        match handle.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends one record (and syncs it, per policy) to an open WAL.
+    fn append(&self, wal: &mut GraphWal, payload: &[u8]) -> io::Result<()> {
+        debug_assert!(payload.len() < MAX_RECORD_BYTES as usize);
+        let mut framed = Vec::with_capacity(12 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        framed.extend_from_slice(payload);
+        wal.file.write_all(&framed)?;
+        if self.config.fsync {
+            wal.file.sync_data()?;
+        }
+        wal.records_since_snapshot += 1;
+        self.stats.records_appended.inc();
+        self.stats.bytes_appended.add(payload.len() as u64);
+        Ok(())
+    }
+
+    /// Writes `snapshot-<epoch>.gveg` atomically (tmp + rename).
+    fn write_snapshot(&self, name: &str, graph: &CsrGraph, epoch: u64) -> io::Result<()> {
+        let dir = self.graph_dir(name);
+        let tmp = dir.join("snapshot.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            binary::write_binary(graph, &mut file)?;
+            if self.config.fsync {
+                file.sync_data()?;
+            }
+        }
+        fs::rename(&tmp, dir.join(format!("snapshot-{epoch}.gveg")))?;
+        self.stats.snapshots_written.inc();
+        Ok(())
+    }
+
+    /// Records a fresh registration: graph directory, `meta` with the
+    /// source label, the epoch-0 snapshot, and a WAL opened with a
+    /// Register record at its head.
+    pub fn register_graph(&self, name: &str, graph: &CsrGraph, source: &str) -> io::Result<()> {
+        let dir = self.graph_dir(name);
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join("meta"), source)?;
+        self.write_snapshot(name, graph, 0)?;
+        let handle = self.wal_handle(name)?;
+        let mut wal = self.lock_wal(&handle);
+        let mut payload = vec![KIND_REGISTER];
+        put_bytes(&mut payload, source.as_bytes());
+        self.append(&mut wal, &payload)
+    }
+
+    /// Logs one applied update batch. Called **before** the new
+    /// graph/epoch is published; `graph` is the post-batch graph, used
+    /// when this append crosses the compaction threshold.
+    pub fn append_batch(
+        &self,
+        name: &str,
+        new_epoch: u64,
+        batch: &BatchUpdate,
+        graph: &CsrGraph,
+    ) -> io::Result<()> {
+        let handle = self.wal_handle(name)?;
+        let mut wal = self.lock_wal(&handle);
+        let mut payload = Vec::with_capacity(
+            1 + 8 + 16 + 12 * batch.insertions.len() + 8 * batch.deletions.len(),
+        );
+        payload.push(KIND_BATCH);
+        payload.extend_from_slice(&new_epoch.to_le_bytes());
+        payload.extend_from_slice(&(batch.insertions.len() as u64).to_le_bytes());
+        for &(u, v, w) in &batch.insertions {
+            payload.extend_from_slice(&u.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        payload.extend_from_slice(&(batch.deletions.len() as u64).to_le_bytes());
+        for &(u, v) in &batch.deletions {
+            payload.extend_from_slice(&u.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.append(&mut wal, &payload)?;
+        if wal.records_since_snapshot >= self.config.snapshot_every.max(1) {
+            self.compact(name, &mut wal, graph, new_epoch)?;
+        }
+        Ok(())
+    }
+
+    /// Logs a partition current at its epoch (best-effort derived data;
+    /// see the module docs).
+    pub fn append_partition(
+        &self,
+        key: &PartitionKey,
+        partition: &CachedPartition,
+    ) -> io::Result<()> {
+        let handle = self.wal_handle(&key.graph)?;
+        let mut wal = self.lock_wal(&handle);
+        let request_json = partition.request.to_json().render();
+        let mut payload =
+            Vec::with_capacity(64 + request_json.len() + 4 * partition.membership.len());
+        payload.push(KIND_PARTITION);
+        payload.extend_from_slice(&key.epoch.to_le_bytes());
+        payload.extend_from_slice(&key.fingerprint.to_le_bytes());
+        payload.push(match partition.origin {
+            PartitionOrigin::Detection => 0,
+            PartitionOrigin::IncrementalRefresh => 1,
+        });
+        payload.extend_from_slice(&(partition.num_communities as u64).to_le_bytes());
+        payload.extend_from_slice(&partition.modularity.to_le_bytes());
+        payload.extend_from_slice(&partition.seconds.to_le_bytes());
+        put_bytes(&mut payload, request_json.as_bytes());
+        payload.extend_from_slice(&(partition.membership.len() as u64).to_le_bytes());
+        for &community in partition.membership.iter() {
+            payload.extend_from_slice(&community.to_le_bytes());
+        }
+        self.append(&mut wal, &payload)
+    }
+
+    /// Snapshot the graph at `epoch` and restart the WAL with a single
+    /// EpochBump record. Crash-safe at every step: the snapshot and the
+    /// fresh WAL are both staged to `tmp` files and renamed over, and
+    /// replay skips batch records the snapshot already covers.
+    fn compact(
+        &self,
+        name: &str,
+        wal: &mut GraphWal,
+        graph: &CsrGraph,
+        epoch: u64,
+    ) -> io::Result<()> {
+        self.write_snapshot(name, graph, epoch)?;
+        let dir = self.graph_dir(name);
+        let tmp = dir.join("wal.tmp");
+        let mut payload = vec![KIND_EPOCH_BUMP];
+        payload.extend_from_slice(&epoch.to_le_bytes());
+        let mut framed = Vec::with_capacity(12 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&framed)?;
+            if self.config.fsync {
+                file.sync_data()?;
+            }
+        }
+        fs::rename(&tmp, dir.join("wal.log"))?;
+        wal.file = OpenOptions::new().append(true).open(dir.join("wal.log"))?;
+        wal.records_since_snapshot = 1;
+        self.stats.records_appended.inc();
+        // Older snapshots are now redundant; removal is best-effort.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if let Some(old) = snapshot_epoch(&entry.file_name().to_string_lossy()) {
+                    if old < epoch {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops all on-disk state for `name` (graph deregistered).
+    pub fn remove_graph(&self, name: &str) -> io::Result<()> {
+        self.graphs.lock().expect("wal map poisoned").remove(name);
+        let dir = self.graph_dir(name);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        Ok(())
+    }
+
+    /// Restores every graph under the data dir: newest decodable
+    /// snapshot + WAL replay, tolerating a truncated or corrupt tail.
+    /// Also opens each graph's WAL for appending, so the store is ready
+    /// for writes when this returns.
+    pub fn recover(&self) -> io::Result<Vec<RecoveredGraph>> {
+        let mut recovered = Vec::new();
+        let mut entries: Vec<_> = fs::read_dir(&self.config.root)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().is_dir())
+            .collect();
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let name = entry.file_name().to_string_lossy().to_string();
+            match self.recover_graph(&name, &entry.path()) {
+                Ok(graph) => {
+                    self.stats.recovered_graphs.inc();
+                    recovered.push(graph);
+                }
+                Err(e) => {
+                    // A directory with no decodable snapshot is not a
+                    // graph we can serve; leave it on disk for manual
+                    // inspection rather than failing the whole boot.
+                    eprintln!("gve-serve: skipping unrecoverable graph '{name}': {e}");
+                }
+            }
+        }
+        Ok(recovered)
+    }
+
+    fn recover_graph(&self, name: &str, dir: &Path) -> io::Result<RecoveredGraph> {
+        let source = fs::read_to_string(dir.join("meta"))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "recovered".to_string());
+        // Newest decodable snapshot wins; torn or corrupt snapshot
+        // files fall back to the next-newest.
+        let mut snapshot_epochs: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .filter_map(|e| snapshot_epoch(&e.file_name().to_string_lossy()))
+            .collect();
+        snapshot_epochs.sort_unstable_by(|a, b| b.cmp(a));
+        let mut snapshot = None;
+        for &epoch in &snapshot_epochs {
+            let path = dir.join(format!("snapshot-{epoch}.gveg"));
+            if let Ok(graph) = File::open(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| binary::read_binary(f).map_err(|e| e.to_string()))
+            {
+                snapshot = Some((graph, epoch));
+                break;
+            }
+        }
+        let (mut graph, snapshot_epoch) = snapshot
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no decodable snapshot"))?;
+        let mut epoch = snapshot_epoch;
+
+        // Replay the WAL past the snapshot.
+        let mut raw = Vec::new();
+        if let Ok(mut file) = File::open(dir.join("wal.log")) {
+            file.read_to_end(&mut raw)?;
+        }
+        let mut cursor = 0usize;
+        let mut tail_dropped = 0u64;
+        // Keyed by fingerprint, last record wins; filtered to the final
+        // epoch once replay finishes.
+        let mut partitions: HashMap<u64, (u64, CachedPartition)> = HashMap::new();
+        while cursor < raw.len() {
+            let Some((payload, next)) = read_record(&raw, cursor) else {
+                tail_dropped += 1;
+                break;
+            };
+            cursor = next;
+            match parse_record(payload) {
+                Some(Record::Register) => {}
+                Some(Record::EpochBump(bumped)) => epoch = epoch.max(bumped),
+                Some(Record::Batch { new_epoch, batch }) => {
+                    // Batches the snapshot already folded in are skipped;
+                    // replay must be idempotent across compaction races.
+                    if new_epoch > epoch {
+                        graph = apply_batch(&graph, &batch);
+                        epoch = new_epoch;
+                    }
+                }
+                Some(Record::Partition {
+                    epoch: partition_epoch,
+                    fingerprint,
+                    partition,
+                }) => {
+                    partitions.insert(fingerprint, (partition_epoch, partition));
+                }
+                None => {
+                    // Checksummed but unparseable: a kind from a future
+                    // version, or corruption the checksum missed. Stop
+                    // here — everything after is suspect.
+                    tail_dropped += 1;
+                    break;
+                }
+            }
+            self.stats.recovered_records.inc();
+        }
+        self.stats.tail_records_dropped.add(tail_dropped);
+        // Truncate the dropped tail so future appends extend a valid
+        // prefix instead of burying garbage mid-log.
+        if tail_dropped > 0 {
+            let file = OpenOptions::new().write(true).open(dir.join("wal.log"))?;
+            file.set_len(cursor as u64)?;
+        }
+
+        let wal_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("wal.log"))?;
+        let mut records = 0usize;
+        let mut scan = 0usize;
+        while let Some((_, next)) = read_record(&raw[..cursor], scan) {
+            records += 1;
+            scan = next;
+        }
+        self.graphs.lock().expect("wal map poisoned").insert(
+            name.to_string(),
+            Arc::new(Mutex::new(GraphWal {
+                file: wal_file,
+                records_since_snapshot: records,
+            })),
+        );
+
+        let partitions = partitions
+            .into_iter()
+            .filter(|(_, (partition_epoch, _))| *partition_epoch == epoch)
+            .map(
+                |(fingerprint, (partition_epoch, partition))| RecoveredPartition {
+                    key: PartitionKey {
+                        graph: name.to_string(),
+                        epoch: partition_epoch,
+                        fingerprint,
+                    },
+                    partition,
+                },
+            )
+            .collect();
+        Ok(RecoveredGraph {
+            name: name.to_string(),
+            graph,
+            epoch,
+            source,
+            tail_dropped,
+            partitions,
+        })
+    }
+}
+
+/// `snapshot-<epoch>.gveg` → `epoch`.
+fn snapshot_epoch(file_name: &str) -> Option<u64> {
+    file_name
+        .strip_prefix("snapshot-")?
+        .strip_suffix(".gveg")?
+        .parse()
+        .ok()
+}
+
+/// One frame: `(payload, next_cursor)`, or `None` on a truncated or
+/// checksum-failing tail.
+fn read_record(raw: &[u8], cursor: usize) -> Option<(&[u8], usize)> {
+    let header = raw.get(cursor..cursor + 12)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if len == 0 || len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let start = cursor + 12;
+    let payload = raw.get(start..start + len as usize)?;
+    if fnv1a(payload) != checksum {
+        return None;
+    }
+    Some((payload, start + len as usize))
+}
+
+/// A parsed WAL payload.
+enum Record {
+    Register,
+    Batch {
+        new_epoch: u64,
+        batch: BatchUpdate,
+    },
+    Partition {
+        epoch: u64,
+        fingerprint: u64,
+        partition: CachedPartition,
+    },
+    EpochBump(u64),
+}
+
+fn parse_record(payload: &[u8]) -> Option<Record> {
+    let mut cursor = Cursor::new(payload);
+    match cursor.u8()? {
+        KIND_REGISTER => {
+            let _source = cursor.bytes()?;
+            Some(Record::Register)
+        }
+        KIND_BATCH => {
+            let new_epoch = cursor.u64()?;
+            let mut batch = BatchUpdate::new();
+            for _ in 0..cursor.u64()? {
+                let u = cursor.u32()?;
+                let v = cursor.u32()?;
+                let w = f32::from_le_bytes(cursor.array()?);
+                batch.insert(u, v, w);
+            }
+            for _ in 0..cursor.u64()? {
+                batch.delete(cursor.u32()?, cursor.u32()?);
+            }
+            Some(Record::Batch { new_epoch, batch })
+        }
+        KIND_PARTITION => {
+            let epoch = cursor.u64()?;
+            let fingerprint = cursor.u64()?;
+            let origin = match cursor.u8()? {
+                0 => PartitionOrigin::Detection,
+                1 => PartitionOrigin::IncrementalRefresh,
+                _ => return None,
+            };
+            let num_communities = cursor.u64()? as usize;
+            let modularity = f64::from_le_bytes(cursor.array()?);
+            let seconds = f64::from_le_bytes(cursor.array()?);
+            let request_json = String::from_utf8(cursor.bytes()?.to_vec()).ok()?;
+            let request = crate::json::parse(&request_json)
+                .ok()
+                .and_then(|body| DetectRequest::from_json(&body).ok())?;
+            // The fingerprint is derived from the request; a mismatch
+            // means the record is inconsistent — drop it.
+            if request.fingerprint() != fingerprint {
+                return None;
+            }
+            let n = cursor.u64()? as usize;
+            let mut membership: Vec<VertexId> = Vec::with_capacity(n.min(1 << 24));
+            for _ in 0..n {
+                membership.push(cursor.u32()?);
+            }
+            Some(Record::Partition {
+                epoch,
+                fingerprint,
+                partition: CachedPartition {
+                    membership: Arc::new(membership),
+                    num_communities,
+                    modularity,
+                    seconds,
+                    origin,
+                    request,
+                },
+            })
+        }
+        KIND_EPOCH_BUMP => Some(Record::EpochBump(cursor.u64()?)),
+        _ => None,
+    }
+}
+
+/// Length-prefixed byte run (u32 length).
+fn put_bytes(payload: &mut Vec<u8>, bytes: &[u8]) {
+    payload.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(bytes);
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.data.get(self.at..self.at.checked_add(n)?)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        self.take(N)?.try_into().ok()
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.array()?))
+    }
+
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gve_graph::GraphBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store(tag: &str) -> DurabilityStore {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gve-wal-test-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DurabilityStore::open(DurabilityConfig::new(dir)).unwrap()
+    }
+
+    fn reopen(store: &DurabilityStore) -> DurabilityStore {
+        DurabilityStore::open(store.config.clone()).unwrap()
+    }
+
+    fn path_graph() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    fn sample_partition(n: usize) -> CachedPartition {
+        CachedPartition {
+            membership: Arc::new((0..n as VertexId).map(|v| v % 2).collect()),
+            num_communities: 2,
+            modularity: 0.25,
+            seconds: 0.01,
+            origin: PartitionOrigin::IncrementalRefresh,
+            request: DetectRequest::default(),
+        }
+    }
+
+    /// Register + batches + partition, recover, compare against the
+    /// same updates applied purely in memory.
+    #[test]
+    fn recovery_replays_to_the_in_memory_state() {
+        let store = temp_store("roundtrip");
+        let mut graph = path_graph();
+        store.register_graph("g", &graph, "inline").unwrap();
+        for epoch in 1..=5u64 {
+            let mut batch = BatchUpdate::new();
+            batch.insert(0, 2 + (epoch as VertexId % 2), epoch as f32);
+            if epoch == 3 {
+                batch.delete(1, 2);
+            }
+            graph = apply_batch(&graph, &batch);
+            store.append_batch("g", epoch, &batch, &graph).unwrap();
+        }
+        let key = PartitionKey {
+            graph: "g".into(),
+            epoch: 5,
+            fingerprint: DetectRequest::default().fingerprint(),
+        };
+        let partition = sample_partition(graph.num_vertices());
+        store.append_partition(&key, &partition).unwrap();
+
+        let recovered = reopen(&store).recover().unwrap();
+        assert_eq!(recovered.len(), 1);
+        let g = &recovered[0];
+        assert_eq!(g.name, "g");
+        assert_eq!(g.epoch, 5);
+        assert_eq!(g.graph, graph);
+        assert_eq!(g.source, "inline");
+        assert_eq!(g.tail_dropped, 0);
+        assert_eq!(g.partitions.len(), 1);
+        assert_eq!(g.partitions[0].key, key);
+        assert_eq!(g.partitions[0].partition.membership, partition.membership);
+    }
+
+    /// A partially written tail record (the crash case) is dropped and
+    /// counted; everything before it survives.
+    #[test]
+    fn truncated_tail_record_is_dropped() {
+        let store = temp_store("truncated");
+        let mut graph = path_graph();
+        store.register_graph("g", &graph, "inline").unwrap();
+        for epoch in 1..=3u64 {
+            let mut batch = BatchUpdate::new();
+            batch.insert(0, 3, 1.0);
+            graph = apply_batch(&graph, &batch);
+            store.append_batch("g", epoch, &batch, &graph).unwrap();
+        }
+        let wal_path = store.graph_dir("g").join("wal.log");
+        let len = fs::metadata(&wal_path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let reopened = reopen(&store);
+        let recovered = reopened.recover().unwrap();
+        assert_eq!(recovered[0].epoch, 2, "the torn epoch-3 record is gone");
+        assert_eq!(recovered[0].tail_dropped, 1);
+        assert_eq!(reopened.stats.tail_records_dropped.get(), 1);
+        // The tail was truncated away: appending now extends a valid
+        // prefix, and a second recovery sees a clean log.
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 3, 1.0);
+        let resumed = apply_batch(&recovered[0].graph, &batch);
+        reopened.append_batch("g", 3, &batch, &resumed).unwrap();
+        let again = reopen(&store).recover().unwrap();
+        assert_eq!(again[0].epoch, 3);
+        assert_eq!(again[0].tail_dropped, 0);
+    }
+
+    /// Bit corruption in the middle of the newest record fails its
+    /// checksum; the valid prefix still recovers.
+    #[test]
+    fn corrupt_checksum_drops_the_tail() {
+        let store = temp_store("corrupt");
+        let mut graph = path_graph();
+        store.register_graph("g", &graph, "inline").unwrap();
+        for epoch in 1..=2u64 {
+            let mut batch = BatchUpdate::new();
+            batch.insert(epoch as VertexId, 3, 1.0);
+            graph = apply_batch(&graph, &batch);
+            store.append_batch("g", epoch, &batch, &graph).unwrap();
+        }
+        let wal_path = store.graph_dir("g").join("wal.log");
+        let mut raw = fs::read(&wal_path).unwrap();
+        let last = raw.len() - 3;
+        raw[last] ^= 0xFF;
+        fs::write(&wal_path, &raw).unwrap();
+
+        let recovered = reopen(&store).recover().unwrap();
+        assert_eq!(recovered[0].epoch, 1);
+        assert_eq!(recovered[0].tail_dropped, 1);
+    }
+
+    /// Crossing `snapshot_every` writes a snapshot, restarts the WAL,
+    /// and deletes older snapshots — and recovery agrees with memory.
+    #[test]
+    fn compaction_snapshots_and_restarts_the_wal() {
+        let mut store = temp_store("compact");
+        store.config.snapshot_every = 4;
+        let mut graph = path_graph();
+        store.register_graph("g", &graph, "inline").unwrap();
+        for epoch in 1..=9u64 {
+            let mut batch = BatchUpdate::new();
+            batch.insert(0, (epoch % 4) as VertexId, 0.5);
+            graph = apply_batch(&graph, &batch);
+            store.append_batch("g", epoch, &batch, &graph).unwrap();
+        }
+        let names: Vec<String> = fs::read_dir(store.graph_dir("g"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .collect();
+        let snapshots: Vec<&String> = names
+            .iter()
+            .filter(|n| n.starts_with("snapshot-"))
+            .collect();
+        assert_eq!(snapshots.len(), 1, "old snapshots deleted: {names:?}");
+        assert!(store.stats.snapshots_written.get() >= 2);
+
+        let recovered = reopen(&store).recover().unwrap();
+        assert_eq!(recovered[0].epoch, 9);
+        assert_eq!(recovered[0].graph, graph);
+    }
+
+    #[test]
+    fn remove_graph_wipes_the_directory() {
+        let store = temp_store("remove");
+        store.register_graph("g", &path_graph(), "inline").unwrap();
+        assert!(store.graph_dir("g").exists());
+        store.remove_graph("g").unwrap();
+        assert!(!store.graph_dir("g").exists());
+        assert!(reopen(&store).recover().unwrap().is_empty());
+    }
+
+    /// Unsynced-tail policy: with fsync off, records still frame and
+    /// recover correctly when they *did* reach disk.
+    #[test]
+    fn os_buffered_mode_still_recovers_flushed_records() {
+        let mut store = temp_store("nofsync");
+        store.config.fsync = false;
+        let mut graph = path_graph();
+        store.register_graph("g", &graph, "inline").unwrap();
+        let mut batch = BatchUpdate::new();
+        batch.insert(0, 3, 2.0);
+        graph = apply_batch(&graph, &batch);
+        store.append_batch("g", 1, &batch, &graph).unwrap();
+        drop(store.graphs.lock().unwrap().remove("g")); // close the handle
+        let recovered = reopen(&store).recover().unwrap();
+        assert_eq!(recovered[0].epoch, 1);
+        assert_eq!(recovered[0].graph, graph);
+    }
+}

@@ -35,7 +35,8 @@ fn usage() -> ! {
          gve stats <graph>\n  \
          gve convert <input> <output>     (formats by extension: .mtx, .gveg, else edge list)\n  \
          gve serve [--addr <host:port>] [--workers <n>] [--shards <n>] \
-         [--max-connections <n>] [--threaded] [--portable-poll] [--load <name>=<path>]...\n  \
+         [--max-connections <n>] [--threaded] [--portable-poll] \
+         [--data-dir <path>] [--snapshot-every <n>] [--no-fsync] [--load <name>=<path>]...\n  \
          gve client <method> <path> [--addr <host:port>] [--body <json>|--body-file <path>]\n  \
          gve top [--addr <host:port>]    (one-shot metrics summary of a running gve-serve)"
     );
@@ -461,10 +462,32 @@ fn cmd_serve(args: &[String]) {
     if args.iter().any(|a| a == "--portable-poll") {
         config.force_portable_poll = true;
     }
+    if let Some(dir) = flag_value(args, "--data-dir") {
+        config.data_dir = Some(dir.to_string());
+    }
+    if let Some(raw) = flag_value(args, "--snapshot-every") {
+        config.snapshot_every = raw.parse().expect("bad --snapshot-every");
+        if config.snapshot_every == 0 {
+            eprintln!("--snapshot-every must be >= 1");
+            exit(2);
+        }
+    }
+    if args.iter().any(|a| a == "--no-fsync") {
+        config.fsync_wal = false;
+    }
     let server = gve::serve::Server::start(&config).unwrap_or_else(|e| {
-        eprintln!("error: cannot bind {}: {e}", config.addr);
+        eprintln!("error: cannot start server on {}: {e}", config.addr);
         exit(1);
     });
+    if config.data_dir.is_some() {
+        let recovered = server.state().registry.names();
+        eprintln!(
+            "durability on: {} graph(s) recovered from {}{}",
+            recovered.len(),
+            config.data_dir.as_deref().unwrap_or(""),
+            if config.fsync_wal { "" } else { " (fsync off)" }
+        );
+    }
 
     // Preload graphs passed as repeated --load name=path flags.
     let mut iter = args.iter().peekable();
@@ -477,12 +500,27 @@ fn cmd_serve(args: &[String]) {
             eprintln!("--load expects name=path, got {spec}");
             exit(2);
         });
+        // A graph already restored from the data dir wins over --load:
+        // the durable copy carries its applied update batches.
+        if server.state().registry.snapshot(name).is_ok() {
+            eprintln!("'{name}' already recovered from the data dir; skipping --load");
+            continue;
+        }
         match server.state().registry.register_from_path(name, path) {
-            Ok(entry) => eprintln!(
-                "loaded '{name}' from {path}: |V| = {}, |E| = {}",
-                entry.graph.num_vertices(),
-                entry.graph.num_arcs()
-            ),
+            Ok(entry) => {
+                eprintln!(
+                    "loaded '{name}' from {path}: |V| = {}, |E| = {}",
+                    entry.graph.num_vertices(),
+                    entry.graph.num_arcs()
+                );
+                if let Some(store) = &server.state().durability {
+                    if let Err(e) = store.register_graph(name, &entry.graph, &entry.source.label())
+                    {
+                        eprintln!("error: cannot persist '{name}': {e}");
+                        exit(1);
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 exit(1);

@@ -228,9 +228,12 @@ fn errors_are_json_with_meaningful_statuses() {
     let (status, body) = ts.post("/graphs/tiny/detect", r#"{"objective":"louvain"}"#);
     assert_eq!(status, 400, "{}", body.render());
 
-    // Updates on an empty batch are rejected.
-    let (status, _) = ts.post("/graphs/tiny/updates", "{}");
-    assert_eq!(status, 400);
+    // Updates on an empty batch are a no-op 200 reporting the current
+    // epoch, not an error.
+    let (status, body) = ts.post("/graphs/tiny/updates", "{}");
+    assert_eq!(status, 200, "{}", body.render());
+    assert_eq!(body.get("noop").and_then(Json::as_bool), Some(true));
+    assert_eq!(body.get("refreshed").and_then(Json::as_bool), Some(false));
 
     // Error bodies survive messages with JSON-hostile characters: the
     // raw request line below lands in the error message and must come
